@@ -1,0 +1,72 @@
+// Command proxbench regenerates the paper's experimental study. Each panel
+// of Figure 3 is a runnable experiment; the printed rows are the series
+// the paper plots.
+//
+// Usage:
+//
+//	proxbench -fig all            # every panel, paper methodology (10 reps)
+//	proxbench -fig 3a,3h -quick   # selected panels at reduced size
+//	proxbench -list               # list available panels
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	var (
+		figs  = flag.String("fig", "all", "comma-separated figure ids (3a..3n) or 'all'")
+		quick = flag.Bool("quick", false, "reduced repetitions and data sizes")
+		reps  = flag.Int("reps", 0, "override the number of seeded data sets per point")
+		list  = flag.Bool("list", false, "list available figures and exit")
+		seed  = flag.Int64("seed", 0, "base seed for data generation")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, f := range experiments.Registry() {
+			fmt.Printf("%-4s %s\n", f.ID, f.Title)
+		}
+		return
+	}
+
+	st := experiments.DefaultSettings()
+	if *quick {
+		st = experiments.QuickSettings()
+	}
+	if *reps > 0 {
+		st.Reps = *reps
+	}
+	st.Seed = *seed
+
+	var selected []experiments.Figure
+	if *figs == "all" {
+		selected = experiments.Registry()
+	} else {
+		for _, id := range strings.Split(*figs, ",") {
+			f, ok := experiments.ByID(strings.TrimSpace(id))
+			if !ok {
+				fmt.Fprintf(os.Stderr, "proxbench: unknown figure %q (use -list)\n", id)
+				os.Exit(2)
+			}
+			selected = append(selected, f)
+		}
+	}
+
+	for _, f := range selected {
+		tbl, err := f.Run(st)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "proxbench: figure %s: %v\n", f.ID, err)
+			os.Exit(1)
+		}
+		if err := tbl.Render(os.Stdout); err != nil {
+			fmt.Fprintf(os.Stderr, "proxbench: render %s: %v\n", f.ID, err)
+			os.Exit(1)
+		}
+	}
+}

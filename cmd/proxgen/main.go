@@ -1,0 +1,81 @@
+// Command proxgen writes synthetic or simulated-city relations to CSV
+// files, for use with cmd/proxrank or external tools.
+//
+// Usage:
+//
+//	proxgen -out data/ -n 3 -d 2 -density 100 -tuples 400 -seed 7
+//	proxgen -out data/ -city NY
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	proxrank "repro"
+)
+
+func main() {
+	var (
+		out     = flag.String("out", ".", "output directory")
+		city    = flag.String("city", "", "emit a simulated city dataset instead of synthetic data")
+		n       = flag.Int("n", 2, "number of relations")
+		d       = flag.Int("d", 2, "feature dimensions")
+		density = flag.Float64("density", 100, "tuples per volume unit (rho)")
+		skew    = flag.Float64("skew", 1, "density multiplier of relation 1 (rho1/rho2)")
+		tuples  = flag.Int("tuples", 400, "tuples per unskewed relation")
+		seed    = flag.Int64("seed", 0, "generator seed")
+	)
+	flag.Parse()
+
+	if err := os.MkdirAll(*out, 0o755); err != nil {
+		fatal("%v", err)
+	}
+
+	var rels []*proxrank.Relation
+	if *city != "" {
+		var err error
+		rels, _, _, err = proxrank.CityDataset(strings.ToUpper(*city))
+		if err != nil {
+			fatal("%v", err)
+		}
+	} else {
+		cfg := proxrank.DefaultSyntheticConfig()
+		cfg.Relations = *n
+		cfg.Dim = *d
+		cfg.Density = *density
+		cfg.Skew = *skew
+		cfg.BaseTuples = *tuples
+		cfg.Seed = *seed
+		var err error
+		rels, err = proxrank.SyntheticRelations(cfg)
+		if err != nil {
+			fatal("%v", err)
+		}
+	}
+
+	for _, rel := range rels {
+		path := filepath.Join(*out, sanitize(rel.Name)+".csv")
+		if err := proxrank.SaveRelationCSV(path, rel); err != nil {
+			fatal("writing %s: %v", path, err)
+		}
+		fmt.Printf("wrote %s (%d tuples, dim %d)\n", path, rel.Len(), rel.Dim())
+	}
+}
+
+func sanitize(name string) string {
+	return strings.Map(func(r rune) rune {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '-', r == '_':
+			return r
+		}
+		return '_'
+	}, name)
+}
+
+func fatal(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "proxgen: "+format+"\n", args...)
+	os.Exit(1)
+}

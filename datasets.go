@@ -1,0 +1,46 @@
+package proxrank
+
+import (
+	"repro/internal/cities"
+	"repro/internal/datagen"
+)
+
+// SyntheticConfig parameterizes the synthetic workload generator used by
+// the paper's experiments (Appendix D.1): uniform feature vectors at a
+// target density, uniform scores, optional density skew for the first
+// relation.
+type SyntheticConfig = datagen.SyntheticConfig
+
+// DefaultSyntheticConfig is the paper's default operating point (Table 2):
+// n = 2, d = 2, ρ = 100, no skew.
+func DefaultSyntheticConfig() SyntheticConfig { return datagen.Defaults() }
+
+// SyntheticRelations generates relations deterministically from the seed.
+func SyntheticRelations(cfg SyntheticConfig) ([]*Relation, error) {
+	return datagen.Synthetic(cfg)
+}
+
+// CityCodes lists the five simulated city data sets mirroring the paper's
+// real-data study (Appendix D.2): SF, NY, BO, DA, HO.
+func CityCodes() []string {
+	all := cities.All()
+	out := make([]string, len(all))
+	for i, c := range all {
+		out[i] = c.Code
+	}
+	return out
+}
+
+// CityDataset returns the three POI relations (hotels, restaurants,
+// theaters) and the landmark query vector of a simulated city.
+func CityDataset(code string) (rels []*Relation, query Vector, landmark string, err error) {
+	c, err := cities.ByCode(code)
+	if err != nil {
+		return nil, nil, "", err
+	}
+	rels, err = c.Relations()
+	if err != nil {
+		return nil, nil, "", err
+	}
+	return rels, c.Query(), c.LandmarkName, nil
+}

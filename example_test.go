@@ -1,0 +1,73 @@
+package proxrank_test
+
+import (
+	"errors"
+	"fmt"
+
+	proxrank "repro"
+)
+
+// ExampleTopK answers the paper's worked example (Table 1): three
+// relations of two tuples each, query at the origin, unit weights.
+func ExampleTopK() {
+	r1, _ := proxrank.NewRelation("R1", 1.0, []proxrank.Tuple{
+		{ID: "τ1(1)", Score: 0.5, Vec: proxrank.Vector{0, -0.5}},
+		{ID: "τ1(2)", Score: 1.0, Vec: proxrank.Vector{0, 1}},
+	})
+	r2, _ := proxrank.NewRelation("R2", 1.0, []proxrank.Tuple{
+		{ID: "τ2(1)", Score: 1.0, Vec: proxrank.Vector{1, 1}},
+		{ID: "τ2(2)", Score: 0.8, Vec: proxrank.Vector{-2, 2}},
+	})
+	r3, _ := proxrank.NewRelation("R3", 1.0, []proxrank.Tuple{
+		{ID: "τ3(1)", Score: 1.0, Vec: proxrank.Vector{-1, 1}},
+		{ID: "τ3(2)", Score: 0.4, Vec: proxrank.Vector{-2, -2}},
+	})
+
+	res, err := proxrank.TopK(proxrank.Vector{0, 0},
+		[]*proxrank.Relation{r1, r2, r3}, proxrank.Options{K: 2})
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	for _, c := range res.Combinations {
+		fmt.Printf("%.1f %s %s %s\n", c.Score, c.Tuples[0].ID, c.Tuples[1].ID, c.Tuples[2].ID)
+	}
+	// Output:
+	// -7.0 τ1(2) τ2(1) τ3(1)
+	// -8.4 τ1(1) τ2(1) τ3(1)
+}
+
+// ExampleNewStream consumes the first two results of the pipelined
+// operator over the same data.
+func ExampleNewStream() {
+	r1, _ := proxrank.NewRelation("R1", 1.0, []proxrank.Tuple{
+		{ID: "a1", Score: 0.9, Vec: proxrank.Vector{0.1, 0}},
+		{ID: "a2", Score: 0.2, Vec: proxrank.Vector{5, 5}},
+	})
+	r2, _ := proxrank.NewRelation("R2", 1.0, []proxrank.Tuple{
+		{ID: "b1", Score: 0.8, Vec: proxrank.Vector{0, 0.2}},
+		{ID: "b2", Score: 0.3, Vec: proxrank.Vector{-4, 4}},
+	})
+	s, err := proxrank.NewStream(proxrank.Vector{0, 0},
+		[]*proxrank.Relation{r1, r2}, proxrank.Options{})
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	for {
+		c, err := s.Next()
+		if errors.Is(err, proxrank.ErrStreamDone) {
+			break
+		}
+		if err != nil {
+			fmt.Println(err)
+			return
+		}
+		fmt.Printf("%s+%s\n", c.Tuples[0].ID, c.Tuples[1].ID)
+	}
+	// Output:
+	// a1+b1
+	// a1+b2
+	// a2+b1
+	// a2+b2
+}

@@ -1,0 +1,65 @@
+// The quickstart example is the paper's running scenario (§1): plan an
+// evening by combining a restaurant, a movie theater, and a hotel that are
+// well rated, close to where you are, and close to each other.
+//
+// Run with: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	proxrank "repro"
+)
+
+func main() {
+	// Coordinates are kilometers from the user's position (the query is
+	// the origin); scores are normalized ratings in (0, 1].
+	restaurants, err := proxrank.NewRelation("restaurants", 1.0, []proxrank.Tuple{
+		{ID: "Trattoria Bella", Score: 0.92, Vec: proxrank.Vector{0.4, 0.3}},
+		{ID: "Noodle Bar", Score: 0.85, Vec: proxrank.Vector{-0.2, 0.9}},
+		{ID: "Le Petit Jardin", Score: 0.97, Vec: proxrank.Vector{2.1, -1.4}},
+		{ID: "Burger Basement", Score: 0.55, Vec: proxrank.Vector{0.1, -0.1}},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	theaters, err := proxrank.NewRelation("theaters", 1.0, []proxrank.Tuple{
+		{ID: "Odeon Central", Score: 0.88, Vec: proxrank.Vector{0.6, 0.1}},
+		{ID: "Grand Lumiere", Score: 0.95, Vec: proxrank.Vector{-1.8, 2.2}},
+		{ID: "Strip Mall Cinema", Score: 0.45, Vec: proxrank.Vector{0.3, 0.5}},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	hotels, err := proxrank.NewRelation("hotels", 1.0, []proxrank.Tuple{
+		{ID: "Hotel Aurora", Score: 0.90, Vec: proxrank.Vector{0.8, 0.4}},
+		{ID: "City Hostel", Score: 0.60, Vec: proxrank.Vector{0.2, 0.2}},
+		{ID: "Palace Royale", Score: 0.99, Vec: proxrank.Vector{3.0, 2.5}},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	query := proxrank.Vector{0, 0} // the user's location
+
+	res, err := proxrank.TopK(query, []*proxrank.Relation{restaurants, theaters, hotels}, proxrank.Options{
+		K: 3,
+		// Weights: how much ratings matter vs being near the user vs the
+		// places being near each other.
+		Weights: proxrank.Weights{Ws: 1, Wq: 0.5, Wmu: 1},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("Top evening plans (restaurant + theater + hotel):")
+	for i, c := range res.Combinations {
+		fmt.Printf("%d. [%.3f] %s, %s, %s\n", i+1, c.Score,
+			c.Tuples[0].ID, c.Tuples[1].ID, c.Tuples[2].ID)
+	}
+	fmt.Printf("\nAnswered after reading %d of %d tuples (depths %v).\n",
+		res.Stats.SumDepths,
+		restaurants.Len()+theaters.Len()+hotels.Len(),
+		res.Stats.Depths)
+}

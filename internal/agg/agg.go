@@ -1,0 +1,225 @@
+// Package agg defines the aggregation functions of proximity rank join
+// (paper eq. (1)) and the reference Euclidean sum instantiation (eq. (2)):
+//
+//	S(τ) = Σ_i  w_s·T(σ(τ_i)) − w_q·‖x(τ_i)−q‖² − w_µ·‖x(τ_i)−µ(τ)‖²
+//
+// where T is a monotone score transform (ln as in the paper, or identity
+// as in Appendix C.2) and µ(τ) is the combination centroid — the
+// arithmetic mean, which is the arg-min of the summed squared Euclidean
+// distances used by the quadratic form.
+//
+// The corner bounding scheme works for any Function; the tight bounding
+// scheme additionally requires the Quadratic interface, which exposes the
+// weights of the closed-form geometry.
+package agg
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/vec"
+)
+
+// Function is an aggregation function in the shape of paper eq. (1):
+// a per-relation proximity weighting g_i combined by a monotone f.
+type Function interface {
+	// G is the proximity weighting g_i: monotone non-decreasing in sigma,
+	// non-increasing in the query distance dq and the centroid distance dmu.
+	G(i int, sigma, dq, dmu float64) float64
+	// F combines the n proximity weighted scores; monotone non-decreasing
+	// in every argument.
+	F(parts []float64) float64
+	// Score evaluates the full combination: distances are derived from the
+	// query q and the centroid of xs.
+	Score(q vec.Vector, sigmas []float64, xs []vec.Vector) float64
+	// Metric is the distance δ the function's G consumes; distance-based
+	// access must stream tuples in increasing order of this metric for the
+	// bounding schemes to be correct.
+	Metric() vec.Metric
+	// Name identifies the function in reports.
+	Name() string
+}
+
+// Quadratic is implemented by aggregation functions whose geometry is the
+// quadratic Euclidean form of eq. (2); it unlocks the tight bounding
+// machinery (ray reduction + 1-D QP) and dominance half-spaces.
+type Quadratic interface {
+	Function
+	// Weights returns (w_s, w_q, w_µ).
+	Weights() (ws, wq, wmu float64)
+	// TransformScore applies the score transform T (ln or identity).
+	TransformScore(sigma float64) float64
+}
+
+// ScoreTransform selects how σ enters the aggregation.
+type ScoreTransform int
+
+const (
+	// LogScore uses w_s·ln(σ) as in paper eq. (2).
+	LogScore ScoreTransform = iota
+	// IdentityScore uses w_s·σ as in paper Appendix C.2.
+	IdentityScore
+)
+
+// String implements fmt.Stringer.
+func (t ScoreTransform) String() string {
+	switch t {
+	case LogScore:
+		return "log"
+	case IdentityScore:
+		return "identity"
+	}
+	return fmt.Sprintf("ScoreTransform(%d)", int(t))
+}
+
+// Weights holds the user-preference weights of eq. (2).
+type Weights struct {
+	Ws, Wq, Wmu float64
+}
+
+// DefaultWeights matches the paper's experiments (w_s = w_q = w_µ = 1).
+func DefaultWeights() Weights { return Weights{Ws: 1, Wq: 1, Wmu: 1} }
+
+// Validate rejects negative or non-finite weights.
+func (w Weights) Validate() error {
+	for _, x := range []float64{w.Ws, w.Wq, w.Wmu} {
+		if math.IsNaN(x) || math.IsInf(x, 0) || x < 0 {
+			return errors.New("agg: weights must be finite and non-negative")
+		}
+	}
+	return nil
+}
+
+// EuclideanSum is the paper's reference aggregation (eq. (2)).
+type EuclideanSum struct {
+	W         Weights
+	Transform ScoreTransform
+}
+
+// NewEuclideanSum validates the weights and returns the aggregation.
+func NewEuclideanSum(w Weights, transform ScoreTransform) (*EuclideanSum, error) {
+	if err := w.Validate(); err != nil {
+		return nil, err
+	}
+	return &EuclideanSum{W: w, Transform: transform}, nil
+}
+
+// MustEuclideanSum is NewEuclideanSum that panics on error.
+func MustEuclideanSum(w Weights, transform ScoreTransform) *EuclideanSum {
+	e, err := NewEuclideanSum(w, transform)
+	if err != nil {
+		panic(err)
+	}
+	return e
+}
+
+// TransformScore implements Quadratic. A log transform of σ = 0 is −∞;
+// relation validation keeps scores strictly positive so this stays finite
+// in normal operation.
+func (e *EuclideanSum) TransformScore(sigma float64) float64 {
+	if e.Transform == IdentityScore {
+		return sigma
+	}
+	return math.Log(sigma)
+}
+
+// Weights implements Quadratic.
+func (e *EuclideanSum) Weights() (ws, wq, wmu float64) { return e.W.Ws, e.W.Wq, e.W.Wmu }
+
+// G implements Function: g(σ, y, z) = w_s·T(σ) − w_q·y² − w_µ·z².
+func (e *EuclideanSum) G(_ int, sigma, dq, dmu float64) float64 {
+	return e.W.Ws*e.TransformScore(sigma) - e.W.Wq*dq*dq - e.W.Wmu*dmu*dmu
+}
+
+// F implements Function: the sum combiner.
+func (e *EuclideanSum) F(parts []float64) float64 {
+	var s float64
+	for _, p := range parts {
+		s += p
+	}
+	return s
+}
+
+// Score implements Function using the mean centroid.
+func (e *EuclideanSum) Score(q vec.Vector, sigmas []float64, xs []vec.Vector) float64 {
+	if len(sigmas) != len(xs) || len(xs) == 0 {
+		panic("agg: sigmas/xs mismatch or empty")
+	}
+	mu := vec.Mean(xs...)
+	var s float64
+	for i, x := range xs {
+		s += e.W.Ws*e.TransformScore(sigmas[i]) - e.W.Wq*x.Dist2(q) - e.W.Wmu*x.Dist2(mu)
+	}
+	return s
+}
+
+// Metric implements Function.
+func (e *EuclideanSum) Metric() vec.Metric { return vec.Euclidean{} }
+
+// Name implements Function.
+func (e *EuclideanSum) Name() string {
+	return fmt.Sprintf("euclidean-sum(ws=%g,wq=%g,wmu=%g,%s)", e.W.Ws, e.W.Wq, e.W.Wmu, e.Transform)
+}
+
+// CosineProximity scores combinations with cosine dissimilarity in place of
+// squared Euclidean distance — the extension named as future work in the
+// paper's conclusion:
+//
+//	S(τ) = Σ_i w_s·T(σ_i) − w_q·cosdist(x_i, q) − w_µ·cosdist(x_i, µ)
+//
+// It implements Function but not Quadratic: the tight bound's closed-form
+// geometry does not apply, so engines fall back to the (correct but looser)
+// corner bound for this aggregation.
+type CosineProximity struct {
+	W         Weights
+	Transform ScoreTransform
+	metric    vec.CosineDistance
+}
+
+// NewCosineProximity validates the weights and returns the aggregation.
+func NewCosineProximity(w Weights, transform ScoreTransform) (*CosineProximity, error) {
+	if err := w.Validate(); err != nil {
+		return nil, err
+	}
+	return &CosineProximity{W: w, Transform: transform}, nil
+}
+
+// G implements Function; dq and dmu are cosine dissimilarities in [0, 2].
+func (c *CosineProximity) G(_ int, sigma, dq, dmu float64) float64 {
+	t := sigma
+	if c.Transform == LogScore {
+		t = math.Log(sigma)
+	}
+	return c.W.Ws*t - c.W.Wq*dq - c.W.Wmu*dmu
+}
+
+// F implements Function.
+func (c *CosineProximity) F(parts []float64) float64 {
+	var s float64
+	for _, p := range parts {
+		s += p
+	}
+	return s
+}
+
+// Score implements Function with the mean centroid.
+func (c *CosineProximity) Score(q vec.Vector, sigmas []float64, xs []vec.Vector) float64 {
+	if len(sigmas) != len(xs) || len(xs) == 0 {
+		panic("agg: sigmas/xs mismatch or empty")
+	}
+	mu := vec.Mean(xs...)
+	var s float64
+	for i, x := range xs {
+		s += c.G(i, sigmas[i], c.metric.Distance(x, q), c.metric.Distance(x, mu))
+	}
+	return s
+}
+
+// Metric implements Function.
+func (c *CosineProximity) Metric() vec.Metric { return c.metric }
+
+// Name implements Function.
+func (c *CosineProximity) Name() string {
+	return fmt.Sprintf("cosine-proximity(ws=%g,wq=%g,wmu=%g,%s)", c.W.Ws, c.W.Wq, c.W.Wmu, c.Transform)
+}

@@ -1,0 +1,144 @@
+// Package cities simulates the real data sets of the paper's Appendix D.2.
+//
+// The paper scraped hotels, restaurants and theaters with customer ratings
+// and coordinates (d = 2) for five American cities through the now-defunct
+// YQL console, querying from a landmark in each city (Fisherman's Wharf,
+// Battery Park, …). That feed is unavailable, so this package generates a
+// statistically faithful substitute: each city has a handful of districts
+// (clustered POI density, as real cities do), per-category counts in
+// realistic proportions (restaurants ≫ hotels ≳ theaters), and skewed
+// rating distributions. Coordinates are degrees offset from the city
+// center, matching the scale of the original latitude/longitude data.
+// Generation is seeded per city, so every experiment is reproducible.
+//
+// The substitution preserves what the experiments actually exercise:
+// distance-ordered streams of (score, 2-D location) tuples with non-uniform
+// spatial density and inter-category density skew — exactly the regime
+// where the adaptive pulling strategy and the tight bound pay off.
+package cities
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/relation"
+	"repro/internal/vec"
+)
+
+// City describes one simulated city data set.
+type City struct {
+	// Code is the paper's two-letter label (SF, NY, BO, DA, HO).
+	Code string
+	// Name is the full city name.
+	Name string
+	// LandmarkName names the query location (paper D.2 examples).
+	LandmarkName string
+	// landmark is the query vector, in degrees offset from the center.
+	landmark vec.Vector
+	// districts is the number of POI clusters.
+	districts int
+	// spread controls district size (degrees).
+	spread float64
+	// counts of hotels, restaurants, theaters.
+	hotels, restaurants, theaters int
+	// seed for deterministic generation.
+	seed int64
+}
+
+// All lists the five cities in paper order.
+func All() []City {
+	return []City{
+		{Code: "SF", Name: "San Francisco", LandmarkName: "Fisherman's Wharf",
+			landmark: vec.Of(0.010, 0.028), districts: 7, spread: 0.012,
+			hotels: 220, restaurants: 600, theaters: 90, seed: 411},
+		{Code: "NY", Name: "New York", LandmarkName: "Battery Park",
+			landmark: vec.Of(-0.015, -0.040), districts: 9, spread: 0.010,
+			hotels: 350, restaurants: 900, theaters: 140, seed: 212},
+		{Code: "BO", Name: "Boston", LandmarkName: "Faneuil Hall",
+			landmark: vec.Of(0.006, 0.010), districts: 6, spread: 0.011,
+			hotels: 160, restaurants: 420, theaters: 60, seed: 617},
+		{Code: "DA", Name: "Dallas", LandmarkName: "Dealey Plaza",
+			landmark: vec.Of(-0.008, 0.004), districts: 5, spread: 0.018,
+			hotels: 180, restaurants: 380, theaters: 50, seed: 214},
+		{Code: "HO", Name: "Honolulu", LandmarkName: "Waikiki Beach",
+			landmark: vec.Of(0.020, -0.012), districts: 4, spread: 0.009,
+			hotels: 240, restaurants: 300, theaters: 30, seed: 808},
+	}
+}
+
+// ByCode returns the city with the given code, or an error.
+func ByCode(code string) (City, error) {
+	for _, c := range All() {
+		if c.Code == code {
+			return c, nil
+		}
+	}
+	return City{}, fmt.Errorf("cities: unknown city code %q", code)
+}
+
+// Query returns the landmark query vector.
+func (c City) Query() vec.Vector { return c.landmark.Clone() }
+
+// Relations generates the three POI relations (hotels, restaurants,
+// theaters) for the city. Scores are customer ratings normalized to (0,1].
+func (c City) Relations() ([]*relation.Relation, error) {
+	r := rand.New(rand.NewSource(c.seed))
+	// District centers shared by all categories: hotels cluster where
+	// restaurants do, as in real cities.
+	centers := make([]vec.Vector, c.districts)
+	weights := make([]float64, c.districts)
+	var wsum float64
+	for i := range centers {
+		centers[i] = vec.Of((r.Float64()*2-1)*0.05, (r.Float64()*2-1)*0.05)
+		weights[i] = 0.2 + r.Float64()
+		wsum += weights[i]
+	}
+	pick := func() vec.Vector {
+		x := r.Float64() * wsum
+		for i, w := range weights {
+			if x < w {
+				return centers[i]
+			}
+			x -= w
+		}
+		return centers[len(centers)-1]
+	}
+	gen := func(name string, count int, ratingMean, ratingDev float64) (*relation.Relation, error) {
+		tuples := make([]relation.Tuple, count)
+		for j := range tuples {
+			center := pick()
+			pos := vec.Of(
+				center[0]+r.NormFloat64()*c.spread,
+				center[1]+r.NormFloat64()*c.spread,
+			)
+			// Ratings on a 1-5 star scale with Gaussian noise, normalized.
+			stars := ratingMean + r.NormFloat64()*ratingDev
+			if stars < 1 {
+				stars = 1
+			}
+			if stars > 5 {
+				stars = 5
+			}
+			tuples[j] = relation.Tuple{
+				ID:    fmt.Sprintf("%s-%s-%d", c.Code, name, j),
+				Score: stars / 5,
+				Vec:   pos,
+				Attrs: map[string]string{"city": c.Name, "category": name},
+			}
+		}
+		return relation.New(fmt.Sprintf("%s-%s", c.Code, name), 1.0, tuples)
+	}
+	hotels, err := gen("hotels", c.hotels, 3.4, 0.8)
+	if err != nil {
+		return nil, err
+	}
+	restaurants, err := gen("restaurants", c.restaurants, 3.8, 0.7)
+	if err != nil {
+		return nil, err
+	}
+	theaters, err := gen("theaters", c.theaters, 3.6, 0.9)
+	if err != nil {
+		return nil, err
+	}
+	return []*relation.Relation{hotels, restaurants, theaters}, nil
+}

@@ -1,0 +1,71 @@
+package core
+
+import (
+	"sort"
+
+	"repro/internal/pqueue"
+)
+
+// topK is the output buffer O of Algorithm 1: it retains the K best
+// combinations seen so far, with deterministic tie-breaking (lower rank
+// vectors win on equal scores).
+type topK struct {
+	k    int
+	heap *pqueue.Heap[Combination] // worst-first
+}
+
+// combWorse reports whether a is a strictly worse result than b.
+func combWorse(a, b Combination) bool {
+	if a.Score != b.Score {
+		return a.Score < b.Score
+	}
+	return rankLess(b.Ranks, a.Ranks) // higher rank vector is worse
+}
+
+// rankLess is lexicographic order on rank vectors.
+func rankLess(a, b []int) bool {
+	for i := range a {
+		if a[i] != b[i] {
+			return a[i] < b[i]
+		}
+	}
+	return false
+}
+
+func newTopK(k int) *topK {
+	return &topK{k: k, heap: pqueue.New(combWorse)}
+}
+
+// push offers a combination, evicting the worst if the buffer overflows.
+func (t *topK) push(c Combination) {
+	if t.heap.Len() < t.k {
+		t.heap.Push(c)
+		return
+	}
+	worst, _ := t.heap.Peek()
+	if combWorse(worst, c) {
+		t.heap.Pop()
+		t.heap.Push(c)
+	}
+}
+
+// len returns the number of buffered combinations.
+func (t *topK) len() int { return t.heap.Len() }
+
+// kthScore returns the score of the worst buffered combination; callers
+// must check len() == k before treating it as the K-th best.
+func (t *topK) kthScore() float64 {
+	worst, ok := t.heap.Peek()
+	if !ok {
+		return negInf
+	}
+	return worst.Score
+}
+
+// sorted drains nothing and returns the buffered combinations best-first.
+func (t *topK) sorted() []Combination {
+	out := make([]Combination, len(t.heap.Items()))
+	copy(out, t.heap.Items())
+	sort.Slice(out, func(i, j int) bool { return combWorse(out[j], out[i]) })
+	return out
+}

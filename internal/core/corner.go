@@ -1,0 +1,68 @@
+package core
+
+import "repro/internal/relation"
+
+// cornerBounder implements the HRJN-style corner bound for both access
+// kinds (paper eq. (3)-(5) for distance access, eq. (36)-(38) for score
+// access). It is correct for any monotone aggregation but not tight, so
+// algorithms built on it are not instance-optimal (Theorems 3.1 and C.1).
+type cornerBounder struct {
+	e     *Engine
+	parts []float64 // scratch for f's arguments
+}
+
+func newCornerBounder(e *Engine) *cornerBounder {
+	return &cornerBounder{e: e, parts: make([]float64, e.n)}
+}
+
+func (c *cornerBounder) register(int)          {}
+func (c *cornerBounder) registerExhausted(int) {}
+
+// threshold is t_c = max_i t_i over relations that can still produce an
+// unseen tuple.
+func (c *cornerBounder) threshold() float64 {
+	t := negInf
+	for i, rs := range c.e.rels {
+		if rs.exhausted {
+			continue
+		}
+		if ti := c.potential(i); ti > t {
+			t = ti
+		}
+	}
+	return t
+}
+
+// potential computes t_i = f(S̄_1, …, S_i, …, S̄_n): the bound on
+// combinations whose unseen member comes from relation i.
+func (c *cornerBounder) potential(i int) float64 {
+	if c.e.rels[i].exhausted {
+		return negInf
+	}
+	for j, rs := range c.e.rels {
+		if j == i {
+			c.parts[j] = c.unseenCap(rs)
+		} else {
+			c.parts[j] = c.seenCap(rs)
+		}
+	}
+	return c.e.opts.Agg.F(c.parts)
+}
+
+// seenCap is S̄_j: the best proximity weighted score any tuple of R_j can
+// attain, anchored at the first accessed tuple.
+func (c *cornerBounder) seenCap(rs *relState) float64 {
+	if c.e.kind == relation.DistanceAccess {
+		return c.e.opts.Agg.G(rs.index, rs.maxScore, rs.firstDist(), 0)
+	}
+	return c.e.opts.Agg.G(rs.index, rs.firstScore(), 0, 0)
+}
+
+// unseenCap is S_i: the best proximity weighted score an unseen tuple of
+// R_i can attain, anchored at the last accessed tuple.
+func (c *cornerBounder) unseenCap(rs *relState) float64 {
+	if c.e.kind == relation.DistanceAccess {
+		return c.e.opts.Agg.G(rs.index, rs.maxScore, rs.lastDist(), 0)
+	}
+	return c.e.opts.Agg.G(rs.index, rs.lastScore(), 0, 0)
+}

@@ -1,0 +1,149 @@
+package core
+
+import (
+	"repro/internal/lp"
+	"repro/internal/vec"
+)
+
+// Dominance pruning (paper §3.2.2 and Appendix B.5).
+//
+// For a subset M with |M| = m, the unconstrained symmetric completion
+// objective of a partial τ_α is the quadratic
+//
+//	f_α(ỹ) = K_α − a·‖ỹ‖² − 2·b_αᵀ·ỹ,     ỹ = y − q
+//
+// whose quadratic coefficient a is shared by every partial of M, so the
+// region where τ_α beats τ_β is the half-space 2(b_α−b_β)ᵀỹ ≤ K_α−K_β.
+// The dominance region D(τ_α) is the intersection over all β; τ_α is
+// dominated when that polyhedron is empty — decided by a feasibility LP.
+// Dominated partials can never determine t_M (their constrained optimum is
+// covered by some other partial's), so they are dropped from the bound
+// heap; once dominated, always dominated, because regions only shrink as
+// new partials arrive.
+
+// dominanceCoeffs fills p.domG (= 2·b_α) and p.domK for partial p of
+// subset ss, in coordinates shifted by the query.
+func (b *tightDistBounder) dominanceCoeffs(ss *subsetState, p *distPartial) {
+	e := b.e
+	n := float64(e.n)
+	m := float64(len(ss.members))
+	if len(ss.members) == 0 {
+		p.domG = vec.New(e.dim)
+		p.domK = 0
+		return
+	}
+	beta := m / n
+	nuT := p.nu.Sub(e.q)
+	// b_α = −w_µ·(n−m)·(m/n)·ν̃  (paper eq. (25)); domG = 2·b_α.
+	p.domG = nuT.Scale(-2 * b.wmu * (n - m) * beta)
+
+	// K_α collects every y-free term of the objective:
+	//   Σ_seen [w_s·T(σ) − w_q·‖x̃‖²]  +  Σ_unseen w_s·T(σ_max)
+	//   − w_µ·[ Σ_seen ‖x̃_i − β·ν̃‖² + (n−m)·β²·‖ν̃‖² ].
+	k := p.sumT
+	for _, j := range ss.unseen {
+		k += b.ws * b.quad.TransformScore(e.rels[j].maxScore)
+	}
+	var spread float64
+	for _, x := range p.xs {
+		xt := x.Sub(e.q)
+		k -= b.wq * xt.Norm2()
+		spread += xt.Sub(nuT.Scale(beta)).Norm2()
+	}
+	spread += (n - m) * beta * beta * nuT.Norm2()
+	k -= b.wmu * spread
+	p.domK = k
+}
+
+// dominanceEval evaluates f_α at ỹ = y − q; used by tests to validate the
+// quadratic expansion against direct scoring.
+func (b *tightDistBounder) dominanceEval(ss *subsetState, p *distPartial, y vec.Vector) float64 {
+	n := float64(b.e.n)
+	m := float64(len(ss.members))
+	a := b.wq*(n-m) + b.wmu*m*(n-m)/n
+	yt := y.Sub(b.e.q)
+	return p.domK - a*yt.Norm2() - p.domG.Dot(yt)
+}
+
+// dominanceSweep runs the emptiness test for every live partial of ss
+// against the other live partials, flagging and removing the dominated
+// ones. Already-dominated partials are skipped both as candidates and as
+// constraint sources (Appendix B.5 speed-up).
+//
+// Before paying for an LP, each candidate is screened at its own
+// unconstrained peak ỹ_α = −b_α/a: if f_α is maximal there among the live
+// partials, that point witnesses D(τ_α) ≠ ∅ and the LP is skipped. The
+// screen is exact (never mis-flags); only candidates that lose at their
+// own peak go to the LP.
+func (b *tightDistBounder) dominanceSweep(ss *subsetState) {
+	if len(ss.members) == 0 {
+		return // single empty partial, nothing to dominate
+	}
+	live := make([]*distPartial, 0, len(ss.partials))
+	for _, p := range ss.partials {
+		if !p.dominated {
+			live = append(live, p)
+		}
+	}
+	if len(live) < 2 {
+		return
+	}
+	n := float64(b.e.n)
+	m := float64(len(ss.members))
+	a := b.wq*(n-m) + b.wmu*m*(n-m)/n
+
+	// evalAt computes f_p(ỹ) = K_p − a·‖ỹ‖² − domG_pᵀ·ỹ in shifted coords.
+	evalAt := func(p *distPartial, yt vec.Vector, ynorm2 float64) float64 {
+		return p.domK - a*ynorm2 - p.domG.Dot(yt)
+	}
+	for _, alpha := range live {
+		if alpha.dominated {
+			continue
+		}
+		if a > 1e-300 {
+			// Witness screen at α's unconstrained peak.
+			peak := alpha.domG.Scale(-1 / (2 * a))
+			pn2 := peak.Norm2()
+			fa := evalAt(alpha, peak, pn2)
+			wins := true
+			for _, betaP := range live {
+				if betaP == alpha || betaP.dominated {
+					continue
+				}
+				if evalAt(betaP, peak, pn2) > fa+1e-12 {
+					wins = false
+					break
+				}
+			}
+			if wins {
+				continue // witnessed non-empty; no LP needed
+			}
+		}
+		rows := make([][]float64, 0, len(live)-1)
+		rhs := make([]float64, 0, len(live)-1)
+		for _, betaP := range live {
+			if betaP == alpha || betaP.dominated {
+				continue
+			}
+			row := make([]float64, b.e.dim)
+			for d := 0; d < b.e.dim; d++ {
+				row[d] = alpha.domG[d] - betaP.domG[d]
+			}
+			rows = append(rows, row)
+			rhs = append(rhs, alpha.domK-betaP.domK)
+		}
+		if len(rows) == 0 {
+			continue
+		}
+		feasible, err := lp.FeasibleHalfSpaces(rows, rhs)
+		b.e.stats.DominanceLPs++
+		if err != nil {
+			continue // keep the partial: pruning must stay conservative
+		}
+		if !feasible {
+			alpha.dominated = true
+			ss.heap.Remove(alpha.id)
+			b.e.stats.DominatedPartials++
+		}
+	}
+}

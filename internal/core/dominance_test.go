@@ -1,0 +1,211 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/relation"
+	"repro/internal/vec"
+)
+
+// buildEngineAtDepth pulls `pulls` tuples round-robin on a random instance
+// and returns the engine (tight distance bounder).
+func buildEngineAtDepth(t testing.TB, r *rand.Rand, domPeriod int) (*Engine, instance) {
+	t.Helper()
+	in := randomInstance(r, 3, 6)
+	e, err := NewEngine(in.sources(t, relation.DistanceAccess), Options{
+		K: in.k, Algorithm: TBRR, Query: in.q, Agg: in.fn, DominancePeriod: domPeriod,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rr := &roundRobin{}
+	pulls := 2 + r.Intn(8)
+	for i := 0; i < pulls; i++ {
+		ri := rr.choose(e)
+		if ri < 0 {
+			break
+		}
+		if err := e.step(ri); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return e, in
+}
+
+// TestQuickDominanceQuadraticExpansion validates the half-space
+// coefficients: f_α(y) from (domG, domK) must equal the aggregation score
+// of the combination completed with every unseen tuple placed at y with
+// score σ_max.
+func TestQuickDominanceQuadraticExpansion(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		e, in := buildEngineAtDepth(t, r, 1)
+		b, ok := e.bound.(*tightDistBounder)
+		if !ok {
+			return false
+		}
+		for _, ss := range b.subsets {
+			if len(ss.members) == 0 || len(ss.partials) == 0 {
+				continue
+			}
+			p := ss.partials[r.Intn(len(ss.partials))]
+			for trial := 0; trial < 4; trial++ {
+				y := vec.New(e.dim)
+				for c := range y {
+					y[c] = r.NormFloat64() * 4
+				}
+				got := b.dominanceEval(ss, p, y)
+
+				// Direct: build the full combination with unseen at y,
+				// locating the partial's tuples by vector identity.
+				sigmas := make([]float64, 0, e.n)
+				xs := make([]vec.Vector, 0, e.n)
+				for k, x := range p.xs {
+					ri := ss.members[k]
+					var sigma float64
+					found := false
+					for _, tup := range e.rels[ri].tuples {
+						if tup.Vec.Equal(x) {
+							sigma = tup.Score
+							found = true
+							break
+						}
+					}
+					if !found {
+						return false
+					}
+					sigmas = append(sigmas, sigma)
+					xs = append(xs, x)
+				}
+				for _, j := range ss.unseen {
+					sigmas = append(sigmas, e.rels[j].maxScore)
+					xs = append(xs, y)
+				}
+				want := in.fn.Score(e.q, sigmas, xs)
+				if math.Abs(got-want) > 1e-6*(1+math.Abs(want)) {
+					t.Logf("seed %d mask %b: f_α(y)=%v direct=%v", seed, ss.mask, got, want)
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickDominatedNeverDeterminesTM: after a dominance sweep, recomputing
+// every bound must show that no dominated partial strictly exceeds the
+// subset's surviving maximum.
+func TestQuickDominatedNeverDeterminesTM(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		e, _ := buildEngineAtDepth(t, r, 1)
+		b := e.bound.(*tightDistBounder)
+		for _, ss := range b.subsets {
+			if !b.valid(ss) {
+				continue
+			}
+			tm := b.tM(ss)
+			for _, p := range ss.partials {
+				if !p.dominated {
+					continue
+				}
+				b.computeBound(ss, p)
+				if p.bound > tm+1e-7 {
+					t.Logf("seed %d mask %b: dominated bound %v > tM %v", seed, ss.mask, p.bound, tm)
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickTightnessWitness validates Theorem 3.2 constructively: for the
+// subset and partial attaining the threshold, the reconstructed completion
+// is feasible (unseen locations at distance ≥ δ_i) and scores exactly t.
+func TestQuickTightnessWitness(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		e, in := buildEngineAtDepth(t, r, 0)
+		b := e.bound.(*tightDistBounder)
+		tGlobal := b.threshold()
+		if math.IsInf(tGlobal, -1) {
+			return true
+		}
+		// Find the achieving subset/partial and rebuild its witness.
+		for _, ss := range b.subsets {
+			if !b.valid(ss) {
+				continue
+			}
+			for _, p := range ss.partials {
+				b.computeBound(ss, p)
+				if math.Abs(p.bound-tGlobal) > 1e-9 {
+					continue
+				}
+				// Rebuild the reconstruction exactly as computeBound does.
+				dir := b.baseDir
+				if len(ss.members) > 0 {
+					if d, ok := p.nu.Sub(e.q).Unit(); ok {
+						dir = d
+					}
+				}
+				fixed := make([]float64, len(p.xs))
+				for k, x := range p.xs {
+					fixed[k] = x.Sub(e.q).Dot(dir)
+				}
+				lower := make([]float64, len(ss.unseen))
+				for k, j := range ss.unseen {
+					lower[k] = e.rels[j].lastDist()
+				}
+				sol, err := solve14ForTest(b, fixed, lower)
+				if err != nil {
+					return false
+				}
+				sigmas := make([]float64, 0, e.n)
+				xs := make([]vec.Vector, 0, e.n)
+				for k, x := range p.xs {
+					ri := ss.members[k]
+					for _, tup := range e.rels[ri].tuples {
+						if tup.Vec.Equal(x) {
+							sigmas = append(sigmas, tup.Score)
+							break
+						}
+					}
+					xs = append(xs, x)
+				}
+				for k, j := range ss.unseen {
+					y := e.q.AddScaled(sol[k], dir)
+					// Feasibility: the witness respects distance access.
+					if y.Dist(e.q) < e.rels[j].lastDist()-1e-9 {
+						return false
+					}
+					sigmas = append(sigmas, e.rels[j].maxScore)
+					xs = append(xs, y)
+				}
+				if len(sigmas) != e.n {
+					return false
+				}
+				want := in.fn.Score(e.q, sigmas, xs)
+				return math.Abs(want-tGlobal) <= 1e-7*(1+math.Abs(tGlobal))
+			}
+		}
+		return false // threshold unachieved by any partial: not tight
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func solve14ForTest(b *tightDistBounder, fixed, lower []float64) ([]float64, error) {
+	sol, err := qpSolve14(b.wq, b.wmu, fixed, lower)
+	return sol, err
+}

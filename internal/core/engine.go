@@ -1,0 +1,358 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"time"
+
+	"repro/internal/agg"
+	"repro/internal/relation"
+	"repro/internal/vec"
+)
+
+var negInf = math.Inf(-1)
+var posInf = math.Inf(1)
+
+// relState is the engine-side view of one input relation: the extracted
+// prefix P_i plus the first/last access statistics the bounds consume.
+type relState struct {
+	index     int
+	src       relation.Source
+	tuples    []relation.Tuple // P_i in access order
+	dists     []float64        // distance from q, parallel to tuples
+	exhausted bool
+	maxScore  float64
+}
+
+// depth returns p_i.
+func (r *relState) depth() int { return len(r.tuples) }
+
+// firstDist and lastDist are δ(x(R_i[1]), q) and δ(x(R_i[p_i]), q), both 0
+// when nothing was extracted (paper convention).
+func (r *relState) firstDist() float64 {
+	if len(r.dists) == 0 {
+		return 0
+	}
+	return r.dists[0]
+}
+
+func (r *relState) lastDist() float64 {
+	if len(r.dists) == 0 {
+		return 0
+	}
+	return r.dists[len(r.dists)-1]
+}
+
+// firstScore and lastScore are σ(R_i[1]) and σ(R_i[p_i]); σ_max when
+// nothing was extracted (the best any unseen tuple could have).
+func (r *relState) firstScore() float64 {
+	if len(r.tuples) == 0 {
+		return r.maxScore
+	}
+	return r.tuples[0].Score
+}
+
+func (r *relState) lastScore() float64 {
+	if len(r.tuples) == 0 {
+		return r.maxScore
+	}
+	return r.tuples[len(r.tuples)-1].Score
+}
+
+// bounder is the BS component of the ProxRJ template. Registration
+// (integrating a new tuple or an exhaustion) is separated from threshold
+// computation so that the engine can skip recomputation between blocks of
+// pulls (Options.BoundPeriod, the practical trade-off of paper §4.2): a
+// stale threshold remains a correct upper bound because the unseen set
+// only shrinks.
+type bounder interface {
+	// register integrates the tuple just appended to relation ri.
+	register(ri int)
+	// registerExhausted reacts to relation ri running dry.
+	registerExhausted(ri int)
+	// threshold computes the current upper bound t on unseen combinations.
+	threshold() float64
+	// potential returns pot_i for the PA strategy (−inf when no unseen
+	// combination can involve relation ri).
+	potential(ri int) float64
+}
+
+// puller is the PS component.
+type puller interface {
+	// choose returns the index of a non-exhausted relation, or -1 when all
+	// are exhausted.
+	choose(e *Engine) int
+}
+
+// Engine executes the ProxRJ template over a fixed set of sources.
+type Engine struct {
+	opts   Options
+	q      vec.Vector
+	n      int
+	dim    int
+	kind   relation.AccessKind
+	rels   []*relState
+	out    *topK
+	bound  bounder
+	pull   puller
+	stats  Stats
+	t      float64 // current upper bound
+	pulls  int64   // global access counter (epoch for lazy bounds)
+	result []Combination
+	// sink, when set, receives formed combinations instead of the top-K
+	// buffer (used by the pipelined Iterator).
+	sink func(Combination)
+}
+
+// NewEngine validates the configuration and builds an engine. All sources
+// must share one access kind and one dimensionality matching the query.
+func NewEngine(sources []relation.Source, opts Options) (*Engine, error) {
+	if len(sources) < 2 {
+		return nil, ErrNoRelations
+	}
+	if opts.K < 1 {
+		return nil, ErrBadK
+	}
+	if opts.Agg == nil {
+		return nil, ErrNilAggregator
+	}
+	if opts.Epsilon < 0 || math.IsNaN(opts.Epsilon) {
+		return nil, fmt.Errorf("core: Epsilon must be non-negative, got %v", opts.Epsilon)
+	}
+	kind := sources[0].Kind()
+	dim := sources[0].Relation().Dim()
+	if opts.Query.Dim() != dim {
+		return nil, fmt.Errorf("%w: query dim %d, relations dim %d", ErrDimMismatch, opts.Query.Dim(), dim)
+	}
+	for _, s := range sources[1:] {
+		if s.Kind() != kind {
+			return nil, ErrMixedAccess
+		}
+		if s.Relation().Dim() != dim {
+			return nil, fmt.Errorf("%w: relation %q has dim %d, want %d",
+				ErrDimMismatch, s.Relation().Name, s.Relation().Dim(), dim)
+		}
+	}
+	e := &Engine{
+		opts: opts,
+		q:    opts.Query.Clone(),
+		n:    len(sources),
+		dim:  dim,
+		kind: kind,
+		out:  newTopK(opts.K),
+		t:    posInf,
+	}
+	e.rels = make([]*relState, e.n)
+	for i, s := range sources {
+		e.rels[i] = &relState{index: i, src: s, maxScore: s.Relation().MaxScore}
+	}
+	e.stats.Depths = make([]int, e.n)
+
+	// Select the bounding scheme. The tight bound needs the quadratic
+	// geometry; otherwise fall back to the corner bound (still correct).
+	wantTight := opts.Algorithm.Bound() == TightBound
+	quad, isQuad := opts.Agg.(agg.Quadratic)
+	switch {
+	case wantTight && isQuad && kind == relation.DistanceAccess:
+		e.bound = newTightDistBounder(e, quad)
+	case wantTight && isQuad && kind == relation.ScoreAccess:
+		e.bound = newTightScoreBounder(e, quad)
+	case wantTight:
+		e.stats.BoundDowngraded = true
+		fallthrough
+	default:
+		e.bound = newCornerBounder(e)
+	}
+	if opts.Algorithm.Pull() == PotentialAdaptive {
+		e.pull = &potentialAdaptive{}
+	} else {
+		e.pull = &roundRobin{}
+	}
+	return e, nil
+}
+
+// Run executes Algorithm 1 to completion and returns the top-K result.
+func (e *Engine) Run() (Result, error) {
+	start := time.Now()
+	dnf := false
+	for {
+		if done := e.satisfied(); done {
+			break
+		}
+		if e.capped() {
+			dnf = true
+			break
+		}
+		ri := e.pull.choose(e)
+		if ri < 0 {
+			break // all exhausted: everything has been seen
+		}
+		if err := e.step(ri); err != nil {
+			return Result{}, err
+		}
+	}
+	e.stats.TotalTime = time.Since(start)
+	return Result{
+		Combinations: e.out.sorted(),
+		Threshold:    e.t,
+		DNF:          dnf,
+		Stats:        e.stats,
+	}, nil
+}
+
+// satisfied implements the stopping test of Algorithm 1 line 3: the buffer
+// holds K combinations whose worst score is at least the bound (less the
+// optional approximation slack).
+func (e *Engine) satisfied() bool {
+	if e.out.len() < e.opts.K {
+		return false
+	}
+	return e.out.kthScore() >= e.t-e.opts.Epsilon-1e-9
+}
+
+func (e *Engine) capped() bool {
+	if e.opts.MaxSumDepths > 0 && e.stats.SumDepths >= e.opts.MaxSumDepths {
+		return true
+	}
+	if e.opts.MaxCombinations > 0 && e.stats.CombinationsFormed >= e.opts.MaxCombinations {
+		return true
+	}
+	return false
+}
+
+// step pulls one tuple from relation ri, forms the new combinations, and
+// updates the bound (Algorithm 1 lines 5-9).
+func (e *Engine) step(ri int) error {
+	rs := e.rels[ri]
+	tup, err := rs.src.Next()
+	if errors.Is(err, relation.ErrExhausted) {
+		rs.exhausted = true
+		bStart := time.Now()
+		e.bound.registerExhausted(ri)
+		e.t = e.bound.threshold()
+		e.stats.BoundTime += time.Since(bStart)
+		return nil
+	}
+	if err != nil {
+		return fmt.Errorf("core: access to relation %d (%s): %w", ri, rs.src.Relation().Name, err)
+	}
+	e.pulls++
+	e.stats.Depths[ri]++
+	e.stats.SumDepths++
+
+	e.formCombinations(ri, tup)
+
+	rs.tuples = append(rs.tuples, tup)
+	rs.dists = append(rs.dists, e.opts.Agg.Metric().Distance(tup.Vec, e.q))
+
+	bStart := time.Now()
+	domBefore := e.stats.DominanceTime
+	e.bound.register(ri)
+	if p := e.opts.BoundPeriod; p <= 1 || e.pulls%int64(p) == 0 {
+		e.t = e.bound.threshold()
+		e.stats.BoundUpdates++
+	}
+	// Dominance testing runs inside register but is reported as its own
+	// stacked component (Fig 3(m)/(n)); keep BoundTime disjoint from it.
+	e.stats.BoundTime += time.Since(bStart) - (e.stats.DominanceTime - domBefore)
+	return nil
+}
+
+// formCombinations materializes P_1 × … × {τ} × … × P_n and offers each
+// member to the output buffer (Algorithm 1 lines 6-7).
+func (e *Engine) formCombinations(ri int, tup relation.Tuple) {
+	for _, rs := range e.rels {
+		if rs.index != ri && rs.depth() == 0 {
+			return
+		}
+	}
+	tuples := make([]relation.Tuple, e.n)
+	ranks := make([]int, e.n)
+	sigmas := make([]float64, e.n)
+	xs := make([]vec.Vector, e.n)
+	tuples[ri] = tup
+	ranks[ri] = e.rels[ri].depth() // rank of the new tuple (0-based = current depth before append)
+	sigmas[ri] = tup.Score
+	xs[ri] = tup.Vec
+	e.enumerate(0, ri, tuples, ranks, sigmas, xs)
+}
+
+func (e *Engine) enumerate(i, skip int, tuples []relation.Tuple, ranks []int, sigmas []float64, xs []vec.Vector) {
+	if i == e.n {
+		score := e.opts.Agg.Score(e.q, sigmas, xs)
+		comb := Combination{
+			Tuples: append([]relation.Tuple(nil), tuples...),
+			Ranks:  append([]int(nil), ranks...),
+			Score:  score,
+		}
+		if e.sink != nil {
+			e.sink(comb)
+		} else {
+			e.out.push(comb)
+		}
+		e.stats.CombinationsFormed++
+		return
+	}
+	if i == skip {
+		e.enumerate(i+1, skip, tuples, ranks, sigmas, xs)
+		return
+	}
+	for r, t := range e.rels[i].tuples {
+		tuples[i] = t
+		ranks[i] = r
+		sigmas[i] = t.Score
+		xs[i] = t.Vec
+		e.enumerate(i+1, skip, tuples, ranks, sigmas, xs)
+	}
+}
+
+// Threshold returns the current upper bound t (exported for tests and
+// diagnostics).
+func (e *Engine) Threshold() float64 { return e.t }
+
+// Depth returns the current depth of relation ri.
+func (e *Engine) Depth(ri int) int { return e.rels[ri].depth() }
+
+// roundRobin cycles R_1, …, R_n, skipping exhausted relations.
+type roundRobin struct {
+	next int
+}
+
+func (r *roundRobin) choose(e *Engine) int {
+	for tries := 0; tries < e.n; tries++ {
+		i := r.next % e.n
+		r.next++
+		if !e.rels[i].exhausted {
+			return i
+		}
+	}
+	return -1
+}
+
+// potentialAdaptive picks the relation with maximal potential (paper
+// §3.3), breaking ties in favor of least depth, then least index.
+type potentialAdaptive struct{}
+
+func (p *potentialAdaptive) choose(e *Engine) int {
+	best := -1
+	bestPot := negInf
+	for i, rs := range e.rels {
+		if rs.exhausted {
+			continue
+		}
+		pot := e.bound.potential(i)
+		switch {
+		case best < 0,
+			pot > bestPot+potTieEps,
+			pot > bestPot-potTieEps && rs.depth() < e.rels[best].depth():
+			best = i
+			bestPot = pot
+		}
+	}
+	return best
+}
+
+// potTieEps treats potentials within this tolerance as tied so that the
+// depth/index tie-breakers stay deterministic under floating-point noise.
+const potTieEps = 1e-9

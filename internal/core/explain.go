@@ -1,0 +1,95 @@
+package core
+
+import "sort"
+
+// PartialBound describes one partial combination's contribution to the
+// tight bound, for diagnostics and for regenerating the paper's Table 3.
+type PartialBound struct {
+	// TupleIDs are the IDs of the seen tuples, in member-relation order;
+	// empty for the empty partial ⟨⟩.
+	TupleIDs []string
+	// Bound is t(τ), freshly computed against the current distance
+	// constraints.
+	Bound float64
+	// Dominated reports whether dominance pruning removed the partial.
+	Dominated bool
+}
+
+// SubsetBound describes one proper subset M of relations.
+type SubsetBound struct {
+	// Members are the relation indices in M (ascending; empty for ∅).
+	Members []int
+	// TM is t_M = max over live partials (−Inf when PC(M) is empty or the
+	// subset cannot complete).
+	TM float64
+	// Valid reports whether M can still describe an unseen combination.
+	Valid bool
+	// Partials lists every tracked partial of PC(M).
+	Partials []PartialBound
+}
+
+// TightBoundBreakdown exposes the per-subset state of the tight
+// bounding scheme (distance access). ok is false when the engine runs a
+// different bounding scheme. All stale cached bounds are refreshed, so
+// the reported values are current; this is a diagnostic call and its QP
+// work is excluded from the engine's cost statistics.
+func (e *Engine) TightBoundBreakdown() (subsets []SubsetBound, ok bool) {
+	b, isTight := e.bound.(*tightDistBounder)
+	if !isTight {
+		return nil, false
+	}
+	savedQP := e.stats.QPSolves
+	defer func() { e.stats.QPSolves = savedQP }()
+
+	for _, ss := range b.subsets {
+		sb := SubsetBound{
+			Members: append([]int(nil), ss.members...),
+			Valid:   b.valid(ss),
+			TM:      negInf,
+		}
+		for _, p := range ss.partials {
+			b.computeBound(ss, p)
+			ids := make([]string, len(p.xs))
+			for k, x := range p.xs {
+				ids[k] = b.tupleIDByVector(ss.members[k], x)
+			}
+			sb.Partials = append(sb.Partials, PartialBound{
+				TupleIDs:  ids,
+				Bound:     p.bound,
+				Dominated: p.dominated,
+			})
+			if !p.dominated && p.bound > sb.TM {
+				sb.TM = p.bound
+			}
+		}
+		subsets = append(subsets, sb)
+	}
+	sort.Slice(subsets, func(i, j int) bool {
+		if len(subsets[i].Members) != len(subsets[j].Members) {
+			return len(subsets[i].Members) < len(subsets[j].Members)
+		}
+		for k := range subsets[i].Members {
+			if subsets[i].Members[k] != subsets[j].Members[k] {
+				return subsets[i].Members[k] < subsets[j].Members[k]
+			}
+		}
+		return false
+	})
+	return subsets, true
+}
+
+// tupleIDByVector finds the ID of the buffered tuple of relation ri whose
+// vector is x (partials reference tuple vectors, not whole tuples).
+func (b *tightDistBounder) tupleIDByVector(ri int, x []float64) string {
+	for _, tup := range b.e.rels[ri].tuples {
+		if tup.Vec.Equal(x) {
+			return tup.ID
+		}
+	}
+	return "?"
+}
+
+// StepForTest pulls one tuple from relation ri; exported for harnesses
+// that need to drive the engine to a specific state (e.g. regenerating
+// the paper's Table 3 at depth (2,2,2)).
+func (e *Engine) StepForTest(ri int) error { return e.step(ri) }

@@ -1,0 +1,12 @@
+package core
+
+import "repro/internal/qp"
+
+// qpSolve14 re-exports the QP entry point for white-box tests.
+func qpSolve14(wq, wmu float64, fixed, lower []float64) ([]float64, error) {
+	sol, err := qp.Solve14(wq, wmu, fixed, lower)
+	if err != nil {
+		return nil, err
+	}
+	return sol.Unseen, nil
+}

@@ -1,0 +1,112 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"repro/internal/agg"
+	"repro/internal/pqueue"
+	"repro/internal/relation"
+	"repro/internal/vec"
+)
+
+// Iterator is the pipelined form of the ProxRJ operator: instead of a
+// fixed top-K it emits result combinations one at a time, each as soon as
+// the bound certifies that no unseen combination can outrank it. This is
+// the operator semantics of HRJN (rank join as a physical operator inside
+// a pipeline) applied to proximity rank join; downstream consumers can
+// stop pulling at any time, having paid I/O only for the prefix they
+// consumed.
+//
+// Unlike Engine, the iterator must retain every formed combination that
+// has not been emitted yet (any of them may eventually surface), so its
+// memory grows with the cross product of the explored prefixes.
+type Iterator struct {
+	e       *Engine
+	seen    *pqueue.Heap[Combination] // best-first buffer of unemitted results
+	emitted int64
+	err     error
+	done    bool
+}
+
+// ErrIteratorDone is returned by Next after the cross product is
+// exhausted.
+var ErrIteratorDone = errors.New("core: iterator exhausted")
+
+// NewIterator builds a pipelined proximity rank join operator. Options.K
+// is ignored (results stream indefinitely); all other options behave as in
+// NewEngine.
+func NewIterator(sources []relation.Source, opts Options) (*Iterator, error) {
+	opts.K = 1 // engine validation only; the iterator manages its own buffer
+	e, err := NewEngine(sources, opts)
+	if err != nil {
+		return nil, err
+	}
+	it := &Iterator{
+		e:    e,
+		seen: pqueue.New(func(a, b Combination) bool { return combWorse(b, a) }), // best-first
+	}
+	// Reroute formed combinations into the iterator's unbounded buffer.
+	e.sink = func(c Combination) { it.seen.Push(c) }
+	return it, nil
+}
+
+// Next returns the next-best combination, pulling as little input as
+// possible to certify it. It returns ErrIteratorDone when every
+// combination has been emitted, or the underlying access error.
+func (it *Iterator) Next() (Combination, error) {
+	if it.err != nil {
+		return Combination{}, it.err
+	}
+	start := time.Now()
+	defer func() { it.e.stats.TotalTime += time.Since(start) }()
+	for {
+		if best, ok := it.seen.Peek(); ok && best.Score >= it.e.t-1e-9 {
+			top, _ := it.seen.Pop()
+			it.emitted++
+			return top, nil
+		}
+		if it.done {
+			// Bound is −inf once everything is exhausted; flush the buffer.
+			if top, ok := it.seen.Pop(); ok {
+				it.emitted++
+				return top, nil
+			}
+			it.err = ErrIteratorDone
+			return Combination{}, it.err
+		}
+		ri := it.e.pull.choose(it.e)
+		if ri < 0 {
+			it.done = true
+			continue
+		}
+		if err := it.e.step(ri); err != nil {
+			it.err = err
+			return Combination{}, err
+		}
+	}
+}
+
+// Emitted returns how many combinations have been produced so far.
+func (it *Iterator) Emitted() int64 { return it.emitted }
+
+// Stats exposes the cost metrics accumulated so far.
+func (it *Iterator) Stats() Stats { return it.e.stats }
+
+// Threshold returns the current upper bound on unemitted, unseen
+// combinations.
+func (it *Iterator) Threshold() float64 { return it.e.t }
+
+// NaiveStream is the oracle for Iterator tests: the fully sorted cross
+// product.
+func NaiveStream(rels []*relation.Relation, q vec.Vector, fn agg.Function) ([]Combination, error) {
+	total := 1
+	for _, r := range rels {
+		total *= r.Len()
+		if total > 1<<22 {
+			return nil, fmt.Errorf("core: cross product too large for NaiveStream")
+		}
+	}
+	return Naive(rels, q, fn, total)
+}

@@ -1,0 +1,172 @@
+package core
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/relation"
+)
+
+// TestIteratorStreamsFullOrder: draining the iterator yields the whole
+// cross product in exactly the oracle's score order.
+func TestIteratorStreamsFullOrder(t *testing.T) {
+	r := rand.New(rand.NewSource(8))
+	in := randomInstance(r, 3, 5)
+	want, err := NaiveStream(in.rels, in.q, in.fn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	it, err := NewIterator(in.sources(t, relation.DistanceAccess), Options{
+		K: 1, Algorithm: TBPA, Query: in.q, Agg: in.fn,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, w := range want {
+		got, err := it.Next()
+		if err != nil {
+			t.Fatalf("result %d: %v", i, err)
+		}
+		if math.Abs(got.Score-w.Score) > 1e-9 {
+			t.Fatalf("result %d: score %v, want %v", i, got.Score, w.Score)
+		}
+	}
+	if _, err := it.Next(); !errors.Is(err, ErrIteratorDone) {
+		t.Fatalf("after exhaustion err = %v", err)
+	}
+	if it.Emitted() != int64(len(want)) {
+		t.Fatalf("Emitted = %d, want %d", it.Emitted(), len(want))
+	}
+	// Errors are sticky.
+	if _, err := it.Next(); !errors.Is(err, ErrIteratorDone) {
+		t.Fatalf("second exhausted call err = %v", err)
+	}
+}
+
+// TestQuickIteratorPrefixMatchesOracle: for random instances and both
+// access kinds, the first k emitted results match the oracle, and the
+// I/O paid grows with the consumed prefix.
+func TestQuickIteratorPrefixMatchesOracle(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		in := randomInstance(r, 3, 5)
+		want, err := NaiveStream(in.rels, in.q, in.fn)
+		if err != nil {
+			return false
+		}
+		for _, kind := range []relation.AccessKind{relation.DistanceAccess, relation.ScoreAccess} {
+			for _, algo := range []Algorithm{TBPA, CBRR} {
+				it, err := NewIterator(in.sources(t, kind), Options{
+					K: 1, Algorithm: algo, Query: in.q, Agg: in.fn,
+				})
+				if err != nil {
+					return false
+				}
+				k := 1 + r.Intn(len(want))
+				prevDepths := 0
+				for i := 0; i < k; i++ {
+					got, err := it.Next()
+					if err != nil {
+						return false
+					}
+					if math.Abs(got.Score-want[i].Score) > 1e-9 {
+						return false
+					}
+					if it.Stats().SumDepths < prevDepths {
+						return false // I/O cannot shrink
+					}
+					prevDepths = it.Stats().SumDepths
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestIteratorLazyIO: consuming only the top result must cost no more I/O
+// than a K=1 engine run (the pipelined operator pulls on demand).
+func TestIteratorLazyIO(t *testing.T) {
+	r := rand.New(rand.NewSource(4))
+	in := randomInstance(r, 2, 8)
+	engineRes := runAlgo(t, in, relation.DistanceAccess, Options{Algorithm: TBPA, K: 1})
+
+	it, err := NewIterator(in.sources(t, relation.DistanceAccess), Options{
+		K: 1, Algorithm: TBPA, Query: in.q, Agg: in.fn,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	top, err := it.Next()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(top.Score-engineRes.Combinations[0].Score) > 1e-9 {
+		t.Fatalf("iterator top %v, engine top %v", top.Score, engineRes.Combinations[0].Score)
+	}
+	if it.Stats().SumDepths > engineRes.Stats.SumDepths {
+		t.Fatalf("iterator paid %d accesses for top-1, engine paid %d",
+			it.Stats().SumDepths, engineRes.Stats.SumDepths)
+	}
+}
+
+// TestIteratorFaultSticky: an access error surfaces and subsequent calls
+// keep returning it.
+func TestIteratorFaultSticky(t *testing.T) {
+	r := rand.New(rand.NewSource(5))
+	in := randomInstance(r, 2, 6)
+	boom := errors.New("link down")
+	srcs := in.sources(t, relation.DistanceAccess)
+	srcs[0] = &relation.FaultySource{Inner: srcs[0], FailAfter: 1, Err: boom}
+	it, err := NewIterator(srcs, Options{K: 1, Algorithm: TBRR, Query: in.q, Agg: in.fn})
+	if err != nil {
+		t.Fatal(err)
+	}
+	consumed := 0
+	for {
+		_, err := it.Next()
+		if err != nil {
+			if !errors.Is(err, boom) {
+				t.Fatalf("err = %v, want boom", err)
+			}
+			break
+		}
+		consumed++
+		if consumed > 1000 {
+			t.Fatal("fault never surfaced")
+		}
+	}
+	if _, err := it.Next(); !errors.Is(err, boom) {
+		t.Fatalf("error not sticky: %v", err)
+	}
+}
+
+// TestIteratorThresholdMonotone: the reported threshold never increases
+// as the iterator consumes input.
+func TestIteratorThresholdMonotone(t *testing.T) {
+	r := rand.New(rand.NewSource(6))
+	in := randomInstance(r, 2, 7)
+	it, err := NewIterator(in.sources(t, relation.DistanceAccess), Options{
+		K: 1, Algorithm: TBRR, Query: in.q, Agg: in.fn,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	prev := math.Inf(1)
+	for {
+		_, err := it.Next()
+		if err != nil {
+			break
+		}
+		if cur := it.Threshold(); cur > prev+1e-9 {
+			t.Fatalf("threshold rose from %v to %v", prev, cur)
+		} else {
+			prev = cur
+		}
+	}
+}

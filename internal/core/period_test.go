@@ -1,0 +1,63 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/relation"
+)
+
+// TestQuickBoundPeriodCorrect: block-wise threshold recomputation (paper
+// §4.2's practical trade-off) never changes the returned top-K and reads
+// at most BoundPeriod−1 extra tuples per stop decision, while issuing
+// fewer threshold recomputations.
+func TestQuickBoundPeriodCorrect(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		in := randomInstance(r, 3, 7)
+		for _, kind := range []relation.AccessKind{relation.DistanceAccess, relation.ScoreAccess} {
+			for _, algo := range []Algorithm{TBRR, TBPA, CBRR} {
+				base := runAlgo(t, in, kind, Options{Algorithm: algo})
+				for _, period := range []int{2, 5} {
+					blocked := runAlgo(t, in, kind, Options{Algorithm: algo, BoundPeriod: period})
+					if !sameScores(scoresOf(blocked.Combinations), scoresOf(base.Combinations), 1e-9) {
+						t.Logf("seed %d %v %v period %d: results differ", seed, kind, algo, period)
+						return false
+					}
+					if blocked.Stats.SumDepths < base.Stats.SumDepths {
+						// Blocking can only delay stopping, never hasten it.
+						t.Logf("seed %d %v %v period %d: blocked read less (%d < %d)",
+							seed, kind, algo, period, blocked.Stats.SumDepths, base.Stats.SumDepths)
+						return false
+					}
+					if blocked.Stats.SumDepths > base.Stats.SumDepths+period {
+						t.Logf("seed %d %v %v period %d: overshoot %d vs %d",
+							seed, kind, algo, period, blocked.Stats.SumDepths, base.Stats.SumDepths)
+						return false
+					}
+					if blocked.Stats.BoundUpdates > base.Stats.BoundUpdates {
+						return false
+					}
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestBoundPeriodReducesQPs: on the tight distance bound, blocking defers
+// lazy refreshes, so strictly fewer QP solves happen on a non-trivial run.
+func TestBoundPeriodReducesQPs(t *testing.T) {
+	r := rand.New(rand.NewSource(17))
+	in := randomInstance(r, 3, 8)
+	in.k = 3
+	base := runAlgo(t, in, relation.DistanceAccess, Options{Algorithm: TBRR})
+	blocked := runAlgo(t, in, relation.DistanceAccess, Options{Algorithm: TBRR, BoundPeriod: 4})
+	if blocked.Stats.QPSolves > base.Stats.QPSolves {
+		t.Fatalf("blocking increased QP solves: %d vs %d", blocked.Stats.QPSolves, base.Stats.QPSolves)
+	}
+}

@@ -1,0 +1,276 @@
+package core
+
+import (
+	"time"
+
+	"repro/internal/agg"
+	"repro/internal/pqueue"
+	"repro/internal/qp"
+	"repro/internal/relation"
+	"repro/internal/vec"
+)
+
+// tightDistBounder implements the tight bounding scheme for distance-based
+// access (paper §3.2). For every proper subset M of relations it tracks
+// the partial combinations PC(M); the bound t(τ) of each partial is the
+// optimum of paper problem (12), solved through the collinearity reduction
+// of Theorem 3.4 and the 1-D QP (14). t_M = max t(τ) and the threshold is
+// t = max_M t_M (eq. (8)-(9)).
+//
+// Bound maintenance is lazy by default: δ_i only grows, so cached bounds
+// only shrink on recomputation and a max-heap refreshed from the top gives
+// the exact t_M while recomputing only candidates that could be maximal.
+// Options.EagerBounds reproduces the paper's Algorithm 2 schedule instead
+// (recompute every affected partial on every pull).
+type tightDistBounder struct {
+	e             *Engine
+	quad          agg.Quadratic
+	ws, wq, wmu   float64
+	subsets       []*subsetState
+	exhaustedMask int
+	baseDir       vec.Vector // fallback ray direction when ν = q or m = 0
+}
+
+// subsetState holds PC(M) for one proper subset M (identified by bitmask).
+type subsetState struct {
+	mask       int
+	members    []int // relations in M, ascending
+	unseen     []int // complement, ascending
+	partials   []*distPartial
+	heap       *pqueue.Indexed[float64] // max-heap: partial id -> cached bound
+	deltaEpoch int64                    // pull counter when an unseen δ last changed
+}
+
+// distPartial is one partial combination τ ∈ PC(M).
+type distPartial struct {
+	id        int
+	xs        []vec.Vector // seen feature vectors, member order
+	sumT      float64      // Σ w_s·T(σ) over seen tuples
+	nu        vec.Vector   // centroid of seen tuples (nil when m = 0)
+	bound     float64      // cached t(τ)
+	epoch     int64        // pull counter at last bound computation
+	dominated bool
+	domG      vec.Vector // 2·b_α of the dominance form (shifted by q)
+	domK      float64    // constant K_α of the dominance form
+}
+
+func newTightDistBounder(e *Engine, quad agg.Quadratic) *tightDistBounder {
+	ws, wq, wmu := quad.Weights()
+	b := &tightDistBounder{
+		e:    e,
+		quad: quad,
+		ws:   ws, wq: wq, wmu: wmu,
+		baseDir: vec.New(e.dim),
+	}
+	b.baseDir[0] = 1
+	full := 1 << e.n
+	b.subsets = make([]*subsetState, full-1)
+	for mask := 0; mask < full-1; mask++ {
+		ss := &subsetState{
+			mask: mask,
+			heap: pqueue.NewIndexed[float64](func(a, c float64) bool { return a > c }),
+		}
+		for i := 0; i < e.n; i++ {
+			if mask&(1<<i) != 0 {
+				ss.members = append(ss.members, i)
+			} else {
+				ss.unseen = append(ss.unseen, i)
+			}
+		}
+		b.subsets[mask] = ss
+	}
+	// The empty partial ⟨⟩ exists from the start; its bound is refreshed on
+	// first use (epoch -1 forces a recomputation).
+	empty := &distPartial{id: 0, bound: posInf, epoch: -1}
+	b.subsets[0].partials = []*distPartial{empty}
+	b.subsets[0].heap.Push(0, empty.bound)
+	e.stats.PartialsTracked++
+	return b
+}
+
+func (b *tightDistBounder) register(ri int) {
+	epoch := b.e.pulls
+	rs := b.e.rels[ri]
+	tau := rs.tuples[len(rs.tuples)-1]
+
+	for _, ss := range b.subsets {
+		if ss.mask&(1<<ri) == 0 {
+			// δ_ri tightened: every bound in this subset is now stale.
+			ss.deltaEpoch = epoch
+			continue
+		}
+		b.extendSubset(ss, ri, tau)
+	}
+	if b.e.opts.EagerBounds {
+		// Paper Algorithm 2: recompute every stale affected partial now.
+		for _, ss := range b.subsets {
+			if ss.mask&(1<<ri) != 0 || !b.valid(ss) {
+				continue
+			}
+			for _, p := range ss.partials {
+				if p.dominated || p.epoch >= ss.deltaEpoch {
+					continue
+				}
+				b.computeBound(ss, p)
+				ss.heap.Update(p.id, p.bound)
+			}
+		}
+	}
+	if period := b.e.opts.DominancePeriod; period > 0 && b.e.pulls%int64(period) == 0 {
+		dStart := time.Now()
+		for _, ss := range b.subsets {
+			if ss.mask&(1<<ri) != 0 {
+				b.dominanceSweep(ss)
+			}
+		}
+		b.e.stats.DominanceTime += time.Since(dStart)
+	}
+}
+
+// extendSubset adds the partial combinations of M that use the new tuple:
+// PC(M − {ri}) × {τ}.
+func (b *tightDistBounder) extendSubset(ss *subsetState, ri int, tau relation.Tuple) {
+	baseMask := ss.mask &^ (1 << ri)
+	base := b.subsets[baseMask]
+	// Position of ri among ss.members, to keep xs in member order.
+	pos := 0
+	for pos < len(ss.members) && ss.members[pos] != ri {
+		pos++
+	}
+	tauT := b.ws * b.quad.TransformScore(tau.Score)
+	for _, bp := range base.partials {
+		xs := make([]vec.Vector, 0, len(ss.members))
+		xs = append(xs, bp.xs[:pos]...)
+		xs = append(xs, tau.Vec)
+		xs = append(xs, bp.xs[pos:]...)
+		p := &distPartial{
+			id:   len(ss.partials),
+			xs:   xs,
+			sumT: bp.sumT + tauT,
+			nu:   vec.Mean(xs...),
+		}
+		if b.e.opts.DominancePeriod > 0 {
+			b.dominanceCoeffs(ss, p)
+		}
+		b.computeBound(ss, p)
+		ss.partials = append(ss.partials, p)
+		ss.heap.Push(p.id, p.bound)
+		b.e.stats.PartialsTracked++
+	}
+}
+
+func (b *tightDistBounder) registerExhausted(ri int) {
+	b.exhaustedMask |= 1 << ri
+}
+
+// valid reports whether subset M can still describe an unseen combination:
+// every unseen relation must be unexhausted, and PC(M) non-empty.
+func (b *tightDistBounder) valid(ss *subsetState) bool {
+	if ss.mask&b.exhaustedMask != b.exhaustedMask {
+		return false // some exhausted relation would have to supply an unseen tuple
+	}
+	return ss.heap.Len() > 0
+}
+
+func (b *tightDistBounder) threshold() float64 {
+	t := negInf
+	for _, ss := range b.subsets {
+		if !b.valid(ss) {
+			continue
+		}
+		if tm := b.tM(ss); tm > t {
+			t = tm
+		}
+	}
+	return t
+}
+
+func (b *tightDistBounder) potential(ri int) float64 {
+	if b.e.rels[ri].exhausted {
+		return negInf
+	}
+	pot := negInf
+	bit := 1 << ri
+	for _, ss := range b.subsets {
+		if ss.mask&bit != 0 || !b.valid(ss) {
+			continue
+		}
+		if tm := b.tM(ss); tm > pot {
+			pot = tm
+		}
+	}
+	return pot
+}
+
+// tM returns max{t(τ) : τ ∈ PC(M)} with lazy top-refresh: cached bounds
+// are upper bounds of current ones (δ only grows), so once the heap top is
+// fresh it dominates every other cached — hence every other true — bound.
+func (b *tightDistBounder) tM(ss *subsetState) float64 {
+	for {
+		id, cached, ok := ss.heap.Peek()
+		if !ok {
+			return negInf
+		}
+		p := ss.partials[id]
+		if p.epoch >= ss.deltaEpoch {
+			return cached
+		}
+		b.computeBound(ss, p)
+		ss.heap.Update(id, p.bound)
+	}
+}
+
+// computeBound solves problem (12) for partial p via the Theorem 3.4
+// reduction and stores the resulting t(τ).
+func (b *tightDistBounder) computeBound(ss *subsetState, p *distPartial) {
+	e := b.e
+	m := len(ss.members)
+	u := len(ss.unseen)
+
+	// Ray direction from q through the partial centroid ν. When ν = q (or
+	// m = 0) every direction is optimal for the unseen placement and the
+	// fixed projections' sum (the only quantity the 1-D argmin depends on)
+	// is zero either way, so an arbitrary axis is exact.
+	dir := b.baseDir
+	if m > 0 {
+		if d, ok := p.nu.Sub(e.q).Unit(); ok {
+			dir = d
+		}
+	}
+	fixed := make([]float64, m)
+	for k, x := range p.xs {
+		fixed[k] = x.Sub(e.q).Dot(dir)
+	}
+	lower := make([]float64, u)
+	for k, j := range ss.unseen {
+		lower[k] = e.rels[j].lastDist()
+	}
+	sol, err := qp.Solve14(b.wq, b.wmu, fixed, lower)
+	if err != nil {
+		// Weights were validated at aggregation construction; treat any
+		// residual failure as "no pruning" rather than wrong pruning.
+		p.bound = posInf
+		p.epoch = e.pulls
+		return
+	}
+	e.stats.QPSolves++
+
+	// Reconstruct the optimal unseen locations (eq. (15)) and evaluate the
+	// true objective (12) there; this restores the perpendicular residual
+	// terms the 1-D form drops.
+	pts := make([]vec.Vector, 0, m+u)
+	pts = append(pts, p.xs...)
+	for k := range ss.unseen {
+		pts = append(pts, e.q.AddScaled(sol.Unseen[k], dir))
+	}
+	val := p.sumT
+	for _, j := range ss.unseen {
+		val += b.ws * b.quad.TransformScore(e.rels[j].maxScore)
+	}
+	mu := vec.Mean(pts...)
+	for _, pt := range pts {
+		val -= b.wq*pt.Dist2(e.q) + b.wmu*pt.Dist2(mu)
+	}
+	p.bound = val
+	p.epoch = e.pulls
+}

@@ -1,0 +1,193 @@
+package core
+
+import (
+	"repro/internal/agg"
+	"repro/internal/relation"
+	"repro/internal/vec"
+)
+
+// tightScoreBounder implements the tight bound for score-based access
+// (paper Appendix C). The completion problem (39) is unconstrained in the
+// unseen locations and its optimum has the closed form of eq. (41):
+//
+//	y* = q + (ν−q)·m·w_µ / (m·w_µ + n·w_q)
+//
+// Within a subset M the bound of a partial splits into a static geometric
+// part and the additive unseen score caps Σ w_s·T(σ(R_i[p_i])); the caps
+// shrink uniformly for every partial of M as scores descend, so only the
+// best geometric value per subset must be retained (Algorithm 3's
+// τ_best^M bookkeeping) — no partial list is stored at all.
+type tightScoreBounder struct {
+	e             *Engine
+	quad          agg.Quadratic
+	ws, wq, wmu   float64
+	subsets       []*scoreSubset
+	exhaustedMask int
+}
+
+type scoreSubset struct {
+	mask    int
+	members []int
+	unseen  []int
+	bestGeo float64 // max over PC(M) of the geometric bound part
+	any     bool
+}
+
+func newTightScoreBounder(e *Engine, quad agg.Quadratic) *tightScoreBounder {
+	ws, wq, wmu := quad.Weights()
+	b := &tightScoreBounder{e: e, quad: quad, ws: ws, wq: wq, wmu: wmu}
+	full := 1 << e.n
+	b.subsets = make([]*scoreSubset, full-1)
+	for mask := 0; mask < full-1; mask++ {
+		ss := &scoreSubset{mask: mask, bestGeo: negInf}
+		for i := 0; i < e.n; i++ {
+			if mask&(1<<i) != 0 {
+				ss.members = append(ss.members, i)
+			} else {
+				ss.unseen = append(ss.unseen, i)
+			}
+		}
+		b.subsets[mask] = ss
+	}
+	// The empty partial: all n points at the optimum y* = q, zero distance
+	// penalties, zero seen score.
+	b.subsets[0].bestGeo = 0
+	b.subsets[0].any = true
+	e.stats.PartialsTracked++
+	return b
+}
+
+func (b *tightScoreBounder) register(ri int) {
+	rs := b.e.rels[ri]
+	tau := rs.tuples[len(rs.tuples)-1]
+	for _, ss := range b.subsets {
+		if ss.mask&(1<<ri) == 0 {
+			continue
+		}
+		b.extendSubset(ss, ri, tau)
+	}
+}
+
+// extendSubset evaluates the geometric bound of every new partial
+// PC(M−{ri}) × {τ} and keeps the per-subset maximum.
+func (b *tightScoreBounder) extendSubset(ss *scoreSubset, ri int, tau relation.Tuple) {
+	// Enumerate the cartesian product of the other members' buffers.
+	others := make([]int, 0, len(ss.members)-1)
+	for _, j := range ss.members {
+		if j != ri {
+			others = append(others, j)
+		}
+	}
+	xs := make([]vec.Vector, len(ss.members))
+	// Position of ri within members.
+	pos := 0
+	for pos < len(ss.members) && ss.members[pos] != ri {
+		pos++
+	}
+	xs[pos] = tau.Vec
+	tauT := b.ws * b.quad.TransformScore(tau.Score)
+
+	var rec func(oi int, acc float64)
+	rec = func(oi int, acc float64) {
+		if oi == len(others) {
+			if g := b.geo(xs, acc+tauT); g > ss.bestGeo {
+				ss.bestGeo = g
+			}
+			ss.any = true
+			b.e.stats.PartialsTracked++
+			return
+		}
+		j := others[oi]
+		xi := oi
+		if oi >= pos {
+			xi = oi + 1
+		}
+		for _, t := range b.e.rels[j].tuples {
+			xs[xi] = t.Vec
+			rec(oi+1, acc+b.ws*b.quad.TransformScore(t.Score))
+		}
+	}
+	rec(0, 0)
+}
+
+// geo evaluates the geometric part of the bound: seen transformed scores
+// plus the distance penalties at the closed-form optimal completion.
+func (b *tightScoreBounder) geo(xs []vec.Vector, sumT float64) float64 {
+	e := b.e
+	m := len(xs)
+	n := e.n
+	u := n - m
+
+	var ystar vec.Vector
+	if m == 0 || b.wmu == 0 {
+		ystar = e.q
+	} else {
+		nu := vec.Mean(xs...)
+		denom := float64(m)*b.wmu + float64(n)*b.wq
+		if denom <= 0 {
+			ystar = e.q
+		} else {
+			ystar = e.q.AddScaled(float64(m)*b.wmu/denom, nu.Sub(e.q))
+		}
+	}
+	pts := make([]vec.Vector, 0, n)
+	pts = append(pts, xs...)
+	for k := 0; k < u; k++ {
+		pts = append(pts, ystar)
+	}
+	mu := vec.Mean(pts...)
+	val := sumT
+	for _, pt := range pts {
+		val -= b.wq*pt.Dist2(e.q) + b.wmu*pt.Dist2(mu)
+	}
+	e.stats.QPSolves++
+	return val
+}
+
+func (b *tightScoreBounder) registerExhausted(ri int) {
+	b.exhaustedMask |= 1 << ri
+}
+
+func (b *tightScoreBounder) valid(ss *scoreSubset) bool {
+	return ss.any && ss.mask&b.exhaustedMask == b.exhaustedMask
+}
+
+// tsM is the subset bound: best geometric part plus the current unseen
+// score caps (eq. (40) with the Algorithm 3 incremental bookkeeping).
+func (b *tightScoreBounder) tsM(ss *scoreSubset) float64 {
+	v := ss.bestGeo
+	for _, j := range ss.unseen {
+		v += b.ws * b.quad.TransformScore(b.e.rels[j].lastScore())
+	}
+	return v
+}
+
+func (b *tightScoreBounder) threshold() float64 {
+	t := negInf
+	for _, ss := range b.subsets {
+		if !b.valid(ss) {
+			continue
+		}
+		if tm := b.tsM(ss); tm > t {
+			t = tm
+		}
+	}
+	return t
+}
+
+func (b *tightScoreBounder) potential(ri int) float64 {
+	if b.e.rels[ri].exhausted {
+		return negInf
+	}
+	pot := negInf
+	bit := 1 << ri
+	for _, ss := range b.subsets {
+		if ss.mask&bit != 0 || !b.valid(ss) {
+			continue
+		}
+		if tm := b.tsM(ss); tm > pot {
+			pot = tm
+		}
+	}
+	return pot
+}

@@ -1,0 +1,180 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/agg"
+	"repro/internal/relation"
+	"repro/internal/vec"
+)
+
+// TestScoreBoundClosedFormC1 checks the closed form of Appendix C.2 on the
+// Theorem C.1 instance: for the partial τ1^(1) (x = [1], σ = 1) with n = 2
+// and unit weights, the optimal unseen location is y* = 1/3 and the
+// geometric bound value is −4/3 − (seen score term 0).
+func TestScoreBoundClosedFormC1(t *testing.T) {
+	r1 := relation.MustNew("R1", 1, []relation.Tuple{
+		{ID: "a", Score: 1, Vec: vec.Of(1)},
+		{ID: "b", Score: math.Exp(-5), Vec: vec.Of(0)},
+	})
+	r2 := relation.MustNew("R2", 1, []relation.Tuple{
+		{ID: "c", Score: 1, Vec: vec.Of(1)},
+		{ID: "d", Score: 1, Vec: vec.Of(1.0 / 3.0)},
+	})
+	e, err := NewEngine([]relation.Source{
+		relation.NewScoreSource(r1), relation.NewScoreSource(r2),
+	}, Options{K: 1, Algorithm: TBRR, Query: vec.Of(0.0), Agg: defaultAgg()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.step(0); err != nil { // pull τ1^(1)
+		t.Fatal(err)
+	}
+	b := e.bound.(*tightScoreBounder)
+
+	// Closed form: y* = q + (ν−q)·m·wµ/(m·wµ + n·wq) = 1·1/(1+2) = 1/3.
+	geo := b.geo([]vec.Vector{vec.Of(1)}, 0)
+	if math.Abs(geo-(-4.0/3.0)) > 1e-9 {
+		t.Fatalf("geo = %v, want -4/3 (optimum at y* = 1/3)", geo)
+	}
+	// Subset {R1} (mask 1): ts_M = geo + ws·ln(lastScore of R2) = -4/3 + 0.
+	if got := b.tsM(b.subsets[1]); math.Abs(got-(-4.0/3.0)) > 1e-9 {
+		t.Fatalf("ts_M = %v, want -4/3", got)
+	}
+}
+
+// TestQuickScoreGeoIsOptimal: the closed-form completion value is at least
+// the value of any random completion placement (the unconstrained optimum
+// of problem (39)).
+func TestQuickScoreGeoIsOptimal(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		in := randomInstance(r, 3, 5)
+		quad := in.fn.(agg.Quadratic)
+		ws, wq, wmu := quad.Weights()
+		e, err := NewEngine(in.sources(t, relation.ScoreAccess), Options{
+			K: in.k, Algorithm: TBRR, Query: in.q, Agg: in.fn,
+		})
+		if err != nil {
+			return false
+		}
+		// Pull a few tuples round-robin.
+		rr := &roundRobin{}
+		for i := 0; i < 3+r.Intn(5); i++ {
+			ri := rr.choose(e)
+			if ri < 0 {
+				break
+			}
+			if err := e.step(ri); err != nil {
+				return false
+			}
+		}
+		b, ok := e.bound.(*tightScoreBounder)
+		if !ok {
+			return false
+		}
+		// Random partial from a random non-empty subset.
+		for _, ss := range b.subsets {
+			m := len(ss.members)
+			if m == 0 || m == e.n {
+				continue
+			}
+			xs := make([]vec.Vector, 0, m)
+			var sumT float64
+			okAll := true
+			for _, j := range ss.members {
+				rs := e.rels[j]
+				if rs.depth() == 0 {
+					okAll = false
+					break
+				}
+				tup := rs.tuples[r.Intn(rs.depth())]
+				xs = append(xs, tup.Vec)
+				sumT += ws * quad.TransformScore(tup.Score)
+			}
+			if !okAll {
+				continue
+			}
+			geo := b.geo(xs, sumT)
+			// Any random placement of the unseen points must not beat geo.
+			u := e.n - m
+			for trial := 0; trial < 15; trial++ {
+				pts := make([]vec.Vector, 0, e.n)
+				pts = append(pts, xs...)
+				for k := 0; k < u; k++ {
+					y := vec.New(e.dim)
+					for c := range y {
+						y[c] = r.NormFloat64() * 3
+					}
+					pts = append(pts, y)
+				}
+				mu := vec.Mean(pts...)
+				val := sumT
+				for _, pt := range pts {
+					val -= wq*pt.Dist2(e.q) + wmu*pt.Dist2(mu)
+				}
+				if val > geo+1e-7 {
+					t.Logf("seed %d mask %b: random completion %v beats closed form %v", seed, ss.mask, val, geo)
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickEpsilonApproximation: with slack ε the engine may stop earlier
+// but every returned score is within ε of the exact one at the same rank.
+func TestQuickEpsilonApproximation(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		in := randomInstance(r, 3, 6)
+		exact, err := Naive(in.rels, in.q, in.fn, in.k)
+		if err != nil {
+			return false
+		}
+		for _, eps := range []float64{0.5, 2.0} {
+			for _, kind := range []relation.AccessKind{relation.DistanceAccess, relation.ScoreAccess} {
+				res := runAlgo(t, in, kind, Options{Algorithm: TBPA, Epsilon: eps})
+				exactRes := runAlgo(t, in, kind, Options{Algorithm: TBPA})
+				if res.Stats.SumDepths > exactRes.Stats.SumDepths {
+					return false // approximation may never cost more I/O
+				}
+				for i := range res.Combinations {
+					if exact[i].Score-res.Combinations[i].Score > eps+1e-7 {
+						t.Logf("seed %d eps %v: rank %d score %v vs exact %v",
+							seed, eps, i, res.Combinations[i].Score, exact[i].Score)
+						return false
+					}
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEpsilonValidation(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	in := randomInstance(r, 2, 3)
+	_, err := NewEngine(in.sources(t, relation.DistanceAccess), Options{
+		K: 1, Query: in.q, Agg: in.fn, Epsilon: -0.5,
+	})
+	if err == nil {
+		t.Fatal("negative epsilon accepted")
+	}
+	_, err = NewEngine(in.sources(t, relation.DistanceAccess), Options{
+		K: 1, Query: in.q, Agg: in.fn, Epsilon: math.NaN(),
+	})
+	if err == nil {
+		t.Fatal("NaN epsilon accepted")
+	}
+}

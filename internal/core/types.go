@@ -1,0 +1,231 @@
+// Package core implements the ProxRJ template of the paper (Algorithm 1)
+// and its four instantiations: the corner and tight bounding schemes
+// crossed with the round-robin and potential-adaptive pulling strategies.
+// CBRR and CBPA correspond to the HRJN and HRJN* operators of Ilyas et
+// al.; TBRR and TBPA are the paper's instance-optimal algorithms.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"repro/internal/agg"
+	"repro/internal/relation"
+	"repro/internal/vec"
+)
+
+// BoundKind selects the bounding scheme of the ProxRJ template.
+type BoundKind int
+
+const (
+	// CornerBound is the HRJN-style bound (paper eq. (3)/(36)); correct but
+	// not tight, hence not instance-optimal (Theorems 3.1, C.1).
+	CornerBound BoundKind = iota
+	// TightBound is the paper's tight bound (eq. (9)/(40)); instance-optimal
+	// with either pulling strategy (Theorems 3.3, C.3, Corollary 3.6).
+	TightBound
+)
+
+// String implements fmt.Stringer.
+func (b BoundKind) String() string {
+	switch b {
+	case CornerBound:
+		return "corner"
+	case TightBound:
+		return "tight"
+	}
+	return fmt.Sprintf("BoundKind(%d)", int(b))
+}
+
+// PullKind selects the pulling strategy.
+type PullKind int
+
+const (
+	// RoundRobin accesses relations cyclically.
+	RoundRobin PullKind = iota
+	// PotentialAdaptive accesses the relation with the highest potential
+	// (paper §3.3), breaking ties by least depth, then least index.
+	PotentialAdaptive
+)
+
+// String implements fmt.Stringer.
+func (p PullKind) String() string {
+	switch p {
+	case RoundRobin:
+		return "round-robin"
+	case PotentialAdaptive:
+		return "potential-adaptive"
+	}
+	return fmt.Sprintf("PullKind(%d)", int(p))
+}
+
+// Algorithm names the four tested ProxRJ instantiations (paper §4.1).
+// The zero value is TBPA, the paper's best algorithm, so that a zero
+// Options selects it by default.
+type Algorithm int
+
+const (
+	// TBPA is tight bound + potential adaptive (instance-optimal, never
+	// deeper than TBRR; the default).
+	TBPA Algorithm = iota
+	// TBRR is tight bound + round robin.
+	TBRR
+	// CBPA is corner bound + potential adaptive (≡ HRJN*).
+	CBPA
+	// CBRR is corner bound + round robin (≡ HRJN).
+	CBRR
+)
+
+// Algorithms lists all four in paper order.
+var Algorithms = []Algorithm{CBRR, CBPA, TBRR, TBPA}
+
+// Bound returns the algorithm's bounding scheme.
+func (a Algorithm) Bound() BoundKind {
+	if a == TBRR || a == TBPA {
+		return TightBound
+	}
+	return CornerBound
+}
+
+// Pull returns the algorithm's pulling strategy.
+func (a Algorithm) Pull() PullKind {
+	if a == CBPA || a == TBPA {
+		return PotentialAdaptive
+	}
+	return RoundRobin
+}
+
+// String implements fmt.Stringer.
+func (a Algorithm) String() string {
+	switch a {
+	case CBRR:
+		return "CBRR(HRJN)"
+	case CBPA:
+		return "CBPA(HRJN*)"
+	case TBRR:
+		return "TBRR"
+	case TBPA:
+		return "TBPA"
+	}
+	return fmt.Sprintf("Algorithm(%d)", int(a))
+}
+
+// ShortName returns the bare paper label without the HRJN aliases.
+func (a Algorithm) ShortName() string {
+	switch a {
+	case CBRR:
+		return "CBRR"
+	case CBPA:
+		return "CBPA"
+	case TBRR:
+		return "TBRR"
+	case TBPA:
+		return "TBPA"
+	}
+	return a.String()
+}
+
+// Options configure a ProxRJ run.
+type Options struct {
+	// K is the number of top combinations to return (must be ≥ 1).
+	K int
+	// Algorithm selects the bound/pull pair; default CBRR.
+	Algorithm Algorithm
+	// Query is the target vector q.
+	Query vec.Vector
+	// Agg is the aggregation function; the tight bound requires it to
+	// implement agg.Quadratic (the engine falls back to the corner bound
+	// otherwise and records the downgrade in Stats.BoundDowngraded).
+	Agg agg.Function
+	// DominancePeriod enables dominance pruning for the distance-based
+	// tight bound: every DominancePeriod pulls the dominance LPs are run
+	// (paper §3.2.2 and Fig. 3(m)/(n)). 0 disables dominance.
+	DominancePeriod int
+	// EagerBounds recomputes every affected partial-combination bound on
+	// each pull, exactly as paper Algorithm 2; the default (false) uses a
+	// lazy max-heap that yields identical thresholds with fewer QP solves.
+	EagerBounds bool
+	// BoundPeriod recomputes the stopping threshold only every so many
+	// pulls (the "blocks of tuples" trade-off of paper §4.2). A stale
+	// threshold is still a correct upper bound, so correctness is
+	// unaffected; at most BoundPeriod−1 extra pulls may happen before the
+	// stopping condition is noticed. 0 or 1 means every pull.
+	BoundPeriod int
+	// Epsilon relaxes the stopping condition to kth-best ≥ t − Epsilon:
+	// the run may stop earlier, and every returned combination is
+	// guaranteed to score within Epsilon of any combination it displaced
+	// (the approximation contract of Finger & Polyzotis's approximate
+	// bounds, applied at the stopping test). 0 means exact.
+	Epsilon float64
+	// MaxSumDepths aborts the run (DNF) once total accesses reach this
+	// value; 0 means unlimited.
+	MaxSumDepths int
+	// MaxCombinations aborts the run (DNF) once this many combinations
+	// have been formed; 0 means unlimited.
+	MaxCombinations int64
+}
+
+// Combination is one joined result with its aggregate score.
+type Combination struct {
+	// Tuples holds one tuple per input relation, in relation order.
+	Tuples []relation.Tuple
+	// Ranks holds the access rank (0-based pull position) of each tuple in
+	// its relation; used for deterministic tie-breaking.
+	Ranks []int
+	// Score is the aggregate score S(τ).
+	Score float64
+}
+
+// Stats records the cost metrics of a run (paper §4.1).
+type Stats struct {
+	// Depths is the number of tuples pulled per relation; SumDepths is the
+	// paper's primary I/O metric.
+	Depths    []int
+	SumDepths int
+	// CombinationsFormed counts cross-product members materialized.
+	CombinationsFormed int64
+	// BoundUpdates counts updateBound invocations (one per pull).
+	BoundUpdates int64
+	// QPSolves counts tight-bound optimizations (problem (14) instances).
+	QPSolves int64
+	// PartialsTracked counts partial combinations ever registered.
+	PartialsTracked int64
+	// DominanceLPs counts feasibility LPs solved; DominatedPartials counts
+	// partials pruned by dominance.
+	DominanceLPs      int64
+	DominatedPartials int64
+	// BoundDowngraded is set when a tight bound was requested but the
+	// aggregation is not Quadratic, so the corner bound was used.
+	BoundDowngraded bool
+	// TotalTime is wall-clock for the whole run; BoundTime and
+	// DominanceTime are the fractions spent in updateBound and in the
+	// dominance test (the stacked bars of Fig. 3(d)-(n)).
+	TotalTime     time.Duration
+	BoundTime     time.Duration
+	DominanceTime time.Duration
+}
+
+// Result is the output of a ProxRJ run.
+type Result struct {
+	// Combinations holds up to K results ordered by decreasing score
+	// (ties: lexicographically by ranks).
+	Combinations []Combination
+	// Threshold is the final upper bound t at termination.
+	Threshold float64
+	// DNF is true when a MaxSumDepths/MaxCombinations cap stopped the run
+	// before the bound certified the top-K (paper reports CBPA as DNF for
+	// n = 4 in the same way).
+	DNF bool
+	// Stats are the run's cost metrics.
+	Stats Stats
+}
+
+// Errors returned by engine construction and runs.
+var (
+	ErrNoRelations   = errors.New("core: at least two relations are required")
+	ErrBadK          = errors.New("core: K must be at least 1")
+	ErrMixedAccess   = errors.New("core: all sources must share one access kind")
+	ErrDimMismatch   = errors.New("core: query and relation dimensions disagree")
+	ErrNilAggregator = errors.New("core: aggregation function is required")
+)

@@ -1,0 +1,182 @@
+package linalg
+
+import "math"
+
+// LU is an LU factorization with partial pivoting: P·A = L·U, stored packed
+// in a single matrix (unit lower triangle implicit).
+type LU struct {
+	lu    *Matrix
+	pivot []int
+	sign  int
+}
+
+// FactorLU computes the LU factorization of a square matrix A.
+// It returns ErrSingular when a pivot is numerically zero relative to the
+// scale of the matrix.
+func FactorLU(a *Matrix) (*LU, error) {
+	if a.Rows() != a.Cols() {
+		panic("linalg: LU of non-square matrix")
+	}
+	n := a.Rows()
+	lu := a.Clone()
+	pivot := make([]int, n)
+	sign := 1
+	scale := lu.MaxAbs()
+	if scale == 0 {
+		scale = 1
+	}
+	tol := scale * 1e-14 * float64(n)
+
+	for k := 0; k < n; k++ {
+		// Partial pivoting: pick the largest remaining entry in column k.
+		p := k
+		best := math.Abs(lu.At(k, k))
+		for i := k + 1; i < n; i++ {
+			if a := math.Abs(lu.At(i, k)); a > best {
+				best, p = a, i
+			}
+		}
+		pivot[k] = p
+		if p != k {
+			for j := 0; j < n; j++ {
+				lu.data[k*n+j], lu.data[p*n+j] = lu.data[p*n+j], lu.data[k*n+j]
+			}
+			sign = -sign
+		}
+		pv := lu.At(k, k)
+		if math.Abs(pv) <= tol {
+			return nil, ErrSingular
+		}
+		for i := k + 1; i < n; i++ {
+			f := lu.At(i, k) / pv
+			lu.Set(i, k, f)
+			if f == 0 {
+				continue
+			}
+			for j := k + 1; j < n; j++ {
+				lu.Add(i, j, -f*lu.At(k, j))
+			}
+		}
+	}
+	return &LU{lu: lu, pivot: pivot, sign: sign}, nil
+}
+
+// Solve solves A·x = b for the factored A. b is not modified.
+func (f *LU) Solve(b []float64) []float64 {
+	n := f.lu.Rows()
+	if len(b) != n {
+		panic("linalg: LU solve dimension mismatch")
+	}
+	x := make([]float64, n)
+	copy(x, b)
+	// Apply the row permutation.
+	for k := 0; k < n; k++ {
+		if p := f.pivot[k]; p != k {
+			x[k], x[p] = x[p], x[k]
+		}
+	}
+	// Forward substitution with unit lower triangle.
+	for i := 1; i < n; i++ {
+		var s float64
+		for j := 0; j < i; j++ {
+			s += f.lu.At(i, j) * x[j]
+		}
+		x[i] -= s
+	}
+	// Back substitution.
+	for i := n - 1; i >= 0; i-- {
+		var s float64
+		for j := i + 1; j < n; j++ {
+			s += f.lu.At(i, j) * x[j]
+		}
+		x[i] = (x[i] - s) / f.lu.At(i, i)
+	}
+	return x
+}
+
+// Det returns the determinant of the factored matrix.
+func (f *LU) Det() float64 {
+	d := float64(f.sign)
+	n := f.lu.Rows()
+	for i := 0; i < n; i++ {
+		d *= f.lu.At(i, i)
+	}
+	return d
+}
+
+// SolveLinear solves A·x = b directly (factor + solve).
+func SolveLinear(a *Matrix, b []float64) ([]float64, error) {
+	f, err := FactorLU(a)
+	if err != nil {
+		return nil, err
+	}
+	return f.Solve(b), nil
+}
+
+// Cholesky is the lower-triangular factor of a symmetric positive definite
+// matrix: A = L·Lᵀ.
+type Cholesky struct {
+	l *Matrix
+}
+
+// FactorCholesky computes the Cholesky factorization of a symmetric positive
+// definite matrix.
+func FactorCholesky(a *Matrix) (*Cholesky, error) {
+	n := a.Rows()
+	if n != a.Cols() {
+		panic("linalg: Cholesky of non-square matrix")
+	}
+	if !a.IsSymmetric(1e-9 * (1 + a.MaxAbs())) {
+		return nil, ErrNotSPD
+	}
+	l := NewMatrix(n, n)
+	for j := 0; j < n; j++ {
+		var d float64 = a.At(j, j)
+		for k := 0; k < j; k++ {
+			d -= l.At(j, k) * l.At(j, k)
+		}
+		if d <= 0 {
+			return nil, ErrNotSPD
+		}
+		dj := math.Sqrt(d)
+		l.Set(j, j, dj)
+		for i := j + 1; i < n; i++ {
+			s := a.At(i, j)
+			for k := 0; k < j; k++ {
+				s -= l.At(i, k) * l.At(j, k)
+			}
+			l.Set(i, j, s/dj)
+		}
+	}
+	return &Cholesky{l: l}, nil
+}
+
+// Solve solves A·x = b using the factorization.
+func (c *Cholesky) Solve(b []float64) []float64 {
+	n := c.l.Rows()
+	if len(b) != n {
+		panic("linalg: Cholesky solve dimension mismatch")
+	}
+	// Forward: L·y = b.
+	y := make([]float64, n)
+	for i := 0; i < n; i++ {
+		s := b[i]
+		for j := 0; j < i; j++ {
+			s -= c.l.At(i, j) * y[j]
+		}
+		y[i] = s / c.l.At(i, i)
+	}
+	// Backward: Lᵀ·x = y.
+	x := make([]float64, n)
+	for i := n - 1; i >= 0; i-- {
+		s := y[i]
+		for j := i + 1; j < n; j++ {
+			s -= c.l.At(j, i) * x[j]
+		}
+		x[i] = s / c.l.At(i, i)
+	}
+	return x
+}
+
+// L returns the lower-triangular factor.
+func (c *Cholesky) L() *Matrix { return c.l.Clone() }

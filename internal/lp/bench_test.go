@@ -1,0 +1,35 @@
+package lp
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// Dominance testing solves one feasibility system per candidate partial;
+// the constraint count u grows with the retrieved depth. These sizes
+// bracket what Fig 3(m)/(n) runs encounter.
+func benchFeasible(b *testing.B, d, u int) {
+	r := rand.New(rand.NewSource(1))
+	g := make([][]float64, u)
+	h := make([]float64, u)
+	for i := range g {
+		row := make([]float64, d)
+		for j := range row {
+			row[j] = r.NormFloat64()
+		}
+		g[i] = row
+		h[i] = r.NormFloat64()
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := FeasibleHalfSpaces(g, h); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFeasibleD2U10(b *testing.B)   { benchFeasible(b, 2, 10) }
+func BenchmarkFeasibleD2U100(b *testing.B)  { benchFeasible(b, 2, 100) }
+func BenchmarkFeasibleD2U1000(b *testing.B) { benchFeasible(b, 2, 1000) }
+func BenchmarkFeasibleD8U100(b *testing.B)  { benchFeasible(b, 8, 100) }

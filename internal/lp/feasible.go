@@ -1,0 +1,102 @@
+package lp
+
+import "fmt"
+
+// FeasibleHalfSpaces reports whether the polyhedron {y ∈ R^d : G·y ≤ h}
+// is non-empty. G has one row per half-space; d is small (the feature
+// space dimension) while len(G) can be large, so the decision is made on
+// the dual program with only d+1 equality rows (see the package comment).
+func FeasibleHalfSpaces(g [][]float64, h []float64) (bool, error) {
+	u := len(g)
+	if len(h) != u {
+		return false, fmt.Errorf("lp: %d half-spaces but %d offsets", u, len(h))
+	}
+	if u == 0 {
+		return true, nil
+	}
+	d := len(g[0])
+	for i, row := range g {
+		if len(row) != d {
+			return false, fmt.Errorf("lp: half-space %d has dim %d, want %d", i, len(row), d)
+		}
+	}
+	// Dual: minimize hᵀλ s.t. Gᵀλ = 0 (d rows), Σλ = 1, λ ≥ 0.
+	a := make([][]float64, d+1)
+	for r := 0; r < d; r++ {
+		a[r] = make([]float64, u)
+		for j := 0; j < u; j++ {
+			a[r][j] = g[j][r]
+		}
+	}
+	ones := make([]float64, u)
+	for j := range ones {
+		ones[j] = 1
+	}
+	a[d] = ones
+	b := make([]float64, d+1)
+	b[d] = 1
+
+	_, val, status, err := SolveStandard(a, b, h)
+	if err != nil {
+		return false, err
+	}
+	switch status {
+	case Infeasible:
+		// No Farkas combination exists at all: the primal is feasible
+		// (indeed unbounded in the t-relaxation).
+		return true, nil
+	case Unbounded:
+		// hᵀλ unbounded below on the dual ⇒ a certificate with arbitrarily
+		// negative value exists ⇒ primal infeasible.
+		return false, nil
+	default:
+		// Primal min t = −val: feasible iff val ≥ 0 (within tolerance; ties
+		// mean the region is a degenerate but non-empty face).
+		return val >= -1e-9, nil
+	}
+}
+
+// MinimizeLeq solves  minimize cᵀx  s.t.  A·x ≤ b  with x free, by
+// splitting x = u − v (u, v ≥ 0) and adding slack variables. Intended for
+// small problems (tests, examples, witness extraction).
+func MinimizeLeq(a [][]float64, b, c []float64) (x []float64, value float64, status Status, err error) {
+	m := len(a)
+	if len(b) != m {
+		return nil, 0, 0, fmt.Errorf("lp: %d rows but %d rhs entries", m, len(b))
+	}
+	var n int
+	if m > 0 {
+		n = len(a[0])
+	} else {
+		n = len(c)
+	}
+	if len(c) != n {
+		return nil, 0, 0, fmt.Errorf("lp: objective has %d entries, want %d", len(c), n)
+	}
+	// Standard form variables: u (n), v (n), s (m).
+	cols := 2*n + m
+	sa := make([][]float64, m)
+	for i := 0; i < m; i++ {
+		row := make([]float64, cols)
+		for j := 0; j < n; j++ {
+			row[j] = a[i][j]
+			row[n+j] = -a[i][j]
+		}
+		row[2*n+i] = 1
+		sa[i] = row
+	}
+	sc := make([]float64, cols)
+	for j := 0; j < n; j++ {
+		sc[j] = c[j]
+		sc[n+j] = -c[j]
+	}
+	z, v, status, err := SolveStandard(sa, b, sc)
+	if err != nil || status != Optimal {
+		return nil, 0, status, err
+	}
+	x = make([]float64, n)
+	for j := 0; j < n; j++ {
+		x[j] = z[j] - z[n+j]
+	}
+	return x, v, Optimal, nil
+}

@@ -1,0 +1,226 @@
+// Package lp implements a dense two-phase primal simplex solver and the
+// half-space feasibility test used by the dominance pruning of proximity
+// rank join (paper §3.2.2, problem (35)).
+//
+// The dominance test asks whether a polyhedron {y ∈ R^d : G·y ≤ h} is
+// empty. The number of rows u grows with the retrieved depth (u can be in
+// the thousands) while d stays small, so FeasibleHalfSpaces solves the
+// small dual program
+//
+//	minimize  hᵀλ   subject to  Gᵀλ = 0,  Σλ = 1,  λ ≥ 0
+//
+// with only d+1 equality rows: the primal system is feasible iff the dual
+// is infeasible or its optimum is ≥ 0 (a negative optimum exhibits a
+// Farkas certificate of emptiness).
+package lp
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Status reports the outcome of a solve.
+type Status int
+
+const (
+	// Optimal means an optimal basic solution was found.
+	Optimal Status = iota
+	// Infeasible means the constraints admit no solution.
+	Infeasible
+	// Unbounded means the objective is unbounded below.
+	Unbounded
+)
+
+// String implements fmt.Stringer.
+func (s Status) String() string {
+	switch s {
+	case Optimal:
+		return "optimal"
+	case Infeasible:
+		return "infeasible"
+	case Unbounded:
+		return "unbounded"
+	}
+	return fmt.Sprintf("Status(%d)", int(s))
+}
+
+// ErrIterationLimit is returned when simplex exceeds its pivot budget,
+// which should not happen with Bland's rule on well-posed inputs.
+var ErrIterationLimit = errors.New("lp: simplex iteration limit exceeded")
+
+const eps = 1e-9
+
+// SolveStandard solves  minimize cᵀx  s.t.  A·x = b, x ≥ 0  with a
+// two-phase tableau simplex using Bland's rule. A is given in row-major
+// rows; b may have any signs.
+func SolveStandard(a [][]float64, b, c []float64) (x []float64, value float64, status Status, err error) {
+	m := len(a)
+	if len(b) != m {
+		return nil, 0, 0, fmt.Errorf("lp: %d rows but %d rhs entries", m, len(b))
+	}
+	n := len(c)
+	for i, row := range a {
+		if len(row) != n {
+			return nil, 0, 0, fmt.Errorf("lp: row %d has %d cols, want %d", i, len(row), n)
+		}
+	}
+
+	// Tableau: columns = n structural + m artificial + 1 rhs.
+	cols := n + m + 1
+	t := make([][]float64, m)
+	basis := make([]int, m)
+	for i := 0; i < m; i++ {
+		t[i] = make([]float64, cols)
+		sign := 1.0
+		if b[i] < 0 {
+			sign = -1
+		}
+		for j := 0; j < n; j++ {
+			t[i][j] = sign * a[i][j]
+		}
+		t[i][n+i] = 1
+		t[i][cols-1] = sign * b[i]
+		basis[i] = n + i
+	}
+
+	// Phase 1: minimize the sum of artificials.
+	phase1 := make([]float64, cols)
+	for j := n; j < n+m; j++ {
+		phase1[j] = 1
+	}
+	val, err := runSimplex(t, basis, phase1, n+m)
+	if err != nil {
+		return nil, 0, 0, err
+	}
+	if val > eps {
+		return nil, 0, Infeasible, nil
+	}
+	// Pivot remaining artificials out of the basis where possible; rows
+	// where this fails are redundant and can be ignored (their artificial
+	// stays at value 0).
+	for i := 0; i < m; i++ {
+		if basis[i] < n {
+			continue
+		}
+		pivoted := false
+		for j := 0; j < n; j++ {
+			if math.Abs(t[i][j]) > eps {
+				pivot(t, basis, i, j)
+				pivoted = true
+				break
+			}
+		}
+		_ = pivoted
+	}
+
+	// Phase 2: original objective; artificial columns are barred by making
+	// them prohibitively expensive and never eligible (limit to n columns).
+	obj := make([]float64, cols)
+	copy(obj, c)
+	_, err = runSimplex(t, basis, obj, n)
+	if err != nil {
+		if errors.Is(err, errUnbounded) {
+			return nil, 0, Unbounded, nil
+		}
+		return nil, 0, 0, err
+	}
+
+	x = make([]float64, n)
+	for i, bi := range basis {
+		if bi < n {
+			x[bi] = t[i][cols-1]
+		}
+	}
+	var v float64
+	for j := 0; j < n; j++ {
+		v += c[j] * x[j]
+	}
+	return x, v, Optimal, nil
+}
+
+var errUnbounded = errors.New("lp: unbounded")
+
+// runSimplex performs primal simplex pivots on the tableau for the given
+// objective, considering only the first limit columns as eligible entering
+// variables. Returns the objective value at termination.
+func runSimplex(t [][]float64, basis []int, c []float64, limit int) (float64, error) {
+	m := len(t)
+	if m == 0 {
+		return 0, nil
+	}
+	cols := len(t[0])
+	rhs := cols - 1
+	// Reduced costs are computed directly: r_j = c_j − Σ_i c_{basis[i]}·t[i][j].
+	maxIter := 2000 + 200*(m+cols)
+	for iter := 0; iter < maxIter; iter++ {
+		enter := -1
+		for j := 0; j < limit; j++ {
+			if reducedCost(t, basis, c, j) < -eps {
+				enter = j // Bland: first improving column
+				break
+			}
+		}
+		if enter < 0 {
+			return objectiveValue(t, basis, c, rhs), nil
+		}
+		// Ratio test (Bland: smallest basis index breaks ties).
+		leave := -1
+		best := math.Inf(1)
+		for i := 0; i < m; i++ {
+			if t[i][enter] > eps {
+				ratio := t[i][rhs] / t[i][enter]
+				if ratio < best-eps || (ratio < best+eps && (leave < 0 || basis[i] < basis[leave])) {
+					best = ratio
+					leave = i
+				}
+			}
+		}
+		if leave < 0 {
+			return 0, errUnbounded
+		}
+		pivot(t, basis, leave, enter)
+	}
+	return 0, ErrIterationLimit
+}
+
+func reducedCost(t [][]float64, basis []int, c []float64, j int) float64 {
+	r := c[j]
+	for i := range t {
+		cb := c[basis[i]]
+		if cb != 0 {
+			r -= cb * t[i][j]
+		}
+	}
+	return r
+}
+
+func objectiveValue(t [][]float64, basis []int, c []float64, rhs int) float64 {
+	var v float64
+	for i := range t {
+		if cb := c[basis[i]]; cb != 0 {
+			v += cb * t[i][rhs]
+		}
+	}
+	return v
+}
+
+func pivot(t [][]float64, basis []int, row, col int) {
+	p := t[row][col]
+	for j := range t[row] {
+		t[row][j] /= p
+	}
+	for i := range t {
+		if i == row {
+			continue
+		}
+		f := t[i][col]
+		if f == 0 {
+			continue
+		}
+		for j := range t[i] {
+			t[i][j] -= f * t[row][j]
+		}
+	}
+	basis[row] = col
+}

@@ -1,0 +1,242 @@
+// Package pqueue provides generic binary heaps used throughout the library:
+// the engine's top-K output buffer, the lazy bound heaps of the tight
+// bounding scheme, and the R-tree's incremental nearest-neighbor traversal.
+//
+// Heap is a plain priority queue ordered by a user-supplied less function.
+// Indexed is a priority queue that additionally tracks element positions so
+// that priorities can be updated or elements removed in O(log n).
+package pqueue
+
+// Heap is a binary heap over T. The zero value is not usable; construct
+// with New.
+type Heap[T any] struct {
+	items []T
+	less  func(a, b T) bool
+}
+
+// New returns an empty heap ordered by less (less(a,b) means a has higher
+// priority and is popped first).
+func New[T any](less func(a, b T) bool) *Heap[T] {
+	return &Heap[T]{less: less}
+}
+
+// Len returns the number of queued elements.
+func (h *Heap[T]) Len() int { return len(h.items) }
+
+// Push inserts x.
+func (h *Heap[T]) Push(x T) {
+	h.items = append(h.items, x)
+	h.up(len(h.items) - 1)
+}
+
+// Peek returns the highest-priority element without removing it.
+// ok is false when the heap is empty.
+func (h *Heap[T]) Peek() (top T, ok bool) {
+	if len(h.items) == 0 {
+		return top, false
+	}
+	return h.items[0], true
+}
+
+// Pop removes and returns the highest-priority element.
+// ok is false when the heap is empty.
+func (h *Heap[T]) Pop() (top T, ok bool) {
+	if len(h.items) == 0 {
+		return top, false
+	}
+	top = h.items[0]
+	last := len(h.items) - 1
+	h.items[0] = h.items[last]
+	var zero T
+	h.items[last] = zero
+	h.items = h.items[:last]
+	if len(h.items) > 0 {
+		h.down(0)
+	}
+	return top, true
+}
+
+// Items returns the backing slice in heap order (not sorted). The caller
+// must not mutate it.
+func (h *Heap[T]) Items() []T { return h.items }
+
+// Clear empties the heap, retaining capacity.
+func (h *Heap[T]) Clear() {
+	var zero T
+	for i := range h.items {
+		h.items[i] = zero
+	}
+	h.items = h.items[:0]
+}
+
+func (h *Heap[T]) up(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !h.less(h.items[i], h.items[parent]) {
+			return
+		}
+		h.items[i], h.items[parent] = h.items[parent], h.items[i]
+		i = parent
+	}
+}
+
+func (h *Heap[T]) down(i int) {
+	n := len(h.items)
+	for {
+		l, r := 2*i+1, 2*i+2
+		if l >= n {
+			return
+		}
+		best := l
+		if r < n && h.less(h.items[r], h.items[l]) {
+			best = r
+		}
+		if !h.less(h.items[best], h.items[i]) {
+			return
+		}
+		h.items[i], h.items[best] = h.items[best], h.items[i]
+		i = best
+	}
+}
+
+// Indexed is a priority queue whose elements carry a stable integer key;
+// priorities can be changed (Fix) and arbitrary elements removed in
+// O(log n). Keys must be unique among live elements.
+type Indexed[T any] struct {
+	items []indexedItem[T]
+	pos   map[int]int // key -> index in items
+	less  func(a, b T) bool
+}
+
+type indexedItem[T any] struct {
+	key int
+	val T
+}
+
+// NewIndexed returns an empty indexed heap ordered by less.
+func NewIndexed[T any](less func(a, b T) bool) *Indexed[T] {
+	return &Indexed[T]{pos: make(map[int]int), less: less}
+}
+
+// Len returns the number of queued elements.
+func (h *Indexed[T]) Len() int { return len(h.items) }
+
+// Contains reports whether key is queued.
+func (h *Indexed[T]) Contains(key int) bool {
+	_, ok := h.pos[key]
+	return ok
+}
+
+// Get returns the value stored under key.
+func (h *Indexed[T]) Get(key int) (val T, ok bool) {
+	i, ok := h.pos[key]
+	if !ok {
+		return val, false
+	}
+	return h.items[i].val, true
+}
+
+// Push inserts val under key. It panics if key is already present.
+func (h *Indexed[T]) Push(key int, val T) {
+	if _, dup := h.pos[key]; dup {
+		panic("pqueue: duplicate key")
+	}
+	h.items = append(h.items, indexedItem[T]{key: key, val: val})
+	i := len(h.items) - 1
+	h.pos[key] = i
+	h.up(i)
+}
+
+// Peek returns the highest-priority key and value.
+func (h *Indexed[T]) Peek() (key int, val T, ok bool) {
+	if len(h.items) == 0 {
+		return 0, val, false
+	}
+	return h.items[0].key, h.items[0].val, true
+}
+
+// Pop removes and returns the highest-priority key and value.
+func (h *Indexed[T]) Pop() (key int, val T, ok bool) {
+	if len(h.items) == 0 {
+		return 0, val, false
+	}
+	it := h.items[0]
+	h.removeAt(0)
+	return it.key, it.val, true
+}
+
+// Update replaces the value under key and restores heap order. It panics
+// if key is absent.
+func (h *Indexed[T]) Update(key int, val T) {
+	i, ok := h.pos[key]
+	if !ok {
+		panic("pqueue: update of missing key")
+	}
+	h.items[i].val = val
+	h.fix(i)
+}
+
+// Remove deletes key if present and reports whether it was there.
+func (h *Indexed[T]) Remove(key int) bool {
+	i, ok := h.pos[key]
+	if !ok {
+		return false
+	}
+	h.removeAt(i)
+	return true
+}
+
+func (h *Indexed[T]) removeAt(i int) {
+	last := len(h.items) - 1
+	delete(h.pos, h.items[i].key)
+	if i != last {
+		h.items[i] = h.items[last]
+		h.pos[h.items[i].key] = i
+	}
+	h.items[last] = indexedItem[T]{}
+	h.items = h.items[:last]
+	if i < len(h.items) {
+		h.fix(i)
+	}
+}
+
+func (h *Indexed[T]) fix(i int) {
+	h.up(i)
+	h.down(i)
+}
+
+func (h *Indexed[T]) up(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !h.less(h.items[i].val, h.items[parent].val) {
+			break
+		}
+		h.swap(i, parent)
+		i = parent
+	}
+}
+
+func (h *Indexed[T]) down(i int) {
+	n := len(h.items)
+	for {
+		l, r := 2*i+1, 2*i+2
+		if l >= n {
+			return
+		}
+		best := l
+		if r < n && h.less(h.items[r].val, h.items[l].val) {
+			best = r
+		}
+		if !h.less(h.items[best].val, h.items[i].val) {
+			return
+		}
+		h.swap(i, best)
+		i = best
+	}
+}
+
+func (h *Indexed[T]) swap(i, j int) {
+	h.items[i], h.items[j] = h.items[j], h.items[i]
+	h.pos[h.items[i].key] = i
+	h.pos[h.items[j].key] = j
+}

@@ -1,0 +1,65 @@
+package qp
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// The tight bound solves one instance of problem (14) per partial
+// combination evaluation; its latency bounds the whole engine's CPU
+// profile, so it is tracked here at the sizes that occur in practice
+// (n = number of joined relations).
+func benchSolve14(b *testing.B, m, u int) {
+	r := rand.New(rand.NewSource(1))
+	fixed := make([]float64, m)
+	for i := range fixed {
+		fixed[i] = r.NormFloat64() * 2
+	}
+	lower := make([]float64, u)
+	for i := range lower {
+		lower[i] = r.Float64() * 3
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Solve14(1, 1, fixed, lower); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSolve14N2(b *testing.B) { benchSolve14(b, 1, 1) }
+func BenchmarkSolve14N3(b *testing.B) { benchSolve14(b, 2, 1) }
+func BenchmarkSolve14N4(b *testing.B) { benchSolve14(b, 2, 2) }
+func BenchmarkSolve14N8(b *testing.B) { benchSolve14(b, 4, 4) }
+
+// The general active-set solver is the cross-check path; its cost shows
+// what the specialized solver saves.
+func BenchmarkActiveSetN4(b *testing.B) {
+	m, u := 2, 2
+	n := m + u
+	r := rand.New(rand.NewSource(1))
+	p := &BoundedProblem{
+		Q:        Hessian14(1, 1, n).ScaleInPlace(2),
+		C:        make([]float64, n),
+		Fixed:    make([]bool, n),
+		FixedVal: make([]float64, n),
+		HasLower: make([]bool, n),
+		Lower:    make([]float64, n),
+	}
+	for i := 0; i < m; i++ {
+		p.Fixed[i] = true
+		p.FixedVal[i] = r.NormFloat64() * 2
+	}
+	for i := m; i < n; i++ {
+		p.HasLower[i] = true
+		p.Lower[i] = r.Float64() * 3
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := SolveBounded(p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,352 @@
+// Package qp solves the convex quadratic programs arising in the tight
+// bounding scheme of proximity rank join.
+//
+// The central problem is paper eq. (14): after the collinearity reduction
+// (Theorem 3.4) the bound on a partial combination is
+//
+//	minimize   w_q·Σ θ_i² + w_µ·Σ (θ_i − θ̄)²
+//	subject to θ_i = p_i      for seen tuples (ray projections, eq. 13)
+//	           θ_i ≥ δ_i      for unseen tuples (distance-access constraint)
+//
+// with θ̄ the mean of all θ. The Hessian is H = w_q·I + w_µ·(I − 11ᵀ/n),
+// whose special structure makes every free variable share a single
+// stationary value; Solve14 exploits this for an exact O(u log u) solution.
+// SolveBounded is a general primal active-set solver used to cross-check
+// Solve14 and to support arbitrary convex quadratics with fixed variables
+// and lower bounds.
+package qp
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/linalg"
+)
+
+// ErrBadWeights is returned when a weight is negative or not finite.
+var ErrBadWeights = errors.New("qp: weights must be finite and non-negative")
+
+// ErrMaxIterations is returned when the active-set loop fails to converge,
+// which indicates a non-convex or badly scaled problem.
+var ErrMaxIterations = errors.New("qp: active-set iteration limit exceeded")
+
+// Solution14 is the result of Solve14.
+type Solution14 struct {
+	// Theta holds the optimal coordinates for all variables: first the
+	// fixed (seen) values as given, then the unseen values in input order.
+	Theta []float64
+	// Unseen aliases the unseen suffix of Theta.
+	Unseen []float64
+	// Objective is the minimized quadratic w_q·Σθ² + w_µ·Σ(θ−θ̄)².
+	Objective float64
+}
+
+// Solve14 solves paper problem (14) exactly.
+//
+// fixed are the ray projections of the m seen tuples (may be negative);
+// lower are the distance lower bounds δ_i ≥ 0 of the n−m unseen tuples.
+// wq and wmu are the query- and centroid-distance weights (non-negative,
+// not both zero together with an empty problem is fine — the objective is
+// then identically zero).
+func Solve14(wq, wmu float64, fixed, lower []float64) (Solution14, error) {
+	if !(wq >= 0) || !(wmu >= 0) || math.IsInf(wq, 0) || math.IsInf(wmu, 0) {
+		return Solution14{}, ErrBadWeights
+	}
+	m, u := len(fixed), len(lower)
+	n := m + u
+	if n == 0 {
+		return Solution14{Theta: nil, Unseen: nil, Objective: 0}, nil
+	}
+
+	theta := make([]float64, n)
+	copy(theta, fixed)
+	unseen := theta[m:]
+
+	if u == 0 {
+		// Nothing to optimize; evaluate the objective at the fixed point.
+		return Solution14{Theta: theta, Unseen: unseen, Objective: quad14(wq, wmu, theta)}, nil
+	}
+
+	// Sort unseen indices by δ descending: the optimal active set clamps a
+	// prefix of this order (threshold structure of the shared stationary
+	// value).
+	order := make([]int, u)
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool { return lower[order[a]] > lower[order[b]] })
+
+	sumFixed := 0.0
+	for _, p := range fixed {
+		sumFixed += p
+	}
+
+	// Try clamping the k largest-δ unseen variables for k = 0..u; the free
+	// remainder shares ψ = w_µ·s / (n(w_q+w_µ) − kFree·w_µ). Pick the first
+	// KKT-consistent split.
+	sumClamped := 0.0
+	chosen := false
+	for k := 0; k <= u; k++ {
+		kFree := u - k
+		denom := float64(n)*(wq+wmu) - float64(kFree)*wmu
+		if k > 0 {
+			sumClamped += lower[order[k-1]]
+		}
+		if denom <= 1e-300 {
+			// Degenerate (w_q = 0 and everything free): any common value is
+			// optimal; clamping one more variable resolves it next round.
+			continue
+		}
+		psi := wmu * (sumFixed + sumClamped) / denom
+		// Feasibility of free variables: ψ ≥ every free δ.
+		if kFree > 0 && psi < lower[order[k]]-1e-12 {
+			continue
+		}
+		// Multiplier sign for clamped variables: every clamped δ ≥ ψ.
+		if k > 0 && lower[order[k-1]] < psi-1e-12 {
+			continue
+		}
+		for j := 0; j < k; j++ {
+			unseen[order[j]] = lower[order[j]]
+		}
+		for j := k; j < u; j++ {
+			unseen[order[j]] = psi
+		}
+		chosen = true
+		break
+	}
+	if !chosen {
+		// Unreachable for a convex problem, but fall back to the fully
+		// clamped (always feasible) point rather than failing.
+		for j := 0; j < u; j++ {
+			unseen[j] = lower[j]
+		}
+	}
+	return Solution14{Theta: theta, Unseen: unseen, Objective: quad14(wq, wmu, theta)}, nil
+}
+
+// quad14 evaluates w_q·Σθ² + w_µ·Σ(θ−θ̄)².
+func quad14(wq, wmu float64, theta []float64) float64 {
+	if len(theta) == 0 {
+		return 0
+	}
+	var sum, sq float64
+	for _, t := range theta {
+		sum += t
+		sq += t * t
+	}
+	mean := sum / float64(len(theta))
+	var spread float64
+	for _, t := range theta {
+		d := t - mean
+		spread += d * d
+	}
+	return wq*sq + wmu*spread
+}
+
+// Objective14 exposes the quadratic form of problem (14) for testing and
+// bound evaluation.
+func Objective14(wq, wmu float64, theta []float64) float64 { return quad14(wq, wmu, theta) }
+
+// BoundedProblem is a convex quadratic program
+//
+//	minimize ½·xᵀQx + cᵀx
+//	subject to x_i  = FixedVal_i  where Fixed_i
+//	           x_i ≥ Lower_i      where HasLower_i
+//
+// Q must be symmetric positive semidefinite on the free subspace.
+type BoundedProblem struct {
+	Q        *linalg.Matrix
+	C        []float64
+	Fixed    []bool
+	FixedVal []float64
+	HasLower []bool
+	Lower    []float64
+}
+
+// Validate checks structural consistency of the problem.
+func (p *BoundedProblem) Validate() error {
+	n := len(p.C)
+	if p.Q.Rows() != n || p.Q.Cols() != n {
+		return fmt.Errorf("qp: Q is %dx%d, want %dx%d", p.Q.Rows(), p.Q.Cols(), n, n)
+	}
+	if len(p.Fixed) != n || len(p.FixedVal) != n || len(p.HasLower) != n || len(p.Lower) != n {
+		return fmt.Errorf("qp: constraint slices must all have length %d", n)
+	}
+	if !p.Q.IsSymmetric(1e-9 * (1 + p.Q.MaxAbs())) {
+		return errors.New("qp: Q must be symmetric")
+	}
+	return nil
+}
+
+// SolveBounded solves the problem with a primal active-set method. The
+// returned x is the optimizer; the second return is the objective value.
+func SolveBounded(p *BoundedProblem) ([]float64, float64, error) {
+	if err := p.Validate(); err != nil {
+		return nil, 0, err
+	}
+	n := len(p.C)
+
+	// Feasible start: fixed at their values, lower-bounded at their bounds,
+	// free at zero.
+	x := make([]float64, n)
+	active := make([]bool, n) // lower bound treated as equality
+	for i := 0; i < n; i++ {
+		switch {
+		case p.Fixed[i]:
+			x[i] = p.FixedVal[i]
+		case p.HasLower[i]:
+			x[i] = p.Lower[i]
+			active[i] = true
+		}
+	}
+
+	const maxIter = 500
+	for iter := 0; iter < maxIter; iter++ {
+		// Solve the equality-constrained subproblem over free variables.
+		free := freeIndices(p, active)
+		xe, err := solveEquality(p, active, free, x)
+		if err != nil {
+			return nil, 0, err
+		}
+		if feasibleStep(p, free, x, xe) {
+			copy(x, xe)
+			// Check multipliers of active bounds: λ_i = (Qx + c)_i ≥ 0.
+			g := grad(p, x)
+			worst, worstIdx := -1e-10, -1
+			for i := 0; i < n; i++ {
+				if active[i] && g[i] < worst {
+					worst, worstIdx = g[i], i
+				}
+			}
+			if worstIdx < 0 {
+				return x, objective(p, x), nil
+			}
+			active[worstIdx] = false
+			continue
+		}
+		// Step toward xe, stopping at the first violated bound.
+		alpha, blocking := 1.0, -1
+		for _, i := range free {
+			if !p.HasLower[i] {
+				continue
+			}
+			dir := xe[i] - x[i]
+			if dir >= -1e-15 {
+				continue
+			}
+			a := (p.Lower[i] - x[i]) / dir
+			if a < alpha {
+				alpha, blocking = a, i
+			}
+		}
+		for _, i := range free {
+			x[i] += alpha * (xe[i] - x[i])
+		}
+		if blocking >= 0 {
+			x[blocking] = p.Lower[blocking]
+			active[blocking] = true
+		}
+	}
+	return nil, 0, ErrMaxIterations
+}
+
+func freeIndices(p *BoundedProblem, active []bool) []int {
+	var free []int
+	for i := range p.C {
+		if !p.Fixed[i] && !active[i] {
+			free = append(free, i)
+		}
+	}
+	return free
+}
+
+// solveEquality minimizes over the free coordinates with the others held at
+// their current values: Q_FF x_F = −c_F − Q_FK x_K.
+func solveEquality(p *BoundedProblem, active []bool, free []int, x []float64) ([]float64, error) {
+	out := make([]float64, len(x))
+	copy(out, x)
+	k := len(free)
+	if k == 0 {
+		return out, nil
+	}
+	a := linalg.NewMatrix(k, k)
+	b := make([]float64, k)
+	for r, i := range free {
+		rhs := -p.C[i]
+		for j := 0; j < len(x); j++ {
+			q := p.Q.At(i, j)
+			if q == 0 {
+				continue
+			}
+			if p.Fixed[j] || active[j] {
+				rhs -= q * x[j]
+			}
+		}
+		b[r] = rhs
+		for c, j := range free {
+			a.Set(r, c, p.Q.At(i, j))
+		}
+	}
+	sol, err := linalg.SolveLinear(a, b)
+	if err == linalg.ErrSingular {
+		// PSD-singular on the free subspace: regularize minimally. The
+		// regularized optimizer is a valid minimizer of the original when
+		// the singular directions are objective-flat.
+		for i := 0; i < k; i++ {
+			a.Add(i, i, 1e-10*(1+a.MaxAbs()))
+		}
+		sol, err = linalg.SolveLinear(a, b)
+	}
+	if err != nil {
+		return nil, err
+	}
+	for r, i := range free {
+		out[i] = sol[r]
+	}
+	return out, nil
+}
+
+func feasibleStep(p *BoundedProblem, free []int, x, xe []float64) bool {
+	for _, i := range free {
+		if p.HasLower[i] && xe[i] < p.Lower[i]-1e-12 {
+			return false
+		}
+	}
+	return true
+}
+
+func grad(p *BoundedProblem, x []float64) []float64 {
+	g := p.Q.MulVec(x)
+	for i := range g {
+		g[i] += p.C[i]
+	}
+	return g
+}
+
+func objective(p *BoundedProblem, x []float64) float64 {
+	qx := p.Q.MulVec(x)
+	var s float64
+	for i := range x {
+		s += 0.5*x[i]*qx[i] + p.C[i]*x[i]
+	}
+	return s
+}
+
+// Hessian14 builds the matrix H = w_q·I + w_µ·(I − 11ᵀ/n) of problem (14),
+// for use with SolveBounded and in tests.
+func Hessian14(wq, wmu float64, n int) *linalg.Matrix {
+	h := linalg.NewMatrix(n, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			v := -wmu / float64(n)
+			if i == j {
+				v += wq + wmu
+			}
+			h.Set(i, j, v)
+		}
+	}
+	return h
+}

@@ -1,0 +1,36 @@
+package relation
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzReadCSV checks that arbitrary input never panics the CSV reader and
+// that anything it accepts survives a write/read round trip.
+func FuzzReadCSV(f *testing.F) {
+	f.Add("id,score,x1,x2\na,0.5,1,2\nb,0.9,3,4\n")
+	f.Add("id,score,x1\nh,1.0,0\n")
+	f.Add("id,score,x1,x2,city\nh,0.8,1,2,Boston\n")
+	f.Add("id,score\n")
+	f.Add("")
+	f.Add("id,score,x1\nh,NaN,1\n")
+	f.Add("id,score,x1\nh,1e309,1\n")
+	f.Fuzz(func(t *testing.T, input string) {
+		rel, err := ReadCSV(strings.NewReader(input), "fuzz", 0)
+		if err != nil {
+			return // rejected is fine; panicking is not
+		}
+		var buf strings.Builder
+		if err := WriteCSV(&buf, rel); err != nil {
+			t.Fatalf("accepted relation failed to serialize: %v", err)
+		}
+		back, err := ReadCSV(strings.NewReader(buf.String()), "fuzz2", rel.MaxScore)
+		if err != nil {
+			t.Fatalf("round trip rejected: %v\ninput: %q\ncsv: %q", err, input, buf.String())
+		}
+		if back.Len() != rel.Len() || back.Dim() != rel.Dim() {
+			t.Fatalf("round trip changed shape: %d/%d vs %d/%d",
+				back.Len(), back.Dim(), rel.Len(), rel.Dim())
+		}
+	})
+}

@@ -1,0 +1,293 @@
+// Package relation defines the tuple and relation model of proximity rank
+// join and the sequential access paths over them: distance-based access
+// (tuples in increasing distance from a query vector) and score-based
+// access (tuples in decreasing score), per Definition 2.1 of the paper.
+//
+// Sources deliberately hide the relation contents behind a sequential
+// Next() so that algorithms can only learn what they have paid for — the
+// sumDepths cost model of the paper measures exactly these calls.
+package relation
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/rtree"
+	"repro/internal/vec"
+)
+
+// Tuple is one object of a relation: named identity, a quality score, and
+// a feature vector in R^d.
+type Tuple struct {
+	ID    string
+	Score float64
+	Vec   vec.Vector
+	Attrs map[string]string
+}
+
+// Relation is an immutable collection of tuples sharing a dimensionality
+// and a known maximum possible score σ_max (the paper's σ_j^max, needed by
+// the bounding schemes).
+type Relation struct {
+	Name     string
+	MaxScore float64
+	tuples   []Tuple
+	dim      int
+}
+
+// ErrExhausted is returned by Source.Next when the relation has been read
+// completely.
+var ErrExhausted = errors.New("relation: source exhausted")
+
+// New validates tuples and builds a relation. Every tuple must share one
+// dimensionality, have a finite positive score not exceeding maxScore, and
+// a finite feature vector.
+func New(name string, maxScore float64, tuples []Tuple) (*Relation, error) {
+	if maxScore <= 0 || math.IsInf(maxScore, 0) || math.IsNaN(maxScore) {
+		return nil, fmt.Errorf("relation %q: max score %v must be finite and positive", name, maxScore)
+	}
+	if len(tuples) == 0 {
+		return nil, fmt.Errorf("relation %q: no tuples", name)
+	}
+	dim := tuples[0].Vec.Dim()
+	if dim == 0 {
+		return nil, fmt.Errorf("relation %q: zero-dimensional tuples", name)
+	}
+	for i, t := range tuples {
+		if t.Vec.Dim() != dim {
+			return nil, fmt.Errorf("relation %q: tuple %d has dim %d, want %d", name, i, t.Vec.Dim(), dim)
+		}
+		if !t.Vec.IsFinite() {
+			return nil, fmt.Errorf("relation %q: tuple %d has a non-finite vector", name, i)
+		}
+		if math.IsNaN(t.Score) || t.Score <= 0 || t.Score > maxScore {
+			return nil, fmt.Errorf("relation %q: tuple %d score %v outside (0, %v]", name, i, t.Score, maxScore)
+		}
+	}
+	own := make([]Tuple, len(tuples))
+	copy(own, tuples)
+	return &Relation{Name: name, MaxScore: maxScore, tuples: own, dim: dim}, nil
+}
+
+// MustNew is New that panics on error, for tests and literals.
+func MustNew(name string, maxScore float64, tuples []Tuple) *Relation {
+	r, err := New(name, maxScore, tuples)
+	if err != nil {
+		panic(err)
+	}
+	return r
+}
+
+// Len returns the number of tuples.
+func (r *Relation) Len() int { return len(r.tuples) }
+
+// Dim returns the feature-space dimensionality.
+func (r *Relation) Dim() int { return r.dim }
+
+// At returns the i-th tuple in storage order (not access order).
+func (r *Relation) At(i int) Tuple { return r.tuples[i] }
+
+// Tuples returns a copy of the tuple slice.
+func (r *Relation) Tuples() []Tuple {
+	out := make([]Tuple, len(r.tuples))
+	copy(out, r.tuples)
+	return out
+}
+
+// AccessKind selects the sequential ordering a source provides.
+type AccessKind int
+
+const (
+	// DistanceAccess streams tuples by increasing distance from the query.
+	DistanceAccess AccessKind = iota
+	// ScoreAccess streams tuples by decreasing score.
+	ScoreAccess
+)
+
+// String implements fmt.Stringer.
+func (k AccessKind) String() string {
+	switch k {
+	case DistanceAccess:
+		return "distance"
+	case ScoreAccess:
+		return "score"
+	}
+	return fmt.Sprintf("AccessKind(%d)", int(k))
+}
+
+// Source is a sequential reader over a relation in a fixed access order.
+type Source interface {
+	// Next returns the next tuple, or ErrExhausted when done. Other errors
+	// model transient access failures (see FaultySource).
+	Next() (Tuple, error)
+	// Kind reports the access ordering this source guarantees.
+	Kind() AccessKind
+	// Relation returns the underlying relation (for σ_max and metadata).
+	Relation() *Relation
+}
+
+// sliceSource streams a pre-ordered copy of the tuples.
+type sliceSource struct {
+	rel  *Relation
+	kind AccessKind
+	ord  []Tuple
+	pos  int
+}
+
+func (s *sliceSource) Next() (Tuple, error) {
+	if s.pos >= len(s.ord) {
+		return Tuple{}, ErrExhausted
+	}
+	t := s.ord[s.pos]
+	s.pos++
+	return t, nil
+}
+
+func (s *sliceSource) Kind() AccessKind    { return s.kind }
+func (s *sliceSource) Relation() *Relation { return s.rel }
+
+// NewDistanceSource returns a source that yields tuples of r sorted by
+// increasing metric distance from q (ties broken by storage index for
+// determinism). The whole order is computed up front; for large relations
+// prefer NewRTreeDistanceSource, which sorts incrementally.
+func NewDistanceSource(r *Relation, q vec.Vector, metric vec.Metric) (Source, error) {
+	if q.Dim() != r.dim {
+		return nil, fmt.Errorf("relation %q: query dim %d, want %d", r.Name, q.Dim(), r.dim)
+	}
+	if metric == nil {
+		metric = vec.Euclidean{}
+	}
+	type keyed struct {
+		t Tuple
+		d float64
+		i int
+	}
+	ks := make([]keyed, len(r.tuples))
+	for i, t := range r.tuples {
+		ks[i] = keyed{t: t, d: metric.Distance(t.Vec, q), i: i}
+	}
+	sort.SliceStable(ks, func(a, b int) bool {
+		if ks[a].d != ks[b].d {
+			return ks[a].d < ks[b].d
+		}
+		return ks[a].i < ks[b].i
+	})
+	ord := make([]Tuple, len(ks))
+	for i, k := range ks {
+		ord[i] = k.t
+	}
+	return &sliceSource{rel: r, kind: DistanceAccess, ord: ord}, nil
+}
+
+// NewScoreSource returns a source that yields tuples of r sorted by
+// decreasing score (ties broken by storage index).
+func NewScoreSource(r *Relation) Source {
+	type keyed struct {
+		t Tuple
+		i int
+	}
+	ks := make([]keyed, len(r.tuples))
+	for i, t := range r.tuples {
+		ks[i] = keyed{t: t, i: i}
+	}
+	sort.SliceStable(ks, func(a, b int) bool {
+		if ks[a].t.Score != ks[b].t.Score {
+			return ks[a].t.Score > ks[b].t.Score
+		}
+		return ks[a].i < ks[b].i
+	})
+	ord := make([]Tuple, len(ks))
+	for i, k := range ks {
+		ord[i] = k.t
+	}
+	return &sliceSource{rel: r, kind: ScoreAccess, ord: ord}
+}
+
+// rtreeSource serves distance-based access through an R-tree's incremental
+// nearest-neighbor traversal, so no global sort is ever materialized.
+type rtreeSource struct {
+	rel *Relation
+	it  *rtree.NNIterator[int]
+}
+
+// NewRTreeDistanceSource bulk-loads r into an R-tree and streams tuples by
+// increasing Euclidean distance from q via incremental NN traversal.
+func NewRTreeDistanceSource(r *Relation, q vec.Vector) (Source, error) {
+	if q.Dim() != r.dim {
+		return nil, fmt.Errorf("relation %q: query dim %d, want %d", r.Name, q.Dim(), r.dim)
+	}
+	pts := make([]vec.Vector, len(r.tuples))
+	vals := make([]int, len(r.tuples))
+	for i, t := range r.tuples {
+		pts[i] = t.Vec
+		vals[i] = i
+	}
+	tree := rtree.BulkLoad(r.dim, pts, vals)
+	return &rtreeSource{rel: r, it: tree.NearestNeighbors(q)}, nil
+}
+
+func (s *rtreeSource) Next() (Tuple, error) {
+	idx, _, ok := s.it.Next()
+	if !ok {
+		return Tuple{}, ErrExhausted
+	}
+	return s.rel.tuples[idx], nil
+}
+
+func (s *rtreeSource) Kind() AccessKind    { return DistanceAccess }
+func (s *rtreeSource) Relation() *Relation { return s.rel }
+
+// FaultySource wraps a source and fails with Err after FailAfter successful
+// reads, modelling a remote service outage. Used for failure-injection
+// tests of the engine's error propagation.
+type FaultySource struct {
+	Inner     Source
+	FailAfter int
+	Err       error
+	reads     int
+}
+
+// Next implements Source.
+func (f *FaultySource) Next() (Tuple, error) {
+	if f.reads >= f.FailAfter {
+		if f.Err != nil {
+			return Tuple{}, f.Err
+		}
+		return Tuple{}, errors.New("relation: injected fault")
+	}
+	t, err := f.Inner.Next()
+	if err == nil {
+		f.reads++
+	}
+	return t, err
+}
+
+// Kind implements Source.
+func (f *FaultySource) Kind() AccessKind { return f.Inner.Kind() }
+
+// Relation implements Source.
+func (f *FaultySource) Relation() *Relation { return f.Inner.Relation() }
+
+// CountingSource wraps a source and counts successful reads; the engine's
+// own depth accounting is cross-checked against it in tests.
+type CountingSource struct {
+	Inner Source
+	Reads int
+}
+
+// Next implements Source.
+func (c *CountingSource) Next() (Tuple, error) {
+	t, err := c.Inner.Next()
+	if err == nil {
+		c.Reads++
+	}
+	return t, err
+}
+
+// Kind implements Source.
+func (c *CountingSource) Kind() AccessKind { return c.Inner.Kind() }
+
+// Relation implements Source.
+func (c *CountingSource) Relation() *Relation { return c.Inner.Relation() }

@@ -1,0 +1,74 @@
+package rtree
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/vec"
+)
+
+func benchPoints(n, d int) []vec.Vector {
+	r := rand.New(rand.NewSource(1))
+	pts := make([]vec.Vector, n)
+	for i := range pts {
+		p := vec.New(d)
+		for j := range p {
+			p[j] = r.NormFloat64() * 100
+		}
+		pts[i] = p
+	}
+	return pts
+}
+
+func BenchmarkBulkLoad10k(b *testing.B) {
+	pts := benchPoints(10_000, 2)
+	vals := make([]int, len(pts))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		BulkLoad(2, pts, vals)
+	}
+}
+
+func BenchmarkInsert10k(b *testing.B) {
+	pts := benchPoints(10_000, 2)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr := New[int](2)
+		for j, p := range pts {
+			tr.Insert(p, j)
+		}
+	}
+}
+
+// The distance-access pattern of the engine: construct once, then consume
+// a short prefix of the NN stream.
+func BenchmarkNNPrefix100of10k(b *testing.B) {
+	pts := benchPoints(10_000, 2)
+	vals := make([]int, len(pts))
+	tr := BulkLoad(2, pts, vals)
+	q := vec.Of(0, 0)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		it := tr.NearestNeighbors(q)
+		for j := 0; j < 100; j++ {
+			if _, _, ok := it.Next(); !ok {
+				b.Fatal("stream ended early")
+			}
+		}
+	}
+}
+
+func BenchmarkKNearest10(b *testing.B) {
+	pts := benchPoints(10_000, 4)
+	vals := make([]int, len(pts))
+	tr := BulkLoad(4, pts, vals)
+	q := vec.New(4)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr.KNearest(q, 10)
+	}
+}

@@ -1,0 +1,81 @@
+package rtree
+
+import "repro/internal/vec"
+
+// Delete removes one point entry located exactly at p whose value
+// satisfies match (pass nil to match any value there). It reports whether
+// an entry was removed. Underflowing nodes are condensed: their surviving
+// entries are reinserted, and the root is collapsed when it has a single
+// child, following Guttman's CondenseTree.
+func (t *Tree[T]) Delete(p vec.Vector, match func(T) bool) bool {
+	if t.size == 0 || p.Dim() != t.dim {
+		return false
+	}
+	var orphans []entry[T]
+	deleted := t.deleteRec(t.root, p, match, &orphans)
+	if !deleted {
+		return false
+	}
+	t.size--
+	// Collapse a root that lost all entries or chains to a single child.
+	for !t.root.leaf && len(t.root.entries) == 1 {
+		t.root = t.root.entries[0].child
+		t.height--
+	}
+	if t.root.leaf && len(t.root.entries) == 0 {
+		t.height = 1
+	}
+	// Reinsert orphaned leaf entries.
+	for _, e := range orphans {
+		t.size--
+		t.InsertRect(e.rect, e.value)
+	}
+	return true
+}
+
+// deleteRec descends into subtrees containing p, removes the entry, and
+// condenses underflowing children, accumulating their leaf entries into
+// orphans.
+func (t *Tree[T]) deleteRec(n *node[T], p vec.Vector, match func(T) bool, orphans *[]entry[T]) bool {
+	if n.leaf {
+		for i, e := range n.entries {
+			if !e.rect.Min.Equal(p) || !e.rect.Max.Equal(p) {
+				continue
+			}
+			if match != nil && !match(e.value) {
+				continue
+			}
+			n.entries = append(n.entries[:i], n.entries[i+1:]...)
+			return true
+		}
+		return false
+	}
+	for i, e := range n.entries {
+		if !e.rect.Contains(p) {
+			continue
+		}
+		if !t.deleteRec(e.child, p, match, orphans) {
+			continue
+		}
+		child := e.child
+		if len(child.entries) < t.minEntries {
+			// Condense: drop the child and orphan its contents.
+			n.entries = append(n.entries[:i], n.entries[i+1:]...)
+			collectLeafEntries(child, orphans)
+		} else {
+			n.entries[i].rect = nodeRect(child)
+		}
+		return true
+	}
+	return false
+}
+
+func collectLeafEntries[T any](n *node[T], out *[]entry[T]) {
+	if n.leaf {
+		*out = append(*out, n.entries...)
+		return
+	}
+	for _, e := range n.entries {
+		collectLeafEntries(e.child, out)
+	}
+}

@@ -1,0 +1,168 @@
+package rtree
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/vec"
+)
+
+func TestDeleteBasic(t *testing.T) {
+	tr := New[int](2)
+	tr.Insert(vec.Of(1, 1), 10)
+	tr.Insert(vec.Of(2, 2), 20)
+	if !tr.Delete(vec.Of(1, 1), nil) {
+		t.Fatal("existing entry not deleted")
+	}
+	if tr.Len() != 1 {
+		t.Fatalf("Len = %d", tr.Len())
+	}
+	if tr.Delete(vec.Of(1, 1), nil) {
+		t.Fatal("deleted twice")
+	}
+	if tr.Delete(vec.Of(9, 9), nil) {
+		t.Fatal("deleted missing point")
+	}
+	if tr.Delete(vec.Of(1), nil) {
+		t.Fatal("deleted with wrong dimension")
+	}
+	// Remaining entry still findable.
+	vals, _ := tr.KNearest(vec.Of(0, 0), 1)
+	if len(vals) != 1 || vals[0] != 20 {
+		t.Fatalf("KNearest after delete = %v", vals)
+	}
+}
+
+func TestDeleteWithMatcher(t *testing.T) {
+	tr := New[int](1)
+	tr.Insert(vec.Of(5), 1)
+	tr.Insert(vec.Of(5), 2) // same location, different value
+	if tr.Delete(vec.Of(5), func(v int) bool { return v == 3 }) {
+		t.Fatal("matcher mismatch deleted")
+	}
+	if !tr.Delete(vec.Of(5), func(v int) bool { return v == 2 }) {
+		t.Fatal("matching entry not deleted")
+	}
+	vals, _ := tr.KNearest(vec.Of(5), 2)
+	if len(vals) != 1 || vals[0] != 1 {
+		t.Fatalf("remaining = %v", vals)
+	}
+}
+
+func TestDeleteToEmptyAndReuse(t *testing.T) {
+	tr := New[int](2)
+	for i := 0; i < 40; i++ {
+		tr.Insert(vec.Of(float64(i), float64(i%7)), i)
+	}
+	for i := 0; i < 40; i++ {
+		if !tr.Delete(vec.Of(float64(i), float64(i%7)), nil) {
+			t.Fatalf("delete %d failed", i)
+		}
+	}
+	if tr.Len() != 0 {
+		t.Fatalf("Len = %d after deleting all", tr.Len())
+	}
+	if _, _, ok := tr.NearestNeighbors(vec.Of(0, 0)).Next(); ok {
+		t.Fatal("empty tree yields entries")
+	}
+	// Tree stays usable.
+	tr.Insert(vec.Of(1, 1), 99)
+	vals, _ := tr.KNearest(vec.Of(1, 1), 1)
+	if len(vals) != 1 || vals[0] != 99 {
+		t.Fatal("tree unusable after emptying")
+	}
+}
+
+func TestDeleteCollapsesRoot(t *testing.T) {
+	tr := New[int](1)
+	n := 300
+	for i := 0; i < n; i++ {
+		tr.Insert(vec.Of(float64(i)), i)
+	}
+	tall := tr.Height()
+	if tall < 2 {
+		t.Fatal("tree never grew")
+	}
+	for i := 0; i < n-1; i++ {
+		if !tr.Delete(vec.Of(float64(i)), nil) {
+			t.Fatalf("delete %d failed", i)
+		}
+	}
+	if tr.Height() >= tall {
+		t.Fatalf("height %d did not shrink from %d", tr.Height(), tall)
+	}
+	vals, _ := tr.KNearest(vec.Of(0), 1)
+	if len(vals) != 1 || vals[0] != n-1 {
+		t.Fatalf("survivor = %v", vals)
+	}
+}
+
+// Property: after deleting a random subset, the NN stream over the
+// remainder matches brute force exactly.
+func TestQuickDeleteThenNN(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		d := 1 + r.Intn(3)
+		n := 10 + r.Intn(120)
+		pts := make([]vec.Vector, n)
+		tr := New[int](d)
+		for i := range pts {
+			p := vec.New(d)
+			for j := range p {
+				p[j] = math.Round(r.NormFloat64()*50) / 10 // discrete coords, some duplicates
+			}
+			pts[i] = p
+			tr.Insert(p, i)
+		}
+		alive := map[int]bool{}
+		for i := range pts {
+			alive[i] = true
+		}
+		for del := 0; del < n/2; del++ {
+			i := r.Intn(n)
+			if !alive[i] {
+				continue
+			}
+			if !tr.Delete(pts[i], func(v int) bool { return v == i }) {
+				return false
+			}
+			alive[i] = false
+		}
+		liveCount := 0
+		for _, a := range alive {
+			if a {
+				liveCount++
+			}
+		}
+		if tr.Len() != liveCount {
+			return false
+		}
+		q := vec.New(d)
+		for j := range q {
+			q[j] = r.NormFloat64() * 3
+		}
+		it := tr.NearestNeighbors(q)
+		prev := -1.0
+		seen := 0
+		for {
+			v, dist, ok := it.Next()
+			if !ok {
+				break
+			}
+			if !alive[v] || dist < prev-1e-12 {
+				return false
+			}
+			if math.Abs(dist-pts[v].Dist(q)) > 1e-9 {
+				return false
+			}
+			prev = dist
+			seen++
+		}
+		return seen == liveCount
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,100 @@
+package rtree
+
+import (
+	"math"
+
+	"repro/internal/pqueue"
+	"repro/internal/vec"
+)
+
+// NNIterator streams entries in non-decreasing Euclidean distance from a
+// query point using the incremental best-first traversal of Hjaltason &
+// Samet. Construction is O(1); each Next pops from a priority queue that
+// mixes internal nodes (keyed by MinDist to their MBR) and materialized
+// leaf entries (keyed by exact distance).
+//
+// The iterator is a snapshot-free view: mutating the tree while iterating
+// is not supported.
+type NNIterator[T any] struct {
+	tree  *Tree[T]
+	query vec.Vector
+	heap  *pqueue.Heap[nnItem[T]]
+	seq   uint64
+}
+
+type nnItem[T any] struct {
+	dist2 float64
+	node  *node[T] // non-nil for deferred subtrees
+	value T
+	rect  Rect
+	seq   uint64 // tiebreaker for deterministic order
+}
+
+// NearestNeighbors returns an iterator over all entries ordered by distance
+// from q.
+func (t *Tree[T]) NearestNeighbors(q vec.Vector) *NNIterator[T] {
+	if q.Dim() != t.dim {
+		panic("rtree: query dimension mismatch")
+	}
+	it := &NNIterator[T]{
+		tree:  t,
+		query: q.Clone(),
+		heap: pqueue.New(func(a, b nnItem[T]) bool {
+			if a.dist2 != b.dist2 {
+				return a.dist2 < b.dist2
+			}
+			// Nodes before entries at equal key so pruning stays correct,
+			// then stable by insertion sequence.
+			an, bn := a.node != nil, b.node != nil
+			if an != bn {
+				return an
+			}
+			return a.seq < b.seq
+		}),
+	}
+	if t.size > 0 {
+		it.heap.Push(nnItem[T]{dist2: nodeRect(t.root).MinDist2(q), node: t.root})
+	}
+	return it
+}
+
+// Next returns the next closest entry and its Euclidean distance. ok is
+// false once all entries have been produced.
+func (it *NNIterator[T]) Next() (value T, dist float64, ok bool) {
+	for {
+		item, any := it.heap.Pop()
+		if !any {
+			var zero T
+			return zero, 0, false
+		}
+		if item.node == nil {
+			return item.value, math.Sqrt(item.dist2), true
+		}
+		for _, e := range item.node.entries {
+			it.seq++
+			child := nnItem[T]{dist2: e.rect.MinDist2(it.query), seq: it.seq}
+			if item.node.leaf {
+				child.value = e.value
+				child.rect = e.rect
+			} else {
+				child.node = e.child
+			}
+			it.heap.Push(child)
+		}
+	}
+}
+
+// KNearest returns the k closest point entries to q with their distances
+// (fewer if the tree is smaller).
+func (t *Tree[T]) KNearest(q vec.Vector, k int) (values []T, dists []float64) {
+	it := t.NearestNeighbors(q)
+	for len(values) < k {
+		v, d, ok := it.Next()
+		if !ok {
+			break
+		}
+		values = append(values, v)
+		dists = append(dists, d)
+	}
+	return values, dists
+}

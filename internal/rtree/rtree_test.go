@@ -1,0 +1,291 @@
+package rtree
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/vec"
+)
+
+func TestRectBasics(t *testing.T) {
+	r, err := NewRect(vec.Of(0, 0), vec.Of(2, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Volume() != 6 || r.Margin() != 5 {
+		t.Fatalf("vol=%v margin=%v", r.Volume(), r.Margin())
+	}
+	if !r.Contains(vec.Of(1, 1)) || r.Contains(vec.Of(3, 1)) {
+		t.Fatal("Contains wrong")
+	}
+	if !r.Center().Equal(vec.Of(1, 1.5)) {
+		t.Fatalf("Center = %v", r.Center())
+	}
+	o := Rect{Min: vec.Of(1, 1), Max: vec.Of(5, 5)}
+	if !r.Intersects(o) {
+		t.Fatal("overlapping rects reported disjoint")
+	}
+	if r.Intersects(Rect{Min: vec.Of(10, 10), Max: vec.Of(11, 11)}) {
+		t.Fatal("disjoint rects reported overlapping")
+	}
+	e := r.Enlarged(o)
+	if !e.Min.Equal(vec.Of(0, 0)) || !e.Max.Equal(vec.Of(5, 5)) {
+		t.Fatalf("Enlarged = %+v", e)
+	}
+}
+
+func TestNewRectRejectsInverted(t *testing.T) {
+	if _, err := NewRect(vec.Of(1), vec.Of(0)); err == nil {
+		t.Fatal("inverted rect accepted")
+	}
+	if _, err := NewRect(vec.Of(1), vec.Of(0, 1)); err == nil {
+		t.Fatal("mismatched dims accepted")
+	}
+}
+
+func TestRectMinDist2(t *testing.T) {
+	r := Rect{Min: vec.Of(0, 0), Max: vec.Of(1, 1)}
+	if d := r.MinDist2(vec.Of(0.5, 0.5)); d != 0 {
+		t.Fatalf("inside dist = %v", d)
+	}
+	if d := r.MinDist2(vec.Of(2, 0.5)); d != 1 {
+		t.Fatalf("side dist = %v", d)
+	}
+	if d := r.MinDist2(vec.Of(2, 2)); d != 2 {
+		t.Fatalf("corner dist = %v", d)
+	}
+}
+
+func TestInsertSearchSmall(t *testing.T) {
+	tr := New[int](2)
+	pts := []vec.Vector{
+		vec.Of(0, 0), vec.Of(1, 1), vec.Of(2, 2), vec.Of(5, 5), vec.Of(-1, 3),
+	}
+	for i, p := range pts {
+		tr.Insert(p, i)
+	}
+	if tr.Len() != len(pts) {
+		t.Fatalf("Len = %d", tr.Len())
+	}
+	var got []int
+	tr.SearchIntersect(Rect{Min: vec.Of(0, 0), Max: vec.Of(2.5, 2.5)}, func(_ Rect, v int) bool {
+		got = append(got, v)
+		return true
+	})
+	sort.Ints(got)
+	want := []int{0, 1, 2}
+	if len(got) != len(want) {
+		t.Fatalf("search got %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("search got %v, want %v", got, want)
+		}
+	}
+}
+
+func TestSearchEarlyStop(t *testing.T) {
+	tr := New[int](1)
+	for i := 0; i < 100; i++ {
+		tr.Insert(vec.Of(float64(i)), i)
+	}
+	count := 0
+	tr.SearchIntersect(Rect{Min: vec.Of(0), Max: vec.Of(99)}, func(_ Rect, _ int) bool {
+		count++
+		return count < 5
+	})
+	if count != 5 {
+		t.Fatalf("early stop visited %d", count)
+	}
+}
+
+func TestInsertManySplits(t *testing.T) {
+	tr := New[int](2)
+	r := rand.New(rand.NewSource(1))
+	n := 500
+	for i := 0; i < n; i++ {
+		tr.Insert(vec.Of(r.Float64()*100, r.Float64()*100), i)
+	}
+	if tr.Len() != n {
+		t.Fatalf("Len = %d", tr.Len())
+	}
+	if tr.Height() < 2 {
+		t.Fatalf("expected splits; height = %d", tr.Height())
+	}
+	// Every value must be findable.
+	seen := make([]bool, n)
+	tr.SearchIntersect(Rect{Min: vec.Of(-1, -1), Max: vec.Of(101, 101)}, func(_ Rect, v int) bool {
+		seen[v] = true
+		return true
+	})
+	for i, s := range seen {
+		if !s {
+			t.Fatalf("value %d lost after splits", i)
+		}
+	}
+}
+
+func TestBulkLoadAndKNearest(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	n := 300
+	pts := make([]vec.Vector, n)
+	vals := make([]int, n)
+	for i := range pts {
+		pts[i] = vec.Of(r.NormFloat64()*10, r.NormFloat64()*10, r.NormFloat64()*10)
+		vals[i] = i
+	}
+	tr := BulkLoad(3, pts, vals)
+	if tr.Len() != n {
+		t.Fatalf("Len = %d", tr.Len())
+	}
+	q := vec.Of(0, 0, 0)
+	got, dists := tr.KNearest(q, 10)
+	// Brute force.
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool { return pts[idx[a]].Dist(q) < pts[idx[b]].Dist(q) })
+	for i := 0; i < 10; i++ {
+		if math.Abs(dists[i]-pts[idx[i]].Dist(q)) > 1e-12 {
+			t.Fatalf("kNN #%d: got %d at %v, want %d at %v", i, got[i], dists[i], idx[i], pts[idx[i]].Dist(q))
+		}
+	}
+}
+
+func TestNNIteratorEmptyAndExhaustion(t *testing.T) {
+	tr := New[string](2)
+	it := tr.NearestNeighbors(vec.Of(0, 0))
+	if _, _, ok := it.Next(); ok {
+		t.Fatal("empty tree yielded an entry")
+	}
+	tr.Insert(vec.Of(1, 0), "a")
+	it = tr.NearestNeighbors(vec.Of(0, 0))
+	v, d, ok := it.Next()
+	if !ok || v != "a" || math.Abs(d-1) > 1e-12 {
+		t.Fatalf("Next = %v %v %v", v, d, ok)
+	}
+	if _, _, ok := it.Next(); ok {
+		t.Fatal("exhausted iterator yielded an entry")
+	}
+}
+
+// Property: the incremental NN iterator emits every point exactly once, in
+// exactly brute-force distance order, for both inserted and bulk-loaded
+// trees across dimensions.
+func TestQuickNNMatchesBruteForce(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		d := 1 + r.Intn(4)
+		n := 1 + r.Intn(120)
+		pts := make([]vec.Vector, n)
+		vals := make([]int, n)
+		for i := range pts {
+			p := vec.New(d)
+			for j := range p {
+				p[j] = r.NormFloat64() * 5
+			}
+			pts[i] = p
+			vals[i] = i
+		}
+		q := vec.New(d)
+		for j := range q {
+			q[j] = r.NormFloat64() * 5
+		}
+		var tr *Tree[int]
+		if seed%2 == 0 {
+			tr = BulkLoad(d, pts, vals)
+		} else {
+			tr = New[int](d)
+			for i, p := range pts {
+				tr.Insert(p, i)
+			}
+		}
+		it := tr.NearestNeighbors(q)
+		prev := -1.0
+		seen := make([]bool, n)
+		count := 0
+		for {
+			v, dist, ok := it.Next()
+			if !ok {
+				break
+			}
+			if dist < prev-1e-12 {
+				return false // out of order
+			}
+			if seen[v] {
+				return false // duplicate
+			}
+			if math.Abs(dist-pts[v].Dist(q)) > 1e-9 {
+				return false // wrong distance
+			}
+			seen[v] = true
+			prev = dist
+			count++
+		}
+		return count == n
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: range search agrees with a brute-force filter.
+func TestQuickSearchMatchesBruteForce(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		d := 1 + r.Intn(3)
+		n := r.Intn(150)
+		tr := New[int](d)
+		pts := make([]vec.Vector, n)
+		for i := 0; i < n; i++ {
+			p := vec.New(d)
+			for j := range p {
+				p[j] = r.Float64() * 10
+			}
+			pts[i] = p
+			tr.Insert(p, i)
+		}
+		lo, hi := vec.New(d), vec.New(d)
+		for j := 0; j < d; j++ {
+			a, b := r.Float64()*10, r.Float64()*10
+			if a > b {
+				a, b = b, a
+			}
+			lo[j], hi[j] = a, b
+		}
+		q := Rect{Min: lo, Max: hi}
+		got := map[int]bool{}
+		tr.SearchIntersect(q, func(_ Rect, v int) bool { got[v] = true; return true })
+		for i, p := range pts {
+			if q.Contains(p) != got[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBulkLoadMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("mismatched bulk load did not panic")
+		}
+	}()
+	BulkLoad(2, []vec.Vector{vec.Of(0, 0)}, []int{})
+}
+
+func TestInsertWrongDimPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("wrong-dim insert did not panic")
+		}
+	}()
+	New[int](2).Insert(vec.Of(1), 0)
+}

@@ -1,0 +1,133 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestSummarizeAverages(t *testing.T) {
+	var c Collector
+	c.Add(Sample{SumDepths: 10, CombinationsFormed: 100, QPSolves: 4,
+		TotalTime: 2 * time.Second, BoundTime: time.Second, DominanceTime: 500 * time.Millisecond})
+	c.Add(Sample{SumDepths: 20, CombinationsFormed: 300, QPSolves: 8,
+		TotalTime: 4 * time.Second, BoundTime: 2 * time.Second, DominanceTime: 500 * time.Millisecond})
+	if c.Len() != 2 {
+		t.Fatalf("Len = %d", c.Len())
+	}
+	s := c.Summarize()
+	if s.Runs != 2 || s.DNFs != 0 {
+		t.Fatalf("runs/dnfs = %d/%d", s.Runs, s.DNFs)
+	}
+	if s.SumDepths != 15 || s.CombinationsFormed != 200 || s.QPSolves != 6 {
+		t.Fatalf("averages wrong: %+v", s)
+	}
+	if s.TotalSeconds != 3 || s.BoundSeconds != 1.5 || s.DominanceSeconds != 0.5 {
+		t.Fatalf("time averages wrong: %+v", s)
+	}
+	if math.Abs(s.OtherSeconds-1.0) > 1e-12 {
+		t.Fatalf("OtherSeconds = %v, want 1.0", s.OtherSeconds)
+	}
+}
+
+func TestSummarizeExcludesDNF(t *testing.T) {
+	var c Collector
+	c.Add(Sample{SumDepths: 10})
+	c.Add(Sample{SumDepths: 99999, DNF: true})
+	s := c.Summarize()
+	if s.DNFs != 1 || s.Runs != 2 {
+		t.Fatalf("dnfs/runs = %d/%d", s.DNFs, s.Runs)
+	}
+	if s.SumDepths != 10 {
+		t.Fatalf("DNF polluted the mean: %v", s.SumDepths)
+	}
+	if !strings.Contains(s.String(), "DNF") {
+		t.Errorf("String() misses DNF marker: %s", s.String())
+	}
+}
+
+func TestSummarizeEmptyAndAllDNF(t *testing.T) {
+	var c Collector
+	s := c.Summarize()
+	if s.Runs != 0 || s.SumDepths != 0 {
+		t.Fatalf("empty summary: %+v", s)
+	}
+	c.Add(Sample{DNF: true})
+	s = c.Summarize()
+	if s.SumDepths != 0 || s.DNFs != 1 {
+		t.Fatalf("all-DNF summary: %+v", s)
+	}
+}
+
+func TestOtherSecondsNeverNegative(t *testing.T) {
+	var c Collector
+	// Accounting noise: bound slightly exceeds total.
+	c.Add(Sample{TotalTime: time.Millisecond, BoundTime: 2 * time.Millisecond})
+	if s := c.Summarize(); s.OtherSeconds < 0 {
+		t.Fatalf("OtherSeconds = %v", s.OtherSeconds)
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	var c Collector
+	for _, d := range []int{10, 20, 30, 40} {
+		c.Add(Sample{SumDepths: d})
+	}
+	c.Add(Sample{SumDepths: 9999, DNF: true})
+	if q := c.SumDepthsQuantile(0); q != 10 {
+		t.Errorf("q0 = %v", q)
+	}
+	if q := c.SumDepthsQuantile(1); q != 40 {
+		t.Errorf("q1 = %v", q)
+	}
+	if q := c.SumDepthsQuantile(0.5); q != 25 {
+		t.Errorf("median = %v", q)
+	}
+	var empty Collector
+	if q := empty.SumDepthsQuantile(0.5); !math.IsNaN(q) {
+		t.Errorf("empty quantile = %v, want NaN", q)
+	}
+}
+
+func TestGain(t *testing.T) {
+	if g := Gain(100, 70); g != 30 {
+		t.Errorf("Gain = %v", g)
+	}
+	if g := Gain(0, 5); g != 0 {
+		t.Errorf("Gain with zero base = %v", g)
+	}
+}
+
+// Property: quantiles are monotone in q and bracketed by min/max.
+func TestQuickQuantileMonotone(t *testing.T) {
+	f := func(depths []uint16) bool {
+		if len(depths) == 0 {
+			return true
+		}
+		var c Collector
+		lo, hi := int(depths[0]), int(depths[0])
+		for _, d := range depths {
+			c.Add(Sample{SumDepths: int(d)})
+			if int(d) < lo {
+				lo = int(d)
+			}
+			if int(d) > hi {
+				hi = int(d)
+			}
+		}
+		prev := math.Inf(-1)
+		for q := 0.0; q <= 1.0; q += 0.1 {
+			v := c.SumDepthsQuantile(q)
+			if v < prev-1e-9 || v < float64(lo)-1e-9 || v > float64(hi)+1e-9 {
+				return false
+			}
+			prev = v
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

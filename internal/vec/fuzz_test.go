@@ -1,0 +1,31 @@
+package vec
+
+import "testing"
+
+// FuzzParse checks that the vector literal parser never panics and that
+// accepted vectors round trip through String (up to formatting precision).
+func FuzzParse(f *testing.F) {
+	f.Add("1,2,3")
+	f.Add("-0.5; 2e10")
+	f.Add("")
+	f.Add("NaN")
+	f.Add("1,,2")
+	f.Add("  7  ")
+	f.Fuzz(func(t *testing.T, input string) {
+		v, err := Parse(input)
+		if err != nil {
+			return
+		}
+		if v.Dim() == 0 {
+			t.Fatal("accepted an empty vector")
+		}
+		// String must itself re-parse to the same dimensionality.
+		back, err := Parse(v.String()[1 : len(v.String())-1])
+		if err != nil {
+			t.Fatalf("String() output rejected: %q", v.String())
+		}
+		if back.Dim() != v.Dim() {
+			t.Fatalf("round trip changed dim: %d vs %d", back.Dim(), v.Dim())
+		}
+	})
+}

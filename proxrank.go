@@ -1,0 +1,255 @@
+package proxrank
+
+import (
+	"errors"
+	"fmt"
+	"io"
+
+	"repro/internal/agg"
+	"repro/internal/core"
+	"repro/internal/relation"
+	"repro/internal/vec"
+)
+
+// Re-exported data model. These aliases are the public names of the
+// library's core types; downstream code never imports internal packages.
+type (
+	// Vector is a point in the feature space R^d.
+	Vector = vec.Vector
+	// Metric is a distance function on vectors.
+	Metric = vec.Metric
+	// Tuple is one scored, located object of a relation.
+	Tuple = relation.Tuple
+	// Relation is an immutable input collection with a known maximum score.
+	Relation = relation.Relation
+	// Source streams a relation in a fixed access order.
+	Source = relation.Source
+	// AccessKind selects distance-based or score-based sequential access.
+	AccessKind = relation.AccessKind
+	// Algorithm names a bounding-scheme/pulling-strategy pair.
+	Algorithm = core.Algorithm
+	// Combination is one join result with its aggregate score.
+	Combination = core.Combination
+	// Result is the ranked output plus run statistics.
+	Result = core.Result
+	// Stats carries the cost metrics of a run (sumDepths et al.).
+	Stats = core.Stats
+	// Weights tunes the aggregation of paper eq. (2).
+	Weights = agg.Weights
+	// ScoreTransform selects how scores enter the aggregation (ln or id).
+	ScoreTransform = agg.ScoreTransform
+)
+
+// Access kinds.
+const (
+	DistanceAccess = relation.DistanceAccess
+	ScoreAccess    = relation.ScoreAccess
+)
+
+// Algorithms.
+const (
+	// CBRR is the HRJN baseline: corner bound, round-robin pulling.
+	CBRR = core.CBRR
+	// CBPA is HRJN*: corner bound, potential-adaptive pulling.
+	CBPA = core.CBPA
+	// TBRR is the tight bound with round-robin pulling (instance-optimal).
+	TBRR = core.TBRR
+	// TBPA is the tight bound with adaptive pulling (the paper's best).
+	TBPA = core.TBPA
+)
+
+// Score transforms.
+const (
+	// LogScore aggregates w_s·ln σ (paper eq. (2)).
+	LogScore = agg.LogScore
+	// IdentityScore aggregates w_s·σ (paper Appendix C.2).
+	IdentityScore = agg.IdentityScore
+)
+
+// Options configure TopK. The zero value plus a positive K is a valid
+// configuration: TBPA over distance-based access with unit weights and
+// logarithmic scores.
+type Options struct {
+	// K is the number of results (required, ≥ 1).
+	K int
+	// Algorithm defaults to TBPA.
+	Algorithm Algorithm
+	// Access defaults to DistanceAccess.
+	Access AccessKind
+	// Weights defaults to w_s = w_q = w_µ = 1.
+	Weights Weights
+	// Transform defaults to LogScore.
+	Transform ScoreTransform
+	// Proximity selects cosine dissimilarity instead of squared Euclidean
+	// distance when true (the paper's future-work extension). The engine
+	// then uses the corner bound, as the tight bound's closed-form
+	// geometry is Euclidean.
+	CosineProximity bool
+	// DominancePeriod enables dominance pruning every so many accesses for
+	// the distance-based tight bound (0 = off).
+	DominancePeriod int
+	// EagerBounds switches from lazy bound maintenance to the paper's
+	// eager Algorithm 2 schedule (identical results, more CPU).
+	EagerBounds bool
+	// BoundPeriod recomputes the stopping threshold only every so many
+	// pulls — the "blocks of tuples" CPU/I/O trade-off of paper §4.2.
+	// Results are unchanged; at most BoundPeriod−1 extra tuples may be
+	// read. 0 or 1 recomputes on every pull.
+	BoundPeriod int
+	// UseRTree serves distance-based access through R-tree incremental
+	// nearest-neighbor traversal instead of a full sort.
+	UseRTree bool
+	// Epsilon relaxes the stopping test: the run may finish earlier and
+	// every returned combination scores within Epsilon of any combination
+	// it displaced. 0 means exact top-K.
+	Epsilon float64
+	// MaxSumDepths and MaxCombinations abort long runs, marking the result
+	// DNF (0 = unlimited).
+	MaxSumDepths    int
+	MaxCombinations int64
+}
+
+// NewRelation validates tuples and builds a relation; maxScore is the
+// a-priori maximum score σ_max the bounding schemes rely on.
+func NewRelation(name string, maxScore float64, tuples []Tuple) (*Relation, error) {
+	return relation.New(name, maxScore, tuples)
+}
+
+// NewDistanceSource streams rel by increasing metric distance from query
+// (pass nil for Euclidean).
+func NewDistanceSource(rel *Relation, query Vector, metric Metric) (Source, error) {
+	return relation.NewDistanceSource(rel, query, metric)
+}
+
+// NewRTreeDistanceSource streams rel by increasing Euclidean distance via
+// incremental R-tree traversal.
+func NewRTreeDistanceSource(rel *Relation, query Vector) (Source, error) {
+	return relation.NewRTreeDistanceSource(rel, query)
+}
+
+// NewScoreSource streams rel by decreasing score.
+func NewScoreSource(rel *Relation) Source {
+	return relation.NewScoreSource(rel)
+}
+
+// ReadRelationCSV parses a relation from CSV ("id,score,x1,...,xd[,attr...]").
+// Pass maxScore 0 to infer it from the data.
+func ReadRelationCSV(r io.Reader, name string, maxScore float64) (*Relation, error) {
+	return relation.ReadCSV(r, name, maxScore)
+}
+
+// WriteRelationCSV serializes a relation to CSV.
+func WriteRelationCSV(w io.Writer, rel *Relation) error {
+	return relation.WriteCSV(w, rel)
+}
+
+// LoadRelationCSV reads a relation from a CSV file.
+func LoadRelationCSV(path, name string, maxScore float64) (*Relation, error) {
+	return relation.LoadCSVFile(path, name, maxScore)
+}
+
+// SaveRelationCSV writes a relation to a CSV file.
+func SaveRelationCSV(path string, rel *Relation) error {
+	return relation.SaveCSVFile(path, rel)
+}
+
+func (o Options) aggregation() (agg.Function, error) {
+	w := o.Weights
+	if w == (Weights{}) {
+		w = agg.DefaultWeights()
+	}
+	if o.CosineProximity {
+		return agg.NewCosineProximity(w, o.Transform)
+	}
+	return agg.NewEuclideanSum(w, o.Transform)
+}
+
+func (o Options) engineOptions(query Vector, fn agg.Function) core.Options {
+	return core.Options{
+		K:               o.K,
+		Algorithm:       o.Algorithm,
+		Query:           query,
+		Agg:             fn,
+		DominancePeriod: o.DominancePeriod,
+		EagerBounds:     o.EagerBounds,
+		BoundPeriod:     o.BoundPeriod,
+		Epsilon:         o.Epsilon,
+		MaxSumDepths:    o.MaxSumDepths,
+		MaxCombinations: o.MaxCombinations,
+	}
+}
+
+// TopK answers a proximity rank join query over in-memory relations,
+// building the appropriate sources for the configured access kind.
+func TopK(query Vector, rels []*Relation, opts Options) (Result, error) {
+	fn, err := opts.aggregation()
+	if err != nil {
+		return Result{}, err
+	}
+	sources := make([]Source, len(rels))
+	for i, rel := range rels {
+		switch {
+		case opts.Access == ScoreAccess:
+			sources[i] = relation.NewScoreSource(rel)
+		case opts.UseRTree:
+			s, err := relation.NewRTreeDistanceSource(rel, query)
+			if err != nil {
+				return Result{}, err
+			}
+			sources[i] = s
+		default:
+			s, err := relation.NewDistanceSource(rel, query, fn.Metric())
+			if err != nil {
+				return Result{}, err
+			}
+			sources[i] = s
+		}
+	}
+	return TopKFromSources(query, sources, opts)
+}
+
+// TopKFromSources answers a query over caller-supplied sources (remote
+// services, fault-injected wrappers, custom orders). All sources must
+// share one access kind consistent with opts.Access.
+func TopKFromSources(query Vector, sources []Source, opts Options) (Result, error) {
+	fn, err := opts.aggregation()
+	if err != nil {
+		return Result{}, err
+	}
+	for _, s := range sources {
+		if s.Kind() != opts.Access {
+			return Result{}, fmt.Errorf("proxrank: source %q has access kind %v, options say %v",
+				s.Relation().Name, s.Kind(), opts.Access)
+		}
+	}
+	e, err := core.NewEngine(sources, opts.engineOptions(query, fn))
+	if err != nil {
+		return Result{}, err
+	}
+	return e.Run()
+}
+
+// NaiveTopK scores the full cross product: the exact but exhaustive
+// baseline, useful for validation and tiny inputs.
+func NaiveTopK(query Vector, rels []*Relation, opts Options) ([]Combination, error) {
+	fn, err := opts.aggregation()
+	if err != nil {
+		return nil, err
+	}
+	return core.Naive(rels, query, fn, opts.K)
+}
+
+// ErrDNF is a sentinel clients can use to detect capped runs.
+var ErrDNF = errors.New("proxrank: run aborted by MaxSumDepths/MaxCombinations cap")
+
+// MustTopK is TopK that panics on error or DNF; for examples and tests.
+func MustTopK(query Vector, rels []*Relation, opts Options) Result {
+	res, err := TopK(query, rels, opts)
+	if err != nil {
+		panic(err)
+	}
+	if res.DNF {
+		panic(ErrDNF)
+	}
+	return res
+}

@@ -1,0 +1,75 @@
+package proxrank
+
+import (
+	"repro/internal/core"
+	"repro/internal/relation"
+)
+
+// Stream is the pipelined form of the operator: results are produced one
+// at a time, best first, each certified against the bound before it is
+// emitted. Input is pulled lazily, so consuming only a prefix pays only
+// that prefix's I/O — the operator composes into query pipelines the way
+// HRJN does in a relational engine.
+type Stream struct {
+	it   *core.Iterator
+	rels []*Relation
+}
+
+// ErrStreamDone is returned by Stream.Next once the whole cross product
+// has been emitted.
+var ErrStreamDone = core.ErrIteratorDone
+
+// NewStream builds a streaming proximity rank join over in-memory
+// relations. Options.K is ignored; all other options apply.
+func NewStream(query Vector, rels []*Relation, opts Options) (*Stream, error) {
+	fn, err := opts.aggregation()
+	if err != nil {
+		return nil, err
+	}
+	sources := make([]Source, len(rels))
+	for i, rel := range rels {
+		switch {
+		case opts.Access == ScoreAccess:
+			sources[i] = relation.NewScoreSource(rel)
+		case opts.UseRTree:
+			s, err := relation.NewRTreeDistanceSource(rel, query)
+			if err != nil {
+				return nil, err
+			}
+			sources[i] = s
+		default:
+			s, err := relation.NewDistanceSource(rel, query, fn.Metric())
+			if err != nil {
+				return nil, err
+			}
+			sources[i] = s
+		}
+	}
+	return NewStreamFromSources(query, sources, opts)
+}
+
+// NewStreamFromSources builds a streaming operator over caller-supplied
+// sources.
+func NewStreamFromSources(query Vector, sources []Source, opts Options) (*Stream, error) {
+	fn, err := opts.aggregation()
+	if err != nil {
+		return nil, err
+	}
+	eopts := opts.engineOptions(query, fn)
+	eopts.K = 1
+	it, err := core.NewIterator(sources, eopts)
+	if err != nil {
+		return nil, err
+	}
+	return &Stream{it: it}, nil
+}
+
+// Next returns the next-best combination, or ErrStreamDone / an access
+// error.
+func (s *Stream) Next() (Combination, error) { return s.it.Next() }
+
+// Stats exposes the I/O and CPU cost paid so far.
+func (s *Stream) Stats() Stats { return s.it.Stats() }
+
+// Emitted returns the number of results produced so far.
+func (s *Stream) Emitted() int64 { return s.it.Emitted() }
