@@ -19,13 +19,6 @@ import (
 	"repro/internal/vec"
 )
 
-var algorithms = map[string]proxrank.Algorithm{
-	"cbrr": proxrank.CBRR, "hrjn": proxrank.CBRR,
-	"cbpa": proxrank.CBPA, "hrjn*": proxrank.CBPA,
-	"tbrr": proxrank.TBRR,
-	"tbpa": proxrank.TBPA,
-}
-
 func main() {
 	var (
 		csvs    = flag.String("csv", "", "comma-separated relation CSV files")
@@ -43,9 +36,9 @@ func main() {
 	)
 	flag.Parse()
 
-	algo, ok := algorithms[strings.ToLower(*algoS)]
-	if !ok {
-		fatal("unknown algorithm %q", *algoS)
+	algo, err := proxrank.ParseAlgorithm(*algoS)
+	if err != nil {
+		fatal("%v", err)
 	}
 
 	var (

@@ -1,0 +1,124 @@
+// Command proxserve serves proximity rank join queries over HTTP: it
+// loads relations into a shared catalog (CSV files and/or the bundled
+// simulated city data sets), precomputes their indexes once, and answers
+// concurrent queries through a bounded executor with per-query deadlines
+// and an LRU result cache.
+//
+// Usage:
+//
+//	proxserve -addr :8080 -city SF
+//	proxserve -rel hotels=hotels.csv -rel food=food.csv -workers 8
+//
+// Endpoints:
+//
+//	POST /v1/topk      {"query":[x,y],"relations":["SF-hotels","SF-restaurants"],"k":5}
+//	GET  /v1/relations
+//	GET  /v1/healthz
+//	GET  /v1/stats
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	proxrank "repro"
+	"repro/service"
+)
+
+// listFlag collects a repeatable string flag.
+type listFlag []string
+
+func (l *listFlag) String() string     { return strings.Join(*l, ",") }
+func (l *listFlag) Set(v string) error { *l = append(*l, v); return nil }
+
+func main() {
+	var (
+		rels   listFlag
+		cities listFlag
+	)
+	var (
+		addr       = flag.String("addr", ":8080", "listen address")
+		workers    = flag.Int("workers", 0, "max concurrent engine executions (0 = GOMAXPROCS)")
+		cache      = flag.Int("cache", service.DefaultCacheSize, "LRU result-cache capacity in responses (negative disables)")
+		timeout    = flag.Duration("timeout", 10*time.Second, "default per-query deadline (0 = none)")
+		maxTimeout = flag.Duration("max-timeout", service.DefaultMaxTimeout, "cap on client-requested timeoutMillis")
+		maxK       = flag.Int("maxk", service.DefaultMaxK, "largest accepted K")
+	)
+	flag.Var(&rels, "rel", "relation to serve, as name=path.csv (repeatable)")
+	flag.Var(&cities, "city", "simulated city data set to serve: SF, NY, BO, DA, HO (repeatable)")
+	flag.Parse()
+
+	cat := service.NewCatalog()
+	for _, spec := range rels {
+		name, path, ok := strings.Cut(spec, "=")
+		if !ok || name == "" || path == "" {
+			fmt.Fprintf(os.Stderr, "proxserve: -rel wants name=path.csv, got %q\n", spec)
+			os.Exit(2)
+		}
+		if err := cat.LoadCSVFile(name, path, 0); err != nil {
+			fmt.Fprintf(os.Stderr, "proxserve: %v\n", err)
+			os.Exit(1)
+		}
+		log.Printf("registered %s from %s", name, path)
+	}
+	for _, code := range cities {
+		cityRels, _, landmark, err := proxrank.CityDataset(strings.ToUpper(code))
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "proxserve: %v\n", err)
+			os.Exit(1)
+		}
+		for _, rel := range cityRels {
+			if err := cat.Register(rel.Name, rel); err != nil {
+				fmt.Fprintf(os.Stderr, "proxserve: %v\n", err)
+				os.Exit(1)
+			}
+			log.Printf("registered %s (%d tuples, landmark %s)", rel.Name, rel.Len(), landmark)
+		}
+	}
+	if cat.Len() == 0 {
+		fmt.Fprintln(os.Stderr, "proxserve: no relations to serve; pass -rel and/or -city")
+		os.Exit(2)
+	}
+
+	exec := service.NewExecutor(cat, service.Config{
+		Workers:        *workers,
+		DefaultTimeout: *timeout,
+		MaxTimeout:     *maxTimeout,
+		CacheSize:      *cache,
+		MaxK:           *maxK,
+	})
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           service.NewServer(cat, exec).Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
+	log.Printf("serving %d relations on %s", cat.Len(), *addr)
+
+	select {
+	case err := <-errc:
+		log.Fatalf("proxserve: %v", err)
+	case <-ctx.Done():
+		log.Print("shutting down")
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(shutdownCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+			log.Printf("proxserve: shutdown: %v", err)
+		}
+		st := exec.Stats()
+		log.Printf("served %d queries (%d cache hits, %d canceled)", st.Queries, st.CacheHits, st.Canceled)
+	}
+}

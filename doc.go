@@ -38,6 +38,7 @@
 // mutual-proximity trade-off of paper eq. (2); Options.DominancePeriod to
 // enable the geometric dominance pruning of §3.2.2.
 //
-// The repository also ships the paper's full experimental study: see
-// cmd/proxbench and EXPERIMENTS.md.
+// The repository also ships the paper's full experimental study (see
+// cmd/proxbench and EXPERIMENTS.md) and a concurrent query-serving layer
+// over this library (see the service package and cmd/proxserve).
 package proxrank

@@ -1,0 +1,108 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"testing"
+
+	"repro/internal/relation"
+)
+
+// TestRunContextCanceled: an already-expired context aborts the run
+// before any pull and surfaces the context error.
+func TestRunContextCanceled(t *testing.T) {
+	in := randomInstance(rand.New(rand.NewSource(11)), 3, 12)
+	e, err := NewEngine(in.sources(t, relation.DistanceAccess), Options{
+		K: in.k, Query: in.q, Agg: in.fn,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err = e.RunContext(ctx)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("RunContext on canceled ctx: err = %v, want context.Canceled", err)
+	}
+}
+
+// TestRunContextBackground: a background context changes nothing — the
+// run matches Run() on the same instance.
+func TestRunContextBackground(t *testing.T) {
+	in := randomInstance(rand.New(rand.NewSource(12)), 3, 12)
+	mk := func() *Engine {
+		e, err := NewEngine(in.sources(t, relation.DistanceAccess), Options{
+			K: in.k, Query: in.q, Agg: in.fn,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return e
+	}
+	plain, err := mk().Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctxed, err := mk().RunContext(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plain.Combinations) != len(ctxed.Combinations) {
+		t.Fatalf("result sizes differ: %d vs %d", len(plain.Combinations), len(ctxed.Combinations))
+	}
+	for i := range plain.Combinations {
+		if plain.Combinations[i].Score != ctxed.Combinations[i].Score {
+			t.Fatalf("combination %d: score %v vs %v", i,
+				plain.Combinations[i].Score, ctxed.Combinations[i].Score)
+		}
+	}
+}
+
+// TestNextContextResumes: cancellation must not poison the iterator —
+// after a canceled NextContext, a call with a live context produces the
+// exact sequence an uncanceled iterator would.
+func TestNextContextResumes(t *testing.T) {
+	in := randomInstance(rand.New(rand.NewSource(13)), 2, 8)
+	mk := func() *Iterator {
+		it, err := NewIterator(in.sources(t, relation.DistanceAccess), Options{
+			Query: in.q, Agg: in.fn,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return it
+	}
+
+	want := mk()
+	got := mk()
+	canceled, cancel := context.WithCancel(context.Background())
+	cancel()
+
+	sawCancel := false
+	for i := 0; i < 8; i++ {
+		wc, werr := want.Next()
+		// A canceled call either pops an already-certified buffered result
+		// (no pulls needed) or fails with context.Canceled before pulling.
+		gc, gerr := got.NextContext(canceled)
+		if gerr != nil {
+			if !errors.Is(gerr, context.Canceled) {
+				t.Fatalf("step %d: err = %v, want context.Canceled", i, gerr)
+			}
+			sawCancel = true
+			gc, gerr = got.NextContext(context.Background())
+		}
+		if !errors.Is(gerr, werr) && (gerr != nil || werr != nil) {
+			t.Fatalf("step %d: err %v vs %v", i, gerr, werr)
+		}
+		if werr != nil {
+			break
+		}
+		if wc.Score != gc.Score {
+			t.Fatalf("step %d: score %v vs %v after cancellation", i, gc.Score, wc.Score)
+		}
+	}
+	if !sawCancel {
+		t.Fatal("no NextContext call ever needed a pull; instance too small to exercise cancellation")
+	}
+}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -174,6 +175,15 @@ func NewEngine(sources []relation.Source, opts Options) (*Engine, error) {
 
 // Run executes Algorithm 1 to completion and returns the top-K result.
 func (e *Engine) Run() (Result, error) {
+	return e.RunContext(context.Background())
+}
+
+// RunContext is Run with cooperative cancellation: the loop checks ctx
+// between pulls and aborts with a wrapped ctx.Err() as soon as the
+// deadline passes or the context is canceled. A canceled run returns no
+// partial result — callers that want progress under a budget should use
+// MaxSumDepths/MaxCombinations instead, which end with a DNF result.
+func (e *Engine) RunContext(ctx context.Context) (Result, error) {
 	start := time.Now()
 	dnf := false
 	for {
@@ -183,6 +193,9 @@ func (e *Engine) Run() (Result, error) {
 		if e.capped() {
 			dnf = true
 			break
+		}
+		if err := ctx.Err(); err != nil {
+			return Result{}, fmt.Errorf("core: run canceled after %d accesses: %w", e.stats.SumDepths, err)
 		}
 		ri := e.pull.choose(e)
 		if ri < 0 {

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"time"
@@ -56,6 +57,15 @@ func NewIterator(sources []relation.Source, opts Options) (*Iterator, error) {
 // possible to certify it. It returns ErrIteratorDone when every
 // combination has been emitted, or the underlying access error.
 func (it *Iterator) Next() (Combination, error) {
+	return it.NextContext(context.Background())
+}
+
+// NextContext is Next with cooperative cancellation: the pull loop checks
+// ctx and aborts with a wrapped ctx.Err() once the deadline passes or the
+// context is canceled. Cancellation does not poison the iterator — the
+// prefixes read so far are kept, and a later call with a live context
+// resumes where this one stopped.
+func (it *Iterator) NextContext(ctx context.Context) (Combination, error) {
 	if it.err != nil {
 		return Combination{}, it.err
 	}
@@ -75,6 +85,9 @@ func (it *Iterator) Next() (Combination, error) {
 			}
 			it.err = ErrIteratorDone
 			return Combination{}, it.err
+		}
+		if err := ctx.Err(); err != nil {
+			return Combination{}, fmt.Errorf("core: next canceled after %d accesses: %w", it.e.stats.SumDepths, err)
 		}
 		ri := it.e.pull.choose(it.e)
 		if ri < 0 {

@@ -1,0 +1,100 @@
+package relation
+
+import (
+	"errors"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"repro/internal/vec"
+)
+
+func randomRelation(t *testing.T, seed int64, size, dim int) *Relation {
+	t.Helper()
+	r := rand.New(rand.NewSource(seed))
+	tuples := make([]Tuple, size)
+	for i := range tuples {
+		v := vec.New(dim)
+		for c := range v {
+			v[c] = r.NormFloat64()
+		}
+		tuples[i] = Tuple{ID: string(rune('a' + i%26)), Score: 0.1 + 0.9*r.Float64(), Vec: v}
+	}
+	rel, err := New("idx", 1.0, tuples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rel
+}
+
+// TestRTreeIndexSharedTraversals runs many concurrent traversals over one
+// shared index and checks each against the full-sort distance source for
+// the same query: same tuples, in non-decreasing distance order.
+func TestRTreeIndexSharedTraversals(t *testing.T) {
+	rel := randomRelation(t, 42, 120, 3)
+	ix := NewRTreeIndex(rel)
+	r := rand.New(rand.NewSource(43))
+	queries := make([]vec.Vector, 16)
+	for i := range queries {
+		q := vec.New(3)
+		for c := range q {
+			q[c] = r.NormFloat64()
+		}
+		queries[i] = q
+	}
+
+	var wg sync.WaitGroup
+	errs := make(chan error, len(queries))
+	for _, q := range queries {
+		wg.Add(1)
+		go func(q vec.Vector) {
+			defer wg.Done()
+			src, err := ix.Source(q)
+			if err != nil {
+				errs <- err
+				return
+			}
+			want, err := NewDistanceSource(rel, q, vec.Euclidean{})
+			if err != nil {
+				errs <- err
+				return
+			}
+			prev := -1.0
+			for i := 0; ; i++ {
+				got, gerr := src.Next()
+				ref, werr := want.Next()
+				if errors.Is(gerr, ErrExhausted) != errors.Is(werr, ErrExhausted) {
+					t.Errorf("query %v: exhaustion mismatch at %d", q, i)
+					return
+				}
+				if errors.Is(gerr, ErrExhausted) {
+					return
+				}
+				gd := (vec.Euclidean{}).Distance(got.Vec, q)
+				wd := (vec.Euclidean{}).Distance(ref.Vec, q)
+				if gd < prev-1e-12 {
+					t.Errorf("query %v: distance went backwards at %d (%v after %v)", q, i, gd, prev)
+					return
+				}
+				if gd != wd {
+					t.Errorf("query %v: rank %d distance %v, full sort says %v", q, i, gd, wd)
+					return
+				}
+				prev = gd
+			}
+		}(q)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}
+
+// TestRTreeIndexDimMismatch rejects queries of the wrong dimensionality.
+func TestRTreeIndexDimMismatch(t *testing.T) {
+	ix := NewRTreeIndex(randomRelation(t, 7, 10, 2))
+	if _, err := ix.Source(vec.Of(1, 2, 3)); err == nil {
+		t.Fatal("Source accepted a 3-d query over a 2-d relation")
+	}
+}

@@ -205,6 +205,30 @@ func NewScoreSource(r *Relation) Source {
 	return &sliceSource{rel: r, kind: ScoreAccess, ord: ord}
 }
 
+// ScoreIndex is the score-sorted order of a relation, computed once and
+// shared read-only across queries: each Source call opens an independent
+// cursor over the same slice, so concurrent score-access queries skip the
+// per-query sort.
+type ScoreIndex struct {
+	rel *Relation
+	ord []Tuple
+}
+
+// NewScoreIndex sorts r by decreasing score (ties by storage index) once.
+func NewScoreIndex(r *Relation) *ScoreIndex {
+	src := NewScoreSource(r).(*sliceSource)
+	return &ScoreIndex{rel: r, ord: src.ord}
+}
+
+// Relation returns the indexed relation.
+func (ix *ScoreIndex) Relation() *Relation { return ix.rel }
+
+// Source opens a score-access source over the precomputed order. Safe to
+// call from multiple goroutines.
+func (ix *ScoreIndex) Source() Source {
+	return &sliceSource{rel: ix.rel, kind: ScoreAccess, ord: ix.ord}
+}
+
 // rtreeSource serves distance-based access through an R-tree's incremental
 // nearest-neighbor traversal, so no global sort is ever materialized.
 type rtreeSource struct {
@@ -212,20 +236,49 @@ type rtreeSource struct {
 	it  *rtree.NNIterator[int]
 }
 
-// NewRTreeDistanceSource bulk-loads r into an R-tree and streams tuples by
-// increasing Euclidean distance from q via incremental NN traversal.
-func NewRTreeDistanceSource(r *Relation, q vec.Vector) (Source, error) {
-	if q.Dim() != r.dim {
-		return nil, fmt.Errorf("relation %q: query dim %d, want %d", r.Name, q.Dim(), r.dim)
-	}
+// RTreeIndex is a bulk-loaded R-tree over a relation's feature vectors,
+// built once and shared read-only across queries: each Source call opens
+// an independent incremental nearest-neighbor traversal over the same
+// tree, so concurrent queries pay only the O(1) iterator setup instead of
+// a per-query bulk load. The tree is never mutated after construction,
+// which makes Source safe for concurrent use.
+type RTreeIndex struct {
+	rel  *Relation
+	tree *rtree.Tree[int]
+}
+
+// NewRTreeIndex bulk-loads r's vectors into an R-tree.
+func NewRTreeIndex(r *Relation) *RTreeIndex {
 	pts := make([]vec.Vector, len(r.tuples))
 	vals := make([]int, len(r.tuples))
 	for i, t := range r.tuples {
 		pts[i] = t.Vec
 		vals[i] = i
 	}
-	tree := rtree.BulkLoad(r.dim, pts, vals)
-	return &rtreeSource{rel: r, it: tree.NearestNeighbors(q)}, nil
+	return &RTreeIndex{rel: r, tree: rtree.BulkLoad(r.dim, pts, vals)}
+}
+
+// Relation returns the indexed relation.
+func (ix *RTreeIndex) Relation() *Relation { return ix.rel }
+
+// Source opens a distance-access source that streams tuples by increasing
+// Euclidean distance from q. Safe to call from multiple goroutines.
+func (ix *RTreeIndex) Source(q vec.Vector) (Source, error) {
+	if q.Dim() != ix.rel.dim {
+		return nil, fmt.Errorf("relation %q: query dim %d, want %d", ix.rel.Name, q.Dim(), ix.rel.dim)
+	}
+	return &rtreeSource{rel: ix.rel, it: ix.tree.NearestNeighbors(q)}, nil
+}
+
+// NewRTreeDistanceSource bulk-loads r into an R-tree and streams tuples by
+// increasing Euclidean distance from q via incremental NN traversal. For
+// repeated queries over one relation, build a shared NewRTreeIndex once
+// and call its Source method instead.
+func NewRTreeDistanceSource(r *Relation, q vec.Vector) (Source, error) {
+	if q.Dim() != r.dim {
+		return nil, fmt.Errorf("relation %q: query dim %d, want %d", r.Name, q.Dim(), r.dim)
+	}
+	return NewRTreeIndex(r).Source(q)
 }
 
 func (s *rtreeSource) Next() (Tuple, error) {

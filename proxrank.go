@@ -1,9 +1,11 @@
 package proxrank
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"io"
+	"strings"
 
 	"repro/internal/agg"
 	"repro/internal/core"
@@ -38,6 +40,12 @@ type (
 	Weights = agg.Weights
 	// ScoreTransform selects how scores enter the aggregation (ln or id).
 	ScoreTransform = agg.ScoreTransform
+	// RTreeIndex is a precomputed R-tree over one relation, shared
+	// read-only across concurrent queries (see NewRTreeIndex).
+	RTreeIndex = relation.RTreeIndex
+	// ScoreIndex is a relation's precomputed score order, shared
+	// read-only across concurrent queries (see NewScoreIndex).
+	ScoreIndex = relation.ScoreIndex
 )
 
 // Access kinds.
@@ -57,6 +65,23 @@ const (
 	// TBPA is the tight bound with adaptive pulling (the paper's best).
 	TBPA = core.TBPA
 )
+
+// ParseAlgorithm maps a case-insensitive name — cbrr (or hrjn), cbpa (or
+// hrjn*), tbrr, tbpa — to an Algorithm. The empty string selects TBPA,
+// matching the Options default.
+func ParseAlgorithm(s string) (Algorithm, error) {
+	switch strings.ToLower(s) {
+	case "", "tbpa":
+		return TBPA, nil
+	case "tbrr":
+		return TBRR, nil
+	case "cbpa", "hrjn*":
+		return CBPA, nil
+	case "cbrr", "hrjn":
+		return CBRR, nil
+	}
+	return 0, fmt.Errorf("proxrank: unknown algorithm %q (want cbrr|cbpa|tbrr|tbpa)", s)
+}
 
 // Score transforms.
 const (
@@ -127,6 +152,20 @@ func NewRTreeDistanceSource(rel *Relation, query Vector) (Source, error) {
 	return relation.NewRTreeDistanceSource(rel, query)
 }
 
+// NewRTreeIndex bulk-loads rel into an R-tree once; the returned index is
+// immutable and its Source method is safe for concurrent use, so repeated
+// queries over one relation skip the per-query bulk load.
+func NewRTreeIndex(rel *Relation) *RTreeIndex {
+	return relation.NewRTreeIndex(rel)
+}
+
+// NewScoreIndex sorts rel by decreasing score once; the returned index is
+// immutable and its Source method is safe for concurrent use, so repeated
+// score-access queries skip the per-query sort.
+func NewScoreIndex(rel *Relation) *ScoreIndex {
+	return relation.NewScoreIndex(rel)
+}
+
 // NewScoreSource streams rel by decreasing score.
 func NewScoreSource(rel *Relation) Source {
 	return relation.NewScoreSource(rel)
@@ -182,10 +221,27 @@ func (o Options) engineOptions(query Vector, fn agg.Function) core.Options {
 // TopK answers a proximity rank join query over in-memory relations,
 // building the appropriate sources for the configured access kind.
 func TopK(query Vector, rels []*Relation, opts Options) (Result, error) {
+	return TopKContext(context.Background(), query, rels, opts)
+}
+
+// TopKContext is TopK with cooperative cancellation: the run aborts with
+// a wrapped ctx.Err() as soon as the context's deadline passes or it is
+// canceled, without returning a partial result.
+func TopKContext(ctx context.Context, query Vector, rels []*Relation, opts Options) (Result, error) {
 	fn, err := opts.aggregation()
 	if err != nil {
 		return Result{}, err
 	}
+	sources, err := buildSources(query, rels, opts, fn)
+	if err != nil {
+		return Result{}, err
+	}
+	return TopKFromSourcesContext(ctx, query, sources, opts)
+}
+
+// buildSources constructs one source per relation for the configured
+// access kind (shared by the batch and streaming entry points).
+func buildSources(query Vector, rels []*Relation, opts Options, fn agg.Function) ([]Source, error) {
 	sources := make([]Source, len(rels))
 	for i, rel := range rels {
 		switch {
@@ -194,39 +250,55 @@ func TopK(query Vector, rels []*Relation, opts Options) (Result, error) {
 		case opts.UseRTree:
 			s, err := relation.NewRTreeDistanceSource(rel, query)
 			if err != nil {
-				return Result{}, err
+				return nil, err
 			}
 			sources[i] = s
 		default:
 			s, err := relation.NewDistanceSource(rel, query, fn.Metric())
 			if err != nil {
-				return Result{}, err
+				return nil, err
 			}
 			sources[i] = s
 		}
 	}
-	return TopKFromSources(query, sources, opts)
+	return sources, nil
+}
+
+// checkSourceKinds verifies that every source delivers the access order
+// the options announce — a mismatch would silently break the bounding
+// schemes, which derive bounds from the access order.
+func checkSourceKinds(sources []Source, access AccessKind) error {
+	for _, s := range sources {
+		if s.Kind() != access {
+			return fmt.Errorf("proxrank: source %q has access kind %v, options say %v",
+				s.Relation().Name, s.Kind(), access)
+		}
+	}
+	return nil
 }
 
 // TopKFromSources answers a query over caller-supplied sources (remote
 // services, fault-injected wrappers, custom orders). All sources must
 // share one access kind consistent with opts.Access.
 func TopKFromSources(query Vector, sources []Source, opts Options) (Result, error) {
+	return TopKFromSourcesContext(context.Background(), query, sources, opts)
+}
+
+// TopKFromSourcesContext is TopKFromSources with cooperative
+// cancellation.
+func TopKFromSourcesContext(ctx context.Context, query Vector, sources []Source, opts Options) (Result, error) {
 	fn, err := opts.aggregation()
 	if err != nil {
 		return Result{}, err
 	}
-	for _, s := range sources {
-		if s.Kind() != opts.Access {
-			return Result{}, fmt.Errorf("proxrank: source %q has access kind %v, options say %v",
-				s.Relation().Name, s.Kind(), opts.Access)
-		}
+	if err := checkSourceKinds(sources, opts.Access); err != nil {
+		return Result{}, err
 	}
 	e, err := core.NewEngine(sources, opts.engineOptions(query, fn))
 	if err != nil {
 		return Result{}, err
 	}
-	return e.Run()
+	return e.RunContext(ctx)
 }
 
 // NaiveTopK scores the full cross product: the exact but exhaustive

@@ -1,0 +1,80 @@
+package service
+
+import (
+	"container/list"
+	"sync"
+)
+
+// resultCache is a mutex-guarded LRU over finished query responses. The
+// cached values are treated as immutable — readers get the shared pointer
+// and must copy before mutating (the executor stamps the Cached flag on a
+// copy). Keys encode everything the answer depends on, including catalog
+// generations, so eviction + re-registration can never serve stale rows.
+type resultCache struct {
+	mu    sync.Mutex
+	cap   int
+	order *list.List // front = most recently used
+	items map[string]*list.Element
+}
+
+type cacheSlot struct {
+	key string
+	val *QueryResponse
+}
+
+// newResultCache returns a cache holding up to capacity responses;
+// capacity <= 0 disables caching entirely.
+func newResultCache(capacity int) *resultCache {
+	return &resultCache{
+		cap:   capacity,
+		order: list.New(),
+		items: make(map[string]*list.Element),
+	}
+}
+
+// enabled reports whether the cache stores anything at all.
+func (c *resultCache) enabled() bool { return c.cap > 0 }
+
+// get returns the cached response for key and marks it most recently
+// used.
+func (c *resultCache) get(key string) (*QueryResponse, bool) {
+	if c.cap <= 0 {
+		return nil, false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[key]
+	if !ok {
+		return nil, false
+	}
+	c.order.MoveToFront(el)
+	return el.Value.(*cacheSlot).val, true
+}
+
+// put stores a response, evicting the least recently used entry beyond
+// capacity.
+func (c *resultCache) put(key string, val *QueryResponse) {
+	if c.cap <= 0 {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		el.Value.(*cacheSlot).val = val
+		c.order.MoveToFront(el)
+		return
+	}
+	c.items[key] = c.order.PushFront(&cacheSlot{key: key, val: val})
+	for c.order.Len() > c.cap {
+		last := c.order.Back()
+		c.order.Remove(last)
+		delete(c.items, last.Value.(*cacheSlot).key)
+	}
+}
+
+// len returns the number of cached responses.
+func (c *resultCache) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.order.Len()
+}

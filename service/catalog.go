@@ -1,0 +1,184 @@
+// Package service turns the proximity rank join library into a
+// multi-tenant query-serving subsystem: a Catalog of named relations with
+// precomputed per-relation indexes shared read-only across queries, an
+// Executor with a bounded worker pool, per-query deadlines and an LRU
+// result cache, and an HTTP JSON front end (see Server). The library
+// answers one TopK call at a time; this package is the layer that answers
+// many at once.
+package service
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	proxrank "repro"
+)
+
+// Entry is one catalog slot: the relation plus everything precomputed at
+// registration time so that queries share it read-only — the R-tree for
+// distance access, the score order for score access, and a generation
+// number that makes cache keys self-invalidating across re-registration.
+type Entry struct {
+	rel      *proxrank.Relation
+	rtree    *proxrank.RTreeIndex
+	scoreOrd *proxrank.ScoreIndex
+	gen      uint64
+	loadedAt time.Time
+}
+
+// Relation returns the registered relation.
+func (e *Entry) Relation() *proxrank.Relation { return e.rel }
+
+// Generation returns the registration generation (monotone across the
+// catalog; a name re-registered after eviction gets a fresh generation).
+func (e *Entry) Generation() uint64 { return e.gen }
+
+// RelationInfo is the catalog metadata served by GET /v1/relations.
+type RelationInfo struct {
+	Name     string    `json:"name"`
+	Tuples   int       `json:"tuples"`
+	Dim      int       `json:"dim"`
+	MaxScore float64   `json:"maxScore"`
+	LoadedAt time.Time `json:"loadedAt"`
+}
+
+// Catalog is a concurrency-safe registry of named relations. Registration
+// precomputes the per-relation indexes once; lookups hand out immutable
+// entries that any number of in-flight queries may share.
+type Catalog struct {
+	mu      sync.RWMutex
+	entries map[string]*Entry
+	nextGen uint64
+}
+
+// NewCatalog returns an empty catalog.
+func NewCatalog() *Catalog {
+	return &Catalog{entries: make(map[string]*Entry)}
+}
+
+// Register names a relation and precomputes its indexes. It fails if the
+// name is empty, already taken (evict first to replace a relation), or
+// differs from rel.Name — query responses and errors always cite
+// rel.Name, so a diverging catalog name would surface names clients
+// cannot resolve back.
+func (c *Catalog) Register(name string, rel *proxrank.Relation) error {
+	if name == "" {
+		return apiErrorf(CodeBadRequest, "relation name must not be empty")
+	}
+	if rel == nil {
+		return apiErrorf(CodeBadRequest, "relation %q: nil relation", name)
+	}
+	if rel.Name != name {
+		return apiErrorf(CodeBadRequest, "catalog name %q differs from relation name %q", name, rel.Name)
+	}
+	// Cheap existence pre-check so a duplicate registration doesn't pay
+	// for index construction; the locked re-check below settles races.
+	c.mu.RLock()
+	_, taken := c.entries[name]
+	c.mu.RUnlock()
+	if taken {
+		return apiErrorf(CodeConflict, "relation %q is already registered", name)
+	}
+	// Index construction is the expensive part; do it outside the lock so
+	// concurrent queries are not stalled behind a bulk load.
+	e := &Entry{
+		rel:      rel,
+		rtree:    proxrank.NewRTreeIndex(rel),
+		scoreOrd: proxrank.NewScoreIndex(rel),
+		loadedAt: time.Now(),
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.entries[name]; ok {
+		return apiErrorf(CodeConflict, "relation %q is already registered", name)
+	}
+	c.nextGen++
+	e.gen = c.nextGen
+	c.entries[name] = e
+	return nil
+}
+
+// LoadCSVFile reads a relation from a CSV file and registers it under
+// name. Pass maxScore 0 to infer σ_max from the data.
+func (c *Catalog) LoadCSVFile(name, path string, maxScore float64) error {
+	rel, err := proxrank.LoadRelationCSV(path, name, maxScore)
+	if err != nil {
+		return fmt.Errorf("catalog: load %q: %w", name, err)
+	}
+	return c.Register(name, rel)
+}
+
+// Get returns the entry for name, or a CodeNotFound error.
+func (c *Catalog) Get(name string) (*Entry, error) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	e, ok := c.entries[name]
+	if !ok {
+		return nil, apiErrorf(CodeNotFound, "relation %q is not registered", name)
+	}
+	return e, nil
+}
+
+// Resolve looks up every named relation, preserving order.
+func (c *Catalog) Resolve(names []string) ([]*Entry, error) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	out := make([]*Entry, len(names))
+	for i, name := range names {
+		e, ok := c.entries[name]
+		if !ok {
+			return nil, apiErrorf(CodeNotFound, "relation %q is not registered", name)
+		}
+		out[i] = e
+	}
+	return out, nil
+}
+
+// Evict removes a relation; it reports whether the name was registered.
+// In-flight queries holding the entry finish against it unaffected.
+func (c *Catalog) Evict(name string) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	_, ok := c.entries[name]
+	delete(c.entries, name)
+	return ok
+}
+
+// Len returns the number of registered relations.
+func (c *Catalog) Len() int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return len(c.entries)
+}
+
+// Names returns the registered names in sorted order.
+func (c *Catalog) Names() []string {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	out := make([]string, 0, len(c.entries))
+	for name := range c.entries {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Infos returns the metadata of every registered relation, sorted by name.
+func (c *Catalog) Infos() []RelationInfo {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	out := make([]RelationInfo, 0, len(c.entries))
+	for name, e := range c.entries {
+		out = append(out, RelationInfo{
+			Name:     name,
+			Tuples:   e.rel.Len(),
+			Dim:      e.rel.Dim(),
+			MaxScore: e.rel.MaxScore,
+			LoadedAt: e.loadedAt,
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}

@@ -1,0 +1,83 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+)
+
+// ErrorCode classifies API failures; it is the machine-readable half of
+// the structured error body every endpoint returns.
+type ErrorCode string
+
+const (
+	// CodeBadRequest marks malformed or invalid requests.
+	CodeBadRequest ErrorCode = "bad_request"
+	// CodeNotFound marks references to unregistered relations.
+	CodeNotFound ErrorCode = "not_found"
+	// CodeConflict marks duplicate registrations.
+	CodeConflict ErrorCode = "conflict"
+	// CodeTimeout marks queries that exceeded their deadline.
+	CodeTimeout ErrorCode = "timeout"
+	// CodeCanceled marks queries whose caller went away.
+	CodeCanceled ErrorCode = "canceled"
+	// CodeOverloaded marks queries shed because the worker pool and its
+	// wait budget were exhausted.
+	CodeOverloaded ErrorCode = "overloaded"
+	// CodeInternal marks unexpected engine failures.
+	CodeInternal ErrorCode = "internal"
+)
+
+// httpStatus maps an error code onto the response status.
+func (c ErrorCode) httpStatus() int {
+	switch c {
+	case CodeBadRequest:
+		return http.StatusBadRequest
+	case CodeNotFound:
+		return http.StatusNotFound
+	case CodeConflict:
+		return http.StatusConflict
+	case CodeTimeout:
+		return http.StatusGatewayTimeout
+	case CodeCanceled:
+		// Closest standard status for "client went away".
+		return http.StatusRequestTimeout
+	case CodeOverloaded:
+		return http.StatusServiceUnavailable
+	default:
+		return http.StatusInternalServerError
+	}
+}
+
+// APIError is the structured error of the serving layer: a stable code
+// for programs, a message for humans.
+type APIError struct {
+	Code    ErrorCode `json:"code"`
+	Message string    `json:"message"`
+}
+
+// Error implements error.
+func (e *APIError) Error() string { return fmt.Sprintf("%s: %s", e.Code, e.Message) }
+
+// apiErrorf builds an APIError with a formatted message.
+func apiErrorf(code ErrorCode, format string, args ...any) *APIError {
+	return &APIError{Code: code, Message: fmt.Sprintf(format, args...)}
+}
+
+// asAPIError coerces any error into an APIError, classifying context
+// cancellation and deadline expiry along the way.
+func asAPIError(err error) *APIError {
+	var ae *APIError
+	if errors.As(err, &ae) {
+		return ae
+	}
+	switch {
+	case errors.Is(err, context.DeadlineExceeded):
+		return apiErrorf(CodeTimeout, "%v", err)
+	case errors.Is(err, context.Canceled):
+		return apiErrorf(CodeCanceled, "%v", err)
+	default:
+		return apiErrorf(CodeInternal, "%v", err)
+	}
+}

@@ -1,0 +1,499 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"math"
+	"runtime"
+	"strconv"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	proxrank "repro"
+)
+
+// Config tunes the executor.
+type Config struct {
+	// Workers bounds the number of engine executions running at once;
+	// excess queries wait for a slot until their context expires. Defaults
+	// to GOMAXPROCS.
+	Workers int
+	// DefaultTimeout is the per-query deadline applied when the request
+	// carries none (0 = no default deadline).
+	DefaultTimeout time.Duration
+	// MaxTimeout caps the deadline a client may request via
+	// TimeoutMillis, so one caller cannot pin a worker slot arbitrarily
+	// long (0 = DefaultMaxTimeout).
+	MaxTimeout time.Duration
+	// CacheSize is the LRU result-cache capacity in responses. The zero
+	// value takes the default (DefaultCacheSize), matching every other
+	// field; pass a negative value to disable caching.
+	CacheSize int
+	// MaxK rejects requests asking for more than this many results
+	// (0 = DefaultMaxK).
+	MaxK int
+}
+
+// DefaultMaxK caps K when Config.MaxK is unset: a serving layer should
+// not materialize unbounded top lists for a single caller.
+const DefaultMaxK = 1000
+
+// DefaultMaxTimeout caps client-requested deadlines when
+// Config.MaxTimeout is unset.
+const DefaultMaxTimeout = time.Minute
+
+// DefaultCacheSize is the result-cache capacity when Config.CacheSize is
+// unset.
+const DefaultCacheSize = 1024
+
+// QueryRequest is the JSON body of POST /v1/topk. Only Query, Relations
+// and K are required; everything else defaults to the paper's best
+// configuration (TBPA, distance access, unit weights, log scores).
+type QueryRequest struct {
+	Query     []float64 `json:"query"`
+	Relations []string  `json:"relations"`
+	K         int       `json:"k"`
+	// Algorithm is one of cbrr|cbpa|tbrr|tbpa (default tbpa).
+	Algorithm string `json:"algorithm,omitempty"`
+	// Access is distance (default) or score.
+	Access string `json:"access,omitempty"`
+	// Weights override w_s, w_q, w_mu (all default to 1).
+	Weights *WeightsSpec `json:"weights,omitempty"`
+	// Transform is log (default) or identity.
+	Transform string `json:"transform,omitempty"`
+	// Epsilon relaxes the stopping test (0 = exact top-K).
+	Epsilon float64 `json:"epsilon,omitempty"`
+	// BoundPeriod recomputes the stopping threshold every so many pulls.
+	BoundPeriod int `json:"boundPeriod,omitempty"`
+	// DominancePeriod enables dominance pruning every so many accesses.
+	DominancePeriod int `json:"dominancePeriod,omitempty"`
+	// MaxSumDepths / MaxCombinations abort long runs with a DNF result.
+	MaxSumDepths    int   `json:"maxSumDepths,omitempty"`
+	MaxCombinations int64 `json:"maxCombinations,omitempty"`
+	// TimeoutMillis overrides the executor's default per-query deadline.
+	TimeoutMillis int64 `json:"timeoutMillis,omitempty"`
+	// NoCache bypasses the result cache for this query (it is neither
+	// looked up nor stored).
+	NoCache bool `json:"noCache,omitempty"`
+}
+
+// WeightsSpec mirrors proxrank.Weights in JSON.
+type WeightsSpec struct {
+	Ws  float64 `json:"ws"`
+	Wq  float64 `json:"wq"`
+	Wmu float64 `json:"wmu"`
+}
+
+// ResultTuple is one member of a result combination.
+type ResultTuple struct {
+	Relation string            `json:"relation"`
+	ID       string            `json:"id"`
+	Score    float64           `json:"score"`
+	Vec      []float64         `json:"vec"`
+	Attrs    map[string]string `json:"attrs,omitempty"`
+}
+
+// ResultCombination is one ranked join result.
+type ResultCombination struct {
+	Score  float64       `json:"score"`
+	Tuples []ResultTuple `json:"tuples"`
+}
+
+// QueryCost reports what a query cost the engine — the paper's metrics
+// (sumDepths, combinations formed, bound recomputations) plus wall time.
+type QueryCost struct {
+	SumDepths     int   `json:"sumDepths"`
+	Depths        []int `json:"depths"`
+	Combinations  int64 `json:"combinations"`
+	BoundUpdates  int64 `json:"boundUpdates"`
+	QPSolves      int64 `json:"qpSolves,omitempty"`
+	ElapsedMicros int64 `json:"elapsedMicros"`
+	// Threshold is the final bound; absent when it is not finite (±Inf is
+	// not representable in JSON — −Inf after full exhaustion, +Inf when a
+	// cap fired before the first bound update).
+	Threshold *float64 `json:"threshold,omitempty"`
+}
+
+// QueryResponse is the JSON body answering POST /v1/topk. Responses
+// returned by Executor.Execute may be shared with its result cache and
+// must be treated as read-only.
+type QueryResponse struct {
+	Results []ResultCombination `json:"results"`
+	DNF     bool                `json:"dnf,omitempty"`
+	Cached  bool                `json:"cached"`
+	Cost    QueryCost           `json:"cost"`
+}
+
+// StatsSnapshot is the executor's cumulative view served by GET /v1/stats.
+type StatsSnapshot struct {
+	Queries           int64 `json:"queries"`
+	Completed         int64 `json:"completed"`
+	CacheHits         int64 `json:"cacheHits"`
+	CacheMisses       int64 `json:"cacheMisses"`
+	CacheEntries      int   `json:"cacheEntries"`
+	Canceled          int64 `json:"canceled"`
+	BadRequests       int64 `json:"badRequests"`
+	Failed            int64 `json:"failed"`
+	Rejected          int64 `json:"rejected"`
+	InFlight          int64 `json:"inFlight"`
+	EngineRuns        int64 `json:"engineRuns"`
+	TotalSumDepths    int64 `json:"totalSumDepths"`
+	TotalCombinations int64 `json:"totalCombinations"`
+	TotalBoundUpdates int64 `json:"totalBoundUpdates"`
+	TotalEngineMicros int64 `json:"totalEngineMicros"`
+}
+
+// Executor answers queries against a catalog through a bounded worker
+// pool with per-query deadlines and an LRU result cache. It is safe for
+// concurrent use.
+type Executor struct {
+	cat   *Catalog
+	cfg   Config
+	slots chan struct{}
+	cache *resultCache
+
+	queries           atomic.Int64
+	completed         atomic.Int64
+	cacheHits         atomic.Int64
+	cacheMisses       atomic.Int64
+	canceled          atomic.Int64
+	badRequests       atomic.Int64
+	failed            atomic.Int64
+	rejected          atomic.Int64
+	inFlight          atomic.Int64
+	engineRuns        atomic.Int64
+	totalSumDepths    atomic.Int64
+	totalCombinations atomic.Int64
+	totalBoundUpdates atomic.Int64
+	totalEngineMicros atomic.Int64
+}
+
+// NewExecutor builds an executor over cat.
+func NewExecutor(cat *Catalog, cfg Config) *Executor {
+	if cfg.Workers <= 0 {
+		cfg.Workers = runtime.GOMAXPROCS(0)
+	}
+	if cfg.CacheSize == 0 {
+		cfg.CacheSize = DefaultCacheSize
+	}
+	if cfg.MaxK <= 0 {
+		cfg.MaxK = DefaultMaxK
+	}
+	if cfg.MaxTimeout <= 0 {
+		cfg.MaxTimeout = DefaultMaxTimeout
+	}
+	return &Executor{
+		cat:   cat,
+		cfg:   cfg,
+		slots: make(chan struct{}, cfg.Workers),
+		cache: newResultCache(cfg.CacheSize),
+	}
+}
+
+// Stats returns a consistent-enough snapshot of the counters.
+func (x *Executor) Stats() StatsSnapshot {
+	return StatsSnapshot{
+		Queries:           x.queries.Load(),
+		Completed:         x.completed.Load(),
+		CacheHits:         x.cacheHits.Load(),
+		CacheMisses:       x.cacheMisses.Load(),
+		CacheEntries:      x.cache.len(),
+		Canceled:          x.canceled.Load(),
+		BadRequests:       x.badRequests.Load(),
+		Failed:            x.failed.Load(),
+		Rejected:          x.rejected.Load(),
+		InFlight:          x.inFlight.Load(),
+		EngineRuns:        x.engineRuns.Load(),
+		TotalSumDepths:    x.totalSumDepths.Load(),
+		TotalCombinations: x.totalCombinations.Load(),
+		TotalBoundUpdates: x.totalBoundUpdates.Load(),
+		TotalEngineMicros: x.totalEngineMicros.Load(),
+	}
+}
+
+// options validates the request and translates it into engine options.
+func (x *Executor) options(req *QueryRequest) (proxrank.Options, *APIError) {
+	var zero proxrank.Options
+	if len(req.Query) == 0 {
+		return zero, apiErrorf(CodeBadRequest, "query vector is required")
+	}
+	for i, v := range req.Query {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return zero, apiErrorf(CodeBadRequest, "query component %d is not finite", i)
+		}
+	}
+	if len(req.Relations) < 2 {
+		return zero, apiErrorf(CodeBadRequest, "at least two relations are required, got %d", len(req.Relations))
+	}
+	if req.K < 1 {
+		return zero, apiErrorf(CodeBadRequest, "k must be at least 1, got %d", req.K)
+	}
+	if req.K > x.cfg.MaxK {
+		return zero, apiErrorf(CodeBadRequest, "k %d exceeds the server limit %d", req.K, x.cfg.MaxK)
+	}
+	opts := proxrank.Options{
+		K:               req.K,
+		Epsilon:         req.Epsilon,
+		BoundPeriod:     req.BoundPeriod,
+		DominancePeriod: req.DominancePeriod,
+		MaxSumDepths:    req.MaxSumDepths,
+		MaxCombinations: req.MaxCombinations,
+	}
+	algo, err := proxrank.ParseAlgorithm(req.Algorithm)
+	if err != nil {
+		return zero, apiErrorf(CodeBadRequest, "%v", err)
+	}
+	opts.Algorithm = algo
+	switch strings.ToLower(req.Access) {
+	case "", "distance":
+		opts.Access = proxrank.DistanceAccess
+	case "score":
+		opts.Access = proxrank.ScoreAccess
+	default:
+		return zero, apiErrorf(CodeBadRequest, "unknown access kind %q (want distance|score)", req.Access)
+	}
+	switch strings.ToLower(req.Transform) {
+	case "", "log":
+		opts.Transform = proxrank.LogScore
+	case "identity", "id":
+		opts.Transform = proxrank.IdentityScore
+	default:
+		return zero, apiErrorf(CodeBadRequest, "unknown transform %q (want log|identity)", req.Transform)
+	}
+	if w := req.Weights; w != nil {
+		bad := func(v float64) bool { return v < 0 || math.IsNaN(v) || math.IsInf(v, 0) }
+		if bad(w.Ws) || bad(w.Wq) || bad(w.Wmu) {
+			return zero, apiErrorf(CodeBadRequest, "weights must be finite non-negative numbers")
+		}
+		if w.Ws == 0 && w.Wq == 0 && w.Wmu == 0 {
+			// The engine treats the zero value as "use unit weights"; an
+			// explicit all-zero spec would silently rank by something the
+			// caller did not ask for.
+			return zero, apiErrorf(CodeBadRequest, "at least one weight must be positive")
+		}
+		opts.Weights = proxrank.Weights{Ws: w.Ws, Wq: w.Wq, Wmu: w.Wmu}
+	}
+	if req.Epsilon < 0 || math.IsNaN(req.Epsilon) || math.IsInf(req.Epsilon, 0) {
+		return zero, apiErrorf(CodeBadRequest, "epsilon must be finite and non-negative")
+	}
+	if req.TimeoutMillis < 0 {
+		return zero, apiErrorf(CodeBadRequest, "timeoutMillis must be non-negative")
+	}
+	// The engine reads negative caps/periods as "disabled"; a client
+	// sending one almost certainly wanted the opposite, so reject rather
+	// than run unbounded.
+	if req.MaxSumDepths < 0 || req.MaxCombinations < 0 {
+		return zero, apiErrorf(CodeBadRequest, "maxSumDepths and maxCombinations must be non-negative")
+	}
+	if req.BoundPeriod < 0 || req.DominancePeriod < 0 {
+		return zero, apiErrorf(CodeBadRequest, "boundPeriod and dominancePeriod must be non-negative")
+	}
+	return opts, nil
+}
+
+// cacheKey encodes everything the answer depends on: the full option
+// set, the query vector bit-exactly, and each relation's name and
+// catalog generation (so re-registering a name invalidates its entries).
+func cacheKey(req *QueryRequest, opts proxrank.Options, entries []*Entry) string {
+	var b strings.Builder
+	b.Grow(64 + 24*len(req.Query) + 24*len(entries))
+	b.WriteString("v1|k=")
+	b.WriteString(strconv.Itoa(opts.K))
+	b.WriteString("|a=")
+	b.WriteString(strconv.Itoa(int(opts.Algorithm)))
+	b.WriteString("|x=")
+	b.WriteString(strconv.Itoa(int(opts.Access)))
+	b.WriteString("|t=")
+	b.WriteString(strconv.Itoa(int(opts.Transform)))
+	b.WriteString("|w=")
+	b.WriteString(strconv.FormatFloat(opts.Weights.Ws, 'b', -1, 64))
+	b.WriteByte(',')
+	b.WriteString(strconv.FormatFloat(opts.Weights.Wq, 'b', -1, 64))
+	b.WriteByte(',')
+	b.WriteString(strconv.FormatFloat(opts.Weights.Wmu, 'b', -1, 64))
+	b.WriteString("|e=")
+	b.WriteString(strconv.FormatFloat(opts.Epsilon, 'b', -1, 64))
+	b.WriteString("|bp=")
+	b.WriteString(strconv.Itoa(opts.BoundPeriod))
+	b.WriteString("|dp=")
+	b.WriteString(strconv.Itoa(opts.DominancePeriod))
+	b.WriteString("|msd=")
+	b.WriteString(strconv.Itoa(opts.MaxSumDepths))
+	b.WriteString("|mc=")
+	b.WriteString(strconv.FormatInt(opts.MaxCombinations, 10))
+	b.WriteString("|q=")
+	for _, v := range req.Query {
+		b.WriteString(strconv.FormatFloat(v, 'b', -1, 64))
+		b.WriteByte(',')
+	}
+	b.WriteString("|r=")
+	for _, e := range entries {
+		// Length-prefix the name: it is caller-chosen and may contain any
+		// delimiter, so bare concatenation could collide across distinct
+		// relation lists.
+		b.WriteString(strconv.Itoa(len(e.rel.Name)))
+		b.WriteByte(':')
+		b.WriteString(e.rel.Name)
+		b.WriteByte('@')
+		b.WriteString(strconv.FormatUint(e.gen, 10))
+		b.WriteByte(',')
+	}
+	return b.String()
+}
+
+// Execute answers one query: resolve the relations, consult the cache,
+// wait for a worker slot (bounded by the query's deadline), run the
+// engine with cancellation, record stats, and cache the outcome.
+//
+// The returned response may share its Results and Cost.Depths backing
+// arrays with the executor's cache — treat it as read-only. Callers that
+// need to mutate a response must copy those slices first.
+func (x *Executor) Execute(ctx context.Context, req *QueryRequest) (*QueryResponse, error) {
+	x.queries.Add(1)
+	// Client mistakes (validation, unknown relations) are tracked apart
+	// from Failed so the latter stays a server-health signal.
+	opts, aerr := x.options(req)
+	if aerr != nil {
+		x.badRequests.Add(1)
+		return nil, aerr
+	}
+	entries, err := x.cat.Resolve(req.Relations)
+	if err != nil {
+		x.badRequests.Add(1)
+		return nil, err
+	}
+	for _, e := range entries {
+		if e.rel.Dim() != len(req.Query) {
+			x.badRequests.Add(1)
+			return nil, apiErrorf(CodeBadRequest, "relation %q has dim %d, query has dim %d",
+				e.rel.Name, e.rel.Dim(), len(req.Query))
+		}
+	}
+	useCache := !req.NoCache && x.cache.enabled()
+	var key string
+	if useCache {
+		key = cacheKey(req, opts, entries)
+		if cached, ok := x.cache.get(key); ok {
+			x.cacheHits.Add(1)
+			hit := *cached // shallow copy; cached value stays immutable
+			hit.Cached = true
+			return &hit, nil
+		}
+		x.cacheMisses.Add(1)
+	}
+
+	if req.TimeoutMillis > 0 {
+		// Clamp in milliseconds before converting: a huge TimeoutMillis
+		// would overflow the Duration multiply into a negative (instantly
+		// expired) deadline.
+		millis := req.TimeoutMillis
+		if maxMillis := x.cfg.MaxTimeout.Milliseconds(); millis > maxMillis {
+			millis = maxMillis
+		}
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, time.Duration(millis)*time.Millisecond)
+		defer cancel()
+	} else if x.cfg.DefaultTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, x.cfg.DefaultTimeout)
+		defer cancel()
+	}
+
+	if err := ctx.Err(); err != nil {
+		x.canceled.Add(1)
+		return nil, asAPIError(err)
+	}
+
+	// Acquire a worker slot; a query that cannot start before its
+	// deadline is shed rather than queued forever.
+	select {
+	case x.slots <- struct{}{}:
+		defer func() { <-x.slots }()
+	case <-ctx.Done():
+		if errors.Is(ctx.Err(), context.Canceled) {
+			// The caller went away while queued — that is cancellation,
+			// not overload; counting it as rejected would fake a capacity
+			// signal out of ordinary client disconnects.
+			x.canceled.Add(1)
+			return nil, asAPIError(ctx.Err())
+		}
+		x.rejected.Add(1)
+		return nil, apiErrorf(CodeOverloaded, "no worker available before the deadline: %v", ctx.Err())
+	}
+	x.inFlight.Add(1)
+	defer x.inFlight.Add(-1)
+
+	query := proxrank.Vector(req.Query)
+	sources := make([]proxrank.Source, len(entries))
+	for i, e := range entries {
+		if opts.Access == proxrank.ScoreAccess {
+			sources[i] = e.scoreOrd.Source()
+		} else {
+			// The dim pre-check above already rules out the only documented
+			// Source failure; anything else here is a server-side problem.
+			s, err := e.rtree.Source(query)
+			if err != nil {
+				x.failed.Add(1)
+				return nil, apiErrorf(CodeInternal, "%v", err)
+			}
+			sources[i] = s
+		}
+	}
+
+	x.engineRuns.Add(1)
+	res, err := proxrank.TopKFromSourcesContext(ctx, query, sources, opts)
+	if err != nil {
+		ae := asAPIError(err)
+		if ae.Code == CodeTimeout || ae.Code == CodeCanceled {
+			x.canceled.Add(1)
+		} else {
+			x.failed.Add(1)
+		}
+		return nil, ae
+	}
+
+	resp := buildResponse(res, entries)
+	x.completed.Add(1)
+	x.totalSumDepths.Add(int64(res.Stats.SumDepths))
+	x.totalCombinations.Add(res.Stats.CombinationsFormed)
+	x.totalBoundUpdates.Add(res.Stats.BoundUpdates)
+	x.totalEngineMicros.Add(res.Stats.TotalTime.Microseconds())
+	if useCache {
+		x.cache.put(key, resp)
+	}
+	return resp, nil
+}
+
+// buildResponse converts an engine result into the wire form.
+func buildResponse(res proxrank.Result, entries []*Entry) *QueryResponse {
+	out := &QueryResponse{
+		Results: make([]ResultCombination, len(res.Combinations)),
+		DNF:     res.DNF,
+		Cost: QueryCost{
+			SumDepths:     res.Stats.SumDepths,
+			Depths:        res.Stats.Depths,
+			Combinations:  res.Stats.CombinationsFormed,
+			BoundUpdates:  res.Stats.BoundUpdates,
+			QPSolves:      res.Stats.QPSolves,
+			ElapsedMicros: res.Stats.TotalTime.Microseconds(),
+		},
+	}
+	if t := res.Threshold; !math.IsInf(t, 0) && !math.IsNaN(t) {
+		out.Cost.Threshold = &t
+	}
+	for i, c := range res.Combinations {
+		rc := ResultCombination{Score: c.Score, Tuples: make([]ResultTuple, len(c.Tuples))}
+		for j, t := range c.Tuples {
+			rc.Tuples[j] = ResultTuple{
+				Relation: entries[j].rel.Name,
+				ID:       t.ID,
+				Score:    t.Score,
+				Vec:      []float64(t.Vec),
+				Attrs:    t.Attrs,
+			}
+		}
+		out.Results[i] = rc
+	}
+	return out
+}

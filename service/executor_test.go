@@ -1,0 +1,310 @@
+package service
+
+import (
+	"context"
+	"runtime"
+	"testing"
+	"time"
+
+	proxrank "repro"
+)
+
+// testSetup registers n relations and returns the catalog plus their
+// names.
+func testSetup(t testing.TB, n, size, dim int) (*Catalog, []string) {
+	t.Helper()
+	c := NewCatalog()
+	names := make([]string, n)
+	for i := range names {
+		names[i] = string(rune('A' + i))
+		if err := c.Register(names[i], testRelation(t, names[i], int64(100+i), size, dim)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return c, names
+}
+
+func baseRequest(names []string) *QueryRequest {
+	return &QueryRequest{
+		Query:     []float64{0.1, -0.2},
+		Relations: names,
+		K:         3,
+	}
+}
+
+// TestExecutorCacheSkipsEngine: a repeated identical query must be a
+// cache hit that never reaches the engine, observable in the counters.
+func TestExecutorCacheSkipsEngine(t *testing.T) {
+	cat, names := testSetup(t, 2, 40, 2)
+	x := NewExecutor(cat, Config{Workers: 2, CacheSize: 8})
+
+	first, err := x.Execute(context.Background(), baseRequest(names))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.Cached {
+		t.Fatal("first execution claims to be cached")
+	}
+	if len(first.Results) != 3 {
+		t.Fatalf("got %d results, want 3", len(first.Results))
+	}
+
+	second, err := x.Execute(context.Background(), baseRequest(names))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !second.Cached {
+		t.Fatal("repeat execution was not served from cache")
+	}
+	if second.Cost.SumDepths != first.Cost.SumDepths {
+		t.Fatalf("cached cost diverged: %d vs %d", second.Cost.SumDepths, first.Cost.SumDepths)
+	}
+
+	st := x.Stats()
+	if st.EngineRuns != 1 {
+		t.Fatalf("EngineRuns = %d, want 1 (cache must skip the engine)", st.EngineRuns)
+	}
+	if st.CacheHits != 1 || st.CacheMisses != 1 {
+		t.Fatalf("CacheHits/Misses = %d/%d, want 1/1", st.CacheHits, st.CacheMisses)
+	}
+	// The hit path must stamp Cached on a copy: `first` is the very
+	// pointer stored in the cache, so it must still read Cached=false.
+	if first.Cached {
+		t.Fatal("cache hit mutated the shared cached response")
+	}
+}
+
+// TestExecutorNoCacheBypass: NoCache requests neither read nor populate
+// the cache.
+func TestExecutorNoCacheBypass(t *testing.T) {
+	cat, names := testSetup(t, 2, 30, 2)
+	x := NewExecutor(cat, Config{Workers: 2, CacheSize: 8})
+	req := baseRequest(names)
+	req.NoCache = true
+	for i := 0; i < 2; i++ {
+		resp, err := x.Execute(context.Background(), req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.Cached {
+			t.Fatalf("run %d: NoCache request served from cache", i)
+		}
+	}
+	st := x.Stats()
+	if st.EngineRuns != 2 || st.CacheHits != 0 || st.CacheMisses != 0 || st.CacheEntries != 0 {
+		t.Fatalf("stats after NoCache runs: %+v", st)
+	}
+}
+
+// TestExecutorGenerationInvalidation: evicting and re-registering a
+// relation under the same name must invalidate cached answers for it.
+func TestExecutorGenerationInvalidation(t *testing.T) {
+	cat, names := testSetup(t, 2, 30, 2)
+	x := NewExecutor(cat, Config{Workers: 2, CacheSize: 8})
+	if _, err := x.Execute(context.Background(), baseRequest(names)); err != nil {
+		t.Fatal(err)
+	}
+	cat.Evict(names[0])
+	// Different data under the same name.
+	if err := cat.Register(names[0], testRelation(t, names[0], 999, 25, 2)); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := x.Execute(context.Background(), baseRequest(names))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Cached {
+		t.Fatal("query against re-registered relation was served from the stale cache")
+	}
+	if x.Stats().EngineRuns != 2 {
+		t.Fatalf("EngineRuns = %d, want 2", x.Stats().EngineRuns)
+	}
+}
+
+// TestExecutorExpiredContext: a query arriving with an already-expired
+// context must return promptly with a cancellation error, leak no
+// goroutines, and never count as completed.
+func TestExecutorExpiredContext(t *testing.T) {
+	cat, names := testSetup(t, 3, 400, 2)
+	x := NewExecutor(cat, Config{Workers: 2, CacheSize: -1})
+
+	before := runtime.NumGoroutine()
+	for i := 0; i < 16; i++ {
+		ctx, cancel := context.WithDeadline(context.Background(), time.Now().Add(-time.Second))
+		req := baseRequest(names)
+		req.Query = []float64{float64(i), 0.5} // defeat any caching
+		start := time.Now()
+		_, err := x.Execute(ctx, req)
+		elapsed := time.Since(start)
+		cancel()
+		if code := codeOf(err); code != CodeTimeout && code != CodeCanceled {
+			t.Fatalf("iteration %d: err %v (code %q), want timeout/canceled", i, err, code)
+		}
+		if elapsed > 2*time.Second {
+			t.Fatalf("iteration %d: expired context took %v to return", i, elapsed)
+		}
+	}
+	st := x.Stats()
+	if st.Completed != 0 {
+		t.Fatalf("Completed = %d, want 0", st.Completed)
+	}
+	if st.Canceled+st.Rejected != 16 {
+		t.Fatalf("Canceled+Rejected = %d, want 16", st.Canceled+st.Rejected)
+	}
+
+	// The executor runs queries on the caller's goroutine; nothing may
+	// linger. Allow the runtime a moment to settle.
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		runtime.GC()
+		if g := runtime.NumGoroutine(); g <= before+2 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutines grew from %d to %d after canceled queries", before, runtime.NumGoroutine())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestExecutorMidRunTimeout: a deadline that expires during engine
+// execution aborts the run with a timeout error instead of running to
+// completion.
+func TestExecutorMidRunTimeout(t *testing.T) {
+	cat, names := testSetup(t, 3, 500, 3)
+	x := NewExecutor(cat, Config{Workers: 1, CacheSize: -1})
+	req := &QueryRequest{
+		Query:     []float64{0, 0, 0},
+		Relations: names,
+		K:         100,
+		Algorithm: "cbrr", // deepest-reading algorithm: plenty of pulls to interrupt
+	}
+	// Measure the uncanceled cost once, then re-run with a deadline that
+	// lands mid-flight. If the hardware answers even the full run faster
+	// than the timer can fire, skip: the behavior is untestable here.
+	full, err := x.Execute(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if full.Cost.ElapsedMicros < 2000 {
+		t.Skipf("full run took only %dµs; too fast to interrupt reliably", full.Cost.ElapsedMicros)
+	}
+	req.TimeoutMillis = 1
+	req.Query = []float64{0.001, 0, 0} // different cacheable identity
+	start := time.Now()
+	_, err = x.Execute(context.Background(), req)
+	if codeOf(err) != CodeTimeout {
+		t.Fatalf("err = %v, want timeout", err)
+	}
+	if el := time.Since(start); el > 2*time.Second {
+		t.Fatalf("timed-out query returned after %v", el)
+	}
+	if st := x.Stats(); st.Canceled == 0 {
+		t.Fatalf("Canceled = 0 after a mid-run timeout; stats %+v", st)
+	}
+}
+
+// TestExecutorTimeoutOverflowClamp: a TimeoutMillis large enough to
+// overflow the Duration multiply must clamp to MaxTimeout instead of
+// producing an already-expired deadline.
+func TestExecutorTimeoutOverflowClamp(t *testing.T) {
+	cat, names := testSetup(t, 2, 20, 2)
+	x := NewExecutor(cat, Config{Workers: 1})
+	req := baseRequest(names)
+	req.TimeoutMillis = 1<<63 - 1
+	resp, err := x.Execute(context.Background(), req)
+	if err != nil {
+		t.Fatalf("overflowing timeout expired the query: %v", err)
+	}
+	if len(resp.Results) != 3 {
+		t.Fatalf("got %d results, want 3", len(resp.Results))
+	}
+}
+
+// TestExecutorValidation exercises the request validation table.
+func TestExecutorValidation(t *testing.T) {
+	cat, names := testSetup(t, 2, 10, 2)
+	x := NewExecutor(cat, Config{Workers: 1})
+	cases := []struct {
+		name string
+		mut  func(*QueryRequest)
+		code ErrorCode
+	}{
+		{"no query", func(r *QueryRequest) { r.Query = nil }, CodeBadRequest},
+		{"NaN query", func(r *QueryRequest) { r.Query = []float64{0.1, nan()} }, CodeBadRequest},
+		{"one relation", func(r *QueryRequest) { r.Relations = names[:1] }, CodeBadRequest},
+		{"unknown relation", func(r *QueryRequest) { r.Relations = []string{names[0], "ghost"} }, CodeNotFound},
+		{"k zero", func(r *QueryRequest) { r.K = 0 }, CodeBadRequest},
+		{"k over limit", func(r *QueryRequest) { r.K = DefaultMaxK + 1 }, CodeBadRequest},
+		{"bad algorithm", func(r *QueryRequest) { r.Algorithm = "quantum" }, CodeBadRequest},
+		{"bad access", func(r *QueryRequest) { r.Access = "random" }, CodeBadRequest},
+		{"bad transform", func(r *QueryRequest) { r.Transform = "sqrt" }, CodeBadRequest},
+		{"negative weight", func(r *QueryRequest) { r.Weights = &WeightsSpec{Ws: -1, Wq: 1, Wmu: 1} }, CodeBadRequest},
+		{"infinite weight", func(r *QueryRequest) { r.Weights = &WeightsSpec{Ws: inf(), Wq: 1, Wmu: 1} }, CodeBadRequest},
+		{"all-zero weights", func(r *QueryRequest) { r.Weights = &WeightsSpec{} }, CodeBadRequest},
+		{"negative epsilon", func(r *QueryRequest) { r.Epsilon = -0.5 }, CodeBadRequest},
+		{"infinite epsilon", func(r *QueryRequest) { r.Epsilon = inf() }, CodeBadRequest},
+		{"negative timeout", func(r *QueryRequest) { r.TimeoutMillis = -5 }, CodeBadRequest},
+		{"negative maxSumDepths", func(r *QueryRequest) { r.MaxSumDepths = -100 }, CodeBadRequest},
+		{"negative maxCombinations", func(r *QueryRequest) { r.MaxCombinations = -1 }, CodeBadRequest},
+		{"negative boundPeriod", func(r *QueryRequest) { r.BoundPeriod = -2 }, CodeBadRequest},
+		{"negative dominancePeriod", func(r *QueryRequest) { r.DominancePeriod = -2 }, CodeBadRequest},
+		{"dim mismatch", func(r *QueryRequest) { r.Query = []float64{1, 2, 3} }, CodeBadRequest},
+	}
+	for _, tc := range cases {
+		req := baseRequest(names)
+		tc.mut(req)
+		_, err := x.Execute(context.Background(), req)
+		if codeOf(err) != tc.code {
+			t.Errorf("%s: err %v, want code %s", tc.name, err, tc.code)
+		}
+	}
+}
+
+// TestExecutorScoreAccess serves a score-access query from the
+// precomputed score order.
+func TestExecutorScoreAccess(t *testing.T) {
+	cat, names := testSetup(t, 2, 30, 2)
+	x := NewExecutor(cat, Config{Workers: 1})
+	req := baseRequest(names)
+	req.Access = "score"
+	resp, err := x.Execute(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Results) != 3 {
+		t.Fatalf("got %d results, want 3", len(resp.Results))
+	}
+	if resp.Cost.SumDepths <= 0 {
+		t.Fatalf("cost missing: %+v", resp.Cost)
+	}
+}
+
+func nan() float64 {
+	var zero float64
+	return zero / zero
+}
+
+func inf() float64 {
+	var zero float64
+	return 1 / zero
+}
+
+// TestCacheKeyNoCollision: relation names are caller-chosen and may
+// contain the key's own delimiters, so without length-prefixing the
+// lists [a@1, b@2, c@3] and ["a@1,b"@2, c@3] both rendered the segment
+// "a@1,b@2,c@3," and could serve each other's cached answers.
+func TestCacheKeyNoCollision(t *testing.T) {
+	entry := func(name string, gen uint64) *Entry {
+		return &Entry{rel: testRelation(t, name, int64(gen), 5, 2), gen: gen}
+	}
+	list1 := []*Entry{entry("a", 1), entry("b", 2), entry("c", 3)}
+	list2 := []*Entry{entry("a@1,b", 2), entry("c", 3)}
+	req := &QueryRequest{Query: []float64{0, 0}, K: 1}
+	opts := proxrank.Options{K: 1}
+	k1 := cacheKey(req, opts, list1)
+	k2 := cacheKey(req, opts, list2)
+	if k1 == k2 {
+		t.Fatalf("distinct relation lists collided in the cache key: %q", k1)
+	}
+}

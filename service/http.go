@@ -1,0 +1,111 @@
+package service
+
+import (
+	"encoding/json"
+	"errors"
+	"net/http"
+	"time"
+)
+
+// maxRequestBody bounds the JSON body of a query to keep a single caller
+// from exhausting server memory.
+const maxRequestBody = 1 << 20
+
+// Server is the HTTP front end: four JSON endpoints over an executor and
+// its catalog.
+//
+//	POST /v1/topk      — answer a proximity rank join query
+//	GET  /v1/relations — list the registered relations
+//	GET  /v1/healthz   — liveness probe
+//	GET  /v1/stats     — cumulative serving counters
+//
+// Every error produced by the handlers carries the structured body
+// {"error":{"code":..., "message":...}}; unmatched paths and methods are
+// answered by the router with Go's plain-text 404/405.
+type Server struct {
+	exec  *Executor
+	cat   *Catalog
+	start time.Time
+	mux   *http.ServeMux
+}
+
+// NewServer wires the endpoints over cat and exec.
+func NewServer(cat *Catalog, exec *Executor) *Server {
+	s := &Server{exec: exec, cat: cat, start: time.Now(), mux: http.NewServeMux()}
+	s.mux.HandleFunc("POST /v1/topk", s.handleTopK)
+	s.mux.HandleFunc("GET /v1/relations", s.handleRelations)
+	s.mux.HandleFunc("GET /v1/healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
+	return s
+}
+
+// Handler returns the routed handler, ready for http.Server.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// writeJSON serializes v with status code. Marshaling happens before the
+// header is written so an encode failure can still surface as a
+// structured 500 instead of a silent 200 with a truncated body.
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	buf, err := json.Marshal(v)
+	if err != nil {
+		status = http.StatusInternalServerError
+		buf, _ = json.Marshal(struct {
+			Error *APIError `json:"error"`
+		}{apiErrorf(CodeInternal, "encoding response: %v", err)})
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_, _ = w.Write(append(buf, '\n'))
+}
+
+// writeError emits the structured error body.
+func writeError(w http.ResponseWriter, err error) {
+	ae := asAPIError(err)
+	writeJSON(w, ae.Code.httpStatus(), struct {
+		Error *APIError `json:"error"`
+	}{ae})
+}
+
+func (s *Server) handleTopK(w http.ResponseWriter, r *http.Request) {
+	var req QueryRequest
+	body := http.MaxBytesReader(w, r.Body, maxRequestBody)
+	dec := json.NewDecoder(body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			writeError(w, apiErrorf(CodeBadRequest, "request body exceeds %d bytes", maxRequestBody))
+			return
+		}
+		writeError(w, apiErrorf(CodeBadRequest, "invalid JSON body: %v", err))
+		return
+	}
+	if dec.More() {
+		writeError(w, apiErrorf(CodeBadRequest, "request body must hold exactly one JSON object"))
+		return
+	}
+	resp, err := s.exec.Execute(r.Context(), &req)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleRelations(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, struct {
+		Relations []RelationInfo `json:"relations"`
+	}{s.cat.Infos()})
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, struct {
+		Status        string  `json:"status"`
+		Relations     int     `json:"relations"`
+		UptimeSeconds float64 `json:"uptimeSeconds"`
+	}{"ok", s.cat.Len(), time.Since(s.start).Seconds()})
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, s.exec.Stats())
+}

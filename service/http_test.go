@@ -1,0 +1,291 @@
+package service
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func testServer(t testing.TB) (*httptest.Server, []string, *Executor) {
+	t.Helper()
+	cat, names := testSetup(t, 2, 60, 2)
+	exec := NewExecutor(cat, Config{Workers: 4, CacheSize: 64, DefaultTimeout: 30 * time.Second})
+	srv := httptest.NewServer(NewServer(cat, exec).Handler())
+	t.Cleanup(srv.Close)
+	return srv, names, exec
+}
+
+// postTopK sends one query; it returns errors rather than failing the
+// test so it is safe to call from worker goroutines.
+func postTopK(url string, req *QueryRequest) (*http.Response, []byte, error) {
+	body, err := json.Marshal(req)
+	if err != nil {
+		return nil, nil, err
+	}
+	resp, err := http.Post(url+"/v1/topk", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return nil, nil, err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, nil, err
+	}
+	return resp, data, nil
+}
+
+// TestHTTPConcurrentTopK serves 48 concurrent queries (16 distinct, each
+// asked three times) and checks every response; run under -race this is
+// the acceptance test for the multi-tenant serving path.
+func TestHTTPConcurrentTopK(t *testing.T) {
+	srv, names, exec := testServer(t)
+
+	const distinct, repeats = 16, 3
+	var wg sync.WaitGroup
+	errs := make(chan error, distinct*repeats)
+	for rep := 0; rep < repeats; rep++ {
+		for i := 0; i < distinct; i++ {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				req := &QueryRequest{
+					Query:     []float64{float64(i) * 0.05, -0.1},
+					Relations: names,
+					K:         4,
+				}
+				resp, data, err := postTopK(srv.URL, req)
+				if err != nil {
+					errs <- fmt.Errorf("query %d: %v", i, err)
+					return
+				}
+				if resp.StatusCode != http.StatusOK {
+					errs <- fmt.Errorf("query %d: status %d: %s", i, resp.StatusCode, data)
+					return
+				}
+				var out QueryResponse
+				if err := json.Unmarshal(data, &out); err != nil {
+					errs <- fmt.Errorf("query %d: bad body: %v", i, err)
+					return
+				}
+				if len(out.Results) != 4 {
+					errs <- fmt.Errorf("query %d: %d results, want 4", i, len(out.Results))
+					return
+				}
+				for j := 1; j < len(out.Results); j++ {
+					if out.Results[j].Score > out.Results[j-1].Score+1e-9 {
+						errs <- fmt.Errorf("query %d: results out of order", i)
+						return
+					}
+				}
+				if out.Cost.SumDepths <= 0 && !out.Cached {
+					errs <- fmt.Errorf("query %d: missing cost stats: %+v", i, out.Cost)
+				}
+			}(i)
+		}
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+
+	st := exec.Stats()
+	if st.Queries != distinct*repeats {
+		t.Fatalf("Queries = %d, want %d", st.Queries, distinct*repeats)
+	}
+	// Each distinct query runs the engine at most... exactly once? No:
+	// identical queries racing may all miss the cache before the first
+	// finishes. The engine may run more than `distinct` times but never
+	// more than the total, and the cache must have absorbed at least the
+	// strictly-later repeats in the common case. The hard guarantees:
+	if st.EngineRuns+st.CacheHits != st.Queries {
+		t.Fatalf("EngineRuns(%d) + CacheHits(%d) != Queries(%d)", st.EngineRuns, st.CacheHits, st.Queries)
+	}
+	if st.Completed != st.EngineRuns {
+		t.Fatalf("Completed = %d, EngineRuns = %d", st.Completed, st.EngineRuns)
+	}
+	if st.InFlight != 0 {
+		t.Fatalf("InFlight = %d after drain", st.InFlight)
+	}
+}
+
+// TestHTTPEndpoints covers the read-only endpoints and the structured
+// error body.
+func TestHTTPEndpoints(t *testing.T) {
+	srv, names, _ := testServer(t)
+
+	get := func(path string) (int, map[string]any) {
+		resp, err := http.Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var m map[string]any
+		if err := json.NewDecoder(resp.Body).Decode(&m); err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		return resp.StatusCode, m
+	}
+
+	if code, m := get("/v1/healthz"); code != 200 || m["status"] != "ok" {
+		t.Fatalf("healthz: %d %v", code, m)
+	}
+	if code, m := get("/v1/relations"); code != 200 {
+		t.Fatalf("relations: %d %v", code, m)
+	} else if rels := m["relations"].([]any); len(rels) != 2 {
+		t.Fatalf("relations: %v", m)
+	}
+	if code, m := get("/v1/stats"); code != 200 {
+		t.Fatalf("stats: %d %v", code, m)
+	} else if _, ok := m["cacheHits"]; !ok {
+		t.Fatalf("stats body missing counters: %v", m)
+	}
+
+	// Unknown relation → 404 with a structured body.
+	resp, data, err := postTopK(srv.URL, &QueryRequest{
+		Query: []float64{0, 0}, Relations: []string{names[0], "ghost"}, K: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown relation: status %d: %s", resp.StatusCode, data)
+	}
+	var apiBody struct {
+		Error *APIError `json:"error"`
+	}
+	if err := json.Unmarshal(data, &apiBody); err != nil || apiBody.Error == nil {
+		t.Fatalf("unstructured error body: %s", data)
+	}
+	if apiBody.Error.Code != CodeNotFound {
+		t.Fatalf("error code %q, want %q", apiBody.Error.Code, CodeNotFound)
+	}
+
+	// Malformed JSON → 400.
+	r2, err := http.Post(srv.URL+"/v1/topk", "application/json", strings.NewReader("{nope"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2.Body.Close()
+	if r2.StatusCode != http.StatusBadRequest {
+		t.Fatalf("malformed body: status %d", r2.StatusCode)
+	}
+
+	// Unknown field → 400 (catches client typos).
+	r3, err := http.Post(srv.URL+"/v1/topk", "application/json",
+		strings.NewReader(`{"query":[0,0],"relations":["A","B"],"k":1,"kay":2}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r3.Body.Close()
+	if r3.StatusCode != http.StatusBadRequest {
+		t.Fatalf("unknown field: status %d", r3.StatusCode)
+	}
+
+	// Oversized body → 400 naming the limit, not a confusing JSON error.
+	big := `{"query":[0,0],"relations":["A","B"],"k":1,"algorithm":"` +
+		strings.Repeat("x", maxRequestBody) + `"}`
+	r5, err := http.Post(srv.URL+"/v1/topk", "application/json", strings.NewReader(big))
+	if err != nil {
+		t.Fatal(err)
+	}
+	bodyBytes, _ := io.ReadAll(r5.Body)
+	r5.Body.Close()
+	if r5.StatusCode != http.StatusBadRequest || !strings.Contains(string(bodyBytes), "exceeds") {
+		t.Fatalf("oversized body: status %d: %.200s", r5.StatusCode, bodyBytes)
+	}
+
+	// Wrong method → 405 from the router.
+	r4, err := http.Get(srv.URL + "/v1/topk")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r4.Body.Close()
+	if r4.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("GET /v1/topk: status %d, want 405", r4.StatusCode)
+	}
+}
+
+// TestHTTPExhaustedCrossProduct: K beyond the whole cross product
+// exhausts every source, driving the final bound to −Inf — which is not
+// JSON-representable. The response must still be valid JSON (threshold
+// omitted), not a silent empty 200.
+func TestHTTPExhaustedCrossProduct(t *testing.T) {
+	cat := NewCatalog()
+	for _, name := range []string{"tinyA", "tinyB"} {
+		if err := cat.Register(name, testRelation(t, name, 77, 5, 2)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	exec := NewExecutor(cat, Config{Workers: 1})
+	srv := httptest.NewServer(NewServer(cat, exec).Handler())
+	defer srv.Close()
+
+	req := &QueryRequest{Query: []float64{0, 0}, Relations: []string{"tinyA", "tinyB"}, K: 100}
+	for round := 0; round < 2; round++ { // second round exercises the cached copy
+		resp, data, err := postTopK(srv.URL, req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.StatusCode != http.StatusOK || len(data) == 0 {
+			t.Fatalf("round %d: status %d, %d body bytes", round, resp.StatusCode, len(data))
+		}
+		var out QueryResponse
+		if err := json.Unmarshal(data, &out); err != nil {
+			t.Fatalf("round %d: invalid JSON: %v: %.200s", round, err, data)
+		}
+		if len(out.Results) != 25 {
+			t.Fatalf("round %d: %d results, want the full 5×5 cross product", round, len(out.Results))
+		}
+		if out.Cost.Threshold != nil {
+			t.Fatalf("round %d: non-finite threshold leaked: %v", round, *out.Cost.Threshold)
+		}
+	}
+}
+
+// TestHTTPTimeoutStatus: an unmeetable per-query deadline surfaces as
+// 504 with the timeout code.
+func TestHTTPTimeoutStatus(t *testing.T) {
+	cat, names := testSetup(t, 3, 500, 3)
+	exec := NewExecutor(cat, Config{Workers: 1, CacheSize: -1})
+	srv := httptest.NewServer(NewServer(cat, exec).Handler())
+	defer srv.Close()
+
+	probe := &QueryRequest{Query: []float64{0, 0, 0}, Relations: names, K: 100, Algorithm: "cbrr"}
+	resp, data, err := postTopK(srv.URL, probe)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != 200 {
+		t.Fatalf("probe failed: %d: %s", resp.StatusCode, data)
+	}
+	var probeOut QueryResponse
+	if err := json.Unmarshal(data, &probeOut); err != nil {
+		t.Fatal(err)
+	}
+	if probeOut.Cost.ElapsedMicros < 2000 {
+		t.Skipf("full run took only %dµs; too fast to interrupt reliably", probeOut.Cost.ElapsedMicros)
+	}
+
+	probe.TimeoutMillis = 1
+	resp, data, err = postTopK(srv.URL, probe)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusGatewayTimeout {
+		t.Fatalf("status %d, want 504: %s", resp.StatusCode, data)
+	}
+	var body struct {
+		Error *APIError `json:"error"`
+	}
+	if err := json.Unmarshal(data, &body); err != nil || body.Error == nil || body.Error.Code != CodeTimeout {
+		t.Fatalf("timeout body: %s", data)
+	}
+}

@@ -1,8 +1,9 @@
 package proxrank
 
 import (
+	"context"
+
 	"repro/internal/core"
-	"repro/internal/relation"
 )
 
 // Stream is the pipelined form of the operator: results are produced one
@@ -26,33 +27,22 @@ func NewStream(query Vector, rels []*Relation, opts Options) (*Stream, error) {
 	if err != nil {
 		return nil, err
 	}
-	sources := make([]Source, len(rels))
-	for i, rel := range rels {
-		switch {
-		case opts.Access == ScoreAccess:
-			sources[i] = relation.NewScoreSource(rel)
-		case opts.UseRTree:
-			s, err := relation.NewRTreeDistanceSource(rel, query)
-			if err != nil {
-				return nil, err
-			}
-			sources[i] = s
-		default:
-			s, err := relation.NewDistanceSource(rel, query, fn.Metric())
-			if err != nil {
-				return nil, err
-			}
-			sources[i] = s
-		}
+	sources, err := buildSources(query, rels, opts, fn)
+	if err != nil {
+		return nil, err
 	}
 	return NewStreamFromSources(query, sources, opts)
 }
 
 // NewStreamFromSources builds a streaming operator over caller-supplied
-// sources.
+// sources. All sources must share one access kind consistent with
+// opts.Access — a mismatched source would silently corrupt the bounds.
 func NewStreamFromSources(query Vector, sources []Source, opts Options) (*Stream, error) {
 	fn, err := opts.aggregation()
 	if err != nil {
+		return nil, err
+	}
+	if err := checkSourceKinds(sources, opts.Access); err != nil {
 		return nil, err
 	}
 	eopts := opts.engineOptions(query, fn)
@@ -67,6 +57,14 @@ func NewStreamFromSources(query Vector, sources []Source, opts Options) (*Stream
 // Next returns the next-best combination, or ErrStreamDone / an access
 // error.
 func (s *Stream) Next() (Combination, error) { return s.it.Next() }
+
+// NextContext is Next with cooperative cancellation: the pull loop aborts
+// with a wrapped ctx.Err() once ctx expires. Cancellation does not poison
+// the stream — a later call with a live context resumes where this one
+// stopped, keeping all input read so far.
+func (s *Stream) NextContext(ctx context.Context) (Combination, error) {
+	return s.it.NextContext(ctx)
+}
 
 // Stats exposes the I/O and CPU cost paid so far.
 func (s *Stream) Stats() Stats { return s.it.Stats() }
