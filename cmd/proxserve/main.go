@@ -4,17 +4,25 @@
 // concurrent queries through a bounded executor with per-query deadlines
 // and an LRU result cache.
 //
+// Relations can be partitioned into shards — per-shard indexes built in
+// parallel at load, streams merged per query with byte-identical results
+// — via the global -shards flag or a per-relation ":N" suffix on -rel.
+//
 // Usage:
 //
 //	proxserve -addr :8080 -city SF
 //	proxserve -rel hotels=hotels.csv -rel food=food.csv -workers 8
+//	proxserve -city NY -shards 8 -shard-strategy grid
+//	proxserve -rel hotels=hotels.csv:4 -rel food=food.csv
 //
 // Endpoints:
 //
-//	POST /v1/topk      {"query":[x,y],"relations":["SF-hotels","SF-restaurants"],"k":5}
-//	GET  /v1/relations
-//	GET  /v1/healthz
-//	GET  /v1/stats
+//	POST   /v1/topk      {"query":[x,y],"relations":["SF-hotels","SF-restaurants"],"k":5}
+//	GET    /v1/relations
+//	POST   /v1/relations?name=bars&shards=4   (CSV body)
+//	DELETE /v1/relations/{name}
+//	GET    /v1/healthz
+//	GET    /v1/stats
 package main
 
 import (
@@ -26,6 +34,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strconv"
 	"strings"
 	"syscall"
 	"time"
@@ -40,6 +49,13 @@ type listFlag []string
 func (l *listFlag) String() string     { return strings.Join(*l, ",") }
 func (l *listFlag) Set(v string) error { *l = append(*l, v); return nil }
 
+// logRegistered reports one registration with its catalog-side shape.
+func logRegistered(cat *service.Catalog, name, origin string) {
+	if e, err := cat.Get(name); err == nil {
+		log.Printf("registered %s (%d tuples, %d shard(s), %s)", name, e.Relation().Len(), e.Shards(), origin)
+	}
+}
+
 func main() {
 	var (
 		rels   listFlag
@@ -52,23 +68,44 @@ func main() {
 		timeout    = flag.Duration("timeout", 10*time.Second, "default per-query deadline (0 = none)")
 		maxTimeout = flag.Duration("max-timeout", service.DefaultMaxTimeout, "cap on client-requested timeoutMillis")
 		maxK       = flag.Int("maxk", service.DefaultMaxK, "largest accepted K")
+		shards     = flag.Int("shards", 1, "default shard count per relation (partitioned indexes, merged per query)")
+		strategyFl = flag.String("shard-strategy", "hash", "partitioning strategy: hash or grid")
 	)
-	flag.Var(&rels, "rel", "relation to serve, as name=path.csv (repeatable)")
+	flag.Var(&rels, "rel", "relation to serve, as name=path.csv[:shards] (repeatable)")
 	flag.Var(&cities, "city", "simulated city data set to serve: SF, NY, BO, DA, HO (repeatable)")
 	flag.Parse()
+
+	strategy, err := proxrank.ParsePartitionStrategy(*strategyFl)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "proxserve: %v\n", err)
+		os.Exit(2)
+	}
+	if *shards < 1 {
+		fmt.Fprintf(os.Stderr, "proxserve: -shards %d must be at least 1\n", *shards)
+		os.Exit(2)
+	}
 
 	cat := service.NewCatalog()
 	for _, spec := range rels {
 		name, path, ok := strings.Cut(spec, "=")
 		if !ok || name == "" || path == "" {
-			fmt.Fprintf(os.Stderr, "proxserve: -rel wants name=path.csv, got %q\n", spec)
+			fmt.Fprintf(os.Stderr, "proxserve: -rel wants name=path.csv[:shards], got %q\n", spec)
 			os.Exit(2)
 		}
-		if err := cat.LoadCSVFile(name, path, 0); err != nil {
+		// A trailing ":N" on the path overrides the global -shards default
+		// for this relation.
+		relShards := *shards
+		if i := strings.LastIndex(path, ":"); i >= 0 {
+			if n, err := strconv.Atoi(path[i+1:]); err == nil && n >= 1 {
+				relShards = n
+				path = path[:i]
+			}
+		}
+		if err := cat.LoadCSVFileSharded(name, path, 0, relShards, strategy); err != nil {
 			fmt.Fprintf(os.Stderr, "proxserve: %v\n", err)
 			os.Exit(1)
 		}
-		log.Printf("registered %s from %s", name, path)
+		logRegistered(cat, name, "from "+path)
 	}
 	for _, code := range cities {
 		cityRels, _, landmark, err := proxrank.CityDataset(strings.ToUpper(code))
@@ -77,11 +114,11 @@ func main() {
 			os.Exit(1)
 		}
 		for _, rel := range cityRels {
-			if err := cat.Register(rel.Name, rel); err != nil {
+			if err := cat.RegisterSharded(rel.Name, rel, *shards, strategy); err != nil {
 				fmt.Fprintf(os.Stderr, "proxserve: %v\n", err)
 				os.Exit(1)
 			}
-			log.Printf("registered %s (%d tuples, landmark %s)", rel.Name, rel.Len(), landmark)
+			logRegistered(cat, rel.Name, "landmark "+landmark)
 		}
 	}
 	if cat.Len() == 0 {

@@ -1,0 +1,42 @@
+package relation
+
+import "repro/internal/vec"
+
+// Input is anything the rank-join engine can read a relation from: a
+// plain *Relation or a *Sharded partitioned relation. The openSource
+// method is unexported, so only this package's types satisfy the
+// contract — a foreign implementation could not uphold the canonical
+// (key, ordinal) ordering the merge layer depends on.
+type Input interface {
+	// InputRelation returns the logical relation being queried (the parent
+	// relation for sharded inputs), carrying σ_max and metadata.
+	InputRelation() *Relation
+	// openSource builds one ordered stream for the given access
+	// configuration.
+	openSource(kind AccessKind, q vec.Vector, metric vec.Metric, useRTree bool) (Source, error)
+}
+
+// InputRelation implements Input: a relation is its own logical relation.
+func (r *Relation) InputRelation() *Relation { return r }
+
+// openSource implements Input for a plain relation, dispatching exactly
+// as the facade's historical source construction did.
+func (r *Relation) openSource(kind AccessKind, q vec.Vector, metric vec.Metric, useRTree bool) (Source, error) {
+	switch {
+	case kind == ScoreAccess:
+		return NewScoreSource(r), nil
+	case useRTree:
+		return NewRTreeDistanceSource(r, q)
+	default:
+		return NewDistanceSource(r, q, metric)
+	}
+}
+
+// OpenSource builds the ordered stream of in for one access
+// configuration: the score order when kind is ScoreAccess, otherwise a
+// distance order from q — incremental R-tree traversal when useRTree is
+// set, a full sort under metric (nil = Euclidean) when not. Sharded
+// inputs return a merged stream over their shards.
+func OpenSource(in Input, kind AccessKind, q vec.Vector, metric vec.Metric, useRTree bool) (Source, error) {
+	return in.openSource(kind, q, metric, useRTree)
+}

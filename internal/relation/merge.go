@@ -1,0 +1,96 @@
+package relation
+
+import (
+	"errors"
+
+	"repro/internal/pqueue"
+)
+
+// MergedSource k-way-merges N ordered shard streams into one Source that
+// preserves the access-kind ordering contract: a small heap holds one
+// head per live shard, keyed by (sort key, parent ordinal). Because each
+// shard stream is itself (key, ordinal)-sorted and ordinals are unique
+// across shards, the merged sequence is the unique canonical order of the
+// parent relation — byte-identical to the unsharded stream.
+//
+// Pulling is lazy: nothing is read at construction, the heap is primed
+// with one tuple per shard on the first Next, and a shard is re-pulled
+// only after its head has been emitted. Draining a prefix of the merged
+// stream therefore costs at most len(prefix)+N underlying reads.
+type MergedSource struct {
+	rel    *Relation
+	kind   AccessKind
+	inputs []keyedSource
+	heap   *pqueue.Heap[mergeHead]
+	primed int         // inputs [0,primed) have contributed their first head
+	refill keyedSource // shard whose head was emitted by the previous Next
+}
+
+// mergeHead is one shard's current front tuple.
+type mergeHead struct {
+	src keyedSource
+	t   Tuple
+	key float64
+	ord int
+}
+
+// newMergedSource builds the merged stream over per-shard sources that
+// all share one access kind.
+func newMergedSource(parent *Relation, kind AccessKind, inputs []keyedSource) *MergedSource {
+	return &MergedSource{
+		rel:    parent,
+		kind:   kind,
+		inputs: inputs,
+		heap: pqueue.New(func(a, b mergeHead) bool {
+			if a.key != b.key {
+				return a.key < b.key
+			}
+			return a.ord < b.ord
+		}),
+	}
+}
+
+// pull reads one tuple from src into the heap; exhaustion retires the
+// shard silently.
+func (m *MergedSource) pull(src keyedSource) error {
+	t, key, ord, err := src.nextKeyed()
+	if errors.Is(err, ErrExhausted) {
+		return nil
+	}
+	if err != nil {
+		return err
+	}
+	m.heap.Push(mergeHead{src: src, t: t, key: key, ord: ord})
+	return nil
+}
+
+// Next implements Source. Access errors from a shard propagate as-is and
+// leave the merge consistent: a retry re-pulls the failed shard without
+// skipping or duplicating tuples.
+func (m *MergedSource) Next() (Tuple, error) {
+	for m.primed < len(m.inputs) {
+		if err := m.pull(m.inputs[m.primed]); err != nil {
+			return Tuple{}, err
+		}
+		m.primed++
+	}
+	if m.refill != nil {
+		if err := m.pull(m.refill); err != nil {
+			return Tuple{}, err
+		}
+		m.refill = nil
+	}
+	top, ok := m.heap.Pop()
+	if !ok {
+		return Tuple{}, ErrExhausted
+	}
+	m.refill = top.src
+	return top.t, nil
+}
+
+// Kind implements Source.
+func (m *MergedSource) Kind() AccessKind { return m.kind }
+
+// Relation implements Source: the parent relation, so σ_max and error
+// messages reflect what the caller queried.
+func (m *MergedSource) Relation() *Relation { return m.rel }

@@ -128,81 +128,116 @@ type Source interface {
 	Relation() *Relation
 }
 
+// keyedSource is the package-internal contract merged shard streams rely
+// on: alongside each tuple, the source reports the ascending sort key its
+// order is defined by (distance, or negated score for score access) and
+// the tuple's ordinal in the parent relation. Ordinals break key ties
+// with a total order every shard of one relation agrees on, which is what
+// makes a k-way merge of shard streams byte-identical to the unsharded
+// stream (see MergedSource).
+type keyedSource interface {
+	Source
+	nextKeyed() (t Tuple, key float64, ord int, err error)
+}
+
 // sliceSource streams a pre-ordered copy of the tuples.
 type sliceSource struct {
 	rel  *Relation
 	kind AccessKind
 	ord  []Tuple
+	keys []float64 // ascending merge key per position
+	ords []int     // parent-relation ordinal per position
 	pos  int
 }
 
 func (s *sliceSource) Next() (Tuple, error) {
+	t, _, _, err := s.nextKeyed()
+	return t, err
+}
+
+func (s *sliceSource) nextKeyed() (Tuple, float64, int, error) {
 	if s.pos >= len(s.ord) {
-		return Tuple{}, ErrExhausted
+		return Tuple{}, 0, 0, ErrExhausted
 	}
-	t := s.ord[s.pos]
+	i := s.pos
 	s.pos++
-	return t, nil
+	return s.ord[i], s.keys[i], s.ords[i], nil
 }
 
 func (s *sliceSource) Kind() AccessKind    { return s.kind }
 func (s *sliceSource) Relation() *Relation { return s.rel }
 
-// NewDistanceSource returns a source that yields tuples of r sorted by
-// increasing metric distance from q (ties broken by storage index for
-// determinism). The whole order is computed up front; for large relations
-// prefer NewRTreeDistanceSource, which sorts incrementally.
-func NewDistanceSource(r *Relation, q vec.Vector, metric vec.Metric) (Source, error) {
+// ordinalOf maps a storage index to its parent-relation ordinal: identity
+// for a whole relation, orig[i] for a shard (see Partition).
+func ordinalOf(orig []int, i int) int {
+	if orig == nil {
+		return i
+	}
+	return orig[i]
+}
+
+// newSortedSource sorts r's tuples by (key, ordinal) ascending and wraps
+// them in a sliceSource. orig is nil for a whole relation; for shards it
+// maps storage indexes back to parent ordinals so that ties resolve in
+// the parent's order.
+func newSortedSource(r *Relation, kind AccessKind, orig []int, keyOf func(Tuple) float64) *sliceSource {
+	type keyed struct {
+		t   Tuple
+		key float64
+		ord int
+	}
+	ks := make([]keyed, len(r.tuples))
+	for i, t := range r.tuples {
+		ks[i] = keyed{t: t, key: keyOf(t), ord: ordinalOf(orig, i)}
+	}
+	sort.Slice(ks, func(a, b int) bool {
+		if ks[a].key != ks[b].key {
+			return ks[a].key < ks[b].key
+		}
+		return ks[a].ord < ks[b].ord
+	})
+	ord := make([]Tuple, len(ks))
+	keys := make([]float64, len(ks))
+	ords := make([]int, len(ks))
+	for i, k := range ks {
+		ord[i] = k.t
+		keys[i] = k.key
+		ords[i] = k.ord
+	}
+	return &sliceSource{rel: r, kind: kind, ord: ord, keys: keys, ords: ords}
+}
+
+// newDistanceSource is NewDistanceSource with an optional shard ordinal
+// mapping.
+func newDistanceSource(r *Relation, orig []int, q vec.Vector, metric vec.Metric) (*sliceSource, error) {
 	if q.Dim() != r.dim {
 		return nil, fmt.Errorf("relation %q: query dim %d, want %d", r.Name, q.Dim(), r.dim)
 	}
 	if metric == nil {
 		metric = vec.Euclidean{}
 	}
-	type keyed struct {
-		t Tuple
-		d float64
-		i int
-	}
-	ks := make([]keyed, len(r.tuples))
-	for i, t := range r.tuples {
-		ks[i] = keyed{t: t, d: metric.Distance(t.Vec, q), i: i}
-	}
-	sort.SliceStable(ks, func(a, b int) bool {
-		if ks[a].d != ks[b].d {
-			return ks[a].d < ks[b].d
-		}
-		return ks[a].i < ks[b].i
-	})
-	ord := make([]Tuple, len(ks))
-	for i, k := range ks {
-		ord[i] = k.t
-	}
-	return &sliceSource{rel: r, kind: DistanceAccess, ord: ord}, nil
+	return newSortedSource(r, DistanceAccess, orig, func(t Tuple) float64 {
+		return metric.Distance(t.Vec, q)
+	}), nil
+}
+
+// NewDistanceSource returns a source that yields tuples of r sorted by
+// increasing metric distance from q (ties broken by storage index for
+// determinism). The whole order is computed up front; for large relations
+// prefer NewRTreeDistanceSource, which sorts incrementally.
+func NewDistanceSource(r *Relation, q vec.Vector, metric vec.Metric) (Source, error) {
+	return newDistanceSource(r, nil, q, metric)
+}
+
+// newScoreSource is NewScoreSource with an optional shard ordinal mapping.
+func newScoreSource(r *Relation, orig []int) *sliceSource {
+	return newSortedSource(r, ScoreAccess, orig, func(t Tuple) float64 { return -t.Score })
 }
 
 // NewScoreSource returns a source that yields tuples of r sorted by
 // decreasing score (ties broken by storage index).
 func NewScoreSource(r *Relation) Source {
-	type keyed struct {
-		t Tuple
-		i int
-	}
-	ks := make([]keyed, len(r.tuples))
-	for i, t := range r.tuples {
-		ks[i] = keyed{t: t, i: i}
-	}
-	sort.SliceStable(ks, func(a, b int) bool {
-		if ks[a].t.Score != ks[b].t.Score {
-			return ks[a].t.Score > ks[b].t.Score
-		}
-		return ks[a].i < ks[b].i
-	})
-	ord := make([]Tuple, len(ks))
-	for i, k := range ks {
-		ord[i] = k.t
-	}
-	return &sliceSource{rel: r, kind: ScoreAccess, ord: ord}
+	return newScoreSource(r, nil)
 }
 
 // ScoreIndex is the score-sorted order of a relation, computed once and
@@ -210,14 +245,21 @@ func NewScoreSource(r *Relation) Source {
 // cursor over the same slice, so concurrent score-access queries skip the
 // per-query sort.
 type ScoreIndex struct {
-	rel *Relation
-	ord []Tuple
+	rel  *Relation
+	ord  []Tuple
+	keys []float64
+	ords []int
+}
+
+// newScoreIndex is NewScoreIndex with an optional shard ordinal mapping.
+func newScoreIndex(r *Relation, orig []int) *ScoreIndex {
+	src := newScoreSource(r, orig)
+	return &ScoreIndex{rel: r, ord: src.ord, keys: src.keys, ords: src.ords}
 }
 
 // NewScoreIndex sorts r by decreasing score (ties by storage index) once.
 func NewScoreIndex(r *Relation) *ScoreIndex {
-	src := NewScoreSource(r).(*sliceSource)
-	return &ScoreIndex{rel: r, ord: src.ord}
+	return newScoreIndex(r, nil)
 }
 
 // Relation returns the indexed relation.
@@ -226,14 +268,31 @@ func (ix *ScoreIndex) Relation() *Relation { return ix.rel }
 // Source opens a score-access source over the precomputed order. Safe to
 // call from multiple goroutines.
 func (ix *ScoreIndex) Source() Source {
-	return &sliceSource{rel: ix.rel, kind: ScoreAccess, ord: ix.ord}
+	return &sliceSource{rel: ix.rel, kind: ScoreAccess, ord: ix.ord, keys: ix.keys, ords: ix.ords}
 }
 
 // rtreeSource serves distance-based access through an R-tree's incremental
 // nearest-neighbor traversal, so no global sort is ever materialized.
+//
+// The raw traversal breaks exact-distance ties by heap insertion order,
+// which depends on tree structure. rtreeSource re-orders each run of
+// equal distances by parent ordinal instead, so that every distance
+// source — full sort, whole-relation R-tree, or merged shard R-trees —
+// emits one canonical (distance, ordinal) sequence.
 type rtreeSource struct {
-	rel *Relation
-	it  *rtree.NNIterator[int]
+	rel     *Relation
+	orig    []int // shard ordinal mapping; nil = identity
+	it      *rtree.NNIterator[int]
+	look    nnHit // one-item lookahead past the current tie run
+	hasLook bool
+	batch   []nnHit // current equal-distance run, ordinal-sorted
+}
+
+// nnHit is one materialized traversal result.
+type nnHit struct {
+	idx  int // storage index within rel
+	ord  int // parent-relation ordinal
+	dist float64
 }
 
 // RTreeIndex is a bulk-loaded R-tree over a relation's feature vectors,
@@ -282,11 +341,48 @@ func NewRTreeDistanceSource(r *Relation, q vec.Vector) (Source, error) {
 }
 
 func (s *rtreeSource) Next() (Tuple, error) {
-	idx, _, ok := s.it.Next()
-	if !ok {
-		return Tuple{}, ErrExhausted
+	t, _, _, err := s.nextKeyed()
+	return t, err
+}
+
+// take pulls the next traversal result, honoring the lookahead slot.
+func (s *rtreeSource) take() (nnHit, bool) {
+	if s.hasLook {
+		s.hasLook = false
+		return s.look, true
 	}
-	return s.rel.tuples[idx], nil
+	idx, d, ok := s.it.Next()
+	if !ok {
+		return nnHit{}, false
+	}
+	return nnHit{idx: idx, ord: ordinalOf(s.orig, idx), dist: d}, true
+}
+
+func (s *rtreeSource) nextKeyed() (Tuple, float64, int, error) {
+	if len(s.batch) == 0 {
+		first, ok := s.take()
+		if !ok {
+			return Tuple{}, 0, 0, ErrExhausted
+		}
+		s.batch = append(s.batch[:0], first)
+		for {
+			h, ok := s.take()
+			if !ok {
+				break
+			}
+			if h.dist != first.dist {
+				s.look, s.hasLook = h, true
+				break
+			}
+			s.batch = append(s.batch, h)
+		}
+		if len(s.batch) > 1 {
+			sort.Slice(s.batch, func(a, b int) bool { return s.batch[a].ord < s.batch[b].ord })
+		}
+	}
+	h := s.batch[0]
+	s.batch = s.batch[1:]
+	return s.rel.tuples[h.idx], h.dist, h.ord, nil
 }
 
 func (s *rtreeSource) Kind() AccessKind    { return DistanceAccess }

@@ -1,0 +1,330 @@
+package relation
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+
+	"repro/internal/vec"
+)
+
+// PartitionStrategy selects how Partition assigns tuples to shards.
+type PartitionStrategy int
+
+const (
+	// HashPartition spreads tuples across shards by a hash of their ID:
+	// size-balanced in expectation, oblivious to geometry. The right
+	// default for score access and mixed workloads.
+	HashPartition PartitionStrategy = iota
+	// GridPartition packs spatially close tuples into the same shard via
+	// an equal-width grid over the bounding box (the spatial-partitioning
+	// idea of MapReduce kNN joins): per-shard R-trees stay compact and a
+	// distance query drains mostly one shard's stream.
+	GridPartition
+)
+
+// String implements fmt.Stringer.
+func (s PartitionStrategy) String() string {
+	switch s {
+	case HashPartition:
+		return "hash"
+	case GridPartition:
+		return "grid"
+	}
+	return fmt.Sprintf("PartitionStrategy(%d)", int(s))
+}
+
+// ParsePartitionStrategy maps a case-insensitive name to a strategy; the
+// empty string selects HashPartition.
+func ParsePartitionStrategy(name string) (PartitionStrategy, error) {
+	switch strings.ToLower(name) {
+	case "", "hash":
+		return HashPartition, nil
+	case "grid":
+		return GridPartition, nil
+	}
+	return 0, fmt.Errorf("relation: unknown partition strategy %q (want hash|grid)", name)
+}
+
+// maxShards bounds requested shard counts; beyond this the per-shard
+// bookkeeping dwarfs any conceivable win.
+const maxShards = 1 << 16
+
+// shard is one piece of a partitioned relation: its own relation (and
+// hence its own indexes) plus the mapping from shard storage indexes back
+// to parent ordinals. orig is nil when the shard IS the parent (the
+// single-shard fast path), making ordinals the identity.
+type shard struct {
+	rel   *Relation
+	orig  []int
+	rtree *RTreeIndex
+	score *ScoreIndex
+}
+
+// Sharded is a relation partitioned into shards, each with its own
+// R-tree and score order, built in parallel at construction and shared
+// read-only across queries. Query-time streams are per-shard sources
+// k-way-merged back into one canonical order (see MergedSource), so a
+// sharded relation answers byte-identically to its unsharded form while
+// bounding per-shard index memory and enabling parallel builds and
+// fan-out.
+type Sharded struct {
+	parent *Relation
+	shards []shard
+}
+
+// Partition splits r into at most n shards under the given strategy and
+// builds the per-shard indexes in parallel. Fewer than n shards are
+// returned when the strategy leaves some empty (n exceeding the tuple
+// count, or hash skew). n = 1 reuses r itself as the sole shard.
+func Partition(r *Relation, n int, strategy PartitionStrategy) (*Sharded, error) {
+	if r == nil {
+		return nil, fmt.Errorf("relation: cannot partition a nil relation")
+	}
+	if n < 1 {
+		return nil, fmt.Errorf("relation %q: shard count %d must be at least 1", r.Name, n)
+	}
+	if n > maxShards {
+		return nil, fmt.Errorf("relation %q: shard count %d exceeds the maximum %d", r.Name, n, maxShards)
+	}
+	var groups [][]int
+	if n > 1 {
+		switch strategy {
+		case HashPartition:
+			groups = hashGroups(r, n)
+		case GridPartition:
+			groups = gridGroups(r, n)
+		default:
+			return nil, fmt.Errorf("relation %q: unknown partition strategy %v", r.Name, strategy)
+		}
+	}
+	// Drop empty shards; a merge over empty streams is pure overhead.
+	kept := groups[:0]
+	for _, g := range groups {
+		if len(g) > 0 {
+			kept = append(kept, g)
+		}
+	}
+	groups = kept
+
+	s := &Sharded{parent: r}
+	if len(groups) <= 1 {
+		// One shard is the relation itself: no tuple copies, identity
+		// ordinals, and per-query streams with zero merge overhead.
+		s.shards = []shard{{rel: r}}
+	} else {
+		s.shards = make([]shard, len(groups))
+		for i, g := range groups {
+			tuples := make([]Tuple, len(g))
+			for j, idx := range g {
+				tuples[j] = r.tuples[idx]
+			}
+			s.shards[i] = shard{
+				rel: &Relation{
+					Name:     fmt.Sprintf("%s#%d", r.Name, i),
+					MaxScore: r.MaxScore,
+					tuples:   tuples,
+					dim:      r.dim,
+				},
+				orig: g,
+			}
+		}
+	}
+	// Index construction dominates partitioning cost; build every shard's
+	// R-tree and score order concurrently.
+	var wg sync.WaitGroup
+	for i := range s.shards {
+		wg.Add(1)
+		go func(sh *shard) {
+			defer wg.Done()
+			sh.rtree = NewRTreeIndex(sh.rel)
+			sh.score = newScoreIndex(sh.rel, sh.orig)
+		}(&s.shards[i])
+	}
+	wg.Wait()
+	return s, nil
+}
+
+// fnv64a is the FNV-1a hash, inlined to keep tuple assignment
+// allocation-free.
+func fnv64a(s string) uint64 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 1099511628211
+	}
+	return h
+}
+
+// hashGroups assigns tuple i to shard fnv64a(ID) mod n, preserving
+// storage order within each group.
+func hashGroups(r *Relation, n int) [][]int {
+	groups := make([][]int, n)
+	for i, t := range r.tuples {
+		g := int(fnv64a(t.ID) % uint64(n))
+		groups[g] = append(groups[g], i)
+	}
+	return groups
+}
+
+// gridGroups lays an equal-width grid of at least n cells over the
+// bounding box, orders tuples by cell (row-major, storage order within a
+// cell), and cuts the ordering into n size-balanced contiguous runs:
+// spatial locality from the grid, balance from the cut.
+func gridGroups(r *Relation, n int) [][]int {
+	dim := r.dim
+	lo := make([]float64, dim)
+	hi := make([]float64, dim)
+	for d := 0; d < dim; d++ {
+		lo[d], hi[d] = math.Inf(1), math.Inf(-1)
+	}
+	for _, t := range r.tuples {
+		for d := 0; d < dim; d++ {
+			lo[d] = math.Min(lo[d], t.Vec[d])
+			hi[d] = math.Max(hi[d], t.Vec[d])
+		}
+	}
+	// Cells per axis: the smallest g with g^dim >= n, so the grid is at
+	// least as fine as the shard count.
+	g := 1
+	for pow(g, dim) < n {
+		g++
+	}
+	cellOf := func(t Tuple) int {
+		id := 0
+		for d := 0; d < dim; d++ {
+			c := 0
+			if span := hi[d] - lo[d]; span > 0 {
+				c = int(float64(g) * (t.Vec[d] - lo[d]) / span)
+				if c >= g {
+					c = g - 1
+				}
+			}
+			id = id*g + c
+		}
+		return id
+	}
+	order := make([]int, len(r.tuples))
+	cells := make([]int, len(r.tuples))
+	for i, t := range r.tuples {
+		order[i] = i
+		cells[i] = cellOf(t)
+	}
+	sort.SliceStable(order, func(a, b int) bool { return cells[order[a]] < cells[order[b]] })
+	groups := make([][]int, n)
+	for i := 0; i < n; i++ {
+		from, to := i*len(order)/n, (i+1)*len(order)/n
+		if from < to {
+			groups[i] = order[from:to]
+		}
+	}
+	return groups
+}
+
+// pow is integer exponentiation, saturating at maxShards to keep the
+// grid-resolution search loop bounded.
+func pow(base, exp int) int {
+	out := 1
+	for i := 0; i < exp; i++ {
+		out *= base
+		if out >= maxShards {
+			return maxShards
+		}
+	}
+	return out
+}
+
+// Relation returns the parent relation.
+func (s *Sharded) Relation() *Relation { return s.parent }
+
+// InputRelation implements Input.
+func (s *Sharded) InputRelation() *Relation { return s.parent }
+
+// NumShards returns the number of non-empty shards.
+func (s *Sharded) NumShards() int { return len(s.shards) }
+
+// ShardSizes returns the tuple count of each shard.
+func (s *Sharded) ShardSizes() []int {
+	out := make([]int, len(s.shards))
+	for i := range s.shards {
+		out[i] = s.shards[i].rel.Len()
+	}
+	return out
+}
+
+// ShardRelation returns shard i's backing relation (for introspection and
+// tests; its tuple order is shard storage order, not access order).
+func (s *Sharded) ShardRelation(i int) *Relation { return s.shards[i].rel }
+
+// ShardSource opens the ordered stream of shard i for one access
+// configuration, using the shard's precomputed indexes where possible.
+// The streams of all shards under one configuration merge back into the
+// canonical relation order via Merge.
+func (s *Sharded) ShardSource(i int, kind AccessKind, q vec.Vector, metric vec.Metric, useRTree bool) (Source, error) {
+	if i < 0 || i >= len(s.shards) {
+		return nil, fmt.Errorf("relation %q: shard %d out of range [0,%d)", s.parent.Name, i, len(s.shards))
+	}
+	sh := &s.shards[i]
+	switch {
+	case kind == ScoreAccess:
+		return sh.score.Source(), nil
+	case useRTree:
+		if q.Dim() != s.parent.dim {
+			return nil, fmt.Errorf("relation %q: query dim %d, want %d", s.parent.Name, q.Dim(), s.parent.dim)
+		}
+		return &rtreeSource{rel: sh.rel, orig: sh.orig, it: sh.rtree.tree.NearestNeighbors(q)}, nil
+	default:
+		return newDistanceSource(sh.rel, sh.orig, q, metric)
+	}
+}
+
+// Merge k-way-merges one stream per shard (as produced by ShardSource,
+// in shard order) into a single stream in the canonical relation order.
+// A single-shard set passes its stream through untouched.
+func (s *Sharded) Merge(sources []Source) (Source, error) {
+	if len(sources) != len(s.shards) {
+		return nil, fmt.Errorf("relation %q: merging %d sources across %d shards", s.parent.Name, len(sources), len(s.shards))
+	}
+	if len(sources) == 1 {
+		return sources[0], nil
+	}
+	kind := sources[0].Kind()
+	ks := make([]keyedSource, len(sources))
+	for i, src := range sources {
+		k, ok := src.(keyedSource)
+		if !ok {
+			return nil, fmt.Errorf("relation %q: source %d (%T) is not a shard stream", s.parent.Name, i, src)
+		}
+		if src.Kind() != kind {
+			return nil, fmt.Errorf("relation %q: source %d has access kind %v, source 0 has %v", s.parent.Name, i, src.Kind(), kind)
+		}
+		ks[i] = k
+	}
+	return newMergedSource(s.parent, kind, ks), nil
+}
+
+// openSource implements Input: per-shard streams merged into one.
+func (s *Sharded) openSource(kind AccessKind, q vec.Vector, metric vec.Metric, useRTree bool) (Source, error) {
+	sources := make([]Source, len(s.shards))
+	for i := range s.shards {
+		src, err := s.ShardSource(i, kind, q, metric, useRTree)
+		if err != nil {
+			return nil, err
+		}
+		sources[i] = src
+	}
+	return s.Merge(sources)
+}
+
+// ScoreSource opens the merged score-access stream.
+func (s *Sharded) ScoreSource() (Source, error) {
+	return s.openSource(ScoreAccess, nil, nil, false)
+}
+
+// DistanceSource opens the merged distance-access stream from q, backed
+// by the per-shard R-trees.
+func (s *Sharded) DistanceSource(q vec.Vector) (Source, error) {
+	return s.openSource(DistanceAccess, q, nil, true)
+}

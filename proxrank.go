@@ -46,6 +46,17 @@ type (
 	// ScoreIndex is a relation's precomputed score order, shared
 	// read-only across concurrent queries (see NewScoreIndex).
 	ScoreIndex = relation.ScoreIndex
+	// ShardedRelation is a relation partitioned into shards with per-shard
+	// indexes built in parallel; queries stream a k-way merge of the shard
+	// orders that is byte-identical to the unsharded stream (see
+	// NewShardedRelation).
+	ShardedRelation = relation.Sharded
+	// PartitionStrategy selects how NewShardedRelation assigns tuples to
+	// shards (HashPartition or GridPartition).
+	PartitionStrategy = relation.PartitionStrategy
+	// Input is anything TopKInputs can query: a *Relation or a
+	// *ShardedRelation.
+	Input = relation.Input
 )
 
 // Access kinds.
@@ -81,6 +92,20 @@ func ParseAlgorithm(s string) (Algorithm, error) {
 		return CBRR, nil
 	}
 	return 0, fmt.Errorf("proxrank: unknown algorithm %q (want cbrr|cbpa|tbrr|tbpa)", s)
+}
+
+// Partition strategies.
+const (
+	// HashPartition spreads tuples across shards by a hash of their ID.
+	HashPartition = relation.HashPartition
+	// GridPartition packs spatially close tuples into the same shard.
+	GridPartition = relation.GridPartition
+)
+
+// ParsePartitionStrategy maps a case-insensitive name — hash, grid — to a
+// PartitionStrategy. The empty string selects HashPartition.
+func ParsePartitionStrategy(s string) (PartitionStrategy, error) {
+	return relation.ParsePartitionStrategy(s)
 }
 
 // Score transforms.
@@ -171,6 +196,17 @@ func NewScoreSource(rel *Relation) Source {
 	return relation.NewScoreSource(rel)
 }
 
+// NewShardedRelation partitions rel into at most shards shards under the
+// given strategy and builds every shard's R-tree and score order in
+// parallel. The result is immutable and safe for concurrent use, and any
+// query over it — TopKInputs, NewStreamInputs, or the service layer —
+// returns byte-identical results to the unsharded relation, while
+// bounding per-shard index memory and enabling parallel builds. Fewer
+// shards may be returned when some would be empty.
+func NewShardedRelation(rel *Relation, shards int, strategy PartitionStrategy) (*ShardedRelation, error) {
+	return relation.Partition(rel, shards, strategy)
+}
+
 // ReadRelationCSV parses a relation from CSV ("id,score,x1,...,xd[,attr...]").
 // Pass maxScore 0 to infer it from the data.
 func ReadRelationCSV(r io.Reader, name string, maxScore float64) (*Relation, error) {
@@ -228,38 +264,49 @@ func TopK(query Vector, rels []*Relation, opts Options) (Result, error) {
 // a wrapped ctx.Err() as soon as the context's deadline passes or it is
 // canceled, without returning a partial result.
 func TopKContext(ctx context.Context, query Vector, rels []*Relation, opts Options) (Result, error) {
+	return TopKInputsContext(ctx, query, relationInputs(rels), opts)
+}
+
+// TopKInputs answers a query over a mix of plain and sharded relations:
+// sharded inputs stream a merged view of their shards, so callers get
+// partitioned indexes without involving the service layer.
+func TopKInputs(query Vector, inputs []Input, opts Options) (Result, error) {
+	return TopKInputsContext(context.Background(), query, inputs, opts)
+}
+
+// TopKInputsContext is TopKInputs with cooperative cancellation.
+func TopKInputsContext(ctx context.Context, query Vector, inputs []Input, opts Options) (Result, error) {
 	fn, err := opts.aggregation()
 	if err != nil {
 		return Result{}, err
 	}
-	sources, err := buildSources(query, rels, opts, fn)
+	sources, err := buildSources(query, inputs, opts, fn)
 	if err != nil {
 		return Result{}, err
 	}
 	return TopKFromSourcesContext(ctx, query, sources, opts)
 }
 
-// buildSources constructs one source per relation for the configured
-// access kind (shared by the batch and streaming entry points).
-func buildSources(query Vector, rels []*Relation, opts Options, fn agg.Function) ([]Source, error) {
-	sources := make([]Source, len(rels))
+// relationInputs widens a relation list to the Input interface.
+func relationInputs(rels []*Relation) []Input {
+	inputs := make([]Input, len(rels))
 	for i, rel := range rels {
-		switch {
-		case opts.Access == ScoreAccess:
-			sources[i] = relation.NewScoreSource(rel)
-		case opts.UseRTree:
-			s, err := relation.NewRTreeDistanceSource(rel, query)
-			if err != nil {
-				return nil, err
-			}
-			sources[i] = s
-		default:
-			s, err := relation.NewDistanceSource(rel, query, fn.Metric())
-			if err != nil {
-				return nil, err
-			}
-			sources[i] = s
+		inputs[i] = rel
+	}
+	return inputs
+}
+
+// buildSources constructs one source per input for the configured access
+// kind (shared by the batch and streaming entry points). Sharded inputs
+// yield merged per-shard streams.
+func buildSources(query Vector, inputs []Input, opts Options, fn agg.Function) ([]Source, error) {
+	sources := make([]Source, len(inputs))
+	for i, in := range inputs {
+		s, err := relation.OpenSource(in, opts.Access, query, fn.Metric(), opts.UseRTree)
+		if err != nil {
+			return nil, err
 		}
+		sources[i] = s
 	}
 	return sources, nil
 }

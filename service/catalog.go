@@ -16,20 +16,27 @@ import (
 	proxrank "repro"
 )
 
-// Entry is one catalog slot: the relation plus everything precomputed at
-// registration time so that queries share it read-only — the R-tree for
-// distance access, the score order for score access, and a generation
-// number that makes cache keys self-invalidating across re-registration.
+// Entry is one catalog slot: the relation partitioned into one or more
+// shards, each with its indexes precomputed at registration time so that
+// queries share them read-only — per-shard R-trees for distance access,
+// per-shard score orders for score access — and a generation number that
+// makes cache keys self-invalidating across re-registration. A relation
+// registered without a shard count holds exactly one shard, which the
+// query path streams with zero merge overhead.
 type Entry struct {
-	rel      *proxrank.Relation
-	rtree    *proxrank.RTreeIndex
-	scoreOrd *proxrank.ScoreIndex
+	sharded  *proxrank.ShardedRelation
 	gen      uint64
 	loadedAt time.Time
 }
 
-// Relation returns the registered relation.
-func (e *Entry) Relation() *proxrank.Relation { return e.rel }
+// Relation returns the registered (parent) relation.
+func (e *Entry) Relation() *proxrank.Relation { return e.sharded.Relation() }
+
+// Sharded returns the partitioned form queries stream from.
+func (e *Entry) Sharded() *proxrank.ShardedRelation { return e.sharded }
+
+// Shards returns the entry's shard count.
+func (e *Entry) Shards() int { return e.sharded.NumShards() }
 
 // Generation returns the registration generation (monotone across the
 // catalog; a name re-registered after eviction gets a fresh generation).
@@ -41,6 +48,7 @@ type RelationInfo struct {
 	Tuples   int       `json:"tuples"`
 	Dim      int       `json:"dim"`
 	MaxScore float64   `json:"maxScore"`
+	Shards   int       `json:"shards"`
 	LoadedAt time.Time `json:"loadedAt"`
 }
 
@@ -58,12 +66,21 @@ func NewCatalog() *Catalog {
 	return &Catalog{entries: make(map[string]*Entry)}
 }
 
-// Register names a relation and precomputes its indexes. It fails if the
-// name is empty, already taken (evict first to replace a relation), or
-// differs from rel.Name — query responses and errors always cite
-// rel.Name, so a diverging catalog name would surface names clients
-// cannot resolve back.
+// Register names a relation and precomputes its indexes as a single
+// shard. It fails if the name is empty, already taken (evict first to
+// replace a relation), or differs from rel.Name — query responses and
+// errors always cite rel.Name, so a diverging catalog name would surface
+// names clients cannot resolve back.
 func (c *Catalog) Register(name string, rel *proxrank.Relation) error {
+	return c.RegisterSharded(name, rel, 1, proxrank.HashPartition)
+}
+
+// RegisterSharded is Register with a shard count: the relation is
+// partitioned under strategy and every shard's indexes are built in
+// parallel, all outside the catalog lock. Queries over the entry stream
+// a per-shard merge that answers byte-identically to a single-shard
+// registration.
+func (c *Catalog) RegisterSharded(name string, rel *proxrank.Relation, shards int, strategy proxrank.PartitionStrategy) error {
 	if name == "" {
 		return apiErrorf(CodeBadRequest, "relation name must not be empty")
 	}
@@ -81,14 +98,14 @@ func (c *Catalog) Register(name string, rel *proxrank.Relation) error {
 	if taken {
 		return apiErrorf(CodeConflict, "relation %q is already registered", name)
 	}
-	// Index construction is the expensive part; do it outside the lock so
-	// concurrent queries are not stalled behind a bulk load.
-	e := &Entry{
-		rel:      rel,
-		rtree:    proxrank.NewRTreeIndex(rel),
-		scoreOrd: proxrank.NewScoreIndex(rel),
-		loadedAt: time.Now(),
+	// Partitioning and index construction are the expensive part; do them
+	// outside the lock so concurrent queries are not stalled behind bulk
+	// loads.
+	sharded, err := proxrank.NewShardedRelation(rel, shards, strategy)
+	if err != nil {
+		return apiErrorf(CodeBadRequest, "relation %q: %v", name, err)
 	}
+	e := &Entry{sharded: sharded, loadedAt: time.Now()}
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if _, ok := c.entries[name]; ok {
@@ -101,13 +118,19 @@ func (c *Catalog) Register(name string, rel *proxrank.Relation) error {
 }
 
 // LoadCSVFile reads a relation from a CSV file and registers it under
-// name. Pass maxScore 0 to infer σ_max from the data.
+// name as a single shard. Pass maxScore 0 to infer σ_max from the data.
 func (c *Catalog) LoadCSVFile(name, path string, maxScore float64) error {
+	return c.LoadCSVFileSharded(name, path, maxScore, 1, proxrank.HashPartition)
+}
+
+// LoadCSVFileSharded reads a relation from a CSV file and registers it
+// partitioned into shards.
+func (c *Catalog) LoadCSVFileSharded(name, path string, maxScore float64, shards int, strategy proxrank.PartitionStrategy) error {
 	rel, err := proxrank.LoadRelationCSV(path, name, maxScore)
 	if err != nil {
 		return fmt.Errorf("catalog: load %q: %w", name, err)
 	}
-	return c.Register(name, rel)
+	return c.RegisterSharded(name, rel, shards, strategy)
 }
 
 // Get returns the entry for name, or a CodeNotFound error.
@@ -165,19 +188,47 @@ func (c *Catalog) Names() []string {
 	return out
 }
 
+// TotalShards returns the shard count summed over every registered
+// relation.
+func (c *Catalog) TotalShards() int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	total := 0
+	for _, e := range c.entries {
+		total += e.sharded.NumShards()
+	}
+	return total
+}
+
+// info builds the wire metadata of one entry.
+func info(name string, e *Entry) RelationInfo {
+	rel := e.Relation()
+	return RelationInfo{
+		Name:     name,
+		Tuples:   rel.Len(),
+		Dim:      rel.Dim(),
+		MaxScore: rel.MaxScore,
+		Shards:   e.Shards(),
+		LoadedAt: e.loadedAt,
+	}
+}
+
+// Info returns the metadata of one registered relation.
+func (c *Catalog) Info(name string) (RelationInfo, error) {
+	e, err := c.Get(name)
+	if err != nil {
+		return RelationInfo{}, err
+	}
+	return info(name, e), nil
+}
+
 // Infos returns the metadata of every registered relation, sorted by name.
 func (c *Catalog) Infos() []RelationInfo {
 	c.mu.RLock()
 	defer c.mu.RUnlock()
 	out := make([]RelationInfo, 0, len(c.entries))
 	for name, e := range c.entries {
-		out = append(out, RelationInfo{
-			Name:     name,
-			Tuples:   e.rel.Len(),
-			Dim:      e.rel.Dim(),
-			MaxScore: e.rel.MaxScore,
-			LoadedAt: e.loadedAt,
-		})
+		out = append(out, info(name, e))
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
 	return out

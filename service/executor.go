@@ -7,6 +7,7 @@ import (
 	"runtime"
 	"strconv"
 	"strings"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -131,6 +132,7 @@ type StatsSnapshot struct {
 	Completed         int64 `json:"completed"`
 	CacheHits         int64 `json:"cacheHits"`
 	CacheMisses       int64 `json:"cacheMisses"`
+	Coalesced         int64 `json:"coalesced"`
 	CacheEntries      int   `json:"cacheEntries"`
 	Canceled          int64 `json:"canceled"`
 	BadRequests       int64 `json:"badRequests"`
@@ -148,15 +150,17 @@ type StatsSnapshot struct {
 // pool with per-query deadlines and an LRU result cache. It is safe for
 // concurrent use.
 type Executor struct {
-	cat   *Catalog
-	cfg   Config
-	slots chan struct{}
-	cache *resultCache
+	cat    *Catalog
+	cfg    Config
+	slots  chan struct{}
+	cache  *resultCache
+	flight *flightGroup
 
 	queries           atomic.Int64
 	completed         atomic.Int64
 	cacheHits         atomic.Int64
 	cacheMisses       atomic.Int64
+	coalesced         atomic.Int64
 	canceled          atomic.Int64
 	badRequests       atomic.Int64
 	failed            atomic.Int64
@@ -184,10 +188,11 @@ func NewExecutor(cat *Catalog, cfg Config) *Executor {
 		cfg.MaxTimeout = DefaultMaxTimeout
 	}
 	return &Executor{
-		cat:   cat,
-		cfg:   cfg,
-		slots: make(chan struct{}, cfg.Workers),
-		cache: newResultCache(cfg.CacheSize),
+		cat:    cat,
+		cfg:    cfg,
+		slots:  make(chan struct{}, cfg.Workers),
+		cache:  newResultCache(cfg.CacheSize),
+		flight: newFlightGroup(),
 	}
 }
 
@@ -198,6 +203,7 @@ func (x *Executor) Stats() StatsSnapshot {
 		Completed:         x.completed.Load(),
 		CacheHits:         x.cacheHits.Load(),
 		CacheMisses:       x.cacheMisses.Load(),
+		Coalesced:         x.coalesced.Load(),
 		CacheEntries:      x.cache.len(),
 		Canceled:          x.canceled.Load(),
 		BadRequests:       x.badRequests.Load(),
@@ -293,8 +299,10 @@ func (x *Executor) options(req *QueryRequest) (proxrank.Options, *APIError) {
 }
 
 // cacheKey encodes everything the answer depends on: the full option
-// set, the query vector bit-exactly, and each relation's name and
-// catalog generation (so re-registering a name invalidates its entries).
+// set, the query vector bit-exactly, and each relation's name, catalog
+// generation (so re-registering a name invalidates its entries), and
+// shard count. Sharding does not change answers — the key carries it
+// only as a defensive marker of the serving configuration.
 func cacheKey(req *QueryRequest, opts proxrank.Options, entries []*Entry) string {
 	var b strings.Builder
 	b.Grow(64 + 24*len(req.Query) + 24*len(entries))
@@ -332,19 +340,23 @@ func cacheKey(req *QueryRequest, opts proxrank.Options, entries []*Entry) string
 		// Length-prefix the name: it is caller-chosen and may contain any
 		// delimiter, so bare concatenation could collide across distinct
 		// relation lists.
-		b.WriteString(strconv.Itoa(len(e.rel.Name)))
+		name := e.Relation().Name
+		b.WriteString(strconv.Itoa(len(name)))
 		b.WriteByte(':')
-		b.WriteString(e.rel.Name)
+		b.WriteString(name)
 		b.WriteByte('@')
 		b.WriteString(strconv.FormatUint(e.gen, 10))
+		b.WriteByte('/')
+		b.WriteString(strconv.Itoa(e.Shards()))
 		b.WriteByte(',')
 	}
 	return b.String()
 }
 
 // Execute answers one query: resolve the relations, consult the cache,
-// wait for a worker slot (bounded by the query's deadline), run the
-// engine with cancellation, record stats, and cache the outcome.
+// coalesce concurrent identical misses into one engine run, wait for a
+// worker slot (bounded by the query's deadline), run the engine with
+// cancellation, record stats, and cache the outcome.
 //
 // The returned response may share its Results and Cost.Depths backing
 // arrays with the executor's cache — treat it as read-only. Callers that
@@ -364,25 +376,71 @@ func (x *Executor) Execute(ctx context.Context, req *QueryRequest) (*QueryRespon
 		return nil, err
 	}
 	for _, e := range entries {
-		if e.rel.Dim() != len(req.Query) {
+		rel := e.Relation()
+		if rel.Dim() != len(req.Query) {
 			x.badRequests.Add(1)
 			return nil, apiErrorf(CodeBadRequest, "relation %q has dim %d, query has dim %d",
-				e.rel.Name, e.rel.Dim(), len(req.Query))
+				rel.Name, rel.Dim(), len(req.Query))
 		}
 	}
-	useCache := !req.NoCache && x.cache.enabled()
-	var key string
-	if useCache {
-		key = cacheKey(req, opts, entries)
-		if cached, ok := x.cache.get(key); ok {
-			x.cacheHits.Add(1)
-			hit := *cached // shallow copy; cached value stays immutable
+	if req.NoCache || !x.cache.enabled() {
+		ctx, cancel := x.applyDeadline(ctx, req)
+		defer cancel()
+		return x.run(ctx, req, opts, entries, "", false)
+	}
+	key := cacheKey(req, opts, entries)
+	if cached, ok := x.cache.get(key); ok {
+		x.cacheHits.Add(1)
+		hit := *cached // shallow copy; cached value stays immutable
+		hit.Cached = true
+		return &hit, nil
+	}
+	x.cacheMisses.Add(1)
+	// The deadline is applied before the flight so a follower's wait is
+	// bounded by its own requested timeout, not the leader's.
+	ctx, cancel := x.applyDeadline(ctx, req)
+	defer cancel()
+	// Single-flight: identical concurrent misses run the engine once. The
+	// leader executes; followers wait for its outcome. A leader failure is
+	// not shared — its error may be specific to its own deadline — so each
+	// waiting follower retries, one of them becoming the next leader.
+	for {
+		c, leader := x.flight.join(key)
+		if leader {
+			finished := false
+			// If a panic unwinds through the engine run, retire the flight
+			// before it continues so followers are woken to retry instead
+			// of waiting forever on a key that can never complete.
+			defer func() {
+				if !finished {
+					x.flight.leave(key, c, nil, apiErrorf(CodeInternal, "query leader aborted"))
+				}
+			}()
+			resp, err := x.run(ctx, req, opts, entries, key, true)
+			finished = true
+			x.flight.leave(key, c, resp, err)
+			return resp, err
+		}
+		select {
+		case <-c.done:
+			if c.err != nil {
+				continue
+			}
+			x.coalesced.Add(1)
+			hit := *c.resp // shallow copy, like a cache hit
 			hit.Cached = true
 			return &hit, nil
+		case <-ctx.Done():
+			x.canceled.Add(1)
+			return nil, asAPIError(ctx.Err())
 		}
-		x.cacheMisses.Add(1)
 	}
+}
 
+// applyDeadline wraps ctx with the query's effective deadline: the
+// clamped client-requested TimeoutMillis, else the configured default.
+// The returned cancel is never nil.
+func (x *Executor) applyDeadline(ctx context.Context, req *QueryRequest) (context.Context, context.CancelFunc) {
 	if req.TimeoutMillis > 0 {
 		// Clamp in milliseconds before converting: a huge TimeoutMillis
 		// would overflow the Duration multiply into a negative (instantly
@@ -391,15 +449,19 @@ func (x *Executor) Execute(ctx context.Context, req *QueryRequest) (*QueryRespon
 		if maxMillis := x.cfg.MaxTimeout.Milliseconds(); millis > maxMillis {
 			millis = maxMillis
 		}
-		var cancel context.CancelFunc
-		ctx, cancel = context.WithTimeout(ctx, time.Duration(millis)*time.Millisecond)
-		defer cancel()
-	} else if x.cfg.DefaultTimeout > 0 {
-		var cancel context.CancelFunc
-		ctx, cancel = context.WithTimeout(ctx, x.cfg.DefaultTimeout)
-		defer cancel()
+		return context.WithTimeout(ctx, time.Duration(millis)*time.Millisecond)
 	}
+	if x.cfg.DefaultTimeout > 0 {
+		return context.WithTimeout(ctx, x.cfg.DefaultTimeout)
+	}
+	return ctx, func() {}
+}
 
+// run executes the engine for one resolved query under an
+// already-deadlined context: acquire a worker slot, fan out per-shard
+// source creation, run with cancellation, record stats, and (when store
+// is set) cache the response under key.
+func (x *Executor) run(ctx context.Context, req *QueryRequest, opts proxrank.Options, entries []*Entry, key string, store bool) (*QueryResponse, error) {
 	if err := ctx.Err(); err != nil {
 		x.canceled.Add(1)
 		return nil, asAPIError(err)
@@ -425,20 +487,10 @@ func (x *Executor) Execute(ctx context.Context, req *QueryRequest) (*QueryRespon
 	defer x.inFlight.Add(-1)
 
 	query := proxrank.Vector(req.Query)
-	sources := make([]proxrank.Source, len(entries))
-	for i, e := range entries {
-		if opts.Access == proxrank.ScoreAccess {
-			sources[i] = e.scoreOrd.Source()
-		} else {
-			// The dim pre-check above already rules out the only documented
-			// Source failure; anything else here is a server-side problem.
-			s, err := e.rtree.Source(query)
-			if err != nil {
-				x.failed.Add(1)
-				return nil, apiErrorf(CodeInternal, "%v", err)
-			}
-			sources[i] = s
-		}
+	sources, aerr := x.buildSources(opts, query, entries)
+	if aerr != nil {
+		x.failed.Add(1)
+		return nil, aerr
 	}
 
 	x.engineRuns.Add(1)
@@ -459,10 +511,83 @@ func (x *Executor) Execute(ctx context.Context, req *QueryRequest) (*QueryRespon
 	x.totalCombinations.Add(res.Stats.CombinationsFormed)
 	x.totalBoundUpdates.Add(res.Stats.BoundUpdates)
 	x.totalEngineMicros.Add(res.Stats.TotalTime.Microseconds())
-	if useCache {
+	if store {
 		x.cache.put(key, resp)
 	}
 	return resp, nil
+}
+
+// buildSources opens one engine stream per relation: every shard of every
+// relation gets its ordered source, creation fans out across a bounded
+// pool when the entries hold more than one shard in total, and each
+// relation's shard streams are merged back into its canonical order. The
+// dim pre-check in Execute already rules out the only documented source
+// failure; anything surfacing here is a server-side problem, which the
+// caller reports as internal.
+func (x *Executor) buildSources(opts proxrank.Options, query proxrank.Vector, entries []*Entry) ([]proxrank.Source, *APIError) {
+	type job struct{ rel, shard int }
+	var jobs []job
+	perRel := make([][]proxrank.Source, len(entries))
+	for i, e := range entries {
+		n := e.Shards()
+		perRel[i] = make([]proxrank.Source, n)
+		for s := 0; s < n; s++ {
+			jobs = append(jobs, job{rel: i, shard: s})
+		}
+	}
+	open := func(j job) error {
+		e := entries[j.rel]
+		src, err := e.Sharded().ShardSource(j.shard, opts.Access, query, nil, true)
+		if err != nil {
+			return err
+		}
+		perRel[j.rel][j.shard] = src
+		return nil
+	}
+	// Opening an in-memory shard source is cheap (a cursor or an O(1)
+	// traversal setup), so the pool only pays for itself on wide fan-outs;
+	// below the threshold a sequential loop is strictly faster than
+	// spawning goroutines per query.
+	const fanOutThreshold = 16
+	if workers := min(x.cfg.Workers, len(jobs)); workers > 1 && len(jobs) >= fanOutThreshold {
+		feed := make(chan job)
+		var wg sync.WaitGroup
+		var firstErr atomic.Pointer[error]
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for j := range feed {
+					if err := open(j); err != nil {
+						firstErr.CompareAndSwap(nil, &err)
+					}
+				}
+			}()
+		}
+		for _, j := range jobs {
+			feed <- j
+		}
+		close(feed)
+		wg.Wait()
+		if errp := firstErr.Load(); errp != nil {
+			return nil, apiErrorf(CodeInternal, "%v", *errp)
+		}
+	} else {
+		for _, j := range jobs {
+			if err := open(j); err != nil {
+				return nil, apiErrorf(CodeInternal, "%v", err)
+			}
+		}
+	}
+	sources := make([]proxrank.Source, len(entries))
+	for i, e := range entries {
+		merged, err := e.Sharded().Merge(perRel[i])
+		if err != nil {
+			return nil, apiErrorf(CodeInternal, "%v", err)
+		}
+		sources[i] = merged
+	}
+	return sources, nil
 }
 
 // buildResponse converts an engine result into the wire form.
@@ -486,7 +611,7 @@ func buildResponse(res proxrank.Result, entries []*Entry) *QueryResponse {
 		rc := ResultCombination{Score: c.Score, Tuples: make([]ResultTuple, len(c.Tuples))}
 		for j, t := range c.Tuples {
 			rc.Tuples[j] = ResultTuple{
-				Relation: entries[j].rel.Name,
+				Relation: entries[j].Relation().Name,
 				ID:       t.ID,
 				Score:    t.Score,
 				Vec:      []float64(t.Vec),

@@ -296,7 +296,11 @@ func inf() float64 {
 // "a@1,b@2,c@3," and could serve each other's cached answers.
 func TestCacheKeyNoCollision(t *testing.T) {
 	entry := func(name string, gen uint64) *Entry {
-		return &Entry{rel: testRelation(t, name, int64(gen), 5, 2), gen: gen}
+		sharded, err := proxrank.NewShardedRelation(testRelation(t, name, int64(gen), 5, 2), 1, proxrank.HashPartition)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return &Entry{sharded: sharded, gen: gen}
 	}
 	list1 := []*Entry{entry("a", 1), entry("b", 2), entry("c", 3)}
 	list2 := []*Entry{entry("a@1,b", 2), entry("c", 3)}

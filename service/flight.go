@@ -1,0 +1,51 @@
+package service
+
+import "sync"
+
+// flightGroup coalesces concurrent identical cache misses: the first
+// caller of a key becomes the leader and runs the engine; every caller
+// that arrives before the leader finishes waits for the leader's outcome
+// instead of racing a duplicate engine run. Keys are the executor's
+// cache keys, so "identical" carries the same meaning as cache identity,
+// catalog generations included.
+type flightGroup struct {
+	mu    sync.Mutex
+	calls map[string]*flightCall
+}
+
+// flightCall is one in-flight engine run. resp and err are written by
+// the leader before done is closed and read-only afterwards.
+type flightCall struct {
+	done chan struct{}
+	resp *QueryResponse
+	err  error
+}
+
+func newFlightGroup() *flightGroup {
+	return &flightGroup{calls: make(map[string]*flightCall)}
+}
+
+// join registers interest in key. The boolean is true for the leader —
+// who must eventually call leave — and false for followers, who wait on
+// the call's done channel.
+func (g *flightGroup) join(key string) (*flightCall, bool) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if c, ok := g.calls[key]; ok {
+		return c, false
+	}
+	c := &flightCall{done: make(chan struct{})}
+	g.calls[key] = c
+	return c, true
+}
+
+// leave publishes the leader's outcome and wakes the followers. The key
+// is retired before done is closed, so a follower that retries after a
+// leader failure can become the next leader.
+func (g *flightGroup) leave(key string, c *flightCall, resp *QueryResponse, err error) {
+	g.mu.Lock()
+	delete(g.calls, key)
+	g.mu.Unlock()
+	c.resp, c.err = resp, err
+	close(c.done)
+}

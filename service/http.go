@@ -4,20 +4,28 @@ import (
 	"encoding/json"
 	"errors"
 	"net/http"
+	"strconv"
 	"time"
+
+	proxrank "repro"
 )
 
 // maxRequestBody bounds the JSON body of a query to keep a single caller
 // from exhausting server memory.
 const maxRequestBody = 1 << 20
 
-// Server is the HTTP front end: four JSON endpoints over an executor and
-// its catalog.
+// maxRelationBody bounds the CSV body of a relation registration.
+const maxRelationBody = 32 << 20
+
+// Server is the HTTP front end: JSON endpoints over an executor and its
+// catalog.
 //
-//	POST /v1/topk      — answer a proximity rank join query
-//	GET  /v1/relations — list the registered relations
-//	GET  /v1/healthz   — liveness probe
-//	GET  /v1/stats     — cumulative serving counters
+//	POST   /v1/topk             — answer a proximity rank join query
+//	GET    /v1/relations        — list the registered relations
+//	POST   /v1/relations        — register a relation from a CSV body
+//	DELETE /v1/relations/{name} — evict a relation
+//	GET    /v1/healthz          — liveness probe
+//	GET    /v1/stats            — cumulative serving counters
 //
 // Every error produced by the handlers carries the structured body
 // {"error":{"code":..., "message":...}}; unmatched paths and methods are
@@ -34,6 +42,8 @@ func NewServer(cat *Catalog, exec *Executor) *Server {
 	s := &Server{exec: exec, cat: cat, start: time.Now(), mux: http.NewServeMux()}
 	s.mux.HandleFunc("POST /v1/topk", s.handleTopK)
 	s.mux.HandleFunc("GET /v1/relations", s.handleRelations)
+	s.mux.HandleFunc("POST /v1/relations", s.handleRegisterRelation)
+	s.mux.HandleFunc("DELETE /v1/relations/{name}", s.handleEvictRelation)
 	s.mux.HandleFunc("GET /v1/healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
 	return s
@@ -98,6 +108,85 @@ func (s *Server) handleRelations(w http.ResponseWriter, _ *http.Request) {
 	}{s.cat.Infos()})
 }
 
+// handleRegisterRelation registers a relation at runtime from a CSV
+// request body ("id,score,x1,...,xd[,attr...]"). Query parameters:
+//
+//	name     — catalog name (required)
+//	maxScore — σ_max; 0 or absent infers it from the data
+//	shards   — shard count (default 1)
+//	strategy — partitioning strategy: hash (default) or grid
+//
+// A taken name answers 409; evict it first to replace a relation, which
+// bumps the generation and invalidates every cached answer built on it.
+func (s *Server) handleRegisterRelation(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	name := q.Get("name")
+	if name == "" {
+		writeError(w, apiErrorf(CodeBadRequest, "query parameter %q is required", "name"))
+		return
+	}
+	maxScore := 0.0
+	if v := q.Get("maxScore"); v != "" {
+		f, err := strconv.ParseFloat(v, 64)
+		if err != nil {
+			writeError(w, apiErrorf(CodeBadRequest, "bad maxScore %q: %v", v, err))
+			return
+		}
+		maxScore = f
+	}
+	shards := 1
+	if v := q.Get("shards"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 1 {
+			writeError(w, apiErrorf(CodeBadRequest, "bad shards %q: want a positive integer", v))
+			return
+		}
+		shards = n
+	}
+	strategy, err := proxrank.ParsePartitionStrategy(q.Get("strategy"))
+	if err != nil {
+		writeError(w, apiErrorf(CodeBadRequest, "%v", err))
+		return
+	}
+	body := http.MaxBytesReader(w, r.Body, maxRelationBody)
+	rel, err := proxrank.ReadRelationCSV(body, name, maxScore)
+	if err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			writeError(w, apiErrorf(CodeBadRequest, "relation body exceeds %d bytes", maxRelationBody))
+			return
+		}
+		writeError(w, apiErrorf(CodeBadRequest, "%v", err))
+		return
+	}
+	if err := s.cat.RegisterSharded(name, rel, shards, strategy); err != nil {
+		writeError(w, err)
+		return
+	}
+	reginfo, err := s.cat.Info(name)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, struct {
+		Relation RelationInfo `json:"relation"`
+	}{reginfo})
+}
+
+// handleEvictRelation removes a relation from the catalog. In-flight
+// queries holding the entry finish against it; cached answers die with
+// the generation.
+func (s *Server) handleEvictRelation(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	if !s.cat.Evict(name) {
+		writeError(w, apiErrorf(CodeNotFound, "relation %q is not registered", name))
+		return
+	}
+	writeJSON(w, http.StatusOK, struct {
+		Evicted string `json:"evicted"`
+	}{name})
+}
+
 func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, http.StatusOK, struct {
 		Status        string  `json:"status"`
@@ -107,5 +196,9 @@ func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
-	writeJSON(w, http.StatusOK, s.exec.Stats())
+	writeJSON(w, http.StatusOK, struct {
+		StatsSnapshot
+		Relations   int `json:"relations"`
+		TotalShards int `json:"totalShards"`
+	}{s.exec.Stats(), s.cat.Len(), s.cat.TotalShards()})
 }

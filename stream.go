@@ -23,11 +23,19 @@ var ErrStreamDone = core.ErrIteratorDone
 // NewStream builds a streaming proximity rank join over in-memory
 // relations. Options.K is ignored; all other options apply.
 func NewStream(query Vector, rels []*Relation, opts Options) (*Stream, error) {
+	return NewStreamInputs(query, relationInputs(rels), opts)
+}
+
+// NewStreamInputs builds a streaming proximity rank join over a mix of
+// plain and sharded relations: sharded inputs are read through a lazy
+// k-way merge of their shard streams, so consuming a prefix of the
+// output still pays only that prefix's I/O.
+func NewStreamInputs(query Vector, inputs []Input, opts Options) (*Stream, error) {
 	fn, err := opts.aggregation()
 	if err != nil {
 		return nil, err
 	}
-	sources, err := buildSources(query, rels, opts, fn)
+	sources, err := buildSources(query, inputs, opts, fn)
 	if err != nil {
 		return nil, err
 	}
