@@ -1,0 +1,200 @@
+// Package api defines the transport-neutral, versioned request/response
+// model of the proximity rank join service: every front end (HTTP JSON,
+// the streaming NDJSON endpoint, future gRPC or remote-shard transports)
+// and the library's Query session speak these types, so validation,
+// defaulting, and the canonical cache-key encoding live in exactly one
+// place.
+//
+// The package is pure data: it depends on nothing but the standard
+// library, and in particular not on the engine. Translation into engine
+// options happens in the facade (proxrank.OptionsFromRequest).
+package api
+
+// Version is the current (and only) protocol version. Requests carrying
+// an empty Version are normalized to it; any other value is rejected, so
+// a future v2 can change semantics without silently breaking v1 clients.
+const Version = "v1"
+
+// Canonical enum vocabularies. Normalize folds aliases (hrjn, hrjn*, id,
+// case variants) onto these spellings, so downstream consumers and the
+// canonical encoding only ever see one name per meaning.
+const (
+	AlgorithmCBRR = "cbrr" // corner bound, round-robin (HRJN)
+	AlgorithmCBPA = "cbpa" // corner bound, potential-adaptive (HRJN*)
+	AlgorithmTBRR = "tbrr" // tight bound, round-robin
+	AlgorithmTBPA = "tbpa" // tight bound, potential-adaptive (default)
+
+	AccessDistance = "distance"
+	AccessScore    = "score"
+
+	TransformLog      = "log"
+	TransformIdentity = "identity"
+)
+
+// Request is one proximity rank join query. Only Query, Relations and K
+// are required; Normalize fills every other field with the paper's best
+// configuration (TBPA, distance access, unit weights, log scores).
+//
+// The JSON shape is shared by POST /v1/query, POST /v1/query/stream, and
+// the legacy POST /v1/topk endpoint.
+type Request struct {
+	// Version is the protocol version ("" = v1).
+	Version string `json:"version,omitempty"`
+	// Query is the target vector q.
+	Query []float64 `json:"query"`
+	// Relations names the inputs, in join order.
+	Relations []string `json:"relations"`
+	// K is the number of results (required, >= 1). Session consumers may
+	// enumerate past K without restarting; K remains the batch size and
+	// the target the DNF caps are judged against.
+	K int `json:"k"`
+	// Algorithm is one of cbrr|cbpa|tbrr|tbpa (default tbpa); hrjn and
+	// hrjn* are accepted aliases for cbrr and cbpa.
+	Algorithm string `json:"algorithm,omitempty"`
+	// Access is distance (default) or score.
+	Access string `json:"access,omitempty"`
+	// Weights override w_s, w_q, w_mu (all default to 1).
+	Weights *Weights `json:"weights,omitempty"`
+	// Transform is log (default) or identity.
+	Transform string `json:"transform,omitempty"`
+	// Epsilon relaxes the stopping test (0 = exact top-K).
+	Epsilon float64 `json:"epsilon,omitempty"`
+	// BoundPeriod recomputes the stopping threshold every so many pulls.
+	BoundPeriod int `json:"boundPeriod,omitempty"`
+	// DominancePeriod enables dominance pruning every so many accesses.
+	DominancePeriod int `json:"dominancePeriod,omitempty"`
+	// MaxSumDepths / MaxCombinations abort long runs with a DNF result.
+	MaxSumDepths    int   `json:"maxSumDepths,omitempty"`
+	MaxCombinations int64 `json:"maxCombinations,omitempty"`
+	// TimeoutMillis overrides the server's default per-query deadline.
+	// Transport concern: not part of the canonical encoding.
+	TimeoutMillis int64 `json:"timeoutMillis,omitempty"`
+	// NoCache bypasses the result cache for this query. Transport
+	// concern: not part of the canonical encoding.
+	NoCache bool `json:"noCache,omitempty"`
+}
+
+// Weights mirrors the aggregation weights of paper eq. (2) in JSON.
+type Weights struct {
+	Ws  float64 `json:"ws"`
+	Wq  float64 `json:"wq"`
+	Wmu float64 `json:"wmu"`
+}
+
+// Tuple is one member of a result combination.
+type Tuple struct {
+	Relation string            `json:"relation"`
+	ID       string            `json:"id"`
+	Score    float64           `json:"score"`
+	Vec      []float64         `json:"vec"`
+	Attrs    map[string]string `json:"attrs,omitempty"`
+}
+
+// Combination is one ranked join result.
+type Combination struct {
+	Score  float64 `json:"score"`
+	Tuples []Tuple `json:"tuples"`
+}
+
+// Cost reports what a query cost the engine — the paper's metrics
+// (sumDepths et al.) plus wall time.
+type Cost struct {
+	SumDepths     int   `json:"sumDepths"`
+	Depths        []int `json:"depths"`
+	Combinations  int64 `json:"combinations"`
+	BoundUpdates  int64 `json:"boundUpdates"`
+	QPSolves      int64 `json:"qpSolves,omitempty"`
+	ElapsedMicros int64 `json:"elapsedMicros"`
+	// Threshold is the final bound; absent when it is not finite (±Inf is
+	// not representable in JSON — −Inf after full exhaustion, +Inf when a
+	// cap fired before the first bound update).
+	Threshold *float64 `json:"threshold,omitempty"`
+}
+
+// Response answers a batch query. Responses handed out by a server may be
+// shared with its result cache and must be treated as read-only.
+type Response struct {
+	Results []Combination `json:"results"`
+	// DNF is true when a MaxSumDepths/MaxCombinations cap stopped the run
+	// before the bound certified the top-K; the results past the last
+	// certified one are the engine's best-effort prefix. The session API
+	// signals the same condition as an Error with code CodeDNF — see the
+	// mapping table in error.go.
+	DNF    bool `json:"dnf,omitempty"`
+	Cached bool `json:"cached"`
+	Cost   Cost `json:"cost"`
+}
+
+// EventType discriminates streaming events.
+type EventType string
+
+const (
+	// EventResult carries one ranked combination, delivered as soon as
+	// the engine certifies it.
+	EventResult EventType = "result"
+	// EventSummary closes a successful stream with the run's totals.
+	EventSummary EventType = "summary"
+	// EventError closes a stream that failed after it started.
+	EventError EventType = "error"
+)
+
+// ResultEvent is one NDJSON line of an incremental query stream: K result
+// events (rank 1 first, flushed as produced) followed by exactly one
+// summary event — or an error event if the run fails midway.
+type ResultEvent struct {
+	Type EventType `json:"type"`
+	// Rank is the 1-based position of a result event.
+	Rank int `json:"rank,omitempty"`
+	// Result is set on result events.
+	Result *Combination `json:"result,omitempty"`
+	// Summary is set on the final summary event.
+	Summary *Summary `json:"summary,omitempty"`
+	// Error is set on error events.
+	Error *Error `json:"error,omitempty"`
+}
+
+// Summary is the trailer of a result stream: everything a Response
+// carries beyond the combinations themselves.
+type Summary struct {
+	// Count is the number of result events that preceded the summary.
+	Count int `json:"count"`
+	// DNF marks a capped run; results streamed after the cap fired are
+	// the engine's uncertified best-effort tail (matching the batch
+	// endpoint's DNF results).
+	DNF    bool `json:"dnf,omitempty"`
+	Cached bool `json:"cached"`
+	Cost   Cost `json:"cost"`
+}
+
+// CollectStream reassembles a batch Response from a finished event
+// sequence — the inverse of streaming a response. It is what a client
+// (or an equivalence test) uses to compare the streaming endpoint
+// against the batch one.
+func CollectStream(events []ResultEvent) (*Response, *Error) {
+	resp := &Response{}
+	for _, ev := range events {
+		switch ev.Type {
+		case EventResult:
+			if ev.Result == nil {
+				return nil, Errorf(CodeInternal, "result event %d carries no result", ev.Rank)
+			}
+			resp.Results = append(resp.Results, *ev.Result)
+		case EventSummary:
+			if ev.Summary == nil {
+				return nil, Errorf(CodeInternal, "summary event carries no summary")
+			}
+			resp.DNF = ev.Summary.DNF
+			resp.Cached = ev.Summary.Cached
+			resp.Cost = ev.Summary.Cost
+			return resp, nil
+		case EventError:
+			if ev.Error == nil {
+				return nil, Errorf(CodeInternal, "error event carries no error")
+			}
+			return nil, ev.Error
+		default:
+			return nil, Errorf(CodeInternal, "unknown event type %q", ev.Type)
+		}
+	}
+	return nil, Errorf(CodeInternal, "stream ended without a summary event")
+}

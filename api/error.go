@@ -1,0 +1,82 @@
+package api
+
+import (
+	"fmt"
+	"net/http"
+)
+
+// ErrorCode classifies API failures; it is the machine-readable half of
+// the structured error body every endpoint returns.
+type ErrorCode string
+
+const (
+	// CodeBadRequest marks malformed or invalid requests.
+	CodeBadRequest ErrorCode = "bad_request"
+	// CodeNotFound marks references to unregistered relations.
+	CodeNotFound ErrorCode = "not_found"
+	// CodeConflict marks duplicate registrations.
+	CodeConflict ErrorCode = "conflict"
+	// CodeTimeout marks queries that exceeded their deadline.
+	CodeTimeout ErrorCode = "timeout"
+	// CodeCanceled marks queries whose caller went away.
+	CodeCanceled ErrorCode = "canceled"
+	// CodeOverloaded marks queries shed because the worker pool and its
+	// wait budget were exhausted.
+	CodeOverloaded ErrorCode = "overloaded"
+	// CodeDNF marks runs aborted by a MaxSumDepths/MaxCombinations cap
+	// before the bound certified the result. The same condition surfaces
+	// three ways, one per consumption model:
+	//
+	//   - batch (Response / legacy Result): DNF flag set, best-effort
+	//     results included, no error;
+	//   - session (proxrank.Query.Next, proxrank.MustTopK): an error
+	//     matching errors.Is(err, proxrank.ErrDNF), which servers map to
+	//     this code;
+	//   - stream (ResultEvent): Summary.DNF set after the best-effort
+	//     tail has been delivered.
+	CodeDNF ErrorCode = "dnf"
+	// CodeInternal marks unexpected engine failures.
+	CodeInternal ErrorCode = "internal"
+)
+
+// HTTPStatus maps an error code onto the response status.
+func (c ErrorCode) HTTPStatus() int {
+	switch c {
+	case CodeBadRequest:
+		return http.StatusBadRequest
+	case CodeNotFound:
+		return http.StatusNotFound
+	case CodeConflict:
+		return http.StatusConflict
+	case CodeTimeout:
+		return http.StatusGatewayTimeout
+	case CodeCanceled:
+		// Closest standard status for "client went away".
+		return http.StatusRequestTimeout
+	case CodeOverloaded:
+		return http.StatusServiceUnavailable
+	case CodeDNF:
+		// A capped run is an unfinishable request, not a server fault.
+		// Batch endpoints never surface this as an HTTP error (they set
+		// the DNF flag on a 200 instead); the status exists for session
+		// transports that must reject a pull.
+		return http.StatusUnprocessableEntity
+	default:
+		return http.StatusInternalServerError
+	}
+}
+
+// Error is the structured error of the query surface: a stable code for
+// programs, a message for humans.
+type Error struct {
+	Code    ErrorCode `json:"code"`
+	Message string    `json:"message"`
+}
+
+// Error implements error.
+func (e *Error) Error() string { return fmt.Sprintf("%s: %s", e.Code, e.Message) }
+
+// Errorf builds an Error with a formatted message.
+func Errorf(code ErrorCode, format string, args ...any) *Error {
+	return &Error{Code: code, Message: fmt.Sprintf(format, args...)}
+}

@@ -1,0 +1,69 @@
+package api
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// FuzzRequestDecode exercises the full wire path — JSON decode,
+// Normalize, Canonical — against arbitrary bodies. Invariants:
+//
+//  1. decode + Normalize never panic, whatever the bytes;
+//  2. Normalize is idempotent: a second pass neither fails nor moves
+//     the canonical encoding;
+//  3. the canonical encoding survives a marshal/decode/normalize round
+//     trip — the property that lets any transport recompute the cache
+//     key from the wire form.
+//
+// Run the smoke pass with:
+//
+//	go test -run=^$ -fuzz=FuzzRequestDecode -fuzztime=10s ./api
+func FuzzRequestDecode(f *testing.F) {
+	f.Add(`{"query":[0.1,0.2],"relations":["a","b"],"k":5}`)
+	f.Add(`{"version":"v1","query":[0.01,0.028],"relations":["SF-hotels","SF-restaurants"],"k":3,"algorithm":"HRJN*","access":"Score","transform":"id","weights":{"ws":1,"wq":2000,"wmu":2000}}`)
+	f.Add(`{"query":[1e308,-1e308],"relations":["x","y"],"k":1,"epsilon":0.5,"boundPeriod":8,"dominancePeriod":4,"maxSumDepths":100,"maxCombinations":50,"timeoutMillis":250,"noCache":true}`)
+	f.Add(`{"query":[0],"relations":["a,b","c|d=e"],"k":1}`)
+	f.Add(`{"k":-1}`)
+	f.Add(`{"query":[null],"relations":"nope"}`)
+	f.Add(`not json at all`)
+	f.Add(`{"query":[0.1,0.2],"relations":["a","b"],"k":5,"weights":{"ws":0,"wq":0,"wmu":0}}`)
+	f.Fuzz(func(t *testing.T, body string) {
+		dec := json.NewDecoder(strings.NewReader(body))
+		dec.DisallowUnknownFields()
+		var req Request
+		if err := dec.Decode(&req); err != nil {
+			return // malformed JSON is the transport's problem
+		}
+		if aerr := req.Normalize(Limits{MaxK: 1000}); aerr != nil {
+			if aerr.Code != CodeBadRequest {
+				t.Fatalf("Normalize returned non-bad_request code %q for %q", aerr.Code, body)
+			}
+			return
+		}
+		canon := req.Canonical()
+		if canon == "" || !strings.HasPrefix(canon, Version+"|") {
+			t.Fatalf("canonical encoding %q lacks the version prefix", canon)
+		}
+		if aerr := req.Normalize(Limits{MaxK: 1000}); aerr != nil {
+			t.Fatalf("re-normalize failed: %v", aerr)
+		}
+		if again := req.Canonical(); again != canon {
+			t.Fatalf("normalize is not idempotent:\n  %s\n  %s", canon, again)
+		}
+		buf, err := json.Marshal(&req)
+		if err != nil {
+			t.Fatalf("marshal normalized request: %v", err)
+		}
+		var back Request
+		if err := json.Unmarshal(buf, &back); err != nil {
+			t.Fatalf("decode re-marshaled request: %v", err)
+		}
+		if aerr := back.Normalize(Limits{MaxK: 1000}); aerr != nil {
+			t.Fatalf("normalize re-marshaled request: %v", aerr)
+		}
+		if back.Canonical() != canon {
+			t.Fatalf("canonical encoding did not survive the round trip:\n  %s\n  %s", canon, back.Canonical())
+		}
+	})
+}

@@ -12,6 +12,7 @@ package proxrank_test
 // reproduced (see EXPERIMENTS.md).
 
 import (
+	"context"
 	"testing"
 
 	proxrank "repro"
@@ -164,6 +165,75 @@ func BenchmarkCityQuery(b *testing.B) {
 	benchTopK(b, pub, city.Query(), proxrank.Options{
 		K: 10, Weights: proxrank.Weights{Ws: 1, Wq: 2000, Wmu: 2000},
 	})
+}
+
+// cityBenchSetup loads one bundled city study and its paper weighting.
+func cityBenchSetup(b *testing.B, code string) ([]*proxrank.Relation, proxrank.Vector, proxrank.Options) {
+	b.Helper()
+	city, err := cities.ByCode(code)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rels, err := city.Relations()
+	if err != nil {
+		b.Fatal(err)
+	}
+	opts := proxrank.Options{K: 10, Weights: proxrank.Weights{Ws: 1, Wq: 2000, Wmu: 2000}}
+	return rels, proxrank.Vector(city.Query()), opts
+}
+
+// BenchmarkCityTimeToFirstResult measures ranked enumeration's headline
+// property on the city studies: the latency until the rank-1 result is
+// certified by a fresh Query session — what a streaming client waits
+// before its first NDJSON line.
+func BenchmarkCityTimeToFirstResult(b *testing.B) {
+	for _, code := range []string{"SF", "NY", "BO", "DA", "HO"} {
+		b.Run(code, func(b *testing.B) {
+			rels, q, opts := cityBenchSetup(b, code)
+			inputs := make([]proxrank.Input, len(rels))
+			for i, r := range rels {
+				inputs[i] = r
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				sess, err := proxrank.NewQueryInputs(q, inputs, opts)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if _, err := sess.Next(1); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkCityTimeToComplete is the batch twin: the same session
+// drained to K=10, i.e. what a batch client waits for the full
+// response. The gap to BenchmarkCityTimeToFirstResult is the latency
+// incremental retrieval saves.
+func BenchmarkCityTimeToComplete(b *testing.B) {
+	for _, code := range []string{"SF", "NY", "BO", "DA", "HO"} {
+		b.Run(code, func(b *testing.B) {
+			rels, q, opts := cityBenchSetup(b, code)
+			inputs := make([]proxrank.Input, len(rels))
+			for i, r := range rels {
+				inputs[i] = r
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				sess, err := proxrank.NewQueryInputs(q, inputs, opts)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if _, err := sess.RunContext(context.Background()); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
 }
 
 // Oracle cost for scale: the naive full cross product the operators avoid.

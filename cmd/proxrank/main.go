@@ -1,21 +1,28 @@
 // Command proxrank answers ad-hoc proximity rank join queries over CSV
-// relations or the bundled simulated city data sets.
+// relations or the bundled simulated city data sets. Queries are
+// expressed as the transport-neutral api.Request (the same shape the
+// HTTP service speaks) and executed through a proxrank.Query session, so
+// -stream can print each result the moment the engine certifies it
+// instead of waiting for the whole run.
 //
 // Usage:
 //
 //	proxrank -city SF -k 5
 //	proxrank -csv hotels.csv,restaurants.csv -query "0.1,0.2" -k 10 -algo cbpa
+//	proxrank -city NY -k 20 -stream
 //
 // CSV layout: header "id,score,x1,...,xd[,attrs...]", one tuple per row.
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
 	"strings"
 
 	proxrank "repro"
+	"repro/api"
 	"repro/internal/vec"
 )
 
@@ -33,13 +40,9 @@ func main() {
 		showIO  = flag.Bool("stats", false, "print access statistics")
 		maxSum  = flag.Int("max-sum-depths", 0, "abort after this many accesses (0 = unlimited)")
 		useTree = flag.Bool("rtree", false, "serve distance access via R-tree incremental NN")
+		stream  = flag.Bool("stream", false, "print each result as soon as it is certified")
 	)
 	flag.Parse()
-
-	algo, err := proxrank.ParseAlgorithm(*algoS)
-	if err != nil {
-		fatal("%v", err)
-	}
 
 	var (
 		rels     []*proxrank.Relation
@@ -59,6 +62,8 @@ func main() {
 		}
 	case *csvs != "":
 		for _, path := range strings.Split(*csvs, ",") {
+			// The empty name keeps the historical default: the relation is
+			// named after its file, which is what the result listing prints.
 			rel, err := proxrank.LoadRelationCSV(strings.TrimSpace(path), "", 0)
 			if err != nil {
 				fatal("loading %s: %v", path, err)
@@ -80,41 +85,94 @@ func main() {
 		fatal("no query vector: pass -query")
 	}
 
-	opts := proxrank.Options{
+	// One request shape across every surface: the CLI fills the same
+	// api.Request the HTTP endpoints accept, and validation/defaulting
+	// happen centrally in the api package.
+	names := make([]string, len(rels))
+	inputs := make([]proxrank.Input, len(rels))
+	for i, rel := range rels {
+		names[i] = rel.Name
+		inputs[i] = rel
+	}
+	req := &api.Request{
+		Query:        []float64(query),
+		Relations:    names,
 		K:            *k,
-		Algorithm:    algo,
-		Weights:      proxrank.Weights{Ws: *ws, Wq: *wq, Wmu: *wmu},
-		UseRTree:     *useTree,
+		Algorithm:    *algoS,
+		Access:       *access,
+		Weights:      &api.Weights{Ws: *ws, Wq: *wq, Wmu: *wmu},
 		MaxSumDepths: *maxSum,
 	}
-	if *access == "score" {
-		opts.Access = proxrank.ScoreAccess
-	} else if *access != "distance" {
-		fatal("unknown access kind %q", *access)
-	}
-
-	res, err := proxrank.TopK(query, rels, opts)
+	qvec, opts, err := proxrank.OptionsFromRequest(req)
 	if err != nil {
 		fatal("%v", err)
 	}
-	if landmark != "" {
-		fmt.Printf("query: %s (%v)\n", landmark, query)
-	} else {
-		fmt.Printf("query: %v\n", query)
+	// The R-tree toggle is a physical knob of the local engine, not part
+	// of the wire request (results are identical either way).
+	opts.UseRTree = *useTree
+
+	sess, err := proxrank.NewQueryInputs(qvec, inputs, opts)
+	if err != nil {
+		fatal("%v", err)
 	}
-	for i, c := range res.Combinations {
-		fmt.Printf("#%d  score %.4f\n", i+1, c.Score)
+
+	if landmark != "" {
+		fmt.Printf("query: %s (%v)\n", landmark, qvec)
+	} else {
+		fmt.Printf("query: %v\n", qvec)
+	}
+
+	print := func(rank int, c proxrank.Combination) {
+		fmt.Printf("#%d  score %.4f\n", rank, c.Score)
 		for j, tup := range c.Tuples {
 			fmt.Printf("    %-14s %-24s score %.2f at %v\n", rels[j].Name, tup.ID, tup.Score, tup.Vec)
 		}
 	}
-	if res.DNF {
+
+	dnf := false
+	if *stream {
+		// Incremental retrieval: rank 1 appears as soon as the bound
+		// certifies it, long before the run would complete.
+		rank := 0
+		for rank < *k {
+			batch, err := sess.Next(1)
+			for _, c := range batch {
+				rank++
+				print(rank, c)
+			}
+			if err == nil {
+				continue
+			}
+			if errors.Is(err, proxrank.ErrStreamDone) {
+				break
+			}
+			if errors.Is(err, proxrank.ErrDNF) {
+				dnf = true
+				for _, c := range sess.DrainBest(*k - rank) {
+					rank++
+					print(rank, c)
+				}
+				break
+			}
+			fatal("%v", err)
+		}
+	} else {
+		res, err := sess.Run()
+		if err != nil {
+			fatal("%v", err)
+		}
+		dnf = res.DNF
+		for i, c := range res.Combinations {
+			print(i+1, c)
+		}
+	}
+	if dnf {
 		fmt.Println("warning: run aborted by cap before the bound certified the result (DNF)")
 	}
 	if *showIO {
+		st := sess.Stats()
 		fmt.Printf("sumDepths=%d depths=%v combinations=%d cpu=%v (bound %v)\n",
-			res.Stats.SumDepths, res.Stats.Depths, res.Stats.CombinationsFormed,
-			res.Stats.TotalTime, res.Stats.BoundTime)
+			st.SumDepths, st.Depths, st.CombinationsFormed, st.TotalTime, st.BoundTime)
 	}
 }
 

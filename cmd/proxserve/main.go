@@ -15,9 +15,13 @@
 //	proxserve -city NY -shards 8 -shard-strategy grid
 //	proxserve -rel hotels=hotels.csv:4 -rel food=food.csv
 //
-// Endpoints:
+// Endpoints (queries speak the versioned api.Request model; /v1/topk is
+// the legacy alias of /v1/query):
 //
-//	POST   /v1/topk      {"query":[x,y],"relations":["SF-hotels","SF-restaurants"],"k":5}
+//	POST   /v1/query         {"query":[x,y],"relations":["SF-hotels","SF-restaurants"],"k":5}
+//	POST   /v1/query/stream  same body; NDJSON result events, first result
+//	                         flushed as soon as the engine certifies it
+//	POST   /v1/topk          legacy alias of /v1/query
 //	GET    /v1/relations
 //	POST   /v1/relations?name=bars&shards=4   (CSV body)
 //	DELETE /v1/relations/{name}

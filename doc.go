@@ -38,7 +38,17 @@
 // mutual-proximity trade-off of paper eq. (2); Options.DominancePeriod to
 // enable the geometric dominance pruning of §3.2.2.
 //
+// # Incremental retrieval
+//
+// The engine is inherently incremental, and the Query session is the
+// first-class surface for ranked enumeration: NewQuery builds a session
+// from a transport-neutral api.Request, Next delivers results as the
+// bound certifies them (k need not be known up front), and enumeration
+// can continue past the initial K without restarting the run. All batch
+// entry points are a session drained to K, so both consumption models
+// share one engine invocation path and identical costs.
+//
 // The repository also ships the paper's full experimental study (see
 // cmd/proxbench and EXPERIMENTS.md) and a concurrent query-serving layer
-// over this library (see the service package and cmd/proxserve).
+// over this library (see the api and service packages and cmd/proxserve).
 package proxrank

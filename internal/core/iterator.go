@@ -35,6 +35,12 @@ type Iterator struct {
 // exhausted.
 var ErrIteratorDone = errors.New("core: iterator exhausted")
 
+// ErrIteratorDNF is returned by Next once a MaxSumDepths/MaxCombinations
+// cap has fired and no buffered combination can be certified anymore:
+// the streaming twin of a batch run's DNF flag. The buffered best-effort
+// results remain reachable through DrainBest.
+var ErrIteratorDNF = errors.New("core: iterator aborted by MaxSumDepths/MaxCombinations cap")
+
 // NewIterator builds a pipelined proximity rank join operator. Options.K
 // is ignored (results stream indefinitely); all other options behave as in
 // NewEngine.
@@ -72,7 +78,11 @@ func (it *Iterator) NextContext(ctx context.Context) (Combination, error) {
 	start := time.Now()
 	defer func() { it.e.stats.TotalTime += time.Since(start) }()
 	for {
-		if best, ok := it.seen.Peek(); ok && best.Score >= it.e.t-1e-9 {
+		// Emission test: the buffered best is certified once it reaches the
+		// bound less the approximation slack — the per-result form of the
+		// batch stopping test, so a K-prefix of the stream pulls exactly
+		// what the batch run would.
+		if best, ok := it.seen.Peek(); ok && best.Score >= it.e.t-it.e.opts.Epsilon-1e-9 {
 			top, _ := it.seen.Pop()
 			it.emitted++
 			return top, nil
@@ -89,6 +99,12 @@ func (it *Iterator) NextContext(ctx context.Context) (Combination, error) {
 		if err := ctx.Err(); err != nil {
 			return Combination{}, fmt.Errorf("core: next canceled after %d accesses: %w", it.e.stats.SumDepths, err)
 		}
+		// Cap test sits where the batch loop has it: after the emission
+		// test, before the next pull. Without further pulls the bound can
+		// never tighten, so once capped nothing uncertified ever certifies.
+		if it.e.capped() {
+			return Combination{}, ErrIteratorDNF
+		}
 		ri := it.e.pull.choose(it.e)
 		if ri < 0 {
 			it.done = true
@@ -100,6 +116,22 @@ func (it *Iterator) NextContext(ctx context.Context) (Combination, error) {
 		}
 	}
 }
+
+// DrainBest pops the best buffered combination without certifying it
+// against the bound. After ErrIteratorDNF this yields the engine's
+// best-effort tail in the same order a capped batch run reports: the
+// buffer holds every formed-but-unemitted combination, so emitted
+// results plus the drain reproduce the batch top-K exactly.
+func (it *Iterator) DrainBest() (Combination, bool) {
+	top, ok := it.seen.Pop()
+	if ok {
+		it.emitted++
+	}
+	return top, ok
+}
+
+// Buffered returns the number of formed combinations awaiting emission.
+func (it *Iterator) Buffered() int { return it.seen.Len() }
 
 // Emitted returns how many combinations have been produced so far.
 func (it *Iterator) Emitted() int64 { return it.emitted }

@@ -276,15 +276,11 @@ func TopKInputs(query Vector, inputs []Input, opts Options) (Result, error) {
 
 // TopKInputsContext is TopKInputs with cooperative cancellation.
 func TopKInputsContext(ctx context.Context, query Vector, inputs []Input, opts Options) (Result, error) {
-	fn, err := opts.aggregation()
+	q, err := NewQueryInputs(query, inputs, opts)
 	if err != nil {
 		return Result{}, err
 	}
-	sources, err := buildSources(query, inputs, opts, fn)
-	if err != nil {
-		return Result{}, err
-	}
-	return TopKFromSourcesContext(ctx, query, sources, opts)
+	return q.RunContext(ctx)
 }
 
 // relationInputs widens a relation list to the Input interface.
@@ -333,19 +329,21 @@ func TopKFromSources(query Vector, sources []Source, opts Options) (Result, erro
 
 // TopKFromSourcesContext is TopKFromSources with cooperative
 // cancellation.
+//
+// Like every batch entry point it is a Query session drained to K (see
+// NewQuerySources): the engine is invoked through one path whether
+// results are consumed as a batch or enumerated incrementally, and the
+// pull sequence — hence every cost metric — is identical either way.
+// The session buffers every formed-but-unemitted combination (any of
+// them may surface at some rank), so peak memory follows
+// Stats.CombinationsFormed rather than K; workloads that must bound it
+// set Options.MaxCombinations, which caps exactly that number.
 func TopKFromSourcesContext(ctx context.Context, query Vector, sources []Source, opts Options) (Result, error) {
-	fn, err := opts.aggregation()
+	q, err := NewQuerySources(query, sources, opts)
 	if err != nil {
 		return Result{}, err
 	}
-	if err := checkSourceKinds(sources, opts.Access); err != nil {
-		return Result{}, err
-	}
-	e, err := core.NewEngine(sources, opts.engineOptions(query, fn))
-	if err != nil {
-		return Result{}, err
-	}
-	return e.RunContext(ctx)
+	return q.RunContext(ctx)
 }
 
 // NaiveTopK scores the full cross product: the exact but exhaustive
@@ -358,7 +356,12 @@ func NaiveTopK(query Vector, rels []*Relation, opts Options) ([]Combination, err
 	return core.Naive(rels, query, fn, opts.K)
 }
 
-// ErrDNF is a sentinel clients can use to detect capped runs.
+// ErrDNF is a sentinel clients can use to detect capped runs. One
+// condition, three surfaces (see api.CodeDNF for the wire mapping):
+// batch results carry it as the Result.DNF flag with best-effort
+// combinations attached; Query.Next and Stream.Next return ErrDNF once
+// no buffered combination can be certified anymore; MustTopK panics
+// with it.
 var ErrDNF = errors.New("proxrank: run aborted by MaxSumDepths/MaxCombinations cap")
 
 // MustTopK is TopK that panics on error or DNF; for examples and tests.

@@ -1,0 +1,228 @@
+package proxrank
+
+import (
+	"context"
+	"errors"
+	"iter"
+
+	"repro/api"
+	"repro/internal/core"
+)
+
+// OptionsFromRequest normalizes a transport-neutral api.Request (central
+// validation and defaulting, see api.Request.Normalize) and translates
+// it into the query vector and engine options. It is the single bridge
+// between the wire model and the engine: the service executor, the
+// Query session, and the CLI all convert through it, so a request means
+// the same thing on every surface.
+//
+// The request is normalized in place, under the given server-side
+// limits if any (at most one Limits value; none enforces only the
+// structural rules).
+func OptionsFromRequest(req *api.Request, limits ...api.Limits) (Vector, Options, error) {
+	if req == nil {
+		return nil, Options{}, api.Errorf(api.CodeBadRequest, "request is required")
+	}
+	var lim api.Limits
+	if len(limits) > 0 {
+		lim = limits[0]
+	}
+	if aerr := req.Normalize(lim); aerr != nil {
+		return nil, Options{}, aerr
+	}
+	opts := Options{
+		K:               req.K,
+		Epsilon:         req.Epsilon,
+		BoundPeriod:     req.BoundPeriod,
+		DominancePeriod: req.DominancePeriod,
+		MaxSumDepths:    req.MaxSumDepths,
+		MaxCombinations: req.MaxCombinations,
+	}
+	algo, err := ParseAlgorithm(req.Algorithm)
+	if err != nil {
+		return nil, Options{}, err
+	}
+	opts.Algorithm = algo
+	if req.Access == api.AccessScore {
+		opts.Access = ScoreAccess
+	}
+	if req.Transform == api.TransformIdentity {
+		opts.Transform = IdentityScore
+	}
+	if w := req.Weights; w != nil {
+		opts.Weights = Weights{Ws: w.Ws, Wq: w.Wq, Wmu: w.Wmu}
+	}
+	return Vector(req.Query), opts, nil
+}
+
+// Query is a first-class query session: the ranked-enumeration form of
+// the operator. Where TopK answers a fixed batch, a session delivers
+// results incrementally — Next(1) returns the rank-1 combination as soon
+// as the bound certifies it, long before a full run would finish — and
+// keeps the engine state alive, so enumeration can continue past the
+// initial K without restarting or re-reading input.
+//
+// All batch entry points (TopK and friends) are reimplemented as a
+// session that is drained to K, so there is exactly one engine
+// invocation path.
+//
+// A Query is single-goroutine; concurrent sessions over shared
+// relations or indexes are safe.
+type Query struct {
+	stream *Stream
+	k      int
+}
+
+// NewQuery builds a session from a transport-neutral request and the
+// inputs its Relations field names, in order. The request is validated
+// and defaulted through the api package; inputs may mix plain and
+// sharded relations.
+func NewQuery(req *api.Request, inputs ...Input) (*Query, error) {
+	query, opts, err := OptionsFromRequest(req)
+	if err != nil {
+		return nil, err
+	}
+	if len(inputs) != len(req.Relations) {
+		return nil, api.Errorf(api.CodeBadRequest,
+			"request names %d relations but %d inputs were supplied", len(req.Relations), len(inputs))
+	}
+	return NewQueryInputs(query, inputs, opts)
+}
+
+// NewQueryInputs is the Options-level session constructor, for callers
+// holding typed options (cosine proximity, R-tree access) rather than a
+// wire request.
+func NewQueryInputs(query Vector, inputs []Input, opts Options) (*Query, error) {
+	fn, err := opts.aggregation()
+	if err != nil {
+		return nil, err
+	}
+	sources, err := buildSources(query, inputs, opts, fn)
+	if err != nil {
+		return nil, err
+	}
+	return NewQuerySources(query, sources, opts)
+}
+
+// NewQuerySources builds a session over caller-supplied sources (remote
+// services, fault-injected wrappers, custom orders). All sources must
+// share one access kind consistent with opts.Access.
+func NewQuerySources(query Vector, sources []Source, opts Options) (*Query, error) {
+	if opts.K < 1 {
+		return nil, core.ErrBadK
+	}
+	s, err := NewStreamFromSources(query, sources, opts)
+	if err != nil {
+		return nil, err
+	}
+	return &Query{stream: s, k: opts.K}, nil
+}
+
+// K returns the session's initial batch size.
+func (q *Query) K() int { return q.k }
+
+// Next returns the next (up to) n certified results, best first. Fewer
+// than n come back only together with a non-nil error explaining why the
+// stream ended there: ErrStreamDone after full exhaustion, ErrDNF once a
+// MaxSumDepths/MaxCombinations cap fired (see DrainBest for the
+// best-effort tail), or an access error. Results already collected are
+// always returned alongside the error.
+func (q *Query) Next(n int) ([]Combination, error) {
+	return q.NextContext(context.Background(), n)
+}
+
+// NextContext is Next with cooperative cancellation. Cancellation does
+// not poison the session: a later call with a live context resumes where
+// this one stopped, keeping all input read so far.
+func (q *Query) NextContext(ctx context.Context, n int) ([]Combination, error) {
+	var out []Combination
+	for len(out) < n {
+		c, err := q.stream.NextContext(ctx)
+		if err != nil {
+			return out, err
+		}
+		out = append(out, c)
+	}
+	return out, nil
+}
+
+// Results returns an iterator over the remaining results in rank order,
+// pulling input lazily as each is certified; k need not be known up
+// front — break whenever enough results have been seen. Exhaustion ends
+// the sequence silently; any other failure (including a DNF cap) is
+// yielded once as a non-nil error and ends it.
+func (q *Query) Results(ctx context.Context) iter.Seq2[Combination, error] {
+	return func(yield func(Combination, error) bool) {
+		for {
+			c, err := q.stream.NextContext(ctx)
+			if errors.Is(err, ErrStreamDone) {
+				return
+			}
+			if err != nil {
+				yield(Combination{}, err)
+				return
+			}
+			if !yield(c, nil) {
+				return
+			}
+		}
+	}
+}
+
+// Run drains the session to its initial K with batch semantics and
+// returns the familiar Result: a capped run comes back with DNF set and
+// the engine's best-effort combinations instead of an error, exactly as
+// the historical TopK did. Calling Next afterwards resumes enumeration
+// past K on the same engine state.
+func (q *Query) Run() (Result, error) { return q.RunContext(context.Background()) }
+
+// RunContext is Run with cooperative cancellation.
+func (q *Query) RunContext(ctx context.Context) (Result, error) {
+	n := q.k - int(q.stream.Emitted())
+	out, err := q.NextContext(ctx, n)
+	res := Result{}
+	switch {
+	case err == nil, errors.Is(err, ErrStreamDone):
+	case errors.Is(err, ErrDNF):
+		// Batch DNF contract: report the best K formed so far. The
+		// certified prefix was already emitted; the buffer holds the rest.
+		res.DNF = true
+		for len(out) < n {
+			c, ok := q.stream.DrainBest()
+			if !ok {
+				break
+			}
+			out = append(out, c)
+		}
+	default:
+		return Result{}, err
+	}
+	res.Combinations = out
+	res.Threshold = q.stream.Threshold()
+	res.Stats = q.stream.Stats()
+	return res, nil
+}
+
+// DrainBest pops up to n of the best formed-but-uncertified combinations
+// — the best-effort tail after an ErrDNF from Next, in the order a
+// capped batch run reports them.
+func (q *Query) DrainBest(n int) []Combination {
+	var out []Combination
+	for len(out) < n {
+		c, ok := q.stream.DrainBest()
+		if !ok {
+			break
+		}
+		out = append(out, c)
+	}
+	return out
+}
+
+// Emitted returns the number of results delivered so far.
+func (q *Query) Emitted() int { return int(q.stream.Emitted()) }
+
+// Threshold returns the current upper bound on undelivered combinations.
+func (q *Query) Threshold() float64 { return q.stream.Threshold() }
+
+// Stats exposes the I/O and CPU cost paid so far.
+func (q *Query) Stats() Stats { return q.stream.Stats() }

@@ -3,70 +3,41 @@ package service
 import (
 	"context"
 	"errors"
-	"fmt"
-	"net/http"
+
+	proxrank "repro"
+	"repro/api"
 )
 
-// ErrorCode classifies API failures; it is the machine-readable half of
-// the structured error body every endpoint returns.
-type ErrorCode string
+// The service's error model is the transport-neutral one defined by the
+// api package; these aliases keep the historical service names working
+// while guaranteeing there is exactly one error vocabulary across
+// transports.
+type (
+	// ErrorCode classifies API failures.
+	ErrorCode = api.ErrorCode
+	// APIError is the structured error of the serving layer.
+	APIError = api.Error
+)
 
+// Error codes, re-exported from the api package.
 const (
-	// CodeBadRequest marks malformed or invalid requests.
-	CodeBadRequest ErrorCode = "bad_request"
-	// CodeNotFound marks references to unregistered relations.
-	CodeNotFound ErrorCode = "not_found"
-	// CodeConflict marks duplicate registrations.
-	CodeConflict ErrorCode = "conflict"
-	// CodeTimeout marks queries that exceeded their deadline.
-	CodeTimeout ErrorCode = "timeout"
-	// CodeCanceled marks queries whose caller went away.
-	CodeCanceled ErrorCode = "canceled"
-	// CodeOverloaded marks queries shed because the worker pool and its
-	// wait budget were exhausted.
-	CodeOverloaded ErrorCode = "overloaded"
-	// CodeInternal marks unexpected engine failures.
-	CodeInternal ErrorCode = "internal"
+	CodeBadRequest = api.CodeBadRequest
+	CodeNotFound   = api.CodeNotFound
+	CodeConflict   = api.CodeConflict
+	CodeTimeout    = api.CodeTimeout
+	CodeCanceled   = api.CodeCanceled
+	CodeOverloaded = api.CodeOverloaded
+	CodeDNF        = api.CodeDNF
+	CodeInternal   = api.CodeInternal
 )
-
-// httpStatus maps an error code onto the response status.
-func (c ErrorCode) httpStatus() int {
-	switch c {
-	case CodeBadRequest:
-		return http.StatusBadRequest
-	case CodeNotFound:
-		return http.StatusNotFound
-	case CodeConflict:
-		return http.StatusConflict
-	case CodeTimeout:
-		return http.StatusGatewayTimeout
-	case CodeCanceled:
-		// Closest standard status for "client went away".
-		return http.StatusRequestTimeout
-	case CodeOverloaded:
-		return http.StatusServiceUnavailable
-	default:
-		return http.StatusInternalServerError
-	}
-}
-
-// APIError is the structured error of the serving layer: a stable code
-// for programs, a message for humans.
-type APIError struct {
-	Code    ErrorCode `json:"code"`
-	Message string    `json:"message"`
-}
-
-// Error implements error.
-func (e *APIError) Error() string { return fmt.Sprintf("%s: %s", e.Code, e.Message) }
 
 // apiErrorf builds an APIError with a formatted message.
 func apiErrorf(code ErrorCode, format string, args ...any) *APIError {
-	return &APIError{Code: code, Message: fmt.Sprintf(format, args...)}
+	return api.Errorf(code, format, args...)
 }
 
 // asAPIError coerces any error into an APIError, classifying context
-// cancellation and deadline expiry along the way.
+// cancellation, deadline expiry, and capped (DNF) runs along the way.
 func asAPIError(err error) *APIError {
 	var ae *APIError
 	if errors.As(err, &ae) {
@@ -77,6 +48,8 @@ func asAPIError(err error) *APIError {
 		return apiErrorf(CodeTimeout, "%v", err)
 	case errors.Is(err, context.Canceled):
 		return apiErrorf(CodeCanceled, "%v", err)
+	case errors.Is(err, proxrank.ErrDNF):
+		return apiErrorf(CodeDNF, "%v", err)
 	default:
 		return apiErrorf(CodeInternal, "%v", err)
 	}

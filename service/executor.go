@@ -12,6 +12,7 @@ import (
 	"time"
 
 	proxrank "repro"
+	"repro/api"
 )
 
 // Config tunes the executor.
@@ -48,87 +49,36 @@ const DefaultMaxTimeout = time.Minute
 // unset.
 const DefaultCacheSize = 1024
 
-// QueryRequest is the JSON body of POST /v1/topk. Only Query, Relations
-// and K are required; everything else defaults to the paper's best
-// configuration (TBPA, distance access, unit weights, log scores).
-type QueryRequest struct {
-	Query     []float64 `json:"query"`
-	Relations []string  `json:"relations"`
-	K         int       `json:"k"`
-	// Algorithm is one of cbrr|cbpa|tbrr|tbpa (default tbpa).
-	Algorithm string `json:"algorithm,omitempty"`
-	// Access is distance (default) or score.
-	Access string `json:"access,omitempty"`
-	// Weights override w_s, w_q, w_mu (all default to 1).
-	Weights *WeightsSpec `json:"weights,omitempty"`
-	// Transform is log (default) or identity.
-	Transform string `json:"transform,omitempty"`
-	// Epsilon relaxes the stopping test (0 = exact top-K).
-	Epsilon float64 `json:"epsilon,omitempty"`
-	// BoundPeriod recomputes the stopping threshold every so many pulls.
-	BoundPeriod int `json:"boundPeriod,omitempty"`
-	// DominancePeriod enables dominance pruning every so many accesses.
-	DominancePeriod int `json:"dominancePeriod,omitempty"`
-	// MaxSumDepths / MaxCombinations abort long runs with a DNF result.
-	MaxSumDepths    int   `json:"maxSumDepths,omitempty"`
-	MaxCombinations int64 `json:"maxCombinations,omitempty"`
-	// TimeoutMillis overrides the executor's default per-query deadline.
-	TimeoutMillis int64 `json:"timeoutMillis,omitempty"`
-	// NoCache bypasses the result cache for this query (it is neither
-	// looked up nor stored).
-	NoCache bool `json:"noCache,omitempty"`
-}
+// The service speaks the transport-neutral api model; these aliases keep
+// the historical service names compiling while guaranteeing the wire
+// shape is defined in exactly one place.
+type (
+	// QueryRequest is the JSON body of POST /v1/query (and the legacy
+	// POST /v1/topk).
+	QueryRequest = api.Request
+	// WeightsSpec mirrors proxrank.Weights in JSON.
+	WeightsSpec = api.Weights
+	// ResultTuple is one member of a result combination.
+	ResultTuple = api.Tuple
+	// ResultCombination is one ranked join result.
+	ResultCombination = api.Combination
+	// QueryCost reports what a query cost the engine.
+	QueryCost = api.Cost
+	// QueryResponse is the JSON body answering a batch query. Responses
+	// returned by Executor.Execute may be shared with its result cache
+	// and must be treated as read-only.
+	QueryResponse = api.Response
+)
 
-// WeightsSpec mirrors proxrank.Weights in JSON.
-type WeightsSpec struct {
-	Ws  float64 `json:"ws"`
-	Wq  float64 `json:"wq"`
-	Wmu float64 `json:"wmu"`
-}
-
-// ResultTuple is one member of a result combination.
-type ResultTuple struct {
-	Relation string            `json:"relation"`
-	ID       string            `json:"id"`
-	Score    float64           `json:"score"`
-	Vec      []float64         `json:"vec"`
-	Attrs    map[string]string `json:"attrs,omitempty"`
-}
-
-// ResultCombination is one ranked join result.
-type ResultCombination struct {
-	Score  float64       `json:"score"`
-	Tuples []ResultTuple `json:"tuples"`
-}
-
-// QueryCost reports what a query cost the engine — the paper's metrics
-// (sumDepths, combinations formed, bound recomputations) plus wall time.
-type QueryCost struct {
-	SumDepths     int   `json:"sumDepths"`
-	Depths        []int `json:"depths"`
-	Combinations  int64 `json:"combinations"`
-	BoundUpdates  int64 `json:"boundUpdates"`
-	QPSolves      int64 `json:"qpSolves,omitempty"`
-	ElapsedMicros int64 `json:"elapsedMicros"`
-	// Threshold is the final bound; absent when it is not finite (±Inf is
-	// not representable in JSON — −Inf after full exhaustion, +Inf when a
-	// cap fired before the first bound update).
-	Threshold *float64 `json:"threshold,omitempty"`
-}
-
-// QueryResponse is the JSON body answering POST /v1/topk. Responses
-// returned by Executor.Execute may be shared with its result cache and
-// must be treated as read-only.
-type QueryResponse struct {
-	Results []ResultCombination `json:"results"`
-	DNF     bool                `json:"dnf,omitempty"`
-	Cached  bool                `json:"cached"`
-	Cost    QueryCost           `json:"cost"`
-}
+// EventSink receives streaming result events in order. A sink returning
+// an error aborts the run; the executor treats that as the caller going
+// away (the engine work is discarded, not cached).
+type EventSink func(api.ResultEvent) error
 
 // StatsSnapshot is the executor's cumulative view served by GET /v1/stats.
 type StatsSnapshot struct {
 	Queries           int64 `json:"queries"`
+	Streamed          int64 `json:"streamed"`
 	Completed         int64 `json:"completed"`
 	CacheHits         int64 `json:"cacheHits"`
 	CacheMisses       int64 `json:"cacheMisses"`
@@ -147,8 +97,11 @@ type StatsSnapshot struct {
 }
 
 // Executor answers queries against a catalog through a bounded worker
-// pool with per-query deadlines and an LRU result cache. It is safe for
-// concurrent use.
+// pool with per-query deadlines and an LRU result cache. Batch
+// (Execute) and streaming (ExecuteStream) consumption share one
+// validation path, one canonical cache key, and one single-flight
+// group, so identical concurrent queries coalesce across consumption
+// models. It is safe for concurrent use.
 type Executor struct {
 	cat    *Catalog
 	cfg    Config
@@ -156,7 +109,13 @@ type Executor struct {
 	cache  *resultCache
 	flight *flightGroup
 
+	// wrapSource, when set (tests only), wraps each relation's merged
+	// source before the engine reads it — the hook used to prove
+	// incremental delivery against a deliberately slow source.
+	wrapSource func(proxrank.Source) proxrank.Source
+
 	queries           atomic.Int64
+	streamed          atomic.Int64
 	completed         atomic.Int64
 	cacheHits         atomic.Int64
 	cacheMisses       atomic.Int64
@@ -200,6 +159,7 @@ func NewExecutor(cat *Catalog, cfg Config) *Executor {
 func (x *Executor) Stats() StatsSnapshot {
 	return StatsSnapshot{
 		Queries:           x.queries.Load(),
+		Streamed:          x.streamed.Load(),
 		Completed:         x.completed.Load(),
 		CacheHits:         x.cacheHits.Load(),
 		CacheMisses:       x.cacheMisses.Load(),
@@ -218,133 +178,53 @@ func (x *Executor) Stats() StatsSnapshot {
 	}
 }
 
-// options validates the request and translates it into engine options.
-func (x *Executor) options(req *QueryRequest) (proxrank.Options, *APIError) {
-	var zero proxrank.Options
-	if len(req.Query) == 0 {
-		return zero, apiErrorf(CodeBadRequest, "query vector is required")
-	}
-	for i, v := range req.Query {
-		if math.IsNaN(v) || math.IsInf(v, 0) {
-			return zero, apiErrorf(CodeBadRequest, "query component %d is not finite", i)
-		}
-	}
-	if len(req.Relations) < 2 {
-		return zero, apiErrorf(CodeBadRequest, "at least two relations are required, got %d", len(req.Relations))
-	}
-	if req.K < 1 {
-		return zero, apiErrorf(CodeBadRequest, "k must be at least 1, got %d", req.K)
-	}
-	if req.K > x.cfg.MaxK {
-		return zero, apiErrorf(CodeBadRequest, "k %d exceeds the server limit %d", req.K, x.cfg.MaxK)
-	}
-	opts := proxrank.Options{
-		K:               req.K,
-		Epsilon:         req.Epsilon,
-		BoundPeriod:     req.BoundPeriod,
-		DominancePeriod: req.DominancePeriod,
-		MaxSumDepths:    req.MaxSumDepths,
-		MaxCombinations: req.MaxCombinations,
-	}
-	algo, err := proxrank.ParseAlgorithm(req.Algorithm)
+// prepare runs the shared front half of every execution path: central
+// validation and defaulting via api.Request.Normalize (with the server's
+// K limit), translation into engine options, catalog resolution, and the
+// dimensionality pre-check. The caller's request is never mutated —
+// normalization happens on a private copy (callers may legally share one
+// request across concurrent queries), which is returned for canonical
+// cache keying. Client mistakes are tracked apart from Failed so the
+// latter stays a server-health signal.
+func (x *Executor) prepare(req *QueryRequest) (*QueryRequest, proxrank.Vector, proxrank.Options, []*Entry, *APIError) {
+	// Shallow copy is enough: Normalize rewrites fields of the copy and
+	// only ever replaces (never writes through) the Weights pointer.
+	norm := *req
+	query, opts, err := proxrank.OptionsFromRequest(&norm, api.Limits{MaxK: x.cfg.MaxK})
 	if err != nil {
-		return zero, apiErrorf(CodeBadRequest, "%v", err)
+		x.badRequests.Add(1)
+		return nil, nil, proxrank.Options{}, nil, asAPIError(err)
 	}
-	opts.Algorithm = algo
-	switch strings.ToLower(req.Access) {
-	case "", "distance":
-		opts.Access = proxrank.DistanceAccess
-	case "score":
-		opts.Access = proxrank.ScoreAccess
-	default:
-		return zero, apiErrorf(CodeBadRequest, "unknown access kind %q (want distance|score)", req.Access)
+	entries, err := x.cat.Resolve(norm.Relations)
+	if err != nil {
+		x.badRequests.Add(1)
+		return nil, nil, proxrank.Options{}, nil, asAPIError(err)
 	}
-	switch strings.ToLower(req.Transform) {
-	case "", "log":
-		opts.Transform = proxrank.LogScore
-	case "identity", "id":
-		opts.Transform = proxrank.IdentityScore
-	default:
-		return zero, apiErrorf(CodeBadRequest, "unknown transform %q (want log|identity)", req.Transform)
-	}
-	if w := req.Weights; w != nil {
-		bad := func(v float64) bool { return v < 0 || math.IsNaN(v) || math.IsInf(v, 0) }
-		if bad(w.Ws) || bad(w.Wq) || bad(w.Wmu) {
-			return zero, apiErrorf(CodeBadRequest, "weights must be finite non-negative numbers")
+	for _, e := range entries {
+		rel := e.Relation()
+		if rel.Dim() != len(norm.Query) {
+			x.badRequests.Add(1)
+			return nil, nil, proxrank.Options{}, nil, apiErrorf(CodeBadRequest, "relation %q has dim %d, query has dim %d",
+				rel.Name, rel.Dim(), len(norm.Query))
 		}
-		if w.Ws == 0 && w.Wq == 0 && w.Wmu == 0 {
-			// The engine treats the zero value as "use unit weights"; an
-			// explicit all-zero spec would silently rank by something the
-			// caller did not ask for.
-			return zero, apiErrorf(CodeBadRequest, "at least one weight must be positive")
-		}
-		opts.Weights = proxrank.Weights{Ws: w.Ws, Wq: w.Wq, Wmu: w.Wmu}
 	}
-	if req.Epsilon < 0 || math.IsNaN(req.Epsilon) || math.IsInf(req.Epsilon, 0) {
-		return zero, apiErrorf(CodeBadRequest, "epsilon must be finite and non-negative")
-	}
-	if req.TimeoutMillis < 0 {
-		return zero, apiErrorf(CodeBadRequest, "timeoutMillis must be non-negative")
-	}
-	// The engine reads negative caps/periods as "disabled"; a client
-	// sending one almost certainly wanted the opposite, so reject rather
-	// than run unbounded.
-	if req.MaxSumDepths < 0 || req.MaxCombinations < 0 {
-		return zero, apiErrorf(CodeBadRequest, "maxSumDepths and maxCombinations must be non-negative")
-	}
-	if req.BoundPeriod < 0 || req.DominancePeriod < 0 {
-		return zero, apiErrorf(CodeBadRequest, "boundPeriod and dominancePeriod must be non-negative")
-	}
-	return opts, nil
+	return &norm, query, opts, entries, nil
 }
 
-// cacheKey encodes everything the answer depends on: the full option
-// set, the query vector bit-exactly, and each relation's name, catalog
-// generation (so re-registering a name invalidates its entries), and
-// shard count. Sharding does not change answers — the key carries it
-// only as a defensive marker of the serving configuration.
-func cacheKey(req *QueryRequest, opts proxrank.Options, entries []*Entry) string {
+// cacheKey is the canonical encoding of the normalized request (see
+// api.Request.Canonical) suffixed with each resolved relation's catalog
+// generation — so re-registering a name invalidates its entries — and
+// shard count. Sharding does not change answers; the key carries it only
+// as a defensive marker of the serving configuration. The generations
+// align positionally with the request's relation list, which the
+// canonical encoding already names.
+func cacheKey(req *QueryRequest, entries []*Entry) string {
+	canon := req.Canonical()
 	var b strings.Builder
-	b.Grow(64 + 24*len(req.Query) + 24*len(entries))
-	b.WriteString("v1|k=")
-	b.WriteString(strconv.Itoa(opts.K))
-	b.WriteString("|a=")
-	b.WriteString(strconv.Itoa(int(opts.Algorithm)))
-	b.WriteString("|x=")
-	b.WriteString(strconv.Itoa(int(opts.Access)))
-	b.WriteString("|t=")
-	b.WriteString(strconv.Itoa(int(opts.Transform)))
-	b.WriteString("|w=")
-	b.WriteString(strconv.FormatFloat(opts.Weights.Ws, 'b', -1, 64))
-	b.WriteByte(',')
-	b.WriteString(strconv.FormatFloat(opts.Weights.Wq, 'b', -1, 64))
-	b.WriteByte(',')
-	b.WriteString(strconv.FormatFloat(opts.Weights.Wmu, 'b', -1, 64))
-	b.WriteString("|e=")
-	b.WriteString(strconv.FormatFloat(opts.Epsilon, 'b', -1, 64))
-	b.WriteString("|bp=")
-	b.WriteString(strconv.Itoa(opts.BoundPeriod))
-	b.WriteString("|dp=")
-	b.WriteString(strconv.Itoa(opts.DominancePeriod))
-	b.WriteString("|msd=")
-	b.WriteString(strconv.Itoa(opts.MaxSumDepths))
-	b.WriteString("|mc=")
-	b.WriteString(strconv.FormatInt(opts.MaxCombinations, 10))
-	b.WriteString("|q=")
-	for _, v := range req.Query {
-		b.WriteString(strconv.FormatFloat(v, 'b', -1, 64))
-		b.WriteByte(',')
-	}
-	b.WriteString("|r=")
+	b.Grow(len(canon) + 3 + 16*len(entries))
+	b.WriteString(canon)
+	b.WriteString("|g=")
 	for _, e := range entries {
-		// Length-prefix the name: it is caller-chosen and may contain any
-		// delimiter, so bare concatenation could collide across distinct
-		// relation lists.
-		name := e.Relation().Name
-		b.WriteString(strconv.Itoa(len(name)))
-		b.WriteByte(':')
-		b.WriteString(name)
-		b.WriteByte('@')
 		b.WriteString(strconv.FormatUint(e.gen, 10))
 		b.WriteByte('/')
 		b.WriteString(strconv.Itoa(e.Shards()))
@@ -353,42 +233,28 @@ func cacheKey(req *QueryRequest, opts proxrank.Options, entries []*Entry) string
 	return b.String()
 }
 
-// Execute answers one query: resolve the relations, consult the cache,
-// coalesce concurrent identical misses into one engine run, wait for a
-// worker slot (bounded by the query's deadline), run the engine with
-// cancellation, record stats, and cache the outcome.
+// Execute answers one query: validate and default through the api
+// model, resolve the relations, consult the cache, coalesce concurrent
+// identical misses into one engine run, wait for a worker slot (bounded
+// by the query's deadline), run the engine with cancellation, record
+// stats, and cache the outcome.
 //
 // The returned response may share its Results and Cost.Depths backing
 // arrays with the executor's cache — treat it as read-only. Callers that
 // need to mutate a response must copy those slices first.
 func (x *Executor) Execute(ctx context.Context, req *QueryRequest) (*QueryResponse, error) {
 	x.queries.Add(1)
-	// Client mistakes (validation, unknown relations) are tracked apart
-	// from Failed so the latter stays a server-health signal.
-	opts, aerr := x.options(req)
+	norm, query, opts, entries, aerr := x.prepare(req)
 	if aerr != nil {
-		x.badRequests.Add(1)
 		return nil, aerr
 	}
-	entries, err := x.cat.Resolve(req.Relations)
-	if err != nil {
-		x.badRequests.Add(1)
-		return nil, err
-	}
-	for _, e := range entries {
-		rel := e.Relation()
-		if rel.Dim() != len(req.Query) {
-			x.badRequests.Add(1)
-			return nil, apiErrorf(CodeBadRequest, "relation %q has dim %d, query has dim %d",
-				rel.Name, rel.Dim(), len(req.Query))
-		}
-	}
+	req = norm
 	if req.NoCache || !x.cache.enabled() {
 		ctx, cancel := x.applyDeadline(ctx, req)
 		defer cancel()
-		return x.run(ctx, req, opts, entries, "", false)
+		return x.run(ctx, query, opts, entries, "", false)
 	}
-	key := cacheKey(req, opts, entries)
+	key := cacheKey(req, entries)
 	if cached, ok := x.cache.get(key); ok {
 		x.cacheHits.Add(1)
 		hit := *cached // shallow copy; cached value stays immutable
@@ -416,7 +282,7 @@ func (x *Executor) Execute(ctx context.Context, req *QueryRequest) (*QueryRespon
 					x.flight.leave(key, c, nil, apiErrorf(CodeInternal, "query leader aborted"))
 				}
 			}()
-			resp, err := x.run(ctx, req, opts, entries, key, true)
+			resp, err := x.run(ctx, query, opts, entries, key, true)
 			finished = true
 			x.flight.leave(key, c, resp, err)
 			return resp, err
@@ -435,6 +301,93 @@ func (x *Executor) Execute(ctx context.Context, req *QueryRequest) (*QueryRespon
 			return nil, asAPIError(ctx.Err())
 		}
 	}
+}
+
+// ExecuteStream answers one query incrementally: result events reach the
+// sink as the engine certifies each combination — the first one long
+// before the run completes — followed by exactly one summary event. The
+// collected results are byte-identical to what Execute returns for the
+// same request: both paths share validation, the canonical cache key,
+// the result cache (a hit or a coalesced follower replays the cached
+// response as events, summary marked cached), and the single-flight
+// group.
+//
+// Validation and resolution failures are returned before the sink sees
+// any event, so transports can still answer with a plain error; once
+// events have flowed, a failure is returned after them and the transport
+// appends it in-band.
+//
+// A streaming leader advances at the pace of its sink: a slow consumer
+// holds its worker slot longer and delays coalesced followers of the
+// same key, whose waits stay bounded by their own deadlines (a follower
+// that cannot wait should send NoCache to fork a private run). See
+// ROADMAP: decoupling delivery from the engine via a bounded event
+// buffer.
+func (x *Executor) ExecuteStream(ctx context.Context, req *QueryRequest, sink EventSink) error {
+	x.queries.Add(1)
+	x.streamed.Add(1)
+	norm, query, opts, entries, aerr := x.prepare(req)
+	if aerr != nil {
+		return aerr
+	}
+	req = norm
+	if req.NoCache || !x.cache.enabled() {
+		ctx, cancel := x.applyDeadline(ctx, req)
+		defer cancel()
+		_, err := x.runStream(ctx, query, opts, entries, "", false, sink)
+		return err
+	}
+	key := cacheKey(req, entries)
+	if cached, ok := x.cache.get(key); ok {
+		x.cacheHits.Add(1)
+		return replayResponse(cached, sink)
+	}
+	x.cacheMisses.Add(1)
+	ctx, cancel := x.applyDeadline(ctx, req)
+	defer cancel()
+	for {
+		c, leader := x.flight.join(key)
+		if leader {
+			finished := false
+			defer func() {
+				if !finished {
+					x.flight.leave(key, c, nil, apiErrorf(CodeInternal, "query leader aborted"))
+				}
+			}()
+			resp, err := x.runStream(ctx, query, opts, entries, key, true, sink)
+			finished = true
+			x.flight.leave(key, c, resp, err)
+			return err
+		}
+		select {
+		case <-c.done:
+			if c.err != nil {
+				continue
+			}
+			x.coalesced.Add(1)
+			return replayResponse(c.resp, sink)
+		case <-ctx.Done():
+			x.canceled.Add(1)
+			return asAPIError(ctx.Err())
+		}
+	}
+}
+
+// replayResponse streams an already-computed response as events, summary
+// marked cached — the follower/cache-hit half of ExecuteStream.
+func replayResponse(resp *QueryResponse, sink EventSink) error {
+	for i := range resp.Results {
+		ev := api.ResultEvent{Type: api.EventResult, Rank: i + 1, Result: &resp.Results[i]}
+		if err := sink(ev); err != nil {
+			return asAPIError(err)
+		}
+	}
+	return sink(api.ResultEvent{Type: api.EventSummary, Summary: &api.Summary{
+		Count:  len(resp.Results),
+		DNF:    resp.DNF,
+		Cached: true,
+		Cost:   resp.Cost,
+	}})
 }
 
 // applyDeadline wraps ctx with the query's effective deadline: the
@@ -457,21 +410,17 @@ func (x *Executor) applyDeadline(ctx context.Context, req *QueryRequest) (contex
 	return ctx, func() {}
 }
 
-// run executes the engine for one resolved query under an
-// already-deadlined context: acquire a worker slot, fan out per-shard
-// source creation, run with cancellation, record stats, and (when store
-// is set) cache the response under key.
-func (x *Executor) run(ctx context.Context, req *QueryRequest, opts proxrank.Options, entries []*Entry, key string, store bool) (*QueryResponse, error) {
-	if err := ctx.Err(); err != nil {
-		x.canceled.Add(1)
-		return nil, asAPIError(err)
-	}
-
-	// Acquire a worker slot; a query that cannot start before its
-	// deadline is shed rather than queued forever.
+// acquireSlot claims a worker slot, bounded by the query's deadline; a
+// query that cannot start before its deadline is shed rather than queued
+// forever. The release func is nil exactly when an error is returned.
+func (x *Executor) acquireSlot(ctx context.Context) (func(), *APIError) {
 	select {
 	case x.slots <- struct{}{}:
-		defer func() { <-x.slots }()
+		x.inFlight.Add(1)
+		return func() {
+			x.inFlight.Add(-1)
+			<-x.slots
+		}, nil
 	case <-ctx.Done():
 		if errors.Is(ctx.Err(), context.Canceled) {
 			// The caller went away while queued — that is cancellation,
@@ -483,10 +432,44 @@ func (x *Executor) run(ctx context.Context, req *QueryRequest, opts proxrank.Opt
 		x.rejected.Add(1)
 		return nil, apiErrorf(CodeOverloaded, "no worker available before the deadline: %v", ctx.Err())
 	}
-	x.inFlight.Add(1)
-	defer x.inFlight.Add(-1)
+}
 
-	query := proxrank.Vector(req.Query)
+// recordOutcome folds one finished engine run into the counters.
+func (x *Executor) recordOutcome(stats proxrank.Stats) {
+	x.completed.Add(1)
+	x.totalSumDepths.Add(int64(stats.SumDepths))
+	x.totalCombinations.Add(stats.CombinationsFormed)
+	x.totalBoundUpdates.Add(stats.BoundUpdates)
+	x.totalEngineMicros.Add(stats.TotalTime.Microseconds())
+}
+
+// classifyRunError records the failure counters for an engine-run error
+// and returns its API form.
+func (x *Executor) classifyRunError(err error) *APIError {
+	ae := asAPIError(err)
+	if ae.Code == CodeTimeout || ae.Code == CodeCanceled {
+		x.canceled.Add(1)
+	} else {
+		x.failed.Add(1)
+	}
+	return ae
+}
+
+// run executes the engine for one resolved query under an
+// already-deadlined context: acquire a worker slot, fan out per-shard
+// source creation, run with cancellation, record stats, and (when store
+// is set) cache the response under key.
+func (x *Executor) run(ctx context.Context, query proxrank.Vector, opts proxrank.Options, entries []*Entry, key string, store bool) (*QueryResponse, error) {
+	if err := ctx.Err(); err != nil {
+		x.canceled.Add(1)
+		return nil, asAPIError(err)
+	}
+	release, aerr := x.acquireSlot(ctx)
+	if aerr != nil {
+		return nil, aerr
+	}
+	defer release()
+
 	sources, aerr := x.buildSources(opts, query, entries)
 	if aerr != nil {
 		x.failed.Add(1)
@@ -496,23 +479,100 @@ func (x *Executor) run(ctx context.Context, req *QueryRequest, opts proxrank.Opt
 	x.engineRuns.Add(1)
 	res, err := proxrank.TopKFromSourcesContext(ctx, query, sources, opts)
 	if err != nil {
-		ae := asAPIError(err)
-		if ae.Code == CodeTimeout || ae.Code == CodeCanceled {
-			x.canceled.Add(1)
-		} else {
-			x.failed.Add(1)
-		}
-		return nil, ae
+		return nil, x.classifyRunError(err)
 	}
 
 	resp := buildResponse(res, entries)
-	x.completed.Add(1)
-	x.totalSumDepths.Add(int64(res.Stats.SumDepths))
-	x.totalCombinations.Add(res.Stats.CombinationsFormed)
-	x.totalBoundUpdates.Add(res.Stats.BoundUpdates)
-	x.totalEngineMicros.Add(res.Stats.TotalTime.Microseconds())
+	x.recordOutcome(res.Stats)
 	if store {
 		x.cache.put(key, resp)
+	}
+	return resp, nil
+}
+
+// runStream is run's incremental twin: the same slot, source fan-out,
+// stats, and caching discipline, but the engine is driven through a
+// Query session and every certified combination is handed to the sink
+// the moment it exists. A capped run streams its best-effort tail too
+// (so collected results match the batch DNF response) and flags DNF on
+// the summary.
+func (x *Executor) runStream(ctx context.Context, query proxrank.Vector, opts proxrank.Options, entries []*Entry, key string, store bool, sink EventSink) (*QueryResponse, error) {
+	if err := ctx.Err(); err != nil {
+		x.canceled.Add(1)
+		return nil, asAPIError(err)
+	}
+	release, aerr := x.acquireSlot(ctx)
+	if aerr != nil {
+		return nil, aerr
+	}
+	defer release()
+
+	sources, aerr := x.buildSources(opts, query, entries)
+	if aerr != nil {
+		x.failed.Add(1)
+		return nil, aerr
+	}
+	q, err := proxrank.NewQuerySources(query, sources, opts)
+	if err != nil {
+		x.failed.Add(1)
+		return nil, asAPIError(err)
+	}
+
+	x.engineRuns.Add(1)
+	var combos []proxrank.Combination
+	emit := func(c proxrank.Combination) error {
+		combos = append(combos, c)
+		wire := wireCombination(c, entries)
+		return sink(api.ResultEvent{Type: api.EventResult, Rank: len(combos), Result: &wire})
+	}
+	dnf := false
+pull:
+	for len(combos) < opts.K {
+		batch, err := q.NextContext(ctx, 1)
+		for _, c := range batch {
+			if serr := emit(c); serr != nil {
+				x.canceled.Add(1)
+				return nil, apiErrorf(CodeCanceled, "stream sink: %v", serr)
+			}
+		}
+		switch {
+		case err == nil:
+		case errors.Is(err, proxrank.ErrStreamDone):
+			break pull
+		case errors.Is(err, proxrank.ErrDNF):
+			// Batch DNF contract, streamed: deliver the uncertified
+			// best-effort tail in report order, then flag the summary.
+			dnf = true
+			for _, c := range q.DrainBest(opts.K - len(combos)) {
+				if serr := emit(c); serr != nil {
+					x.canceled.Add(1)
+					return nil, apiErrorf(CodeCanceled, "stream sink: %v", serr)
+				}
+			}
+			break pull
+		default:
+			return nil, x.classifyRunError(err)
+		}
+	}
+
+	res := proxrank.Result{
+		Combinations: combos,
+		Threshold:    q.Threshold(),
+		DNF:          dnf,
+		Stats:        q.Stats(),
+	}
+	resp := buildResponse(res, entries)
+	x.recordOutcome(res.Stats)
+	if store {
+		x.cache.put(key, resp)
+	}
+	if serr := sink(api.ResultEvent{Type: api.EventSummary, Summary: &api.Summary{
+		Count:  len(resp.Results),
+		DNF:    resp.DNF,
+		Cached: false,
+		Cost:   resp.Cost,
+	}}); serr != nil {
+		return resp, apiErrorf(CodeCanceled, "stream sink: %v", serr)
 	}
 	return resp, nil
 }
@@ -521,7 +581,7 @@ func (x *Executor) run(ctx context.Context, req *QueryRequest, opts proxrank.Opt
 // relation gets its ordered source, creation fans out across a bounded
 // pool when the entries hold more than one shard in total, and each
 // relation's shard streams are merged back into its canonical order. The
-// dim pre-check in Execute already rules out the only documented source
+// dim pre-check in prepare already rules out the only documented source
 // failure; anything surfacing here is a server-side problem, which the
 // caller reports as internal.
 func (x *Executor) buildSources(opts proxrank.Options, query proxrank.Vector, entries []*Entry) ([]proxrank.Source, *APIError) {
@@ -585,9 +645,27 @@ func (x *Executor) buildSources(opts proxrank.Options, query proxrank.Vector, en
 		if err != nil {
 			return nil, apiErrorf(CodeInternal, "%v", err)
 		}
+		if x.wrapSource != nil {
+			merged = x.wrapSource(merged)
+		}
 		sources[i] = merged
 	}
 	return sources, nil
+}
+
+// wireCombination converts one engine combination into its wire form.
+func wireCombination(c proxrank.Combination, entries []*Entry) ResultCombination {
+	rc := ResultCombination{Score: c.Score, Tuples: make([]ResultTuple, len(c.Tuples))}
+	for j, t := range c.Tuples {
+		rc.Tuples[j] = ResultTuple{
+			Relation: entries[j].Relation().Name,
+			ID:       t.ID,
+			Score:    t.Score,
+			Vec:      []float64(t.Vec),
+			Attrs:    t.Attrs,
+		}
+	}
+	return rc
 }
 
 // buildResponse converts an engine result into the wire form.
@@ -608,17 +686,7 @@ func buildResponse(res proxrank.Result, entries []*Entry) *QueryResponse {
 		out.Cost.Threshold = &t
 	}
 	for i, c := range res.Combinations {
-		rc := ResultCombination{Score: c.Score, Tuples: make([]ResultTuple, len(c.Tuples))}
-		for j, t := range c.Tuples {
-			rc.Tuples[j] = ResultTuple{
-				Relation: entries[j].Relation().Name,
-				ID:       t.ID,
-				Score:    t.Score,
-				Vec:      []float64(t.Vec),
-				Attrs:    t.Attrs,
-			}
-		}
-		out.Results[i] = rc
+		out.Results[i] = wireCombination(c, entries)
 	}
 	return out
 }

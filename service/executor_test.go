@@ -291,9 +291,9 @@ func inf() float64 {
 }
 
 // TestCacheKeyNoCollision: relation names are caller-chosen and may
-// contain the key's own delimiters, so without length-prefixing the
-// lists [a@1, b@2, c@3] and ["a@1,b"@2, c@3] both rendered the segment
-// "a@1,b@2,c@3," and could serve each other's cached answers.
+// contain the key's own delimiters, so without length-prefixing in the
+// canonical encoding the lists [a, "1,b"] and ["a,1", b] would render
+// the same segment and could serve each other's cached answers.
 func TestCacheKeyNoCollision(t *testing.T) {
 	entry := func(name string, gen uint64) *Entry {
 		sharded, err := proxrank.NewShardedRelation(testRelation(t, name, int64(gen), 5, 2), 1, proxrank.HashPartition)
@@ -302,12 +302,12 @@ func TestCacheKeyNoCollision(t *testing.T) {
 		}
 		return &Entry{sharded: sharded, gen: gen}
 	}
-	list1 := []*Entry{entry("a", 1), entry("b", 2), entry("c", 3)}
-	list2 := []*Entry{entry("a@1,b", 2), entry("c", 3)}
-	req := &QueryRequest{Query: []float64{0, 0}, K: 1}
-	opts := proxrank.Options{K: 1}
-	k1 := cacheKey(req, opts, list1)
-	k2 := cacheKey(req, opts, list2)
+	list1 := []*Entry{entry("a", 1), entry("1,b", 2)}
+	list2 := []*Entry{entry("a,1", 1), entry("b", 2)}
+	req1 := &QueryRequest{Query: []float64{0, 0}, Relations: []string{"a", "1,b"}, K: 1}
+	req2 := &QueryRequest{Query: []float64{0, 0}, Relations: []string{"a,1", "b"}, K: 1}
+	k1 := cacheKey(req1, list1)
+	k2 := cacheKey(req2, list2)
 	if k1 == k2 {
 		t.Fatalf("distinct relation lists collided in the cache key: %q", k1)
 	}

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	proxrank "repro"
+	"repro/api"
 )
 
 // maxRequestBody bounds the JSON body of a query to keep a single caller
@@ -18,9 +19,13 @@ const maxRequestBody = 1 << 20
 const maxRelationBody = 32 << 20
 
 // Server is the HTTP front end: JSON endpoints over an executor and its
-// catalog.
+// catalog. Every query endpoint speaks the versioned api.Request model.
 //
-//	POST   /v1/topk             — answer a proximity rank join query
+//	POST   /v1/query            — answer a query (batch JSON response)
+//	POST   /v1/query/stream     — answer a query incrementally (NDJSON
+//	                              api.ResultEvent lines, flushed as the
+//	                              engine certifies each result)
+//	POST   /v1/topk             — legacy alias of /v1/query
 //	GET    /v1/relations        — list the registered relations
 //	POST   /v1/relations        — register a relation from a CSV body
 //	DELETE /v1/relations/{name} — evict a relation
@@ -40,6 +45,8 @@ type Server struct {
 // NewServer wires the endpoints over cat and exec.
 func NewServer(cat *Catalog, exec *Executor) *Server {
 	s := &Server{exec: exec, cat: cat, start: time.Now(), mux: http.NewServeMux()}
+	s.mux.HandleFunc("POST /v1/query", s.handleQuery)
+	s.mux.HandleFunc("POST /v1/query/stream", s.handleQueryStream)
 	s.mux.HandleFunc("POST /v1/topk", s.handleTopK)
 	s.mux.HandleFunc("GET /v1/relations", s.handleRelations)
 	s.mux.HandleFunc("POST /v1/relations", s.handleRegisterRelation)
@@ -71,12 +78,14 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 // writeError emits the structured error body.
 func writeError(w http.ResponseWriter, err error) {
 	ae := asAPIError(err)
-	writeJSON(w, ae.Code.httpStatus(), struct {
+	writeJSON(w, ae.Code.HTTPStatus(), struct {
 		Error *APIError `json:"error"`
 	}{ae})
 }
 
-func (s *Server) handleTopK(w http.ResponseWriter, r *http.Request) {
+// decodeRequest reads one api.Request from the body, answering the
+// structured error itself on failure (ok reports whether req is usable).
+func decodeRequest(w http.ResponseWriter, r *http.Request) (*QueryRequest, bool) {
 	var req QueryRequest
 	body := http.MaxBytesReader(w, r.Body, maxRequestBody)
 	dec := json.NewDecoder(body)
@@ -85,21 +94,75 @@ func (s *Server) handleTopK(w http.ResponseWriter, r *http.Request) {
 		var tooBig *http.MaxBytesError
 		if errors.As(err, &tooBig) {
 			writeError(w, apiErrorf(CodeBadRequest, "request body exceeds %d bytes", maxRequestBody))
-			return
+			return nil, false
 		}
 		writeError(w, apiErrorf(CodeBadRequest, "invalid JSON body: %v", err))
-		return
+		return nil, false
 	}
 	if dec.More() {
 		writeError(w, apiErrorf(CodeBadRequest, "request body must hold exactly one JSON object"))
+		return nil, false
+	}
+	return &req, true
+}
+
+// handleQuery answers POST /v1/query: one api.Request in, one batch
+// api.Response out.
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	req, ok := decodeRequest(w, r)
+	if !ok {
 		return
 	}
-	resp, err := s.exec.Execute(r.Context(), &req)
+	resp, err := s.exec.Execute(r.Context(), req)
 	if err != nil {
 		writeError(w, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, resp)
+}
+
+// handleTopK is the legacy spelling of /v1/query, kept as a thin adapter:
+// the body and response shapes are identical (the api model is a
+// superset of the historical one), so it simply delegates.
+func (s *Server) handleTopK(w http.ResponseWriter, r *http.Request) {
+	s.handleQuery(w, r)
+}
+
+// handleQueryStream answers POST /v1/query/stream with NDJSON: one
+// api.ResultEvent per line, the first result flushed as soon as the
+// engine certifies it, a summary line last. Failures before the first
+// event are ordinary structured errors with a proper status; failures
+// after it are appended in-band as an error event (the status line has
+// already been sent).
+func (s *Server) handleQueryStream(w http.ResponseWriter, r *http.Request) {
+	req, ok := decodeRequest(w, r)
+	if !ok {
+		return
+	}
+	flusher, _ := w.(http.Flusher)
+	enc := json.NewEncoder(w)
+	wrote := false
+	sink := func(ev api.ResultEvent) error {
+		if !wrote {
+			w.Header().Set("Content-Type", "application/x-ndjson")
+			wrote = true
+		}
+		if err := enc.Encode(ev); err != nil {
+			return err
+		}
+		if flusher != nil {
+			flusher.Flush()
+		}
+		return nil
+	}
+	if err := s.exec.ExecuteStream(r.Context(), req, sink); err != nil {
+		if !wrote {
+			writeError(w, err)
+			return
+		}
+		// Best effort: the client may already be gone.
+		_ = enc.Encode(api.ResultEvent{Type: api.EventError, Error: asAPIError(err)})
+	}
 }
 
 func (s *Server) handleRelations(w http.ResponseWriter, _ *http.Request) {

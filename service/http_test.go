@@ -102,11 +102,16 @@ func TestHTTPConcurrentTopK(t *testing.T) {
 	}
 	// Each distinct query runs the engine at most... exactly once? No:
 	// identical queries racing may all miss the cache before the first
-	// finishes. The engine may run more than `distinct` times but never
-	// more than the total, and the cache must have absorbed at least the
-	// strictly-later repeats in the common case. The hard guarantees:
-	if st.EngineRuns+st.CacheHits != st.Queries {
-		t.Fatalf("EngineRuns(%d) + CacheHits(%d) != Queries(%d)", st.EngineRuns, st.CacheHits, st.Queries)
+	// finishes; the single-flight group then serves them from the
+	// leader's run (Coalesced), and a repeat arriving after the store is
+	// a cache hit. How the repeats split between the two is pure timing;
+	// the hard guarantee is the conservation law:
+	if st.EngineRuns+st.CacheHits+st.Coalesced != st.Queries {
+		t.Fatalf("EngineRuns(%d) + CacheHits(%d) + Coalesced(%d) != Queries(%d)",
+			st.EngineRuns, st.CacheHits, st.Coalesced, st.Queries)
+	}
+	if st.EngineRuns < int64(distinct) {
+		t.Fatalf("EngineRuns = %d, want at least one per distinct query (%d)", st.EngineRuns, distinct)
 	}
 	if st.Completed != st.EngineRuns {
 		t.Fatalf("Completed = %d, EngineRuns = %d", st.Completed, st.EngineRuns)

@@ -2,6 +2,7 @@ package proxrank
 
 import (
 	"context"
+	"errors"
 
 	"repro/internal/core"
 )
@@ -11,6 +12,10 @@ import (
 // emitted. Input is pulled lazily, so consuming only a prefix pays only
 // that prefix's I/O — the operator composes into query pipelines the way
 // HRJN does in a relational engine.
+//
+// Stream is the low-level operator; most callers want the Query session
+// built on top of it (see NewQuery), which adds batch semantics, DNF
+// handling, and the api.Request surface.
 type Stream struct {
 	it   *core.Iterator
 	rels []*Relation
@@ -21,7 +26,10 @@ type Stream struct {
 var ErrStreamDone = core.ErrIteratorDone
 
 // NewStream builds a streaming proximity rank join over in-memory
-// relations. Options.K is ignored; all other options apply.
+// relations. Options.K is ignored; all other options apply — in
+// particular Epsilon relaxes per-result certification exactly as it
+// relaxes the batch stopping test, and the MaxSumDepths/MaxCombinations
+// caps abort the stream with ErrDNF.
 func NewStream(query Vector, rels []*Relation, opts Options) (*Stream, error) {
 	return NewStreamInputs(query, relationInputs(rels), opts)
 }
@@ -45,6 +53,9 @@ func NewStreamInputs(query Vector, inputs []Input, opts Options) (*Stream, error
 // NewStreamFromSources builds a streaming operator over caller-supplied
 // sources. All sources must share one access kind consistent with
 // opts.Access — a mismatched source would silently corrupt the bounds.
+// This is the single point where streaming and batch execution invoke
+// the engine: every facade entry point (TopK*, Query, Stream) funnels
+// through it, so validation cannot drift between consumption models.
 func NewStreamFromSources(query Vector, sources []Source, opts Options) (*Stream, error) {
 	fn, err := opts.aggregation()
 	if err != nil {
@@ -62,17 +73,33 @@ func NewStreamFromSources(query Vector, sources []Source, opts Options) (*Stream
 	return &Stream{it: it}, nil
 }
 
-// Next returns the next-best combination, or ErrStreamDone / an access
+// Next returns the next-best combination, or ErrStreamDone once the
+// cross product is exhausted, ErrDNF once a cap fired, or an access
 // error.
-func (s *Stream) Next() (Combination, error) { return s.it.Next() }
+func (s *Stream) Next() (Combination, error) { return s.NextContext(context.Background()) }
 
 // NextContext is Next with cooperative cancellation: the pull loop aborts
 // with a wrapped ctx.Err() once ctx expires. Cancellation does not poison
 // the stream — a later call with a live context resumes where this one
 // stopped, keeping all input read so far.
 func (s *Stream) NextContext(ctx context.Context) (Combination, error) {
-	return s.it.NextContext(ctx)
+	c, err := s.it.NextContext(ctx)
+	if errors.Is(err, core.ErrIteratorDNF) {
+		return c, ErrDNF
+	}
+	return c, err
 }
+
+// DrainBest pops the best buffered combination without certifying it
+// against the bound — the best-effort tail after ErrDNF, in the order a
+// capped batch run reports.
+func (s *Stream) DrainBest() (Combination, bool) { return s.it.DrainBest() }
+
+// Buffered returns the number of formed combinations awaiting emission.
+func (s *Stream) Buffered() int { return s.it.Buffered() }
+
+// Threshold returns the current upper bound on unseen combinations.
+func (s *Stream) Threshold() float64 { return s.it.Threshold() }
 
 // Stats exposes the I/O and CPU cost paid so far.
 func (s *Stream) Stats() Stats { return s.it.Stats() }
