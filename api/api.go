@@ -66,6 +66,14 @@ type Request struct {
 	// MaxSumDepths / MaxCombinations abort long runs with a DNF result.
 	MaxSumDepths    int   `json:"maxSumDepths,omitempty"`
 	MaxCombinations int64 `json:"maxCombinations,omitempty"`
+	// MaxBuffered bounds the engine's buffer of formed-but-unemitted
+	// combinations. 0 lets the server choose (it bounds the buffer to K,
+	// which is exact for the at-most-K results a query delivers); an
+	// explicit value must be at least K so the bounded buffer cannot
+	// change the response. Engine-tuning concern: not part of the
+	// canonical encoding, so requests differing only here share cache
+	// entries and coalesce.
+	MaxBuffered int `json:"maxBuffered,omitempty"`
 	// TimeoutMillis overrides the server's default per-query deadline.
 	// Transport concern: not part of the canonical encoding.
 	TimeoutMillis int64 `json:"timeoutMillis,omitempty"`

@@ -98,6 +98,8 @@ func TestNormalizeRejects(t *testing.T) {
 		{"negative maxCombinations", func(r *Request) { r.MaxCombinations = -1 }},
 		{"negative boundPeriod", func(r *Request) { r.BoundPeriod = -2 }},
 		{"negative dominancePeriod", func(r *Request) { r.DominancePeriod = -2 }},
+		{"negative maxBuffered", func(r *Request) { r.MaxBuffered = -1 }},
+		{"maxBuffered below k", func(r *Request) { r.K = 5; r.MaxBuffered = 4 }},
 	}
 	for _, tc := range cases {
 		r := validRequest()
@@ -161,6 +163,10 @@ func TestCanonicalEquivalence(t *testing.T) {
 		func(r *Request) { r.Weights = &Weights{Ws: 1, Wq: 1, Wmu: 1} },
 		func(r *Request) { r.TimeoutMillis = 5000 }, // transport knob: excluded
 		func(r *Request) { r.NoCache = true },       // transport knob: excluded
+		// Engine-tuning knob: excluded (validation guarantees a bounded
+		// buffer cannot change the response, so caching/coalescing across
+		// it is sound).
+		func(r *Request) { r.MaxBuffered = 64 },
 	}
 	for i, mutate := range variants {
 		r := validRequest()

@@ -16,10 +16,22 @@ import (
 	"testing"
 
 	proxrank "repro"
+	"repro/internal/benchcore"
 	"repro/internal/cities"
 	"repro/internal/core"
 	"repro/internal/experiments"
 )
+
+// BenchmarkHotPath runs the engine hot-path suite shared with the
+// committed BENCH_core.json snapshot (cmd/proxbench -core-out): batch
+// TopK under both bounds, incremental session Next, and a sharded-merge
+// query. benchstat on `-bench=HotPath` before/after a change is the
+// canonical way to claim a hot-path win.
+func BenchmarkHotPath(b *testing.B) {
+	for _, spec := range benchcore.Specs() {
+		b.Run(spec.Name, spec.Bench)
+	}
+}
 
 // benchFigure runs one figure panel per iteration.
 func benchFigure(b *testing.B, id string) {

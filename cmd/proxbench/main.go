@@ -1,12 +1,17 @@
 // Command proxbench regenerates the paper's experimental study. Each panel
 // of Figure 3 is a runnable experiment; the printed rows are the series
-// the paper plots.
+// the paper plots. It also maintains the repo's hot-path perf snapshot:
+// -core-out runs the engine micro-benchmarks (batch TopK, session Next,
+// sharded merge — the same workloads as `go test -bench=HotPath`) and
+// writes them as BENCH_core.json, so the performance trajectory is
+// tracked in-tree from PR to PR.
 //
 // Usage:
 //
-//	proxbench -fig all            # every panel, paper methodology (10 reps)
-//	proxbench -fig 3a,3h -quick   # selected panels at reduced size
-//	proxbench -list               # list available panels
+//	proxbench -fig all                  # every panel, paper methodology (10 reps)
+//	proxbench -fig 3a,3h -quick         # selected panels at reduced size
+//	proxbench -list                     # list available panels
+//	proxbench -core-out BENCH_core.json # refresh the hot-path perf snapshot
 package main
 
 import (
@@ -15,18 +20,43 @@ import (
 	"os"
 	"strings"
 
+	"repro/internal/benchcore"
 	"repro/internal/experiments"
 )
 
 func main() {
 	var (
-		figs  = flag.String("fig", "all", "comma-separated figure ids (3a..3n) or 'all'")
-		quick = flag.Bool("quick", false, "reduced repetitions and data sizes")
-		reps  = flag.Int("reps", 0, "override the number of seeded data sets per point")
-		list  = flag.Bool("list", false, "list available figures and exit")
-		seed  = flag.Int64("seed", 0, "base seed for data generation")
+		figs    = flag.String("fig", "all", "comma-separated figure ids (3a..3n) or 'all'")
+		quick   = flag.Bool("quick", false, "reduced repetitions and data sizes")
+		reps    = flag.Int("reps", 0, "override the number of seeded data sets per point")
+		list    = flag.Bool("list", false, "list available figures and exit")
+		seed    = flag.Int64("seed", 0, "base seed for data generation")
+		coreOut = flag.String("core-out", "", "run the hot-path micro-benchmarks and write the JSON snapshot here ('-' for stdout)")
 	)
 	flag.Parse()
+
+	if *coreOut != "" {
+		snap := benchcore.Run()
+		out := os.Stdout
+		if *coreOut != "-" {
+			f, err := os.Create(*coreOut)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "proxbench: %v\n", err)
+				os.Exit(1)
+			}
+			defer f.Close()
+			out = f
+		}
+		if err := snap.Write(out); err != nil {
+			fmt.Fprintf(os.Stderr, "proxbench: %v\n", err)
+			os.Exit(1)
+		}
+		for _, b := range snap.Benchmarks {
+			fmt.Fprintf(os.Stderr, "%-14s %12.0f ns/op %10d B/op %8d allocs/op\n",
+				b.Name, b.NsPerOp, b.BytesPerOp, b.AllocsPerOp)
+		}
+		return
+	}
 
 	if *list {
 		for _, f := range experiments.Registry() {

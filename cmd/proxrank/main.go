@@ -39,6 +39,7 @@ func main() {
 		wmu     = flag.Float64("wmu", 1, "centroid-distance weight w_mu")
 		showIO  = flag.Bool("stats", false, "print access statistics")
 		maxSum  = flag.Int("max-sum-depths", 0, "abort after this many accesses (0 = unlimited)")
+		maxBuf  = flag.Int("max-buffered", 0, "bound the buffer of formed-but-unemitted combinations (0 = K)")
 		useTree = flag.Bool("rtree", false, "serve distance access via R-tree incremental NN")
 		stream  = flag.Bool("stream", false, "print each result as soon as it is certified")
 	)
@@ -102,6 +103,7 @@ func main() {
 		Access:       *access,
 		Weights:      &api.Weights{Ws: *ws, Wq: *wq, Wmu: *wmu},
 		MaxSumDepths: *maxSum,
+		MaxBuffered:  *maxBuf,
 	}
 	qvec, opts, err := proxrank.OptionsFromRequest(req)
 	if err != nil {
@@ -110,6 +112,11 @@ func main() {
 	// The R-tree toggle is a physical knob of the local engine, not part
 	// of the wire request (results are identical either way).
 	opts.UseRTree = *useTree
+	// The CLI consumes at most K results, so the buffer can always be
+	// bounded (the service executor applies the same default).
+	opts = opts.BoundedToK()
+	// Per-pull timing only matters when the stats line is requested.
+	opts.CollectTimings = *showIO
 
 	sess, err := proxrank.NewQueryInputs(qvec, inputs, opts)
 	if err != nil {

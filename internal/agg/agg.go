@@ -52,6 +52,34 @@ type Quadratic interface {
 	TransformScore(sigma float64) float64
 }
 
+// Separable is implemented by aggregation functions whose combination
+// score is bounded above by a sum of per-tuple terms:
+//
+//	Score(q, σ, x) ≤ Σ_i SoloBound(i, σ_i, δ(x_i, q))
+//
+// For the reference aggregations the bound is G with the centroid
+// distance zeroed — the centroid term only ever subtracts. The engine
+// uses this to prune cross-product subtrees during combination formation:
+// a partial combination whose best possible completion (its seen tuples'
+// solo terms plus the per-relation maxima of the unseen slots) cannot
+// reach the current score floor is cut without being materialized.
+type Separable interface {
+	Function
+	// SoloBound returns an upper bound on tuple i's contribution to any
+	// combination containing it; dq is the Metric distance to the query.
+	SoloBound(i int, sigma, dq float64) float64
+}
+
+// ScratchScorer is implemented by aggregation functions that can evaluate
+// Score through a caller-provided centroid scratch vector, avoiding the
+// per-combination centroid allocation on the formation hot path. The
+// result must be bit-identical to Score.
+type ScratchScorer interface {
+	Function
+	// ScoreScratch is Score with mu (len = dim) as centroid scratch space.
+	ScoreScratch(q vec.Vector, sigmas []float64, xs []vec.Vector, mu vec.Vector) float64
+}
+
 // ScoreTransform selects how σ enters the aggregation.
 type ScoreTransform int
 
@@ -154,6 +182,28 @@ func (e *EuclideanSum) Score(q vec.Vector, sigmas []float64, xs []vec.Vector) fl
 	return s
 }
 
+// ScoreScratch implements ScratchScorer: the operation sequence matches
+// Score exactly (MeanInto mirrors Mean bit-for-bit), only the centroid
+// buffer is caller-owned.
+func (e *EuclideanSum) ScoreScratch(q vec.Vector, sigmas []float64, xs []vec.Vector, mu vec.Vector) float64 {
+	if len(sigmas) != len(xs) || len(xs) == 0 {
+		panic("agg: sigmas/xs mismatch or empty")
+	}
+	vec.MeanInto(mu, xs)
+	var s float64
+	for i, x := range xs {
+		s += e.W.Ws*e.TransformScore(sigmas[i]) - e.W.Wq*x.Dist2(q) - e.W.Wmu*x.Dist2(mu)
+	}
+	return s
+}
+
+// SoloBound implements Separable: g with the centroid distance zeroed.
+// The dropped −w_µ·dmu² term is never positive, so the sum of solo bounds
+// dominates the full score.
+func (e *EuclideanSum) SoloBound(_ int, sigma, dq float64) float64 {
+	return e.W.Ws*e.TransformScore(sigma) - e.W.Wq*dq*dq
+}
+
 // Metric implements Function.
 func (e *EuclideanSum) Metric() vec.Metric { return vec.Euclidean{} }
 
@@ -214,6 +264,26 @@ func (c *CosineProximity) Score(q vec.Vector, sigmas []float64, xs []vec.Vector)
 		s += c.G(i, sigmas[i], c.metric.Distance(x, q), c.metric.Distance(x, mu))
 	}
 	return s
+}
+
+// ScoreScratch implements ScratchScorer (see EuclideanSum.ScoreScratch).
+func (c *CosineProximity) ScoreScratch(q vec.Vector, sigmas []float64, xs []vec.Vector, mu vec.Vector) float64 {
+	if len(sigmas) != len(xs) || len(xs) == 0 {
+		panic("agg: sigmas/xs mismatch or empty")
+	}
+	vec.MeanInto(mu, xs)
+	var s float64
+	for i, x := range xs {
+		s += c.G(i, sigmas[i], c.metric.Distance(x, q), c.metric.Distance(x, mu))
+	}
+	return s
+}
+
+// SoloBound implements Separable: g with the centroid dissimilarity
+// zeroed (cosine dissimilarity is non-negative, so the dropped term only
+// subtracts).
+func (c *CosineProximity) SoloBound(i int, sigma, dq float64) float64 {
+	return c.G(i, sigma, dq, 0)
 }
 
 // Metric implements Function.

@@ -1,0 +1,218 @@
+// Package benchcore defines the engine hot-path micro-benchmarks in one
+// place, so `go test -bench=HotPath` and the committed BENCH_core.json
+// snapshot (`proxbench -core-out`) measure exactly the same workloads:
+// batch TopK (tight and corner bounds), incremental session Next, and a
+// sharded-merge query. The JSON snapshot is the perf trajectory record —
+// regenerate it on the same class of hardware before claiming a win or a
+// regression (see EXPERIMENTS.md).
+package benchcore
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+
+	proxrank "repro"
+)
+
+// Spec names one hot-path benchmark.
+type Spec struct {
+	Name  string
+	Bench func(b *testing.B)
+}
+
+// Specs lists the hot-path benchmarks in report order.
+func Specs() []Spec {
+	return []Spec{
+		{Name: "TopK", Bench: BenchTopK},
+		{Name: "TopKCorner", Bench: BenchTopKCorner},
+		{Name: "SessionNext", Bench: BenchSessionNext},
+		{Name: "ShardedMerge", Bench: BenchShardedMerge},
+	}
+}
+
+func mustRels(n, base int, seed int64) ([]*proxrank.Relation, proxrank.Vector) {
+	cfg := proxrank.DefaultSyntheticConfig()
+	cfg.Relations = n
+	cfg.BaseTuples = base
+	cfg.Seed = seed
+	rels, err := proxrank.SyntheticRelations(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return rels, proxrank.Vector{0, 0}
+}
+
+func inputsOf(rels []*proxrank.Relation) []proxrank.Input {
+	inputs := make([]proxrank.Input, len(rels))
+	for i, r := range rels {
+		inputs[i] = r
+	}
+	return inputs
+}
+
+// Workload state is built once per process and shared read-only, so the
+// benchmarks time queries, not data generation.
+var (
+	batchOnce sync.Once
+	batchRels []*proxrank.Relation
+	batchQ    proxrank.Vector
+
+	sessOnce sync.Once
+	sessRels []*proxrank.Relation
+	sessQ    proxrank.Vector
+
+	shardOnce   sync.Once
+	shardInputs []proxrank.Input
+	shardQ      proxrank.Vector
+)
+
+func batchSetup() ([]*proxrank.Relation, proxrank.Vector) {
+	batchOnce.Do(func() { batchRels, batchQ = mustRels(2, 400, 42) })
+	return batchRels, batchQ
+}
+
+func sessSetup() ([]*proxrank.Relation, proxrank.Vector) {
+	sessOnce.Do(func() { sessRels, sessQ = mustRels(2, 2000, 7) })
+	return sessRels, sessQ
+}
+
+func shardSetup() ([]proxrank.Input, proxrank.Vector) {
+	shardOnce.Do(func() {
+		rels, q := mustRels(2, 2000, 42)
+		inputs := make([]proxrank.Input, len(rels))
+		for i, r := range rels {
+			sharded, err := proxrank.NewShardedRelation(r, 8, proxrank.HashPartition)
+			if err != nil {
+				panic(err)
+			}
+			inputs[i] = sharded
+		}
+		shardInputs, shardQ = inputs, q
+	})
+	return shardInputs, shardQ
+}
+
+// BenchTopK is the headline batch query at the paper's default operating
+// point (2 relations × 400 tuples, K = 10, TBPA).
+func BenchTopK(b *testing.B) {
+	rels, q := batchSetup()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := proxrank.TopK(q, rels, proxrank.Options{K: 10}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchTopKCorner is the same query under the corner bound (CBRR): the
+// deepest-reading algorithm, hence the largest cross product — the
+// workload where combination formation dominates.
+func BenchTopKCorner(b *testing.B) {
+	rels, q := batchSetup()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := proxrank.TopK(q, rels, proxrank.Options{K: 10, Algorithm: proxrank.CBRR}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchSessionNext measures one incremental Next(1) on a long-lived
+// ranked-enumeration session over 2 × 2000 tuples, with the session
+// buffer bounded under the spill policy (the open-enumeration
+// configuration). The session is rebuilt off the clock when exhausted.
+func BenchSessionNext(b *testing.B) {
+	rels, q := sessSetup()
+	opts := proxrank.Options{K: 10, MaxBuffered: 1024, BufferPolicy: proxrank.BufferSpill}
+	inputs := inputsOf(rels)
+	sess, err := proxrank.NewQueryInputs(q, inputs, opts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sess.Next(1); err != nil {
+			if errors.Is(err, proxrank.ErrStreamDone) {
+				b.StopTimer()
+				if sess, err = proxrank.NewQueryInputs(q, inputs, opts); err != nil {
+					b.Fatal(err)
+				}
+				b.StartTimer()
+				continue
+			}
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchShardedMerge runs the batch query over hash-sharded relations
+// (8 shards each), so every pull crosses the k-way merged shard streams.
+func BenchShardedMerge(b *testing.B) {
+	inputs, q := shardSetup()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := proxrank.TopKInputs(q, inputs, proxrank.Options{K: 10}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// Result is one benchmark measurement of a Snapshot.
+type Result struct {
+	Name        string  `json:"name"`
+	Iterations  int     `json:"iterations"`
+	NsPerOp     float64 `json:"nsPerOp"`
+	BytesPerOp  int64   `json:"bytesPerOp"`
+	AllocsPerOp int64   `json:"allocsPerOp"`
+}
+
+// Snapshot is the BENCH_core.json document.
+type Snapshot struct {
+	GeneratedAt string   `json:"generatedAt"`
+	GoOS        string   `json:"goos"`
+	GoArch      string   `json:"goarch"`
+	NumCPU      int      `json:"numCPU"`
+	Benchmarks  []Result `json:"benchmarks"`
+}
+
+// Run executes every hot-path benchmark through testing.Benchmark and
+// returns the snapshot.
+func Run() Snapshot {
+	snap := Snapshot{
+		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
+		GoOS:        runtime.GOOS,
+		GoArch:      runtime.GOARCH,
+		NumCPU:      runtime.NumCPU(),
+	}
+	for _, spec := range Specs() {
+		r := testing.Benchmark(spec.Bench)
+		snap.Benchmarks = append(snap.Benchmarks, Result{
+			Name:        spec.Name,
+			Iterations:  r.N,
+			NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+			AllocsPerOp: r.AllocsPerOp(),
+		})
+	}
+	return snap
+}
+
+// Write renders a snapshot as indented JSON.
+func (s Snapshot) Write(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(s); err != nil {
+		return fmt.Errorf("benchcore: encoding snapshot: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,88 @@
+package core
+
+// combArena stores the payload of buffered combinations in one flat rank
+// slab with a freelist of recycled slots. A buffered combination is fully
+// identified by its rank vector — the engine retains every pulled tuple
+// in its relation prefixes, so tuples are reconstructed on emission as
+// rels[i].tuples[rank[i]] instead of being copied per combination. One
+// slot therefore costs n int32s instead of the two heap-allocated slices
+// (tuples + ranks) the hot path used to pay per formed combination, and
+// evicting a combination returns its slot for reuse, so batch runs touch
+// a bounded working set no matter how many combinations stream through
+// the buffer.
+type combArena struct {
+	n     int
+	ranks []int32 // slot s occupies ranks[s*n : (s+1)*n]
+	free  []int32
+}
+
+// combRef is an arena-backed combination handle: the aggregate score
+// inline (every comparison needs it), the rank payload in the arena.
+type combRef struct {
+	slot  int32
+	score float64
+}
+
+func newCombArena(n int) *combArena {
+	return &combArena{n: n}
+}
+
+// alloc copies ranks into a fresh or recycled slot and returns its index.
+func (a *combArena) alloc(ranks []int32) int32 {
+	var s int32
+	if n := len(a.free); n > 0 {
+		s = a.free[n-1]
+		a.free = a.free[:n-1]
+		copy(a.ranks[int(s)*a.n:(int(s)+1)*a.n], ranks)
+		return s
+	}
+	s = int32(len(a.ranks) / a.n)
+	a.ranks = append(a.ranks, ranks...)
+	return s
+}
+
+// release returns slot s to the freelist.
+func (a *combArena) release(s int32) {
+	a.free = append(a.free, s)
+}
+
+// ranksAt returns the rank vector stored in slot s. The slice aliases the
+// slab: valid until the slot is released.
+func (a *combArena) ranksAt(s int32) []int32 {
+	return a.ranks[int(s)*a.n : (int(s)+1)*a.n]
+}
+
+// slots returns the number of live (allocated, unreleased) slots.
+func (a *combArena) slots() int {
+	return len(a.ranks)/a.n - len(a.free)
+}
+
+// lexLess32 is lexicographic order on rank vectors.
+func lexLess32(a, b []int32) bool {
+	for i := range a {
+		if a[i] != b[i] {
+			return a[i] < b[i]
+		}
+	}
+	return false
+}
+
+// refWorse reports whether a is a strictly worse result than b — the
+// arena-backed twin of combWorse, with identical tie-breaking (equal
+// scores: the higher rank vector loses).
+func (a *combArena) refWorse(x, y combRef) bool {
+	if x.score != y.score {
+		return x.score < y.score
+	}
+	return lexLess32(a.ranksAt(y.slot), a.ranksAt(x.slot))
+}
+
+// beats reports whether an incoming combination (score + scratch ranks,
+// not yet in the arena) is strictly better than the buffered ref — the
+// allocation-free form of refWorse(ref, incoming).
+func (a *combArena) beats(score float64, ranks []int32, ref combRef) bool {
+	if score != ref.score {
+		return score > ref.score
+	}
+	return lexLess32(ranks, a.ranksAt(ref.slot))
+}

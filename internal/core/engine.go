@@ -15,6 +15,10 @@ import (
 var negInf = math.Inf(-1)
 var posInf = math.Inf(1)
 
+// prefixCap is the initial capacity of the per-relation prefix slices, so
+// the first few dozen pulls never reallocate them.
+const prefixCap = 64
+
 // relState is the engine-side view of one input relation: the extracted
 // prefix P_i plus the first/last access statistics the bounds consume.
 type relState struct {
@@ -24,6 +28,15 @@ type relState struct {
 	dists     []float64        // distance from q, parallel to tuples
 	exhausted bool
 	maxScore  float64
+	// solo holds each prefix tuple's separable upper contribution
+	// (agg.Separable.SoloBound), parallel to tuples; soloMax is its running
+	// maximum and soloAbsMax the running maximum magnitude (the scale of
+	// the floating-point error a sum of solo terms can carry). All three
+	// drive score-floor pruning during formation and stay empty when the
+	// aggregation is not separable.
+	solo       []float64
+	soloMax    float64
+	soloAbsMax float64
 }
 
 // depth returns p_i.
@@ -88,22 +101,34 @@ type puller interface {
 
 // Engine executes the ProxRJ template over a fixed set of sources.
 type Engine struct {
-	opts   Options
-	q      vec.Vector
-	n      int
-	dim    int
-	kind   relation.AccessKind
-	rels   []*relState
-	out    *topK
-	bound  bounder
-	pull   puller
-	stats  Stats
-	t      float64 // current upper bound
-	pulls  int64   // global access counter (epoch for lazy bounds)
-	result []Combination
-	// sink, when set, receives formed combinations instead of the top-K
-	// buffer (used by the pipelined Iterator).
-	sink func(Combination)
+	opts  Options
+	q     vec.Vector
+	n     int
+	dim   int
+	kind  relation.AccessKind
+	rels  []*relState
+	arena *combArena
+	out   *refTopK // the batch top-K buffer; also the default sink
+	// sink receives formed combinations: out in batch mode, the session
+	// buffer when a pipelined Iterator drives the engine.
+	sink  refSink
+	bound bounder
+	pull  puller
+	stats Stats
+	t     float64 // current upper bound
+	pulls int64   // global access counter (epoch for lazy bounds)
+	// sep/scorer are the optional aggregation fast paths: sep unlocks
+	// score-floor pruning, scorer the allocation-free leaf evaluation.
+	sep    agg.Separable
+	scorer agg.ScratchScorer
+	// Formation scratch, reused across every formCombinations call.
+	scrRanks  []int32
+	scrSigmas []float64
+	scrXs     []vec.Vector
+	scrMu     vec.Vector
+	sufBound  []float64 // sufBound[i]: Σ soloMax over levels ≥ i (skip excluded)
+	sufCount  []int64   // sufCount[i]: Π depth over levels ≥ i (skip excluded)
+	pruneMag  float64   // Σ soloAbsMax: term-magnitude scale for pruneSlack
 }
 
 // NewEngine validates the configuration and builds an engine. All sources
@@ -121,6 +146,9 @@ func NewEngine(sources []relation.Source, opts Options) (*Engine, error) {
 	if opts.Epsilon < 0 || math.IsNaN(opts.Epsilon) {
 		return nil, fmt.Errorf("core: Epsilon must be non-negative, got %v", opts.Epsilon)
 	}
+	if opts.MaxBuffered < 0 {
+		return nil, fmt.Errorf("core: MaxBuffered must be non-negative, got %d", opts.MaxBuffered)
+	}
 	kind := sources[0].Kind()
 	dim := sources[0].Relation().Dim()
 	if opts.Query.Dim() != dim {
@@ -136,19 +164,48 @@ func NewEngine(sources []relation.Source, opts Options) (*Engine, error) {
 		}
 	}
 	e := &Engine{
-		opts: opts,
-		q:    opts.Query.Clone(),
-		n:    len(sources),
-		dim:  dim,
-		kind: kind,
-		out:  newTopK(opts.K),
-		t:    posInf,
+		opts:      opts,
+		q:         opts.Query.Clone(),
+		n:         len(sources),
+		dim:       dim,
+		kind:      kind,
+		arena:     newCombArena(len(sources)),
+		t:         posInf,
+		scrRanks:  make([]int32, len(sources)),
+		scrSigmas: make([]float64, len(sources)),
+		scrXs:     make([]vec.Vector, len(sources)),
+		scrMu:     vec.New(dim),
+		sufBound:  make([]float64, len(sources)+1),
+		sufCount:  make([]int64, len(sources)+1),
 	}
+	e.out = newRefTopK(opts.K, e.arena, &e.stats.PeakBuffered)
+	e.sink = e.out
 	e.rels = make([]*relState, e.n)
 	for i, s := range sources {
-		e.rels[i] = &relState{index: i, src: s, maxScore: s.Relation().MaxScore}
+		c := prefixCap
+		if l := s.Relation().Len(); l < c {
+			c = l
+		}
+		e.rels[i] = &relState{
+			index:    i,
+			src:      s,
+			maxScore: s.Relation().MaxScore,
+			tuples:   make([]relation.Tuple, 0, c),
+			dists:    make([]float64, 0, c),
+		}
 	}
 	e.stats.Depths = make([]int, e.n)
+	if !opts.disablePrune {
+		if sep, ok := opts.Agg.(agg.Separable); ok {
+			e.sep = sep
+			for _, rs := range e.rels {
+				rs.solo = make([]float64, 0, cap(rs.tuples))
+			}
+		}
+	}
+	if scorer, ok := opts.Agg.(agg.ScratchScorer); ok {
+		e.scorer = scorer
+	}
 
 	// Select the bounding scheme. The tight bound needs the quadratic
 	// geometry; otherwise fall back to the corner bound (still correct).
@@ -206,12 +263,31 @@ func (e *Engine) RunContext(ctx context.Context) (Result, error) {
 		}
 	}
 	e.stats.TotalTime = time.Since(start)
+	refs := e.out.sortedRefs()
+	combs := make([]Combination, len(refs))
+	for i, ref := range refs {
+		combs[i] = e.materialize(ref)
+	}
 	return Result{
-		Combinations: e.out.sorted(),
+		Combinations: combs,
 		Threshold:    e.t,
 		DNF:          dnf,
 		Stats:        e.stats,
 	}, nil
+}
+
+// materialize converts an arena-backed ref into a public Combination,
+// reconstructing tuples from the relation prefixes (rank r of relation i
+// is always rels[i].tuples[r] — prefixes only ever grow).
+func (e *Engine) materialize(ref combRef) Combination {
+	rank32 := e.arena.ranksAt(ref.slot)
+	tuples := make([]relation.Tuple, e.n)
+	ranks := make([]int, e.n)
+	for i, r := range rank32 {
+		tuples[i] = e.rels[i].tuples[r]
+		ranks[i] = int(r)
+	}
+	return Combination{Tuples: tuples, Ranks: ranks, Score: ref.score}
 }
 
 // satisfied implements the stopping test of Algorithm 1 line 3: the buffer
@@ -235,16 +311,23 @@ func (e *Engine) capped() bool {
 }
 
 // step pulls one tuple from relation ri, forms the new combinations, and
-// updates the bound (Algorithm 1 lines 5-9).
+// updates the bound (Algorithm 1 lines 5-9). The wall-clock sampling of
+// the bound components only runs under Options.CollectTimings, so the
+// default hot path pays no timer calls per pull.
 func (e *Engine) step(ri int) error {
 	rs := e.rels[ri]
 	tup, err := rs.src.Next()
 	if errors.Is(err, relation.ErrExhausted) {
 		rs.exhausted = true
-		bStart := time.Now()
+		var bStart time.Time
+		if e.opts.CollectTimings {
+			bStart = time.Now()
+		}
 		e.bound.registerExhausted(ri)
 		e.t = e.bound.threshold()
-		e.stats.BoundTime += time.Since(bStart)
+		if e.opts.CollectTimings {
+			e.stats.BoundTime += time.Since(bStart)
+		}
 		return nil
 	}
 	if err != nil {
@@ -254,69 +337,168 @@ func (e *Engine) step(ri int) error {
 	e.stats.Depths[ri]++
 	e.stats.SumDepths++
 
-	e.formCombinations(ri, tup)
+	// One distance evaluation serves formation, the prefix statistics the
+	// bounders read, and the separable pruning term.
+	dist := e.opts.Agg.Metric().Distance(tup.Vec, e.q)
+	var solo float64
+	if e.sep != nil {
+		solo = e.sep.SoloBound(ri, tup.Score, dist)
+	}
+
+	e.formCombinations(ri, tup, solo)
 
 	rs.tuples = append(rs.tuples, tup)
-	rs.dists = append(rs.dists, e.opts.Agg.Metric().Distance(tup.Vec, e.q))
+	rs.dists = append(rs.dists, dist)
+	if e.sep != nil {
+		rs.solo = append(rs.solo, solo)
+		if len(rs.solo) == 1 || solo > rs.soloMax {
+			rs.soloMax = solo
+		}
+		if a := math.Abs(solo); a > rs.soloAbsMax {
+			rs.soloAbsMax = a
+		}
+	}
 
-	bStart := time.Now()
-	domBefore := e.stats.DominanceTime
+	var bStart time.Time
+	var domBefore time.Duration
+	if e.opts.CollectTimings {
+		bStart = time.Now()
+		domBefore = e.stats.DominanceTime
+	}
 	e.bound.register(ri)
 	if p := e.opts.BoundPeriod; p <= 1 || e.pulls%int64(p) == 0 {
 		e.t = e.bound.threshold()
 		e.stats.BoundUpdates++
 	}
-	// Dominance testing runs inside register but is reported as its own
-	// stacked component (Fig 3(m)/(n)); keep BoundTime disjoint from it.
-	e.stats.BoundTime += time.Since(bStart) - (e.stats.DominanceTime - domBefore)
+	if e.opts.CollectTimings {
+		// Dominance testing runs inside register but is reported as its own
+		// stacked component (Fig 3(m)/(n)); keep BoundTime disjoint from it.
+		e.stats.BoundTime += time.Since(bStart) - (e.stats.DominanceTime - domBefore)
+	}
 	return nil
 }
 
-// formCombinations materializes P_1 × … × {τ} × … × P_n and offers each
-// member to the output buffer (Algorithm 1 lines 6-7).
-func (e *Engine) formCombinations(ri int, tup relation.Tuple) {
+// formCombinations enumerates P_1 × … × {τ} × … × P_n and offers each
+// member to the output buffer (Algorithm 1 lines 6-7). With a separable
+// aggregation, subtrees whose best possible completion cannot beat the
+// sink's score floor are cut before materialization; the skipped members
+// still count into Stats.CombinationsFormed (and CombinationsPruned), so
+// the paper's cost metric and the MaxCombinations cap semantics are
+// unchanged by pruning.
+func (e *Engine) formCombinations(ri int, tup relation.Tuple, solo float64) {
 	for _, rs := range e.rels {
 		if rs.index != ri && rs.depth() == 0 {
 			return
 		}
 	}
-	tuples := make([]relation.Tuple, e.n)
-	ranks := make([]int, e.n)
-	sigmas := make([]float64, e.n)
-	xs := make([]vec.Vector, e.n)
-	tuples[ri] = tup
-	ranks[ri] = e.rels[ri].depth() // rank of the new tuple (0-based = current depth before append)
-	sigmas[ri] = tup.Score
-	xs[ri] = tup.Vec
-	e.enumerate(0, ri, tuples, ranks, sigmas, xs)
+	// The new tuple occupies its slot at every leaf; its rank is the depth
+	// before append.
+	e.scrRanks[ri] = int32(e.rels[ri].depth())
+	e.scrSigmas[ri] = tup.Score
+	e.scrXs[ri] = tup.Vec
+	if e.sep != nil {
+		// Suffix tables over the remaining levels: the best additional solo
+		// mass and the number of leaves below each level. pruneMag collects
+		// the largest term magnitude any partial sum can contain, which
+		// sets the scale of its floating-point error (see pruneSlack).
+		var sb float64
+		sc := int64(1)
+		mag := math.Abs(solo)
+		e.sufBound[e.n] = 0
+		e.sufCount[e.n] = 1
+		for i := e.n - 1; i >= 0; i-- {
+			if i != ri {
+				sb += e.rels[i].soloMax
+				// Saturate: wide joins over deep prefixes can push the
+				// leaf count past int64 (pruning is what makes that regime
+				// reachable at all), and a wrapped count would corrupt
+				// CombinationsFormed and defeat the MaxCombinations cap.
+				if d := int64(e.rels[i].depth()); sc > math.MaxInt64/d {
+					sc = math.MaxInt64
+				} else {
+					sc *= d
+				}
+				mag += e.rels[i].soloAbsMax
+			}
+			e.sufBound[i] = sb
+			e.sufCount[i] = sc
+		}
+		e.pruneMag = mag
+	}
+	e.enumerate(0, ri, solo)
 }
 
-func (e *Engine) enumerate(i, skip int, tuples []relation.Tuple, ranks []int, sigmas []float64, xs []vec.Vector) {
+// satAdd adds counter deltas with saturation at MaxInt64, matching the
+// saturated suffix counts.
+func satAdd(a, b int64) int64 {
+	if a > math.MaxInt64-b {
+		return math.MaxInt64
+	}
+	return a + b
+}
+
+// pruneSlack is the safety margin under the score floor that keeps
+// pruning conservative against floating-point divergence between the
+// incremental solo sums and the full aggregation: a subtree is cut only
+// when its upper bound is below floor − slack, so rounding can never
+// prune a combination the buffer would have admitted (admitting a doomed
+// one is harmless — offer rejects it exactly as before). The margin
+// scales with the magnitude of the summed terms (mag), not just the
+// floor: solo terms can be many orders larger than the scores they
+// cancel to, and the summation error follows the terms. 1e-9 relative
+// overshoots the actual ~1e-15-per-term error by six orders while still
+// being far below any meaningful score separation.
+func pruneSlack(floor, mag float64) float64 {
+	return 1e-9 * (1 + math.Abs(floor) + mag)
+}
+
+// enumerate recurses over relation levels, carrying the partial solo sum
+// of the chosen tuples (meaningful only when e.sep != nil).
+func (e *Engine) enumerate(i, skip int, partial float64) {
 	if i == e.n {
-		score := e.opts.Agg.Score(e.q, sigmas, xs)
-		comb := Combination{
-			Tuples: append([]relation.Tuple(nil), tuples...),
-			Ranks:  append([]int(nil), ranks...),
-			Score:  score,
-		}
-		if e.sink != nil {
-			e.sink(comb)
-		} else {
-			e.out.push(comb)
-		}
 		e.stats.CombinationsFormed++
+		var score float64
+		if e.scorer != nil {
+			score = e.scorer.ScoreScratch(e.q, e.scrSigmas, e.scrXs, e.scrMu)
+		} else {
+			score = e.opts.Agg.Score(e.q, e.scrSigmas, e.scrXs)
+		}
+		e.sink.offer(score, e.scrRanks)
 		return
 	}
 	if i == skip {
-		e.enumerate(i+1, skip, tuples, ranks, sigmas, xs)
+		e.enumerate(i+1, skip, partial)
 		return
 	}
-	for r, t := range e.rels[i].tuples {
-		tuples[i] = t
-		ranks[i] = r
-		sigmas[i] = t.Score
-		xs[i] = t.Vec
-		e.enumerate(i+1, skip, tuples, ranks, sigmas, xs)
+	rs := e.rels[i]
+	if e.sep != nil {
+		if floor, ok := e.sink.floor(); ok {
+			slack := pruneSlack(floor, e.pruneMag)
+			sufB, sufC := e.sufBound[i+1], e.sufCount[i+1]
+			for r, t := range rs.tuples {
+				next := partial + rs.solo[r]
+				if next+sufB < floor-slack {
+					e.stats.CombinationsFormed = satAdd(e.stats.CombinationsFormed, sufC)
+					e.stats.CombinationsPruned = satAdd(e.stats.CombinationsPruned, sufC)
+					continue
+				}
+				e.scrRanks[i] = int32(r)
+				e.scrSigmas[i] = t.Score
+				e.scrXs[i] = t.Vec
+				e.enumerate(i+1, skip, next)
+			}
+			return
+		}
+	}
+	for r, t := range rs.tuples {
+		e.scrRanks[i] = int32(r)
+		e.scrSigmas[i] = t.Score
+		e.scrXs[i] = t.Vec
+		var next float64
+		if e.sep != nil {
+			next = partial + rs.solo[r]
+		}
+		e.enumerate(i+1, skip, next)
 	}
 }
 

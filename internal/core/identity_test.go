@@ -1,0 +1,320 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/agg"
+	"repro/internal/relation"
+	"repro/internal/vec"
+)
+
+func mustAgg(t *testing.T, ws, wq, wmu float64) agg.Function {
+	t.Helper()
+	fn, err := agg.NewEuclideanSum(agg.Weights{Ws: ws, Wq: wq, Wmu: wmu}, agg.IdentityScore)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fn
+}
+
+// combosIdentical requires bit-exact equality: scores, rank vectors, and
+// the tuples themselves. This is the "byte-identical results" contract of
+// the hot-path optimizations — pruning, the combination arena, and the
+// bounded session buffer must be invisible in the output.
+func combosIdentical(a, b []Combination) error {
+	if len(a) != len(b) {
+		return fmt.Errorf("length %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if math.Float64bits(a[i].Score) != math.Float64bits(b[i].Score) {
+			return fmt.Errorf("combination %d: score %v vs %v", i, a[i].Score, b[i].Score)
+		}
+		if len(a[i].Ranks) != len(b[i].Ranks) {
+			return fmt.Errorf("combination %d: rank arity", i)
+		}
+		for j := range a[i].Ranks {
+			if a[i].Ranks[j] != b[i].Ranks[j] {
+				return fmt.Errorf("combination %d: ranks %v vs %v", i, a[i].Ranks, b[i].Ranks)
+			}
+			ta, tb := a[i].Tuples[j], b[i].Tuples[j]
+			if ta.ID != tb.ID || ta.Score != tb.Score || !ta.Vec.Equal(tb.Vec) {
+				return fmt.Errorf("combination %d tuple %d: %+v vs %+v", i, j, ta, tb)
+			}
+		}
+	}
+	return nil
+}
+
+// statsIdentical compares every schedule-derived counter; the
+// optimization-reporting fields (CombinationsPruned, PeakBuffered,
+// SpilledCombinations) and wall-clock times are the only ones allowed to
+// differ.
+func statsIdentical(a, b Stats) error {
+	if a.SumDepths != b.SumDepths {
+		return fmt.Errorf("sumDepths %d vs %d", a.SumDepths, b.SumDepths)
+	}
+	for i := range a.Depths {
+		if a.Depths[i] != b.Depths[i] {
+			return fmt.Errorf("depths %v vs %v", a.Depths, b.Depths)
+		}
+	}
+	if a.CombinationsFormed != b.CombinationsFormed {
+		return fmt.Errorf("combinationsFormed %d vs %d", a.CombinationsFormed, b.CombinationsFormed)
+	}
+	if a.BoundUpdates != b.BoundUpdates {
+		return fmt.Errorf("boundUpdates %d vs %d", a.BoundUpdates, b.BoundUpdates)
+	}
+	if a.QPSolves != b.QPSolves {
+		return fmt.Errorf("qpSolves %d vs %d", a.QPSolves, b.QPSolves)
+	}
+	if a.PartialsTracked != b.PartialsTracked {
+		return fmt.Errorf("partialsTracked %d vs %d", a.PartialsTracked, b.PartialsTracked)
+	}
+	if a.DominanceLPs != b.DominanceLPs || a.DominatedPartials != b.DominatedPartials {
+		return fmt.Errorf("dominance counters differ")
+	}
+	if a.BoundDowngraded != b.BoundDowngraded {
+		return fmt.Errorf("boundDowngraded %v vs %v", a.BoundDowngraded, b.BoundDowngraded)
+	}
+	return nil
+}
+
+// identityCase is one randomized operating point of the property.
+type identityCase struct {
+	in   instance
+	kind relation.AccessKind
+	opts Options // K/Query/Agg filled by runAlgo
+}
+
+func identityCases(r *rand.Rand, trials int) []identityCase {
+	var out []identityCase
+	for i := 0; i < trials; i++ {
+		in := randomInstance(r, 3, 14)
+		for _, kind := range []relation.AccessKind{relation.DistanceAccess, relation.ScoreAccess} {
+			for _, algo := range Algorithms {
+				opts := Options{Algorithm: algo}
+				if r.Intn(3) == 0 {
+					opts.Epsilon = r.Float64() * 0.2
+				}
+				if r.Intn(3) == 0 {
+					opts.BoundPeriod = 1 + r.Intn(4)
+				}
+				if kind == relation.DistanceAccess && algo.Bound() == TightBound && r.Intn(2) == 0 {
+					opts.DominancePeriod = 1 + r.Intn(6)
+				}
+				if r.Intn(4) == 0 {
+					// A tight cap forces the DNF path through the same
+					// comparison.
+					opts.MaxCombinations = 1 + int64(r.Intn(40))
+				}
+				out = append(out, identityCase{in: in, kind: kind, opts: opts})
+			}
+		}
+	}
+	return out
+}
+
+// TestQuickPruneByteIdentity: a batch run with score-floor pruning (the
+// default) is byte-identical — combinations, ranks, threshold, DNF flag,
+// and every schedule counter — to the unpruned run, across both access
+// kinds, all four bound/pull instantiations, tight caps, epsilon, and
+// bound periods.
+func TestQuickPruneByteIdentity(t *testing.T) {
+	r := rand.New(rand.NewSource(417))
+	for ci, c := range identityCases(r, 20) {
+		pruned := runAlgo(t, c.in, c.kind, c.opts)
+		base := c.opts
+		base.disablePrune = true
+		plain := runAlgo(t, c.in, c.kind, base)
+		if err := combosIdentical(pruned.Combinations, plain.Combinations); err != nil {
+			t.Fatalf("case %d (%v, %v): %v", ci, c.opts.Algorithm, c.kind, err)
+		}
+		if math.Float64bits(pruned.Threshold) != math.Float64bits(plain.Threshold) {
+			t.Fatalf("case %d: threshold %v vs %v", ci, pruned.Threshold, plain.Threshold)
+		}
+		if pruned.DNF != plain.DNF {
+			t.Fatalf("case %d: DNF %v vs %v", ci, pruned.DNF, plain.DNF)
+		}
+		if err := statsIdentical(pruned.Stats, plain.Stats); err != nil {
+			t.Fatalf("case %d (%v, %v): %v", ci, c.opts.Algorithm, c.kind, err)
+		}
+		if plain.Stats.CombinationsPruned != 0 {
+			t.Fatalf("case %d: unpruned run reported pruning", ci)
+		}
+		if pruned.Stats.PeakBuffered > c.in.k {
+			t.Fatalf("case %d: batch peak buffered %d exceeds K=%d", ci, pruned.Stats.PeakBuffered, c.in.k)
+		}
+	}
+}
+
+// drainIterator drives an iterator to completion: every certified
+// emission, the terminal error, and the best-effort drain after it.
+func drainIterator(t *testing.T, in instance, kind relation.AccessKind, opts Options) (emitted, drained []Combination, terminal error, stats Stats) {
+	t.Helper()
+	opts.Query = in.q
+	opts.Agg = in.fn
+	it, err := NewIterator(in.sources(t, kind), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for {
+		c, err := it.Next()
+		if err != nil {
+			if !errors.Is(err, ErrIteratorDone) && !errors.Is(err, ErrIteratorDNF) {
+				t.Fatalf("iterator failed: %v", err)
+			}
+			terminal = err
+			break
+		}
+		emitted = append(emitted, c)
+	}
+	for {
+		c, ok := it.DrainBest()
+		if !ok {
+			break
+		}
+		drained = append(drained, c)
+	}
+	return emitted, drained, terminal, it.Stats()
+}
+
+// TestQuickSessionBufferByteIdentity: the bounded session buffer is
+// invisible in the stream. BufferSpill reproduces the unbounded stream in
+// full (emissions, terminal condition, drain order); BufferPrune
+// reproduces its first MaxBuffered results and the drained-to-K batch
+// contract under DNF caps; and the bounded runs pull exactly the same
+// input (identical schedule counters).
+func TestQuickSessionBufferByteIdentity(t *testing.T) {
+	r := rand.New(rand.NewSource(2718))
+	for ci, c := range identityCases(r, 8) {
+		base := c.opts
+		base.disablePrune = true
+		baseEmit, baseDrain, baseErr, baseStats := drainIterator(t, c.in, c.kind, base)
+
+		spill := c.opts
+		spill.MaxBuffered = 1 + r.Intn(5)
+		spill.BufferPolicy = BufferSpill
+		spEmit, spDrain, spErr, spStats := drainIterator(t, c.in, c.kind, spill)
+		if !errors.Is(spErr, baseErr) {
+			t.Fatalf("case %d: spill terminal %v vs %v", ci, spErr, baseErr)
+		}
+		if err := combosIdentical(spEmit, baseEmit); err != nil {
+			t.Fatalf("case %d: spill emissions: %v", ci, err)
+		}
+		if err := combosIdentical(spDrain, baseDrain); err != nil {
+			t.Fatalf("case %d: spill drain: %v", ci, err)
+		}
+		if err := statsIdentical(spStats, baseStats); err != nil {
+			t.Fatalf("case %d: spill stats: %v", ci, err)
+		}
+
+		k := c.in.k
+		prune := c.opts
+		prune.MaxBuffered = k
+		prune.BufferPolicy = BufferPrune
+		prEmit, prDrain, prErr, prStats := drainIterator(t, c.in, c.kind, prune)
+		if !errors.Is(prErr, baseErr) {
+			t.Fatalf("case %d: prune terminal %v vs %v", ci, prErr, baseErr)
+		}
+		// The batch contract: emissions plus the best-effort drain,
+		// truncated to K, match the unbounded run result for result.
+		baseK := append(append([]Combination{}, baseEmit...), baseDrain...)
+		prK := append(append([]Combination{}, prEmit...), prDrain...)
+		if len(baseK) > k {
+			baseK = baseK[:k]
+		}
+		if len(prK) > k {
+			prK = prK[:k]
+		}
+		if err := combosIdentical(prK, baseK); err != nil {
+			t.Fatalf("case %d (%v, %v): prune first-K: %v", ci, c.opts.Algorithm, c.kind, err)
+		}
+		if err := statsIdentical(prStats, baseStats); err != nil {
+			t.Fatalf("case %d: prune stats: %v", ci, err)
+		}
+		if prStats.PeakBuffered > k {
+			t.Fatalf("case %d: prune peak buffered %d exceeds cap %d", ci, prStats.PeakBuffered, k)
+		}
+		if spStats.SpilledCombinations > 0 && spStats.PeakBuffered < prStats.PeakBuffered {
+			t.Fatalf("case %d: implausible peaks: spill %d < prune %d", ci, spStats.PeakBuffered, prStats.PeakBuffered)
+		}
+	}
+}
+
+// TestQuickPruneByteIdentityLargeMagnitude targets the floating-point
+// corner of the prune slack: identity scores and wide coordinates make
+// the per-tuple solo terms many orders of magnitude larger than the
+// aggregate scores they cancel to, so the incremental partial sums carry
+// absolute error far above any fixed epsilon. The slack scales with the
+// term magnitude, and pruning must stay byte-invisible.
+func TestQuickPruneByteIdentityLargeMagnitude(t *testing.T) {
+	r := rand.New(rand.NewSource(31))
+	for trial := 0; trial < 12; trial++ {
+		n := 2 + r.Intn(2)
+		d := 1 + r.Intn(2)
+		rels := make([]*relation.Relation, n)
+		for i := 0; i < n; i++ {
+			size := 4 + r.Intn(10)
+			tuples := make([]relation.Tuple, size)
+			for j := range tuples {
+				v := vec.New(d)
+				for c := range v {
+					v[c] = r.NormFloat64() * 1e3
+				}
+				tuples[j] = relation.Tuple{
+					ID:    fmt.Sprintf("t%d-%d", i, j),
+					Score: 1 + r.Float64()*1e6,
+					Vec:   v,
+				}
+			}
+			rels[i] = relation.MustNew(fmt.Sprintf("R%d", i), 1e6+1, tuples)
+		}
+		q := vec.New(d)
+		for c := range q {
+			q[c] = r.NormFloat64() * 1e3
+		}
+		in := instance{
+			rels: rels,
+			q:    q,
+			fn:   mustAgg(t, 1, 1e3, 1e3),
+			k:    1 + r.Intn(4),
+		}
+		for _, kind := range []relation.AccessKind{relation.DistanceAccess, relation.ScoreAccess} {
+			for _, algo := range Algorithms {
+				opts := Options{Algorithm: algo}
+				pruned := runAlgo(t, in, kind, opts)
+				base := opts
+				base.disablePrune = true
+				plain := runAlgo(t, in, kind, base)
+				if err := combosIdentical(pruned.Combinations, plain.Combinations); err != nil {
+					t.Fatalf("trial %d (%v, %v): %v", trial, algo, kind, err)
+				}
+				if err := statsIdentical(pruned.Stats, plain.Stats); err != nil {
+					t.Fatalf("trial %d (%v, %v): %v", trial, algo, kind, err)
+				}
+			}
+		}
+	}
+}
+
+// TestBatchPeakBufferedIsOK asserts the acceptance property directly: a
+// batch engine's retained-combination high-water mark is K, no matter how
+// many combinations the run forms.
+func TestBatchPeakBufferedIsOK(t *testing.T) {
+	r := rand.New(rand.NewSource(99))
+	in := randomInstance(r, 2, 14) // maximal sizes: a dense cross product
+	for _, kind := range []relation.AccessKind{relation.DistanceAccess, relation.ScoreAccess} {
+		res := runAlgo(t, in, kind, Options{Algorithm: CBRR})
+		if res.Stats.CombinationsFormed <= int64(in.k) {
+			t.Skipf("instance too small to be interesting: %d combinations", res.Stats.CombinationsFormed)
+		}
+		if res.Stats.PeakBuffered > in.k {
+			t.Fatalf("%v: peak buffered %d, want <= K=%d (formed %d)",
+				kind, res.Stats.PeakBuffered, in.k, res.Stats.CombinationsFormed)
+		}
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"sort"
 	"time"
 
 	"repro/internal/agg"
@@ -11,6 +12,193 @@ import (
 	"repro/internal/relation"
 	"repro/internal/vec"
 )
+
+// sessionBuffer holds a session's formed-but-unemitted combinations in
+// arena-backed rank form. Unbounded by default, it supports a cap
+// (Options.MaxBuffered) with two overflow policies:
+//
+//   - BufferPrune: combinations below the buffer's score floor (the worst
+//     retained entry) are rejected — and, through refSink.floor, never even
+//     materialized by the enumeration. Exact for consumers taking at most
+//     MaxBuffered results; O(MaxBuffered) memory.
+//   - BufferSpill: overflow moves to a flat columnar spill slab (score +
+//     ranks, no heap structure, no per-entry allocation) and is revived in
+//     sorted batches once the ranked heap drains. Exact for open
+//     enumeration; the heap and arena stay O(MaxBuffered).
+//
+// The ranked heap is a min-max heap: emission pops the best while the cap
+// evicts the worst. Spill invariant: every heap entry is strictly better
+// (score, then lexicographic ranks) than the boundary — the best spilled
+// entry — so the heap maximum is always the global best and emission
+// order matches the unbounded buffer exactly.
+type sessionBuffer struct {
+	arena  *combArena
+	max    int
+	policy BufferPolicy
+	heap   *pqueue.MinMax[combRef] // min = worst, max = best
+	stats  *Stats
+
+	spillScores []float64
+	spillRanks  []int32 // entry i occupies [i*n : (i+1)*n]
+	hasBoundary bool
+	boundScore  float64
+	boundRanks  []int32
+}
+
+func newSessionBuffer(arena *combArena, max int, policy BufferPolicy, stats *Stats) *sessionBuffer {
+	return &sessionBuffer{
+		arena:  arena,
+		max:    max,
+		policy: policy,
+		heap:   pqueue.NewMinMax(arena.refWorse),
+		stats:  stats,
+	}
+}
+
+func (b *sessionBuffer) spillCount() int { return len(b.spillScores) }
+
+// buffered is the total number of retained combinations.
+func (b *sessionBuffer) buffered() int { return b.heap.Len() + b.spillCount() }
+
+func (b *sessionBuffer) trackPeak() {
+	if l := b.buffered(); l > b.stats.PeakBuffered {
+		b.stats.PeakBuffered = l
+	}
+}
+
+// betterThanBoundary reports whether an incoming combination beats the
+// spill boundary in the full result order.
+func (b *sessionBuffer) betterThanBoundary(score float64, ranks []int32) bool {
+	if score != b.boundScore {
+		return score > b.boundScore
+	}
+	return lexLess32(ranks, b.boundRanks)
+}
+
+func (b *sessionBuffer) setBoundary(score float64, ranks []int32) {
+	b.boundScore = score
+	b.boundRanks = append(b.boundRanks[:0], ranks...)
+	b.hasBoundary = true
+}
+
+func (b *sessionBuffer) spillAppend(score float64, ranks []int32) {
+	b.spillScores = append(b.spillScores, score)
+	b.spillRanks = append(b.spillRanks, ranks...)
+	b.stats.SpilledCombinations++
+}
+
+// offer implements refSink.
+func (b *sessionBuffer) offer(score float64, ranks []int32) {
+	if b.max <= 0 {
+		b.heap.Push(combRef{slot: b.arena.alloc(ranks), score: score})
+		b.trackPeak()
+		return
+	}
+	switch b.policy {
+	case BufferSpill:
+		if b.hasBoundary && !b.betterThanBoundary(score, ranks) {
+			b.spillAppend(score, ranks)
+			b.trackPeak()
+			return
+		}
+		b.heap.Push(combRef{slot: b.arena.alloc(ranks), score: score})
+		if b.heap.Len() > b.max {
+			ev, _ := b.heap.PopMin()
+			evRanks := b.arena.ranksAt(ev.slot)
+			b.spillAppend(ev.score, evRanks)
+			b.setBoundary(ev.score, evRanks)
+			b.arena.release(ev.slot)
+		}
+		b.trackPeak()
+	default: // BufferPrune
+		if b.heap.Len() < b.max {
+			b.heap.Push(combRef{slot: b.arena.alloc(ranks), score: score})
+			b.trackPeak()
+			return
+		}
+		worst, _ := b.heap.PeekMin()
+		if b.arena.beats(score, ranks, worst) {
+			b.heap.PopMin()
+			b.arena.release(worst.slot)
+			b.heap.Push(combRef{slot: b.arena.alloc(ranks), score: score})
+		}
+	}
+}
+
+// floor implements refSink: under the prune policy a full buffer rejects
+// everything below its worst retained entry, so the enumeration can cut
+// those subtrees pre-materialization. The spill policy retains everything
+// and exposes no floor.
+func (b *sessionBuffer) floor() (float64, bool) {
+	if b.max > 0 && b.policy == BufferPrune && b.heap.Len() == b.max {
+		worst, _ := b.heap.PeekMin()
+		return worst.score, true
+	}
+	return negInf, false
+}
+
+// peekBest returns the best retained combination, reviving spilled
+// entries when the ranked heap has drained.
+func (b *sessionBuffer) peekBest() (combRef, bool) {
+	if b.heap.Len() == 0 {
+		b.revive()
+	}
+	return b.heap.PeekMax()
+}
+
+// popBest removes and returns the best retained combination. The caller
+// owns the ref's arena slot and must release it after materializing.
+func (b *sessionBuffer) popBest() (combRef, bool) {
+	if b.heap.Len() == 0 {
+		b.revive()
+	}
+	return b.heap.PopMax()
+}
+
+// revive moves the best spilled entries back into the ranked heap (at
+// most max of them), keeping the rest in the slab in sorted order behind
+// a refreshed boundary.
+func (b *sessionBuffer) revive() {
+	m := b.spillCount()
+	if m == 0 {
+		return
+	}
+	n := b.arena.n
+	idx := make([]int, m)
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(x, y int) bool {
+		ix, iy := idx[x], idx[y]
+		if b.spillScores[ix] != b.spillScores[iy] {
+			return b.spillScores[ix] > b.spillScores[iy]
+		}
+		return lexLess32(b.spillRanks[ix*n:(ix+1)*n], b.spillRanks[iy*n:(iy+1)*n])
+	})
+	take := m
+	if b.max > 0 && take > b.max {
+		take = b.max
+	}
+	for _, i := range idx[:take] {
+		b.heap.Push(combRef{slot: b.arena.alloc(b.spillRanks[i*n : (i+1)*n]), score: b.spillScores[i]})
+	}
+	rest := idx[take:]
+	if len(rest) == 0 {
+		b.spillScores = b.spillScores[:0]
+		b.spillRanks = b.spillRanks[:0]
+		b.hasBoundary = false
+		return
+	}
+	scores := make([]float64, 0, len(rest))
+	ranks := make([]int32, 0, len(rest)*n)
+	for _, i := range rest {
+		scores = append(scores, b.spillScores[i])
+		ranks = append(ranks, b.spillRanks[i*n:(i+1)*n]...)
+	}
+	b.spillScores = scores
+	b.spillRanks = ranks
+	b.setBoundary(scores[0], ranks[:n])
+}
 
 // Iterator is the pipelined form of the ProxRJ operator: instead of a
 // fixed top-K it emits result combinations one at a time, each as soon as
@@ -20,12 +208,13 @@ import (
 // stop pulling at any time, having paid I/O only for the prefix they
 // consumed.
 //
-// Unlike Engine, the iterator must retain every formed combination that
-// has not been emitted yet (any of them may eventually surface), so its
-// memory grows with the cross product of the explored prefixes.
+// Unbounded, the iterator retains every formed combination that has not
+// been emitted yet (any of them may eventually surface), in compact
+// arena-backed rank form. Options.MaxBuffered bounds that retention — see
+// BufferPolicy for the prune/spill trade-off.
 type Iterator struct {
 	e       *Engine
-	seen    *pqueue.Heap[Combination] // best-first buffer of unemitted results
+	buf     *sessionBuffer
 	emitted int64
 	err     error
 	done    bool
@@ -45,17 +234,18 @@ var ErrIteratorDNF = errors.New("core: iterator aborted by MaxSumDepths/MaxCombi
 // is ignored (results stream indefinitely); all other options behave as in
 // NewEngine.
 func NewIterator(sources []relation.Source, opts Options) (*Iterator, error) {
+	bufMax, policy := opts.MaxBuffered, opts.BufferPolicy
 	opts.K = 1 // engine validation only; the iterator manages its own buffer
 	e, err := NewEngine(sources, opts)
 	if err != nil {
 		return nil, err
 	}
 	it := &Iterator{
-		e:    e,
-		seen: pqueue.New(func(a, b Combination) bool { return combWorse(b, a) }), // best-first
+		e:   e,
+		buf: newSessionBuffer(e.arena, bufMax, policy, &e.stats),
 	}
-	// Reroute formed combinations into the iterator's unbounded buffer.
-	e.sink = func(c Combination) { it.seen.Push(c) }
+	// Reroute formed combinations into the session buffer.
+	e.sink = it.buf
 	return it, nil
 }
 
@@ -82,16 +272,13 @@ func (it *Iterator) NextContext(ctx context.Context) (Combination, error) {
 		// bound less the approximation slack — the per-result form of the
 		// batch stopping test, so a K-prefix of the stream pulls exactly
 		// what the batch run would.
-		if best, ok := it.seen.Peek(); ok && best.Score >= it.e.t-it.e.opts.Epsilon-1e-9 {
-			top, _ := it.seen.Pop()
-			it.emitted++
-			return top, nil
+		if best, ok := it.buf.peekBest(); ok && best.score >= it.e.t-it.e.opts.Epsilon-1e-9 {
+			return it.emitBest(), nil
 		}
 		if it.done {
 			// Bound is −inf once everything is exhausted; flush the buffer.
-			if top, ok := it.seen.Pop(); ok {
-				it.emitted++
-				return top, nil
+			if _, ok := it.buf.peekBest(); ok {
+				return it.emitBest(), nil
 			}
 			it.err = ErrIteratorDone
 			return Combination{}, it.err
@@ -117,21 +304,30 @@ func (it *Iterator) NextContext(ctx context.Context) (Combination, error) {
 	}
 }
 
+// emitBest pops, materializes, and recycles the best buffered
+// combination; callers must have checked the buffer is non-empty.
+func (it *Iterator) emitBest() Combination {
+	ref, _ := it.buf.popBest()
+	c := it.e.materialize(ref)
+	it.e.arena.release(ref.slot)
+	it.emitted++
+	return c
+}
+
 // DrainBest pops the best buffered combination without certifying it
 // against the bound. After ErrIteratorDNF this yields the engine's
 // best-effort tail in the same order a capped batch run reports: the
-// buffer holds every formed-but-unemitted combination, so emitted
+// buffer holds the best formed-but-unemitted combinations, so emitted
 // results plus the drain reproduce the batch top-K exactly.
 func (it *Iterator) DrainBest() (Combination, bool) {
-	top, ok := it.seen.Pop()
-	if ok {
-		it.emitted++
+	if _, ok := it.buf.peekBest(); !ok {
+		return Combination{}, false
 	}
-	return top, ok
+	return it.emitBest(), true
 }
 
 // Buffered returns the number of formed combinations awaiting emission.
-func (it *Iterator) Buffered() int { return it.seen.Len() }
+func (it *Iterator) Buffered() int { return it.buf.buffered() }
 
 // Emitted returns how many combinations have been produced so far.
 func (it *Iterator) Emitted() int64 { return it.emitted }

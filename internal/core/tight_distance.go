@@ -117,13 +117,18 @@ func (b *tightDistBounder) register(ri int) {
 		}
 	}
 	if period := b.e.opts.DominancePeriod; period > 0 && b.e.pulls%int64(period) == 0 {
-		dStart := time.Now()
+		var dStart time.Time
+		if b.e.opts.CollectTimings {
+			dStart = time.Now()
+		}
 		for _, ss := range b.subsets {
 			if ss.mask&(1<<ri) != 0 {
 				b.dominanceSweep(ss)
 			}
 		}
-		b.e.stats.DominanceTime += time.Since(dStart)
+		if b.e.opts.CollectTimings {
+			b.e.stats.DominanceTime += time.Since(dStart)
+		}
 	}
 }
 

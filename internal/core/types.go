@@ -164,6 +164,54 @@ type Options struct {
 	// MaxCombinations aborts the run (DNF) once this many combinations
 	// have been formed; 0 means unlimited.
 	MaxCombinations int64
+	// MaxBuffered bounds the session buffer of a pipelined Iterator: the
+	// number of formed-but-unemitted combinations retained in ranked form.
+	// 0 means unbounded. What happens past the bound is BufferPolicy's
+	// choice. Batch engines (Run) ignore it — their buffer is K by
+	// construction.
+	MaxBuffered int
+	// BufferPolicy selects the overflow behavior once MaxBuffered is
+	// reached (meaningful only with MaxBuffered > 0).
+	BufferPolicy BufferPolicy
+	// CollectTimings enables the per-pull wall-clock sampling behind
+	// Stats.BoundTime and Stats.DominanceTime (the stacked bars of
+	// Fig. 3(d)-(n)). Off by default so stats collection does not tax
+	// every pull; Stats.TotalTime is always collected.
+	CollectTimings bool
+	// disablePrune turns score-floor pruning off even for separable
+	// aggregations. Test-only: the unpruned run is the byte-identity
+	// oracle for the pruned one.
+	disablePrune bool
+}
+
+// BufferPolicy selects what a pipelined Iterator does with formed
+// combinations once its buffer holds Options.MaxBuffered of them.
+type BufferPolicy int
+
+const (
+	// BufferPrune drops the combination ranking below the buffer's score
+	// floor (the worst retained one). The first MaxBuffered results of the
+	// stream are exactly the unbounded stream's — a consumer that takes at
+	// most MaxBuffered results (a batch run drained to K with
+	// MaxBuffered = K) sees identical output in O(MaxBuffered) memory.
+	BufferPrune BufferPolicy = iota
+	// BufferSpill keeps every combination: the ranked heap stays capped at
+	// MaxBuffered and overflow moves to a flat, append-only spill slab in
+	// compact rank form, revived in sorted batches as the heap drains.
+	// Open enumeration stays exact; memory grows with the spilled count at
+	// the compact per-entry cost instead of heap-managed combinations.
+	BufferSpill
+)
+
+// String implements fmt.Stringer.
+func (p BufferPolicy) String() string {
+	switch p {
+	case BufferPrune:
+		return "prune"
+	case BufferSpill:
+		return "spill"
+	}
+	return fmt.Sprintf("BufferPolicy(%d)", int(p))
 }
 
 // Combination is one joined result with its aggregate score.
@@ -183,8 +231,21 @@ type Stats struct {
 	// paper's primary I/O metric.
 	Depths    []int
 	SumDepths int
-	// CombinationsFormed counts cross-product members materialized.
+	// CombinationsFormed counts cross-product members formed — the paper's
+	// combination cost metric. Members cut by score-floor pruning are
+	// included (and tallied separately in CombinationsPruned), so the
+	// metric and the MaxCombinations cap read identically with pruning on
+	// or off.
 	CombinationsFormed int64
+	// CombinationsPruned counts the CombinationsFormed members that
+	// score-floor pruning skipped without materializing.
+	CombinationsPruned int64
+	// PeakBuffered is the high-water mark of retained combinations (the
+	// output buffer plus, for sessions, the spill slab).
+	PeakBuffered int
+	// SpilledCombinations counts combinations moved to a session buffer's
+	// compact spill slab (BufferSpill policy only).
+	SpilledCombinations int64
 	// BoundUpdates counts updateBound invocations (one per pull).
 	BoundUpdates int64
 	// QPSolves counts tight-bound optimizations (problem (14) instances).

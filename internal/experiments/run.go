@@ -78,6 +78,7 @@ func RunSyntheticPoint(st Settings, p Point, algo core.Algorithm, domPeriod int,
 			EagerBounds:     eager,
 			MaxSumDepths:    st.MaxSumDepths,
 			MaxCombinations: st.MaxCombinations,
+			CollectTimings:  true,
 		})
 		if err != nil {
 			return stats.Summary{}, fmt.Errorf("experiments: point %+v algo %v: %w", p, algo, err)
@@ -109,6 +110,7 @@ func RunCity(st Settings, city cities.City, algo core.Algorithm, eager bool) (st
 			EagerBounds:     eager,
 			MaxSumDepths:    st.MaxSumDepths,
 			MaxCombinations: st.MaxCombinations,
+			CollectTimings:  true,
 		})
 		if err != nil {
 			return stats.Summary{}, fmt.Errorf("experiments: city %s algo %v: %w", city.Code, algo, err)

@@ -202,6 +202,23 @@ func Mean(vs ...Vector) Vector {
 	return out.ScaleInPlace(1 / float64(len(vs)))
 }
 
+// MeanInto computes the arithmetic mean of the given vectors into dst
+// (len(dst) must match their dimension) and returns dst. It performs the
+// exact floating-point operation sequence of Mean, so the two agree
+// bit-for-bit; the only difference is that the caller supplies the
+// destination, which lets per-combination scoring run allocation-free.
+func MeanInto(dst Vector, vs []Vector) Vector {
+	if len(vs) == 0 {
+		panic("vec: mean of no vectors")
+	}
+	dst.mustMatch(vs[0])
+	copy(dst, vs[0])
+	for _, v := range vs[1:] {
+		dst.AddInPlace(v)
+	}
+	return dst.ScaleInPlace(1 / float64(len(vs)))
+}
+
 // String renders v as "[x1 x2 …]" with compact float formatting.
 func (v Vector) String() string {
 	var b strings.Builder

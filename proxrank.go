@@ -157,7 +157,39 @@ type Options struct {
 	// DNF (0 = unlimited).
 	MaxSumDepths    int
 	MaxCombinations int64
+	// MaxBuffered bounds a session's buffer of formed-but-unemitted
+	// combinations (0 = unbounded). The batch TopK* entry points default
+	// it to K, restoring O(K) peak memory with byte-identical results; a
+	// Query or Stream consumed past MaxBuffered results under the default
+	// BufferPrune policy may skip results, so open-ended sessions should
+	// leave it 0 or select BufferSpill.
+	MaxBuffered int
+	// BufferPolicy selects the overflow behavior at MaxBuffered:
+	// BufferPrune (default) drops combinations below the buffer's score
+	// floor — exact for the first MaxBuffered results in O(MaxBuffered)
+	// memory; BufferSpill keeps everything, moving overflow to a compact
+	// append-only slab — exact for open enumeration with the ranked heap
+	// still bounded.
+	BufferPolicy BufferPolicy
+	// CollectTimings enables the per-pull wall-clock sampling behind
+	// Stats.BoundTime and Stats.DominanceTime. Off by default: the
+	// timers measurably tax every pull, and most callers only need
+	// Stats.TotalTime (always collected).
+	CollectTimings bool
 }
+
+// BufferPolicy selects what a bounded session buffer does at its cap.
+type BufferPolicy = core.BufferPolicy
+
+// Buffer policies.
+const (
+	// BufferPrune drops below-floor combinations (exact first MaxBuffered
+	// results, O(MaxBuffered) memory).
+	BufferPrune = core.BufferPrune
+	// BufferSpill keeps every combination, spilling overflow to a compact
+	// slab (exact open enumeration, bounded ranked heap).
+	BufferSpill = core.BufferSpill
+)
 
 // NewRelation validates tuples and builds a relation; maxScore is the
 // a-priori maximum score σ_max the bounding schemes rely on.
@@ -251,7 +283,26 @@ func (o Options) engineOptions(query Vector, fn agg.Function) core.Options {
 		Epsilon:         o.Epsilon,
 		MaxSumDepths:    o.MaxSumDepths,
 		MaxCombinations: o.MaxCombinations,
+		MaxBuffered:     o.MaxBuffered,
+		BufferPolicy:    o.BufferPolicy,
+		CollectTimings:  o.CollectTimings,
 	}
+}
+
+// BoundedToK returns the options with the session buffer defaulted for a
+// run that consumes at most K results: the drop-below-floor policy at
+// MaxBuffered = K keeps the output byte-identical while restoring O(K)
+// peak memory (the buffer otherwise grows with CombinationsFormed). An
+// explicit MaxBuffered wins. Every at-most-K consumer — the batch TopK*
+// entry points, the service executor's streamed runs, the CLI — applies
+// exactly this rule; do not use it for sessions that may enumerate past
+// K, where the pruned buffer could skip results.
+func (o Options) BoundedToK() Options {
+	if o.MaxBuffered == 0 && o.K > 0 {
+		o.MaxBuffered = o.K
+		o.BufferPolicy = BufferPrune
+	}
+	return o
 }
 
 // TopK answers a proximity rank join query over in-memory relations,
@@ -276,7 +327,7 @@ func TopKInputs(query Vector, inputs []Input, opts Options) (Result, error) {
 
 // TopKInputsContext is TopKInputs with cooperative cancellation.
 func TopKInputsContext(ctx context.Context, query Vector, inputs []Input, opts Options) (Result, error) {
-	q, err := NewQueryInputs(query, inputs, opts)
+	q, err := NewQueryInputs(query, inputs, opts.BoundedToK())
 	if err != nil {
 		return Result{}, err
 	}
@@ -334,12 +385,13 @@ func TopKFromSources(query Vector, sources []Source, opts Options) (Result, erro
 // NewQuerySources): the engine is invoked through one path whether
 // results are consumed as a batch or enumerated incrementally, and the
 // pull sequence — hence every cost metric — is identical either way.
-// The session buffers every formed-but-unemitted combination (any of
-// them may surface at some rank), so peak memory follows
-// Stats.CombinationsFormed rather than K; workloads that must bound it
-// set Options.MaxCombinations, which caps exactly that number.
+// Because the run consumes at most K results, the session buffer is
+// bounded to K under the drop-below-floor policy (unless the caller set
+// MaxBuffered explicitly): peak retained combinations are O(K) even
+// though Stats.CombinationsFormed can be orders of magnitude larger, and
+// the results are byte-identical to an unbounded run's.
 func TopKFromSourcesContext(ctx context.Context, query Vector, sources []Source, opts Options) (Result, error) {
-	q, err := NewQuerySources(query, sources, opts)
+	q, err := NewQuerySources(query, sources, opts.BoundedToK())
 	if err != nil {
 		return Result{}, err
 	}

@@ -37,6 +37,7 @@ func OptionsFromRequest(req *api.Request, limits ...api.Limits) (Vector, Options
 		DominancePeriod: req.DominancePeriod,
 		MaxSumDepths:    req.MaxSumDepths,
 		MaxCombinations: req.MaxCombinations,
+		MaxBuffered:     req.MaxBuffered,
 	}
 	algo, err := ParseAlgorithm(req.Algorithm)
 	if err != nil {

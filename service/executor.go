@@ -512,7 +512,11 @@ func (x *Executor) runStream(ctx context.Context, query proxrank.Vector, opts pr
 		x.failed.Add(1)
 		return nil, aerr
 	}
-	q, err := proxrank.NewQuerySources(query, sources, opts)
+	// A streamed query delivers at most K results (certified prefix plus
+	// DNF drain), so the session buffer is bounded to K exactly like the
+	// batch path — O(K) peak memory per run, byte-identical events.
+	// Validation guarantees an explicit client MaxBuffered is >= K.
+	q, err := proxrank.NewQuerySources(query, sources, opts.BoundedToK())
 	if err != nil {
 		x.failed.Add(1)
 		return nil, asAPIError(err)

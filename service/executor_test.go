@@ -167,12 +167,28 @@ func TestExecutorExpiredContext(t *testing.T) {
 	}
 }
 
+// slowSource delays every access so that a run is long enough for a
+// short deadline to land mid-flight, whatever the hardware or the
+// engine's hot path do.
+type slowSource struct {
+	proxrank.Source
+	delay time.Duration
+}
+
+func (s slowSource) Next() (proxrank.Tuple, error) {
+	time.Sleep(s.delay)
+	return s.Source.Next()
+}
+
 // TestExecutorMidRunTimeout: a deadline that expires during engine
 // execution aborts the run with a timeout error instead of running to
 // completion.
 func TestExecutorMidRunTimeout(t *testing.T) {
 	cat, names := testSetup(t, 3, 500, 3)
 	x := NewExecutor(cat, Config{Workers: 1, CacheSize: -1})
+	x.wrapSource = func(s proxrank.Source) proxrank.Source {
+		return slowSource{Source: s, delay: 200 * time.Microsecond}
+	}
 	req := &QueryRequest{
 		Query:     []float64{0, 0, 0},
 		Relations: names,

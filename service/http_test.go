@@ -11,6 +11,8 @@ import (
 	"sync"
 	"testing"
 	"time"
+
+	proxrank "repro"
 )
 
 func testServer(t testing.TB) (*httptest.Server, []string, *Executor) {
@@ -260,6 +262,9 @@ func TestHTTPExhaustedCrossProduct(t *testing.T) {
 func TestHTTPTimeoutStatus(t *testing.T) {
 	cat, names := testSetup(t, 3, 500, 3)
 	exec := NewExecutor(cat, Config{Workers: 1, CacheSize: -1})
+	exec.wrapSource = func(s proxrank.Source) proxrank.Source {
+		return slowSource{Source: s, delay: 200 * time.Microsecond}
+	}
 	srv := httptest.NewServer(NewServer(cat, exec).Handler())
 	defer srv.Close()
 

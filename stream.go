@@ -29,7 +29,10 @@ var ErrStreamDone = core.ErrIteratorDone
 // relations. Options.K is ignored; all other options apply — in
 // particular Epsilon relaxes per-result certification exactly as it
 // relaxes the batch stopping test, and the MaxSumDepths/MaxCombinations
-// caps abort the stream with ErrDNF.
+// caps abort the stream with ErrDNF. An unbounded stream retains every
+// formed-but-unemitted combination in compact rank form; set MaxBuffered
+// (with BufferSpill to keep open enumeration exact, or BufferPrune when
+// at most MaxBuffered results will be consumed) to bound it.
 func NewStream(query Vector, rels []*Relation, opts Options) (*Stream, error) {
 	return NewStreamInputs(query, relationInputs(rels), opts)
 }
