@@ -1,13 +1,3 @@
-// Package api defines the transport-neutral, versioned request/response
-// model of the proximity rank join service: every front end (HTTP JSON,
-// the streaming NDJSON endpoint, future gRPC or remote-shard transports)
-// and the library's Query session speak these types, so validation,
-// defaulting, and the canonical cache-key encoding live in exactly one
-// place.
-//
-// The package is pure data: it depends on nothing but the standard
-// library, and in particular not on the engine. Translation into engine
-// options happens in the facade (proxrank.OptionsFromRequest).
 package api
 
 // Version is the current (and only) protocol version. Requests carrying
@@ -29,6 +19,9 @@ const (
 
 	TransformLog      = "log"
 	TransformIdentity = "identity"
+
+	OverflowBlock = "block"
+	OverflowDrop  = "drop"
 )
 
 // Request is one proximity rank join query. Only Query, Relations and K
@@ -74,6 +67,15 @@ type Request struct {
 	// canonical encoding, so requests differing only here share cache
 	// entries and coalesce.
 	MaxBuffered int `json:"maxBuffered,omitempty"`
+	// Overflow picks this client's stream-delivery overflow policy when
+	// the server brokers stream delivery: "block" asks the engine to wait
+	// (up to the server's block deadline) when this client falls a full
+	// delivery buffer behind, "drop" asks to be disconnected instead so
+	// the engine is never delayed. Empty defers to the server default.
+	// Delivery concern: ignored by batch endpoints and not part of the
+	// canonical encoding, so requests differing only here share cache
+	// entries and coalesce.
+	Overflow string `json:"overflow,omitempty"`
 	// TimeoutMillis overrides the server's default per-query deadline.
 	// Transport concern: not part of the canonical encoding.
 	TimeoutMillis int64 `json:"timeoutMillis,omitempty"`

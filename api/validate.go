@@ -95,6 +95,17 @@ func (r *Request) Normalize(limits Limits) *Error {
 			return Errorf(CodeBadRequest, "at least one weight must be positive")
 		}
 	}
+	switch strings.ToLower(r.Overflow) {
+	case "":
+		// Empty stays empty: it means "server default", which only the
+		// serving layer knows.
+	case OverflowBlock:
+		r.Overflow = OverflowBlock
+	case OverflowDrop:
+		r.Overflow = OverflowDrop
+	default:
+		return Errorf(CodeBadRequest, "unknown overflow policy %q (want block|drop)", r.Overflow)
+	}
 	if r.Epsilon < 0 || math.IsNaN(r.Epsilon) || math.IsInf(r.Epsilon, 0) {
 		return Errorf(CodeBadRequest, "epsilon must be finite and non-negative")
 	}

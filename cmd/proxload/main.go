@@ -1,0 +1,636 @@
+// Command proxload drives open-loop query traffic against a proxserve
+// instance and reports what the serving layer actually delivers under
+// concurrency: end-to-end latency percentiles, time-to-first-event on
+// the streaming endpoint (the ranked-enumeration cost metric: how soon
+// does the first certified result reach a client), cache-hit and
+// coalesce rates, and the broker's slow-subscriber drops.
+//
+// Arrivals are open-loop (Poisson): queries are launched on a schedule
+// that does not slow down when the server does, which is what exposes
+// queueing — a closed loop would politely wait and hide it. Arrivals
+// that would exceed -max-inflight are shed and counted rather than
+// queued, keeping the generator honest.
+//
+// The query mix is controlled by -stream (fraction streamed), -hot
+// (fraction drawn from a small hot set, which turns into cache hits and
+// single-flight coalesces) and -k; -slow-clients adds deliberately slow
+// NDJSON readers pinned to the hottest query, the adversarial workload
+// the stream delivery broker exists for.
+//
+// Usage:
+//
+//	proxload -addr http://localhost:8080 -rate 200 -duration 10s
+//	proxload -selfserve -rate 500 -duration 5s -stream 0.5 -slow-clients 4
+//	proxload -selfserve -stream-buffer -1 ...   # legacy coupled delivery
+//
+// -selfserve spins up an in-process proxserve (bundled city data) and
+// drives it over a real TCP socket, so a before/after broker study needs
+// no external setup: the -stream-buffer/-stream-overflow/
+// -stream-block-timeout flags configure the in-process server exactly
+// like proxserve.
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"math/rand"
+	"net"
+	"net/http"
+	"os"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	proxrank "repro"
+	"repro/api"
+	"repro/service"
+)
+
+func main() {
+	var (
+		addr      = flag.String("addr", "http://localhost:8080", "base URL of the target proxserve")
+		selfserve = flag.Bool("selfserve", false, "spin up an in-process proxserve on a loopback port and target it")
+		city      = flag.String("city", "SF", "city data set for -selfserve")
+		rate      = flag.Float64("rate", 100, "mean arrival rate in queries/sec (open loop, Poisson)")
+		duration  = flag.Duration("duration", 10*time.Second, "how long to generate load")
+		streamFr  = flag.Float64("stream", 0.5, "fraction of arrivals using /v1/query/stream (rest use /v1/query)")
+		k         = flag.Int("k", 10, "top-K per query")
+		hotFr     = flag.Float64("hot", 0.5, "fraction of arrivals drawn from the hot query set (cache hits after warmup)")
+		hotSet    = flag.Int("hot-set", 4, "number of distinct hot query vectors")
+		relsFl    = flag.String("rel", "", "comma-separated relation names (default: first two of GET /v1/relations)")
+		seed      = flag.Int64("seed", 1, "RNG seed for arrivals and query vectors")
+		maxInfl   = flag.Int("max-inflight", 512, "cap on concurrently outstanding requests; arrivals beyond are shed")
+		timeout   = flag.Duration("timeout", 10*time.Second, "per-request client timeout")
+		spread    = flag.Float64("query-spread", 0.02, "radius of random query vectors around the base point")
+		baseFl    = flag.String("query-base", "", "comma-separated base query vector (default: city landmark for -selfserve, origin otherwise)")
+		overflow  = flag.String("overflow", "", "overflow policy sent on stream requests: block, drop, or empty for the server default")
+		slowN     = flag.Int("slow-clients", 0, "deliberately slow stream readers pinned to the hottest query")
+		slowRead  = flag.Duration("slow-read", 200*time.Millisecond, "per-event stall of a slow client")
+		slowBuf   = flag.Int("slow-rcvbuf", 4096, "slow clients' socket receive buffer (small = real TCP backpressure)")
+		jsonOut   = flag.String("json", "", "also write the report as JSON to this file")
+		maxErrFr  = flag.Float64("max-error-rate", 1.0, "exit nonzero when failed requests exceed this fraction (CI gate; 0 = any error fails)")
+
+		// In-process server knobs, mirroring proxserve.
+		workers   = flag.Int("workers", 0, "selfserve: max concurrent engine executions (0 = GOMAXPROCS)")
+		streamBuf = flag.Int("stream-buffer", service.DefaultStreamBuffer, "selfserve: stream delivery buffer (negative = legacy coupled delivery)")
+		overflowS = flag.String("stream-overflow", service.DefaultStreamOverflow, "selfserve: server-side overflow policy (block|drop)")
+		blockTo   = flag.Duration("stream-block-timeout", service.DefaultStreamBlockTimeout, "selfserve: engine wait on block-policy laggards")
+		cacheSz   = flag.Int("cache", service.DefaultCacheSize, "selfserve: LRU result-cache capacity")
+		srvSndbuf = flag.Int("server-sndbuf", 0, "selfserve: cap accepted connections' send buffers (0 = kernel default; loopback autotuning otherwise hides slow readers)")
+	)
+	flag.Parse()
+
+	base := *addr
+	var baseVec []float64
+	if *selfserve {
+		srvURL, landmark, shutdown, err := startSelfServe(*city, *srvSndbuf, service.Config{
+			Workers:            *workers,
+			CacheSize:          *cacheSz,
+			DefaultTimeout:     *timeout,
+			StreamBuffer:       *streamBuf,
+			StreamOverflow:     *overflowS,
+			StreamBlockTimeout: *blockTo,
+		})
+		if err != nil {
+			log.Fatalf("proxload: selfserve: %v", err)
+		}
+		defer shutdown()
+		base = srvURL
+		baseVec = landmark
+		log.Printf("selfserve: in-process proxserve on %s (city %s, streamBuffer %d)", srvURL, strings.ToUpper(*city), *streamBuf)
+	}
+	if *baseFl != "" {
+		v, err := parseVector(*baseFl)
+		if err != nil {
+			log.Fatalf("proxload: -query-base: %v", err)
+		}
+		baseVec = v
+	}
+
+	client := &http.Client{Timeout: *timeout}
+	relations, err := pickRelations(client, base, *relsFl)
+	if err != nil {
+		log.Fatalf("proxload: %v", err)
+	}
+	if baseVec == nil {
+		baseVec = make([]float64, 2)
+	}
+	log.Printf("targeting %s, relations %v, rate %.0f/s for %v", base, relations, *rate, *duration)
+
+	statsBefore, err := fetchStats(client, base)
+	if err != nil {
+		log.Fatalf("proxload: reading /v1/stats: %v", err)
+	}
+
+	gen := &generator{
+		client:    client,
+		base:      base,
+		relations: relations,
+		k:         *k,
+		overflow:  *overflow,
+		streamFr:  *streamFr,
+		hotFr:     *hotFr,
+		baseVec:   baseVec,
+		spread:    *spread,
+		inflight:  make(chan struct{}, max(1, *maxInfl)),
+	}
+	rng := rand.New(rand.NewSource(*seed))
+	gen.hot = make([][]float64, max(1, *hotSet))
+	for i := range gen.hot {
+		gen.hot[i] = gen.randVec(rng)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), *duration)
+	defer cancel()
+
+	// Slow clients: the adversarial subscribers. They all chase the
+	// hottest query so they coalesce with (and pre-broker, delay) the
+	// regular traffic on that key.
+	var slowWG sync.WaitGroup
+	var slowDropped atomic.Int64
+	slowHTTP := &http.Client{Transport: &http.Transport{
+		DialContext:     smallRcvbufDialer(*slowBuf).DialContext,
+		MaxIdleConns:    *slowN,
+		IdleConnTimeout: time.Second,
+	}}
+	for i := 0; i < *slowN; i++ {
+		slowWG.Add(1)
+		slowRng := rand.New(rand.NewSource(*seed + 1000 + int64(i)))
+		go func() {
+			defer slowWG.Done()
+			gen.slowClient(ctx, slowHTTP, slowRng, *slowRead, &slowDropped)
+		}()
+	}
+
+	start := time.Now()
+	gen.run(ctx, rng, *rate)
+	gen.wg.Wait()
+	elapsed := time.Since(start)
+	cancel()
+	slowWG.Wait()
+
+	statsAfter, err := fetchStats(client, base)
+	if err != nil {
+		log.Fatalf("proxload: reading /v1/stats: %v", err)
+	}
+
+	rep := gen.report(elapsed, statsBefore, statsAfter, slowDropped.Load())
+	rep.print(os.Stdout)
+	if *jsonOut != "" {
+		buf, _ := json.MarshalIndent(rep, "", "  ")
+		if err := os.WriteFile(*jsonOut, append(buf, '\n'), 0o644); err != nil {
+			log.Fatalf("proxload: writing %s: %v", *jsonOut, err)
+		}
+	}
+	// The exit code is the CI contract: a smoke run must fail loudly when
+	// the server misbehaves, not just print an error count.
+	done := rep.Batch.Count + rep.Stream.Count
+	if done == 0 {
+		log.Fatal("proxload: no request completed successfully")
+	}
+	if rate := float64(rep.Errors) / float64(done+rep.Errors); rate > *maxErrFr {
+		log.Fatalf("proxload: error rate %.1f%% exceeds -max-error-rate %.1f%%", 100*rate, 100**maxErrFr)
+	}
+}
+
+// startSelfServe builds a catalog from the bundled city data set and
+// serves it on a loopback port, returning the base URL, the landmark
+// query vector, and a shutdown func.
+func startSelfServe(city string, sndbuf int, cfg service.Config) (string, []float64, func(), error) {
+	rels, query, _, err := proxrank.CityDataset(strings.ToUpper(city))
+	if err != nil {
+		return "", nil, nil, err
+	}
+	cat := service.NewCatalog()
+	for _, rel := range rels {
+		if err := cat.Register(rel.Name, rel); err != nil {
+			return "", nil, nil, err
+		}
+	}
+	exec := service.NewExecutor(cat, cfg)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return "", nil, nil, err
+	}
+	if sndbuf > 0 {
+		ln = clampSndbufListener(ln, sndbuf)
+	}
+	srv := &http.Server{Handler: service.NewServer(cat, exec).Handler()}
+	go func() { _ = srv.Serve(ln) }()
+	shutdown := func() { _ = srv.Close() }
+	return "http://" + ln.Addr().String(), []float64(query), shutdown, nil
+}
+
+// pickRelations resolves the relation list: the -rel flag verbatim, or
+// the first two names the server reports.
+func pickRelations(client *http.Client, base, flagVal string) ([]string, error) {
+	if flagVal != "" {
+		return strings.Split(flagVal, ","), nil
+	}
+	resp, err := client.Get(base + "/v1/relations")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		var raw bytes.Buffer
+		_, _ = raw.ReadFrom(resp.Body)
+		return nil, fmt.Errorf("GET /v1/relations: status %d: %s", resp.StatusCode, bytes.TrimSpace(raw.Bytes()))
+	}
+	var body struct {
+		Relations []struct {
+			Name string `json:"name"`
+		} `json:"relations"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		return nil, fmt.Errorf("decoding /v1/relations: %w", err)
+	}
+	if len(body.Relations) < 2 {
+		return nil, fmt.Errorf("server has %d relations; need at least 2 (or pass -rel)", len(body.Relations))
+	}
+	names := []string{body.Relations[0].Name, body.Relations[1].Name}
+	return names, nil
+}
+
+// serverStats is the slice of /v1/stats proxload reports deltas of.
+type serverStats struct {
+	Queries             int64 `json:"queries"`
+	CacheHits           int64 `json:"cacheHits"`
+	CacheMisses         int64 `json:"cacheMisses"`
+	Coalesced           int64 `json:"coalesced"`
+	EngineRuns          int64 `json:"engineRuns"`
+	StreamsBrokered     int64 `json:"streamsBrokered"`
+	MidRunAttaches      int64 `json:"midRunAttaches"`
+	SlowSubscriberDrops int64 `json:"slowSubscriberDrops"`
+	Rejected            int64 `json:"rejected"`
+	Canceled            int64 `json:"canceled"`
+}
+
+func fetchStats(client *http.Client, base string) (serverStats, error) {
+	var st serverStats
+	resp, err := client.Get(base + "/v1/stats")
+	if err != nil {
+		return st, err
+	}
+	defer resp.Body.Close()
+	err = json.NewDecoder(resp.Body).Decode(&st)
+	return st, err
+}
+
+func (a serverStats) sub(b serverStats) serverStats {
+	return serverStats{
+		Queries:             a.Queries - b.Queries,
+		CacheHits:           a.CacheHits - b.CacheHits,
+		CacheMisses:         a.CacheMisses - b.CacheMisses,
+		Coalesced:           a.Coalesced - b.Coalesced,
+		EngineRuns:          a.EngineRuns - b.EngineRuns,
+		StreamsBrokered:     a.StreamsBrokered - b.StreamsBrokered,
+		MidRunAttaches:      a.MidRunAttaches - b.MidRunAttaches,
+		SlowSubscriberDrops: a.SlowSubscriberDrops - b.SlowSubscriberDrops,
+		Rejected:            a.Rejected - b.Rejected,
+		Canceled:            a.Canceled - b.Canceled,
+	}
+}
+
+// generator owns the load loop and its measurements.
+type generator struct {
+	client    *http.Client
+	base      string
+	relations []string
+	k         int
+	overflow  string
+	streamFr  float64
+	hotFr     float64
+	hot       [][]float64
+	baseVec   []float64
+	spread    float64
+	inflight  chan struct{}
+
+	wg   sync.WaitGroup
+	shed atomic.Int64
+
+	// hotLive, when set, overrides the static hot set: each slow client
+	// publishes the fresh vector it is about to stream, so regular hot
+	// traffic follows the same in-flight key — the "trending query with a
+	// slow leader" scenario the delivery broker exists for.
+	hotLive atomic.Pointer[[]float64]
+
+	mu      sync.Mutex
+	batchNs []float64 // end-to-end latency, batch
+	strmNs  []float64 // end-to-end latency, stream
+	ttfeNs  []float64 // time to first event, stream
+	errs    int
+	firstEr error
+}
+
+// randVec draws a query vector around the base point.
+func (g *generator) randVec(rng *rand.Rand) []float64 {
+	v := make([]float64, len(g.baseVec))
+	for i, b := range g.baseVec {
+		v[i] = b + (rng.Float64()*2-1)*g.spread
+	}
+	return v
+}
+
+// run fires arrivals until ctx expires. Inter-arrival gaps are
+// exponential with mean 1/rate — an open loop: the schedule never slows
+// down because the server did.
+func (g *generator) run(ctx context.Context, rng *rand.Rand, rate float64) {
+	if rate <= 0 {
+		rate = 1
+	}
+	timer := time.NewTimer(0)
+	defer timer.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-timer.C:
+		}
+		stream := rng.Float64() < g.streamFr
+		var vec []float64
+		if rng.Float64() < g.hotFr {
+			if p := g.hotLive.Load(); p != nil {
+				vec = *p
+			} else {
+				vec = g.hot[rng.Intn(len(g.hot))]
+			}
+		} else {
+			vec = g.randVec(rng)
+		}
+		select {
+		case g.inflight <- struct{}{}:
+			g.wg.Add(1)
+			go func() {
+				defer g.wg.Done()
+				defer func() { <-g.inflight }()
+				g.fire(vec, stream)
+			}()
+		default:
+			g.shed.Add(1)
+		}
+		gap := time.Duration(rng.ExpFloat64() / rate * float64(time.Second))
+		timer.Reset(gap)
+	}
+}
+
+// body builds the request JSON once per arrival.
+func (g *generator) body(vec []float64) []byte {
+	req := api.Request{Query: vec, Relations: g.relations, K: g.k, Overflow: g.overflow}
+	buf, _ := json.Marshal(&req)
+	return buf
+}
+
+// parseVector parses "x,y,..." into a float vector.
+func parseVector(s string) ([]float64, error) {
+	parts := strings.Split(s, ",")
+	v := make([]float64, len(parts))
+	for i, p := range parts {
+		if _, err := fmt.Sscanf(strings.TrimSpace(p), "%g", &v[i]); err != nil {
+			return nil, fmt.Errorf("component %d %q: %w", i, p, err)
+		}
+	}
+	return v, nil
+}
+
+// fire issues one query and records its measurements.
+func (g *generator) fire(vec []float64, stream bool) {
+	if stream {
+		ttfe, total, err := g.fireStream(vec)
+		g.record(err, func() {
+			g.strmNs = append(g.strmNs, float64(total))
+			g.ttfeNs = append(g.ttfeNs, float64(ttfe))
+		})
+		return
+	}
+	start := time.Now()
+	resp, err := g.client.Post(g.base+"/v1/query", "application/json", bytes.NewReader(g.body(vec)))
+	if err == nil {
+		var sink struct {
+			Results []json.RawMessage `json:"results"`
+		}
+		err = json.NewDecoder(resp.Body).Decode(&sink)
+		resp.Body.Close()
+		if err == nil && resp.StatusCode != http.StatusOK {
+			err = fmt.Errorf("status %d", resp.StatusCode)
+		}
+	}
+	total := time.Since(start)
+	g.record(err, func() { g.batchNs = append(g.batchNs, float64(total)) })
+}
+
+// fireStream issues one streaming query, measuring time to first event
+// and end-to-end drain time.
+func (g *generator) fireStream(vec []float64) (ttfe, total time.Duration, err error) {
+	start := time.Now()
+	resp, err := g.client.Post(g.base+"/v1/query/stream", "application/json", bytes.NewReader(g.body(vec)))
+	if err != nil {
+		return 0, 0, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return 0, 0, fmt.Errorf("status %d", resp.StatusCode)
+	}
+	br := bufio.NewReader(resp.Body)
+	first := true
+	for {
+		line, rerr := br.ReadBytes('\n')
+		if len(bytes.TrimSpace(line)) > 0 && first {
+			ttfe = time.Since(start)
+			first = false
+		}
+		if rerr != nil {
+			break
+		}
+		var ev struct {
+			Type  string     `json:"type"`
+			Error *api.Error `json:"error"`
+		}
+		if jerr := json.Unmarshal(line, &ev); jerr != nil {
+			return 0, 0, fmt.Errorf("bad stream line: %w", jerr)
+		}
+		if ev.Type == "error" {
+			return 0, 0, ev.Error
+		}
+		if ev.Type == "summary" {
+			return ttfe, time.Since(start), nil
+		}
+	}
+	return 0, 0, fmt.Errorf("stream ended without a summary")
+}
+
+// record folds one finished request into the tallies.
+func (g *generator) record(err error, ok func()) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if err != nil {
+		g.errs++
+		if g.firstEr == nil {
+			g.firstEr = err
+		}
+		return
+	}
+	ok()
+}
+
+// slowClient loops streaming queries, stalling slowRead per event — the
+// client the broker protects everyone else from. Each connection streams
+// a fresh vector and publishes it as the live hot key, so this client is
+// the single-flight leader of a query the regular traffic is busy
+// coalescing on. Overflow drops (overloaded status or in-band error
+// events) are counted, not failed.
+func (g *generator) slowClient(ctx context.Context, client *http.Client, rng *rand.Rand, slowRead time.Duration, dropped *atomic.Int64) {
+	for ctx.Err() == nil {
+		vec := g.randVec(rng)
+		req, err := http.NewRequestWithContext(ctx, http.MethodPost,
+			g.base+"/v1/query/stream", bytes.NewReader(g.body(vec)))
+		if err != nil {
+			return
+		}
+		req.Header.Set("Content-Type", "application/json")
+		resp, err := client.Do(req)
+		if err != nil {
+			// ctx expiry or transport failure: back off instead of
+			// hot-looping against a dead server; the loop recheck exits.
+			select {
+			case <-ctx.Done():
+			case <-time.After(100 * time.Millisecond):
+			}
+			continue
+		}
+		br := bufio.NewReader(resp.Body)
+		published := false
+		for {
+			line, rerr := br.ReadBytes('\n')
+			if rerr != nil {
+				break
+			}
+			if !published {
+				// First event read: this client provably owns the query's
+				// single-flight key mid-run. Only now is the vector
+				// published as "trending", so the regular hot traffic
+				// coalesces behind this slow leader rather than winning the
+				// key first.
+				published = true
+				g.hotLive.Store(&vec)
+			}
+			if bytes.Contains(line, []byte(`"error"`)) && bytes.Contains(line, []byte("overloaded")) {
+				dropped.Add(1)
+				break
+			}
+			select {
+			case <-ctx.Done():
+			case <-time.After(slowRead):
+			}
+		}
+		resp.Body.Close()
+	}
+}
+
+// quantiles of a sample, in milliseconds.
+type latencyMs struct {
+	Count int     `json:"count"`
+	P50   float64 `json:"p50Ms"`
+	P95   float64 `json:"p95Ms"`
+	P99   float64 `json:"p99Ms"`
+	Mean  float64 `json:"meanMs"`
+	Max   float64 `json:"maxMs"`
+}
+
+func summarize(ns []float64) latencyMs {
+	if len(ns) == 0 {
+		return latencyMs{}
+	}
+	sort.Float64s(ns)
+	q := func(p float64) float64 {
+		i := int(p * float64(len(ns)-1))
+		return ns[i] / 1e6
+	}
+	sum := 0.0
+	for _, v := range ns {
+		sum += v
+	}
+	return latencyMs{
+		Count: len(ns),
+		P50:   q(0.50),
+		P95:   q(0.95),
+		P99:   q(0.99),
+		Mean:  sum / float64(len(ns)) / 1e6,
+		Max:   ns[len(ns)-1] / 1e6,
+	}
+}
+
+// report is the run's full output, printable and JSON-serializable.
+type report struct {
+	ElapsedSec  float64     `json:"elapsedSec"`
+	OfferedRPS  float64     `json:"offeredRps"`
+	AchievedRPS float64     `json:"achievedRps"`
+	Shed        int64       `json:"shed"`
+	Errors      int         `json:"errors"`
+	FirstError  string      `json:"firstError,omitempty"`
+	Batch       latencyMs   `json:"batch"`
+	Stream      latencyMs   `json:"stream"`
+	TTFE        latencyMs   `json:"ttfe"`
+	SlowDropped int64       `json:"slowClientDrops"`
+	Server      serverStats `json:"serverDelta"`
+}
+
+func (g *generator) report(elapsed time.Duration, before, after serverStats, slowDropped int64) report {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	delta := after.sub(before)
+	done := len(g.batchNs) + len(g.strmNs)
+	r := report{
+		ElapsedSec:  elapsed.Seconds(),
+		OfferedRPS:  float64(done+g.errs+int(g.shed.Load())) / elapsed.Seconds(),
+		AchievedRPS: float64(done) / elapsed.Seconds(),
+		Shed:        g.shed.Load(),
+		Errors:      g.errs,
+		Batch:       summarize(g.batchNs),
+		Stream:      summarize(g.strmNs),
+		TTFE:        summarize(g.ttfeNs),
+		SlowDropped: slowDropped,
+		Server:      delta,
+	}
+	if g.firstEr != nil {
+		r.FirstError = g.firstEr.Error()
+	}
+	return r
+}
+
+func (r report) print(w *os.File) {
+	fmt.Fprintf(w, "\nproxload report (%.1fs, offered %.0f rps, achieved %.0f rps, shed %d, errors %d)\n",
+		r.ElapsedSec, r.OfferedRPS, r.AchievedRPS, r.Shed, r.Errors)
+	if r.FirstError != "" {
+		fmt.Fprintf(w, "  first error: %s\n", r.FirstError)
+	}
+	row := func(name string, l latencyMs) {
+		fmt.Fprintf(w, "  %-18s %6d  p50 %8.2fms  p95 %8.2fms  p99 %8.2fms  mean %8.2fms  max %8.2fms\n",
+			name, l.Count, l.P50, l.P95, l.P99, l.Mean, l.Max)
+	}
+	row("batch latency", r.Batch)
+	row("stream latency", r.Stream)
+	row("stream TTFE", r.TTFE)
+	d := r.Server
+	fmt.Fprintf(w, "  server delta: queries %d, cacheHits %d (%.0f%%), coalesced %d, engineRuns %d\n",
+		d.Queries, d.CacheHits, pct(d.CacheHits, d.Queries), d.Coalesced, d.EngineRuns)
+	fmt.Fprintf(w, "                brokered %d, midRunAttaches %d, slowSubscriberDrops %d, rejected %d, canceled %d\n",
+		d.StreamsBrokered, d.MidRunAttaches, d.SlowSubscriberDrops, d.Rejected, d.Canceled)
+	if r.SlowDropped > 0 {
+		fmt.Fprintf(w, "  slow clients dropped by overflow policy: %d\n", r.SlowDropped)
+	}
+}
+
+func pct(a, b int64) float64 {
+	if b == 0 {
+		return 0
+	}
+	return 100 * float64(a) / float64(b)
+}

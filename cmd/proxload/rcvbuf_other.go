@@ -1,0 +1,12 @@
+//go:build !unix
+
+package main
+
+import "net"
+
+// smallRcvbufDialer degrades to a plain dialer where SO_RCVBUF is not
+// portable; slow clients then rely on read pacing alone.
+func smallRcvbufDialer(int) *net.Dialer { return &net.Dialer{} }
+
+// clampSndbufListener is a no-op where SO_SNDBUF is not portable.
+func clampSndbufListener(ln net.Listener, _ int) net.Listener { return ln }

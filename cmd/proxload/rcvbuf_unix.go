@@ -1,0 +1,58 @@
+//go:build unix
+
+package main
+
+import (
+	"net"
+	"syscall"
+)
+
+// clampSndbufListener wraps ln so every accepted connection's send
+// buffer is capped at bytes. Loopback send buffers autotune into the
+// megabytes, silently absorbing whole responses on behalf of stalled
+// readers; capping them makes the in-process server behave like one
+// talking to clients across a real network path, where a reader that
+// stops reading makes the writer block.
+func clampSndbufListener(ln net.Listener, bytes int) net.Listener {
+	return sndbufListener{Listener: ln, bytes: bytes}
+}
+
+type sndbufListener struct {
+	net.Listener
+	bytes int
+}
+
+func (l sndbufListener) Accept() (net.Conn, error) {
+	conn, err := l.Listener.Accept()
+	if err != nil {
+		return nil, err
+	}
+	if tc, ok := conn.(*net.TCPConn); ok {
+		if rc, err := tc.SyscallConn(); err == nil {
+			_ = rc.Control(func(fd uintptr) {
+				_ = syscall.SetsockoptInt(int(fd), syscall.SOL_SOCKET, syscall.SO_SNDBUF, l.bytes)
+			})
+		}
+	}
+	return conn, nil
+}
+
+// smallRcvbufDialer returns a dialer whose sockets advertise a receive
+// window of at most bytes: the kernel then cannot absorb a large
+// response on behalf of a stalled reader, so a deliberately slow client
+// exerts real TCP backpressure on the server instead of having the
+// socket buffers silently drain the stream for it.
+func smallRcvbufDialer(bytes int) *net.Dialer {
+	return &net.Dialer{
+		Control: func(network, address string, c syscall.RawConn) error {
+			var serr error
+			err := c.Control(func(fd uintptr) {
+				serr = syscall.SetsockoptInt(int(fd), syscall.SOL_SOCKET, syscall.SO_RCVBUF, bytes)
+			})
+			if err != nil {
+				return err
+			}
+			return serr
+		},
+	}
+}

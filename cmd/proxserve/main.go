@@ -8,6 +8,11 @@
 // parallel at load, streams merged per query with byte-identical results
 // — via the global -shards flag or a per-relation ":N" suffix on -rel.
 //
+// Stream delivery is brokered: the engine runs each streamed query to
+// completion at engine speed into a bounded per-query buffer and a slow
+// client drains at its own pace without holding a worker slot, governed
+// by -stream-buffer, -stream-overflow, and -stream-block-timeout.
+//
 // Usage:
 //
 //	proxserve -addr :8080 -city SF
@@ -44,6 +49,7 @@ import (
 	"time"
 
 	proxrank "repro"
+	"repro/api"
 	"repro/service"
 )
 
@@ -74,6 +80,12 @@ func main() {
 		maxK       = flag.Int("maxk", service.DefaultMaxK, "largest accepted K")
 		shards     = flag.Int("shards", 1, "default shard count per relation (partitioned indexes, merged per query)")
 		strategyFl = flag.String("shard-strategy", "hash", "partitioning strategy: hash or grid")
+		streamBuf  = flag.Int("stream-buffer", service.DefaultStreamBuffer,
+			"stream delivery buffer: events a client may lag behind the engine (negative couples delivery to the sink)")
+		overflowFl = flag.String("stream-overflow", service.DefaultStreamOverflow,
+			"policy for a stream client that falls a full buffer behind: block (wait, then drop) or drop (immediately)")
+		blockFl = flag.Duration("stream-block-timeout", service.DefaultStreamBlockTimeout,
+			"total time the engine will wait on one block-policy laggard before dropping it")
 	)
 	flag.Var(&rels, "rel", "relation to serve, as name=path.csv[:shards] (repeatable)")
 	flag.Var(&cities, "city", "simulated city data set to serve: SF, NY, BO, DA, HO (repeatable)")
@@ -82,6 +94,12 @@ func main() {
 	strategy, err := proxrank.ParsePartitionStrategy(*strategyFl)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "proxserve: %v\n", err)
+		os.Exit(2)
+	}
+	overflow := strings.ToLower(*overflowFl)
+	if overflow != api.OverflowBlock && overflow != api.OverflowDrop {
+		fmt.Fprintf(os.Stderr, "proxserve: -stream-overflow %q must be %s or %s\n",
+			*overflowFl, api.OverflowBlock, api.OverflowDrop)
 		os.Exit(2)
 	}
 	if *shards < 1 {
@@ -131,11 +149,14 @@ func main() {
 	}
 
 	exec := service.NewExecutor(cat, service.Config{
-		Workers:        *workers,
-		DefaultTimeout: *timeout,
-		MaxTimeout:     *maxTimeout,
-		CacheSize:      *cache,
-		MaxK:           *maxK,
+		Workers:            *workers,
+		DefaultTimeout:     *timeout,
+		MaxTimeout:         *maxTimeout,
+		CacheSize:          *cache,
+		MaxK:               *maxK,
+		StreamBuffer:       *streamBuf,
+		StreamOverflow:     overflow,
+		StreamBlockTimeout: *blockFl,
 	})
 	srv := &http.Server{
 		Addr:              *addr,

@@ -1,0 +1,312 @@
+package broker
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+// drain consumes the subscription to its terminal error, returning the
+// events seen.
+func drain(t *testing.T, s *Sub[int]) ([]int, error) {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	var out []int
+	for {
+		ev, err := s.Next(ctx)
+		if err != nil {
+			return out, err
+		}
+		out = append(out, ev)
+	}
+}
+
+// TestReplayThenTail: a subscriber attached mid-run sees the full prefix
+// and then the live tail, in order.
+func TestReplayThenTail(t *testing.T) {
+	top := New[int](8, time.Second)
+	for i := 0; i < 5; i++ {
+		top.Publish(i)
+	}
+	late := top.Subscribe(PolicyBlock)
+	for i := 5; i < 10; i++ {
+		top.Publish(i)
+	}
+	top.Close(nil)
+	got, err := drain(t, late)
+	if !errors.Is(err, ErrDone) {
+		t.Fatalf("terminal error %v, want ErrDone", err)
+	}
+	if len(got) != 10 {
+		t.Fatalf("replayed %d events, want 10", len(got))
+	}
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("event %d = %d, want %d", i, v, i)
+		}
+	}
+}
+
+// TestSubscribeAfterClose: the history outlives the producer.
+func TestSubscribeAfterClose(t *testing.T) {
+	top := New[int](4, time.Second)
+	top.Publish(1)
+	top.Publish(2)
+	top.Close(nil)
+	got, err := drain(t, top.Subscribe(PolicyDrop))
+	if !errors.Is(err, ErrDone) || len(got) != 2 {
+		t.Fatalf("got %v, %v", got, err)
+	}
+}
+
+// TestCloseError: subscribers drain buffered events first, then observe
+// the terminal error.
+func TestCloseError(t *testing.T) {
+	boom := errors.New("boom")
+	top := New[int](4, time.Second)
+	s := top.Subscribe(PolicyBlock)
+	top.Publish(7)
+	top.Close(boom)
+	got, err := drain(t, s)
+	if !errors.Is(err, boom) {
+		t.Fatalf("terminal error %v, want boom", err)
+	}
+	if len(got) != 1 || got[0] != 7 {
+		t.Fatalf("events before error: %v", got)
+	}
+}
+
+// TestDropPolicyNeverBlocksProducer: with a stalled PolicyDrop
+// subscriber, every Publish returns immediately; the laggard is dropped
+// once it exhausts its window and its Next reports ErrSlowSubscriber.
+func TestDropPolicyNeverBlocksProducer(t *testing.T) {
+	const capacity = 4
+	top := New[int](capacity, time.Minute) // block timeout must never matter
+	stalled := top.Subscribe(PolicyDrop)
+	start := time.Now()
+	dropped := 0
+	for i := 0; i < capacity+3; i++ {
+		dropped += top.Publish(i)
+	}
+	if el := time.Since(start); el > 100*time.Millisecond {
+		t.Fatalf("publishing took %v with a drop-policy laggard", el)
+	}
+	if dropped != 1 || top.Dropped() != 1 {
+		t.Fatalf("dropped %d (topic %d), want 1", dropped, top.Dropped())
+	}
+	ctx := context.Background()
+	// The dropped subscriber may still be holding unread events, but its
+	// guarantee is gone: Next reports the drop.
+	if _, err := stalled.Next(ctx); !errors.Is(err, ErrSlowSubscriber) {
+		t.Fatalf("stalled Next: %v, want ErrSlowSubscriber", err)
+	}
+}
+
+// TestBlockPolicyWaitsThenDrops: a PolicyBlock laggard delays Publish up
+// to the block timeout, after which it is dropped and the producer runs
+// free.
+func TestBlockPolicyWaitsThenDrops(t *testing.T) {
+	const capacity = 2
+	top := New[int](capacity, 50*time.Millisecond)
+	stalled := top.Subscribe(PolicyBlock)
+	for i := 0; i < capacity; i++ {
+		if n := top.Publish(i); n != 0 {
+			t.Fatalf("publish %d dropped %d subscribers inside the window", i, n)
+		}
+	}
+	start := time.Now()
+	n := top.Publish(capacity) // window exhausted: must wait, then drop
+	el := time.Since(start)
+	if n != 1 {
+		t.Fatalf("over-window publish dropped %d, want 1", n)
+	}
+	if el < 40*time.Millisecond {
+		t.Fatalf("producer waited only %v, want ~50ms block", el)
+	}
+	if el > 2*time.Second {
+		t.Fatalf("producer waited %v, want ~50ms", el)
+	}
+	// Subsequent publishes are unconstrained.
+	start = time.Now()
+	for i := 0; i < 100; i++ {
+		top.Publish(i)
+	}
+	if el := time.Since(start); el > 100*time.Millisecond {
+		t.Fatalf("post-drop publishing took %v", el)
+	}
+	if _, err := stalled.Next(context.Background()); !errors.Is(err, ErrSlowSubscriber) {
+		t.Fatalf("stalled Next: %v", err)
+	}
+}
+
+// TestBlockBudgetIsCumulative: a drip-feeding subscriber that always
+// catches up at the last instant cannot throttle the producer forever —
+// the block budget is charged across waits, so the total producer delay
+// is bounded by ~blockFor regardless of how many events remain.
+func TestBlockBudgetIsCumulative(t *testing.T) {
+	const capacity = 2
+	const budget = 120 * time.Millisecond
+	top := New[int](capacity, budget)
+	drip := top.Subscribe(PolicyBlock)
+	// The consumer reads exactly one event each time the producer has
+	// been parked for a while — the adversarial "just fast enough" pace.
+	stop := make(chan struct{})
+	defer close(stop)
+	go func() {
+		for {
+			select {
+			case <-stop:
+				return
+			case <-time.After(40 * time.Millisecond):
+			}
+			ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+			_, err := drip.Next(ctx)
+			cancel()
+			if err != nil {
+				return
+			}
+		}
+	}()
+	start := time.Now()
+	for i := 0; i < 60; i++ { // far more events than the budget could cover per-publish
+		top.Publish(i)
+	}
+	elapsed := time.Since(start)
+	// Per-publish budgets would allow ~60×120ms = 7.2s of stalling; the
+	// cumulative budget caps the total near `budget` (generous slack for
+	// scheduling noise).
+	if elapsed > 10*budget {
+		t.Fatalf("60 publishes took %v against a drip-feeder; cumulative budget %v not enforced", elapsed, budget)
+	}
+	if top.Dropped() != 1 {
+		t.Fatalf("drip-feeder not dropped after exhausting its budget (dropped=%d)", top.Dropped())
+	}
+}
+
+// TestBlockPolicyCatchUpUnblocks: a blocked Publish resumes as soon as
+// the laggard consumes, without waiting for the deadline.
+func TestBlockPolicyCatchUpUnblocks(t *testing.T) {
+	const capacity = 2
+	top := New[int](capacity, 10*time.Second) // deadline must not be what unblocks
+	slow := top.Subscribe(PolicyBlock)
+	top.Publish(0)
+	top.Publish(1)
+	done := make(chan int, 1)
+	go func() { done <- top.Publish(2) }()
+	select {
+	case <-done:
+		t.Fatal("over-window publish returned before the laggard consumed")
+	case <-time.After(20 * time.Millisecond):
+	}
+	if _, err := slow.Next(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case n := <-done:
+		if n != 0 {
+			t.Fatalf("publish dropped %d after catch-up", n)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("publish still blocked after the laggard caught up")
+	}
+}
+
+// TestLateAttachGetsFreshWindow: lag is measured from the attach point,
+// so a subscriber joining a long history is not instantly over-window.
+func TestLateAttachGetsFreshWindow(t *testing.T) {
+	const capacity = 4
+	top := New[int](capacity, time.Minute)
+	for i := 0; i < 100; i++ {
+		top.Publish(i)
+	}
+	late := top.Subscribe(PolicyBlock)
+	start := time.Now()
+	for i := 0; i < capacity-1; i++ { // strictly inside the fresh window
+		if n := top.Publish(100 + i); n != 0 {
+			t.Fatalf("publish dropped late attacher %d events after attach", i)
+		}
+	}
+	if el := time.Since(start); el > 100*time.Millisecond {
+		t.Fatalf("late attacher throttled the producer: %v", el)
+	}
+	top.Close(nil)
+	got, err := drain(t, late)
+	if !errors.Is(err, ErrDone) || len(got) != 103 {
+		t.Fatalf("late attacher saw %d events (%v), want 103", len(got), err)
+	}
+}
+
+// TestCancelDetaches: a canceled subscriber stops constraining the
+// producer.
+func TestCancelDetaches(t *testing.T) {
+	top := New[int](2, time.Minute)
+	s := top.Subscribe(PolicyBlock)
+	top.Publish(0)
+	top.Publish(1)
+	s.Cancel()
+	start := time.Now()
+	for i := 0; i < 50; i++ {
+		top.Publish(i)
+	}
+	if el := time.Since(start); el > 100*time.Millisecond {
+		t.Fatalf("canceled subscriber still throttles: %v", el)
+	}
+}
+
+// TestNextContextCancel: an abandoned wait returns ctx.Err and the
+// subscription survives.
+func TestNextContextCancel(t *testing.T) {
+	top := New[int](4, time.Second)
+	s := top.Subscribe(PolicyBlock)
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	if _, err := s.Next(ctx); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("Next: %v, want deadline exceeded", err)
+	}
+	top.Publish(42)
+	ev, err := s.Next(context.Background())
+	if err != nil || ev != 42 {
+		t.Fatalf("resumed Next = %d, %v", ev, err)
+	}
+}
+
+// TestConcurrentSubscribers: many subscribers at different speeds all
+// observe the identical full sequence (none within their windows are
+// dropped), raced under -race.
+func TestConcurrentSubscribers(t *testing.T) {
+	const n = 500
+	top := New[int](64, time.Second)
+	var wg sync.WaitGroup
+	results := make([][]int, 8)
+	for i := range results {
+		i := i
+		s := top.Subscribe(PolicyBlock)
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			got, err := drain(t, s)
+			if !errors.Is(err, ErrDone) {
+				t.Errorf("sub %d: %v", i, err)
+			}
+			results[i] = got
+		}()
+	}
+	for i := 0; i < n; i++ {
+		top.Publish(i)
+	}
+	top.Close(nil)
+	wg.Wait()
+	for i, got := range results {
+		if len(got) != n {
+			t.Fatalf("sub %d saw %d events, want %d", i, len(got), n)
+		}
+		for j, v := range got {
+			if v != j {
+				t.Fatalf("sub %d event %d = %d", i, j, v)
+			}
+		}
+	}
+}

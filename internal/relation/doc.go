@@ -1,0 +1,27 @@
+// Package relation defines the tuple and relation model of proximity rank
+// join and the sequential access paths over them: distance-based access
+// (tuples in increasing distance from a query vector) and score-based
+// access (tuples in decreasing score), per Definition 2.1 of the paper.
+//
+// Sources deliberately hide the relation contents behind a sequential
+// Next() so that algorithms can only learn what they have paid for — the
+// sumDepths cost model of the paper measures exactly these calls. Every
+// access path yields one canonical tuple order per (access kind, query):
+// ties are broken deterministically, so any two sources over the same
+// data — plain, index-backed, or a k-way merge of shard streams — are
+// byte-identical. That invariant is what lets the serving layer shard
+// relations (Partition, Sharded, MergedSource) and cache answers without
+// the storage layout ever changing a result.
+//
+// The pieces:
+//
+//   - Tuple, Relation: the data model; New validates scores against the
+//     relation's σ_max and fixes the canonical base order.
+//   - Sources: sequential access with per-call cost, for both access
+//     kinds, optionally R-tree-accelerated (distance) or sorted-index
+//     (score) via the shared RTreeIndex / ScoreIndex.
+//   - Partition, Sharded, MergedSource: hash or grid partitioning,
+//     per-shard index builds, and the ordinal-aware merge that restores
+//     the canonical order across shard streams.
+//   - CSV reading for data import (ReadCSV and friends).
+package relation

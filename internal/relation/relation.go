@@ -1,11 +1,3 @@
-// Package relation defines the tuple and relation model of proximity rank
-// join and the sequential access paths over them: distance-based access
-// (tuples in increasing distance from a query vector) and score-based
-// access (tuples in decreasing score), per Definition 2.1 of the paper.
-//
-// Sources deliberately hide the relation contents behind a sequential
-// Next() so that algorithms can only learn what they have paid for — the
-// sumDepths cost model of the paper measures exactly these calls.
 package relation
 
 import (

@@ -1,0 +1,308 @@
+package service_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"reflect"
+	"strings"
+	"testing"
+
+	proxrank "repro"
+	"repro/api"
+	"repro/service"
+)
+
+// TestAPIDoc is the doctest for docs/API.md: every fenced JSON block
+// annotated with a <!-- doctest: ... --> marker is machine-checked, so
+// the documented wire shapes cannot drift from the code.
+//
+// Modes:
+//
+//	request        the block decodes strictly into api.Request and
+//	               passes Normalize
+//	response       the block decodes strictly into api.Response
+//	events         each NDJSON line decodes strictly into
+//	               api.ResultEvent; a sequence ending in a summary must
+//	               CollectStream cleanly
+//	error          the block is a structured error body with code and
+//	               message
+//	csv            the block parses as a relation CSV body
+//	live-request   the block is POSTed to /v1/query on the fixture
+//	               server; the next live-response block must equal the
+//	               actual response (volatile cost timings zeroed)
+//	live-response  see live-request
+//	live-stream    the block is POSTed to /v1/query/stream on the
+//	               fixture server; the next live-events block must equal
+//	               the actual NDJSON lines (volatile cost timings zeroed)
+//	live-events    see live-stream
+func TestAPIDoc(t *testing.T) {
+	blocks := parseDocBlocks(t, "../docs/API.md")
+	if len(blocks) == 0 {
+		t.Fatal("docs/API.md has no doctest-annotated blocks")
+	}
+	srv := docFixtureServer(t)
+	counts := map[string]int{}
+	var pendingLive *docBlock
+	for i := range blocks {
+		b := blocks[i]
+		counts[b.mode]++
+		switch b.mode {
+		case "request":
+			var req api.Request
+			strictDecode(t, b, &req)
+			if err := req.Normalize(api.Limits{}); err != nil {
+				t.Errorf("docs/API.md:%d: documented request fails validation: %v", b.line, err)
+			}
+		case "response":
+			var resp api.Response
+			strictDecode(t, b, &resp)
+		case "events":
+			checkEvents(t, b, b.text)
+		case "error":
+			var e struct {
+				Error *api.Error `json:"error"`
+			}
+			strictDecode(t, b, &e)
+			if e.Error == nil || e.Error.Code == "" || e.Error.Message == "" {
+				t.Errorf("docs/API.md:%d: error example missing code or message", b.line)
+			}
+		case "csv":
+			if _, err := proxrank.ReadRelationCSV(strings.NewReader(b.text), "doc", 0); err != nil {
+				t.Errorf("docs/API.md:%d: documented CSV does not parse: %v", b.line, err)
+			}
+		case "live-request", "live-stream":
+			pendingLive = &blocks[i]
+		case "live-response":
+			requireLive(t, b, pendingLive, "live-request")
+			checkLiveBatch(t, srv, pendingLive, b)
+			pendingLive = nil
+		case "live-events":
+			requireLive(t, b, pendingLive, "live-stream")
+			checkLiveStream(t, srv, pendingLive, b)
+			pendingLive = nil
+		default:
+			t.Errorf("docs/API.md:%d: unknown doctest mode %q", b.line, b.mode)
+		}
+	}
+	if pendingLive != nil {
+		t.Errorf("docs/API.md:%d: %s block without its answer block", pendingLive.line, pendingLive.mode)
+	}
+	// The reference must keep covering the core shapes.
+	for _, mode := range []string{"request", "events", "error", "live-response", "live-events"} {
+		if counts[mode] == 0 {
+			t.Errorf("docs/API.md documents no %s example", mode)
+		}
+	}
+}
+
+type docBlock struct {
+	mode string
+	line int // 1-based line of the opening fence
+	text string
+}
+
+// parseDocBlocks extracts fenced code blocks annotated with
+// <!-- doctest: mode -->. The annotation applies to the next fenced
+// block.
+func parseDocBlocks(t *testing.T, path string) []docBlock {
+	t.Helper()
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("reading %s: %v", path, err)
+	}
+	lines := strings.Split(string(raw), "\n")
+	var blocks []docBlock
+	mode := ""
+	in := false
+	start := 0
+	var buf []string
+	for i, line := range lines {
+		trimmed := strings.TrimSpace(line)
+		if !in {
+			if rest, ok := strings.CutPrefix(trimmed, "<!-- doctest:"); ok {
+				mode = strings.TrimSpace(strings.TrimSuffix(rest, "-->"))
+				continue
+			}
+			if strings.HasPrefix(trimmed, "```") {
+				in = true
+				start = i + 1
+				buf = nil
+			}
+			continue
+		}
+		if strings.HasPrefix(trimmed, "```") {
+			in = false
+			if mode != "" {
+				blocks = append(blocks, docBlock{mode: mode, line: start, text: strings.Join(buf, "\n")})
+				mode = ""
+			}
+			continue
+		}
+		buf = append(buf, line)
+	}
+	return blocks
+}
+
+func strictDecode(t *testing.T, b docBlock, v any) {
+	t.Helper()
+	dec := json.NewDecoder(strings.NewReader(b.text))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		t.Errorf("docs/API.md:%d: block does not decode into %T: %v", b.line, v, err)
+	}
+}
+
+func checkEvents(t *testing.T, b docBlock, ndjson string) {
+	t.Helper()
+	var events []api.ResultEvent
+	sawTerminal := false
+	for off, line := range strings.Split(strings.TrimSpace(ndjson), "\n") {
+		if strings.TrimSpace(line) == "" {
+			continue
+		}
+		var ev api.ResultEvent
+		dec := json.NewDecoder(strings.NewReader(line))
+		dec.DisallowUnknownFields()
+		if err := dec.Decode(&ev); err != nil {
+			t.Errorf("docs/API.md:%d: event line %d invalid: %v", b.line, off+1, err)
+			return
+		}
+		events = append(events, ev)
+		if ev.Type == api.EventSummary || ev.Type == api.EventError {
+			sawTerminal = true
+		}
+	}
+	if sawTerminal {
+		if _, err := api.CollectStream(events); err != nil && events[len(events)-1].Type != api.EventError {
+			t.Errorf("docs/API.md:%d: event sequence does not collect: %v", b.line, err)
+		}
+	}
+}
+
+func requireLive(t *testing.T, b docBlock, pending *docBlock, want string) {
+	t.Helper()
+	if pending == nil || pending.mode != want {
+		t.Fatalf("docs/API.md:%d: %s block is not preceded by a %s block", b.line, b.mode, want)
+	}
+}
+
+// docFixtureServer serves the dataset every live example in docs/API.md
+// is written against: hotels{h1,h2} and restaurants{r1,r2} with the
+// documented scores and positions.
+func docFixtureServer(t *testing.T) *httptest.Server {
+	t.Helper()
+	hotels, err := proxrank.NewRelation("hotels", 1.0, []proxrank.Tuple{
+		{ID: "h1", Score: 0.9, Vec: proxrank.Vector{0.1, 0}},
+		{ID: "h2", Score: 0.2, Vec: proxrank.Vector{5, 5}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	food, err := proxrank.NewRelation("restaurants", 1.0, []proxrank.Tuple{
+		{ID: "r1", Score: 0.8, Vec: proxrank.Vector{0, 0.2}},
+		{ID: "r2", Score: 0.3, Vec: proxrank.Vector{-4, 4}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cat := service.NewCatalog()
+	if err := cat.Register("hotels", hotels); err != nil {
+		t.Fatal(err)
+	}
+	if err := cat.Register("restaurants", food); err != nil {
+		t.Fatal(err)
+	}
+	exec := service.NewExecutor(cat, service.Config{Workers: 2, CacheSize: -1})
+	srv := httptest.NewServer(service.NewServer(cat, exec).Handler())
+	t.Cleanup(srv.Close)
+	return srv
+}
+
+// normalizeDoc parses one JSON value and zeroes the volatile cost fields
+// (wall-clock timings) so documented and live outputs compare equal.
+func normalizeDoc(t *testing.T, line int, data []byte) any {
+	t.Helper()
+	var v any
+	if err := json.Unmarshal(data, &v); err != nil {
+		t.Fatalf("docs/API.md:%d: %v (in %s)", line, err, data)
+	}
+	scrub(v)
+	return v
+}
+
+// scrub zeroes every "elapsedMicros" anywhere in the value.
+func scrub(v any) {
+	switch m := v.(type) {
+	case map[string]any:
+		for k, val := range m {
+			if k == "elapsedMicros" {
+				m[k] = float64(0)
+				continue
+			}
+			scrub(val)
+		}
+	case []any:
+		for _, val := range m {
+			scrub(val)
+		}
+	}
+}
+
+func checkLiveBatch(t *testing.T, srv *httptest.Server, reqB *docBlock, respB docBlock) {
+	t.Helper()
+	resp, err := http.Post(srv.URL+"/v1/query", "application/json", strings.NewReader(reqB.text))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var got bytes.Buffer
+	if _, err := got.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("docs/API.md:%d: documented request answered %d: %s", reqB.line, resp.StatusCode, got.Bytes())
+		return
+	}
+	want := normalizeDoc(t, respB.line, []byte(respB.text))
+	have := normalizeDoc(t, respB.line, got.Bytes())
+	if !reflect.DeepEqual(want, have) {
+		gotJSON, _ := json.MarshalIndent(have, "", "  ")
+		t.Errorf("docs/API.md:%d: documented response differs from the live server.\nlive (timings zeroed):\n%s", respB.line, gotJSON)
+	}
+}
+
+func checkLiveStream(t *testing.T, srv *httptest.Server, reqB *docBlock, evB docBlock) {
+	t.Helper()
+	resp, err := http.Post(srv.URL+"/v1/query/stream", "application/json", strings.NewReader(reqB.text))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var got bytes.Buffer
+	if _, err := got.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("docs/API.md:%d: documented stream request answered %d: %s", reqB.line, resp.StatusCode, got.Bytes())
+		return
+	}
+	wantLines := strings.Split(strings.TrimSpace(evB.text), "\n")
+	haveLines := strings.Split(strings.TrimSpace(got.String()), "\n")
+	if len(wantLines) != len(haveLines) {
+		t.Errorf("docs/API.md:%d: documented stream has %d lines, live server sent %d:\n%s",
+			evB.line, len(wantLines), len(haveLines), got.String())
+		return
+	}
+	for i := range wantLines {
+		want := normalizeDoc(t, evB.line, []byte(wantLines[i]))
+		have := normalizeDoc(t, evB.line, []byte(haveLines[i]))
+		if !reflect.DeepEqual(want, have) {
+			gotJSON, _ := json.Marshal(have)
+			t.Errorf("docs/API.md:%d: stream line %d differs from the live server.\nlive (timings zeroed): %s",
+				evB.line, i+1, gotJSON)
+		}
+	}
+}

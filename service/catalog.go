@@ -1,10 +1,3 @@
-// Package service turns the proximity rank join library into a
-// multi-tenant query-serving subsystem: a Catalog of named relations with
-// precomputed per-relation indexes shared read-only across queries, an
-// Executor with a bounded worker pool, per-query deadlines and an LRU
-// result cache, and an HTTP JSON front end (see Server). The library
-// answers one TopK call at a time; this package is the layer that answers
-// many at once.
 package service
 
 import (

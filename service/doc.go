@@ -1,0 +1,40 @@
+// Package service turns the proximity rank join library into a
+// multi-tenant query-serving subsystem. The library answers one query at
+// a time; this package is the layer that answers many at once.
+//
+// Its pieces, bottom to top:
+//
+//   - Catalog: named relations with R-tree and score indexes precomputed
+//     at registration and shared read-only across queries. Relations may
+//     be sharded (per-shard indexes built in parallel; per-query streams
+//     k-way-merged back into the canonical order, so sharding never
+//     changes answers). Re-registering a name bumps its generation,
+//     which invalidates every cached answer built on the old data.
+//
+//   - Executor: validation and defaulting through the api package, a
+//     bounded worker pool with per-query deadlines, an LRU result cache
+//     keyed by the canonical request encoding plus catalog generations,
+//     and a single-flight group so identical concurrent misses run the
+//     engine once. Batch (Execute) and streaming (ExecuteStream)
+//     consumption share all of it, so a query coalesces across
+//     consumption models.
+//
+//   - Stream delivery broker: a streamed query's engine runs to
+//     completion at engine speed, publishing events into a bounded
+//     per-query topic (internal/broker) and releasing its worker slot
+//     when enumeration finishes; the leader's sink and coalesced
+//     followers drain the topic each at their own pace, and a follower
+//     arriving mid-run replays the certified prefix before tailing live
+//     events. A consumer that falls a full buffer behind is handled by
+//     the configured overflow policy (block briefly then drop, or drop
+//     immediately). Config.StreamBuffer < 0 disables the broker,
+//     restoring sink-paced delivery.
+//
+//   - Server: the HTTP JSON front end — batch and NDJSON streaming query
+//     endpoints, runtime relation management, health and stats. See the
+//     Server type for the route table and docs/API.md for the full wire
+//     reference.
+//
+// ARCHITECTURE.md at the repository root walks a request through these
+// layers end to end.
+package service

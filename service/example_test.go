@@ -1,0 +1,59 @@
+package service_test
+
+import (
+	"context"
+	"fmt"
+
+	proxrank "repro"
+	"repro/api"
+	"repro/service"
+)
+
+// ExampleExecutor_ExecuteStream serves one query incrementally: each
+// result event reaches the sink the moment the engine certifies it
+// (brokered, so a slow sink never holds the engine), followed by exactly
+// one summary whose collected results match the batch Execute path
+// byte for byte.
+func ExampleExecutor_ExecuteStream() {
+	hotels, _ := proxrank.NewRelation("hotels", 1.0, []proxrank.Tuple{
+		{ID: "h1", Score: 0.9, Vec: proxrank.Vector{0.1, 0}},
+		{ID: "h2", Score: 0.2, Vec: proxrank.Vector{5, 5}},
+	})
+	food, _ := proxrank.NewRelation("restaurants", 1.0, []proxrank.Tuple{
+		{ID: "r1", Score: 0.8, Vec: proxrank.Vector{0, 0.2}},
+		{ID: "r2", Score: 0.3, Vec: proxrank.Vector{-4, 4}},
+	})
+	cat := service.NewCatalog()
+	if err := cat.Register("hotels", hotels); err != nil {
+		fmt.Println(err)
+		return
+	}
+	if err := cat.Register("restaurants", food); err != nil {
+		fmt.Println(err)
+		return
+	}
+	exec := service.NewExecutor(cat, service.Config{Workers: 2})
+
+	req := &api.Request{
+		Query:     []float64{0, 0},
+		Relations: []string{"hotels", "restaurants"},
+		K:         2,
+	}
+	err := exec.ExecuteStream(context.Background(), req, func(ev api.ResultEvent) error {
+		switch ev.Type {
+		case api.EventResult:
+			fmt.Printf("rank %d: %s+%s\n", ev.Rank, ev.Result.Tuples[0].ID, ev.Result.Tuples[1].ID)
+		case api.EventSummary:
+			fmt.Printf("summary: %d results, dnf=%v, cached=%v\n",
+				ev.Summary.Count, ev.Summary.DNF, ev.Summary.Cached)
+		}
+		return nil
+	})
+	if err != nil {
+		fmt.Println(err)
+	}
+	// Output:
+	// rank 1: h1+r1
+	// rank 2: h1+r2
+	// summary: 2 results, dnf=false, cached=false
+}

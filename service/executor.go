@@ -13,6 +13,7 @@ import (
 
 	proxrank "repro"
 	"repro/api"
+	"repro/internal/broker"
 )
 
 // Config tunes the executor.
@@ -35,6 +36,28 @@ type Config struct {
 	// MaxK rejects requests asking for more than this many results
 	// (0 = DefaultMaxK).
 	MaxK int
+	// StreamBuffer is the stream delivery broker's per-subscriber lag
+	// window, in events: how far the engine may run ahead of a stream
+	// consumer before the overflow policy intervenes. 0 takes
+	// DefaultStreamBuffer; a negative value disables the broker entirely,
+	// restoring the legacy coupled delivery in which a streaming leader
+	// advances at its sink's pace and holds its worker slot while doing
+	// so.
+	StreamBuffer int
+	// StreamOverflow is the default policy for a stream subscriber that
+	// exhausts its lag window: api.OverflowBlock (the default — the
+	// engine waits up to StreamBlockTimeout, then drops the subscriber)
+	// or api.OverflowDrop (the subscriber is dropped immediately and the
+	// engine never waits). A request may override it per subscriber via
+	// api.Request.Overflow.
+	StreamOverflow string
+	// StreamBlockTimeout is each block-policy subscriber's cumulative
+	// block budget: the total time the engine will ever wait on that
+	// subscriber across its stream before dropping it (0 =
+	// DefaultStreamBlockTimeout). Cumulative, so a consumer that keeps
+	// catching up at the last instant still delays the engine by at
+	// most this much in total.
+	StreamBlockTimeout time.Duration
 }
 
 // DefaultMaxK caps K when Config.MaxK is unset: a serving layer should
@@ -48,6 +71,22 @@ const DefaultMaxTimeout = time.Minute
 // DefaultCacheSize is the result-cache capacity when Config.CacheSize is
 // unset.
 const DefaultCacheSize = 1024
+
+// DefaultStreamBuffer is the broker's per-subscriber lag window when
+// Config.StreamBuffer is unset: the engine may publish this many events
+// beyond what a subscriber has consumed before overflow handling kicks
+// in.
+const DefaultStreamBuffer = 64
+
+// DefaultStreamBlockTimeout is the cumulative per-subscriber block
+// budget when Config.StreamBlockTimeout is unset.
+const DefaultStreamBlockTimeout = time.Second
+
+// DefaultStreamOverflow is the subscriber overflow policy when
+// Config.StreamOverflow is unset: wait briefly, then drop. Blocking
+// first keeps honest-but-momentarily-unscheduled consumers attached even
+// when the engine publishes much faster than any sink can read.
+const DefaultStreamOverflow = api.OverflowBlock
 
 // The service speaks the transport-neutral api model; these aliases keep
 // the historical service names compiling while guaranteeing the wire
@@ -77,23 +116,34 @@ type EventSink func(api.ResultEvent) error
 
 // StatsSnapshot is the executor's cumulative view served by GET /v1/stats.
 type StatsSnapshot struct {
-	Queries           int64 `json:"queries"`
-	Streamed          int64 `json:"streamed"`
-	Completed         int64 `json:"completed"`
-	CacheHits         int64 `json:"cacheHits"`
-	CacheMisses       int64 `json:"cacheMisses"`
-	Coalesced         int64 `json:"coalesced"`
-	CacheEntries      int   `json:"cacheEntries"`
-	Canceled          int64 `json:"canceled"`
-	BadRequests       int64 `json:"badRequests"`
-	Failed            int64 `json:"failed"`
-	Rejected          int64 `json:"rejected"`
-	InFlight          int64 `json:"inFlight"`
-	EngineRuns        int64 `json:"engineRuns"`
-	TotalSumDepths    int64 `json:"totalSumDepths"`
-	TotalCombinations int64 `json:"totalCombinations"`
-	TotalBoundUpdates int64 `json:"totalBoundUpdates"`
-	TotalEngineMicros int64 `json:"totalEngineMicros"`
+	Queries      int64 `json:"queries"`
+	Streamed     int64 `json:"streamed"`
+	Completed    int64 `json:"completed"`
+	CacheHits    int64 `json:"cacheHits"`
+	CacheMisses  int64 `json:"cacheMisses"`
+	Coalesced    int64 `json:"coalesced"`
+	CacheEntries int   `json:"cacheEntries"`
+	Canceled     int64 `json:"canceled"`
+	BadRequests  int64 `json:"badRequests"`
+	Failed       int64 `json:"failed"`
+	Rejected     int64 `json:"rejected"`
+	InFlight     int64 `json:"inFlight"`
+	EngineRuns   int64 `json:"engineRuns"`
+	// StreamsBrokered counts streaming leaders whose delivery went
+	// through the broker (engine decoupled from the sink).
+	StreamsBrokered int64 `json:"streamsBrokered"`
+	// MidRunAttaches counts coalesced stream followers that attached to a
+	// live topic mid-run (replaying the certified prefix, tailing live
+	// events) instead of waiting for the leader to finish.
+	MidRunAttaches int64 `json:"midRunAttaches"`
+	// SlowSubscriberDrops counts stream subscribers disconnected by the
+	// overflow policy for consuming slower than the delivery buffer
+	// allows.
+	SlowSubscriberDrops int64 `json:"slowSubscriberDrops"`
+	TotalSumDepths      int64 `json:"totalSumDepths"`
+	TotalCombinations   int64 `json:"totalCombinations"`
+	TotalBoundUpdates   int64 `json:"totalBoundUpdates"`
+	TotalEngineMicros   int64 `json:"totalEngineMicros"`
 }
 
 // Executor answers queries against a catalog through a bounded worker
@@ -126,6 +176,9 @@ type Executor struct {
 	rejected          atomic.Int64
 	inFlight          atomic.Int64
 	engineRuns        atomic.Int64
+	streamsBrokered   atomic.Int64
+	midRunAttaches    atomic.Int64
+	slowDrops         atomic.Int64
 	totalSumDepths    atomic.Int64
 	totalCombinations atomic.Int64
 	totalBoundUpdates atomic.Int64
@@ -146,6 +199,20 @@ func NewExecutor(cat *Catalog, cfg Config) *Executor {
 	if cfg.MaxTimeout <= 0 {
 		cfg.MaxTimeout = DefaultMaxTimeout
 	}
+	if cfg.StreamBuffer == 0 {
+		cfg.StreamBuffer = DefaultStreamBuffer
+	}
+	if cfg.StreamBlockTimeout <= 0 {
+		cfg.StreamBlockTimeout = DefaultStreamBlockTimeout
+	}
+	// Fold the policy to its two legal values once, here, so subPolicy
+	// never has to interpret free-form strings. Case is forgiven ("Drop"
+	// means drop); anything else gets the safe default.
+	if strings.EqualFold(cfg.StreamOverflow, api.OverflowDrop) {
+		cfg.StreamOverflow = api.OverflowDrop
+	} else {
+		cfg.StreamOverflow = DefaultStreamOverflow
+	}
 	return &Executor{
 		cat:    cat,
 		cfg:    cfg,
@@ -158,23 +225,26 @@ func NewExecutor(cat *Catalog, cfg Config) *Executor {
 // Stats returns a consistent-enough snapshot of the counters.
 func (x *Executor) Stats() StatsSnapshot {
 	return StatsSnapshot{
-		Queries:           x.queries.Load(),
-		Streamed:          x.streamed.Load(),
-		Completed:         x.completed.Load(),
-		CacheHits:         x.cacheHits.Load(),
-		CacheMisses:       x.cacheMisses.Load(),
-		Coalesced:         x.coalesced.Load(),
-		CacheEntries:      x.cache.len(),
-		Canceled:          x.canceled.Load(),
-		BadRequests:       x.badRequests.Load(),
-		Failed:            x.failed.Load(),
-		Rejected:          x.rejected.Load(),
-		InFlight:          x.inFlight.Load(),
-		EngineRuns:        x.engineRuns.Load(),
-		TotalSumDepths:    x.totalSumDepths.Load(),
-		TotalCombinations: x.totalCombinations.Load(),
-		TotalBoundUpdates: x.totalBoundUpdates.Load(),
-		TotalEngineMicros: x.totalEngineMicros.Load(),
+		Queries:             x.queries.Load(),
+		Streamed:            x.streamed.Load(),
+		Completed:           x.completed.Load(),
+		CacheHits:           x.cacheHits.Load(),
+		CacheMisses:         x.cacheMisses.Load(),
+		Coalesced:           x.coalesced.Load(),
+		CacheEntries:        x.cache.len(),
+		Canceled:            x.canceled.Load(),
+		BadRequests:         x.badRequests.Load(),
+		Failed:              x.failed.Load(),
+		Rejected:            x.rejected.Load(),
+		InFlight:            x.inFlight.Load(),
+		EngineRuns:          x.engineRuns.Load(),
+		StreamsBrokered:     x.streamsBrokered.Load(),
+		MidRunAttaches:      x.midRunAttaches.Load(),
+		SlowSubscriberDrops: x.slowDrops.Load(),
+		TotalSumDepths:      x.totalSumDepths.Load(),
+		TotalCombinations:   x.totalCombinations.Load(),
+		TotalBoundUpdates:   x.totalBoundUpdates.Load(),
+		TotalEngineMicros:   x.totalEngineMicros.Load(),
 	}
 }
 
@@ -317,12 +387,26 @@ func (x *Executor) Execute(ctx context.Context, req *QueryRequest) (*QueryRespon
 // events have flowed, a failure is returned after them and the transport
 // appends it in-band.
 //
-// A streaming leader advances at the pace of its sink: a slow consumer
-// holds its worker slot longer and delays coalesced followers of the
-// same key, whose waits stay bounded by their own deadlines (a follower
-// that cannot wait should send NoCache to fork a private run). See
-// ROADMAP: decoupling delivery from the engine via a bounded event
-// buffer.
+// Delivery is brokered (unless Config.StreamBuffer is negative): the
+// leader's engine runs to completion at engine speed under its own
+// deadline, publishing events into a bounded per-query topic and
+// releasing its worker slot when enumeration finishes, while the
+// leader's sink and any coalesced followers drain the topic at their own
+// pace. A follower that arrives mid-run attaches to the live topic —
+// replaying the certified prefix, then tailing live events — so its
+// time-to-first-event does not depend on how fast any other consumer
+// reads. A subscriber that falls a full buffer behind is handled by the
+// overflow policy (Config.StreamOverflow, overridable per request):
+// blocked-then-dropped or dropped immediately, with the drop surfacing
+// as a CodeOverloaded error on that subscriber only.
+//
+// NoCache forks a private, legacy-style run: the engine advances at the
+// sink's pace, a sink failure aborts it, and the work is discarded — the
+// escape hatch for a caller that wants strict engine-consumer coupling.
+// A server whose result cache is disabled still brokers delivery: its
+// streams run as private brokered runs (no coalescing, nothing stored,
+// client disconnect aborts the engine) with the same slot-release and
+// bounded-slow-sink guarantees.
 func (x *Executor) ExecuteStream(ctx context.Context, req *QueryRequest, sink EventSink) error {
 	x.queries.Add(1)
 	x.streamed.Add(1)
@@ -334,8 +418,17 @@ func (x *Executor) ExecuteStream(ctx context.Context, req *QueryRequest, sink Ev
 	if req.NoCache || !x.cache.enabled() {
 		ctx, cancel := x.applyDeadline(ctx, req)
 		defer cancel()
-		_, err := x.runStream(ctx, query, opts, entries, "", false, sink)
-		return err
+		if req.NoCache || !x.brokerEnabled() {
+			// NoCache is the documented opt-out into strict coupling;
+			// a disabled broker couples everything.
+			_, err := x.runStream(ctx, query, opts, entries, "", false, sink)
+			return err
+		}
+		// Cache disabled but broker on: a private brokered run — no
+		// flight, nothing stored, but the delivery guarantees (slot
+		// released at enumeration end, slow sink bounded by the overflow
+		// policy) still hold.
+		return x.leadBrokered(ctx, req, query, opts, entries, "", nil, sink)
 	}
 	key := cacheKey(req, entries)
 	if cached, ok := x.cache.get(key); ok {
@@ -348,6 +441,9 @@ func (x *Executor) ExecuteStream(ctx context.Context, req *QueryRequest, sink Ev
 	for {
 		c, leader := x.flight.join(key)
 		if leader {
+			if x.brokerEnabled() {
+				return x.leadBrokered(ctx, req, query, opts, entries, key, c, sink)
+			}
 			finished := false
 			defer func() {
 				if !finished {
@@ -357,6 +453,33 @@ func (x *Executor) ExecuteStream(ctx context.Context, req *QueryRequest, sink Ev
 			resp, err := x.runStream(ctx, query, opts, entries, key, true, sink)
 			finished = true
 			x.flight.leave(key, c, resp, err)
+			return err
+		}
+		// A live topic means a brokered stream leader is mid-run: attach
+		// and consume independently instead of waiting for it to finish.
+		if topic := c.topic.Load(); topic != nil {
+			x.coalesced.Add(1)
+			x.midRunAttaches.Add(1)
+			delivered := 0
+			counting := func(ev api.ResultEvent) error {
+				delivered++
+				return sink(ev)
+			}
+			err := x.drainSub(ctx, topic.Subscribe(x.subPolicy(req)), counting, true)
+			var lf leaderFailedError
+			if errors.As(err, &lf) {
+				if delivered == 0 {
+					// The leader failed before this follower saw anything:
+					// like a done-channel follower, retry — a leader error
+					// may be specific to its own deadline, and this caller
+					// may become the next leader. Undo the share counters;
+					// nothing was shared.
+					x.coalesced.Add(-1)
+					x.midRunAttaches.Add(-1)
+					continue
+				}
+				return lf.err
+			}
 			return err
 		}
 		select {
@@ -372,6 +495,234 @@ func (x *Executor) ExecuteStream(ctx context.Context, req *QueryRequest, sink Ev
 		}
 	}
 }
+
+// brokerEnabled reports whether stream delivery is decoupled from the
+// engine.
+func (x *Executor) brokerEnabled() bool { return x.cfg.StreamBuffer > 0 }
+
+// subPolicy maps the request's overflow choice (or the server default)
+// onto the broker's policy enum.
+func (x *Executor) subPolicy(req *QueryRequest) broker.Policy {
+	choice := req.Overflow
+	if choice == "" {
+		choice = x.cfg.StreamOverflow
+	}
+	if choice == api.OverflowDrop {
+		return broker.PolicyDrop
+	}
+	return broker.PolicyBlock
+}
+
+// leadBrokered is the brokered streaming leader: set up the engine
+// synchronously (so admission and setup failures still surface before
+// any event), then run it in a goroutine that publishes into the topic,
+// caches the response, retires the flight, and releases the worker slot
+// the moment enumeration finishes — all independent of how fast anyone
+// reads. The caller's half just drains its own subscription into its
+// sink.
+func (x *Executor) leadBrokered(ctx context.Context, req *QueryRequest, query proxrank.Vector, opts proxrank.Options, entries []*Entry, key string, c *flightCall, sink EventSink) error {
+	topic := broker.New[api.ResultEvent](x.cfg.StreamBuffer, x.cfg.StreamBlockTimeout)
+	// A coalescable run (c != nil) is detached from the leader's
+	// cancellation: a leader whose client goes away must not abort work
+	// that followers and the cache will consume. This is a deliberate
+	// trade-off — a run every subscriber has abandoned still finishes
+	// and fills the cache (the next identical query is then free), at
+	// the cost of holding its slot until completion. Detachment removes
+	// the client disconnect as a backstop, so a detached run always gets
+	// a deadline ceiling: when neither the request nor the server
+	// configures one, MaxTimeout (always set) bounds it — a blocking
+	// source must not pin a worker slot forever. A private run (cache
+	// disabled: c == nil, no flight, nothing stored) keeps the client's
+	// cancellation: its work serves exactly one caller.
+	base := ctx
+	if c != nil {
+		base = context.WithoutCancel(ctx)
+	}
+	engCtx, engCancel := x.applyDeadline(base, req)
+	if req.TimeoutMillis == 0 && x.cfg.DefaultTimeout <= 0 {
+		engCancel()
+		engCtx, engCancel = context.WithTimeout(base, x.cfg.MaxTimeout)
+	}
+	// settle publishes the run's terminal outcome exactly once: retire
+	// the flight (when coalescable) and poison or complete the topic.
+	// Idempotent, and never called concurrently: the setup half only
+	// settles before the engine goroutine exists, the goroutine after.
+	settled := false
+	settle := func(resp *QueryResponse, aerr *APIError) {
+		if settled {
+			return
+		}
+		settled = true
+		if c != nil {
+			var err error
+			if aerr != nil {
+				err = aerr
+			}
+			x.flight.leave(key, c, resp, err)
+		}
+		if aerr != nil {
+			topic.Close(aerr)
+		} else {
+			topic.Close(nil)
+		}
+	}
+	handled := false
+	fail := func(aerr *APIError) error {
+		handled = true
+		engCancel()
+		settle(nil, aerr)
+		return aerr
+	}
+	// If a panic unwinds through setup, retire the flight and poison the
+	// topic so neither followers nor subscribers wait on a key that can
+	// never complete.
+	defer func() {
+		if !handled {
+			fail(apiErrorf(CodeInternal, "query leader aborted"))
+		}
+	}()
+	q, release, aerr := x.openSession(ctx, query, opts, entries)
+	if aerr != nil {
+		return fail(aerr)
+	}
+
+	x.engineRuns.Add(1)
+	x.streamsBrokered.Add(1)
+	handled = true // the engine goroutine owns flight retirement from here
+	sub := topic.Subscribe(x.subPolicy(req))
+	if c != nil {
+		// Published before the engine starts: from here on followers
+		// attach mid-run.
+		c.topic.Store(topic)
+	}
+	go func() {
+		defer func() {
+			release()
+			engCancel()
+			// The goroutine is detached from any request handler, so an
+			// engine panic must be contained here: without recover() it
+			// would kill the whole process, not one query. settle is
+			// idempotent, so the normal path's outcome is never
+			// overwritten — this only retires the flight and poisons the
+			// topic when the run really died mid-way.
+			if r := recover(); r != nil {
+				x.failed.Add(1)
+				settle(nil, apiErrorf(CodeInternal, "stream leader panicked: %v", r))
+			}
+		}()
+		resp, runErr := x.publishRun(engCtx, q, opts, entries, topic)
+		var aerr *APIError
+		switch {
+		case runErr == nil:
+			if c != nil {
+				x.cache.put(key, resp)
+			}
+		case c != nil:
+			aerr = x.classifyRunError(runErr)
+		default:
+			// A private run's cancellation is the client's own (the engine
+			// context is coupled to it) and the client's drain already
+			// counted it; only genuine failures count here.
+			aerr = asAPIError(runErr)
+			if aerr.Code != CodeTimeout && aerr.Code != CodeCanceled {
+				x.failed.Add(1)
+			}
+		}
+		settle(resp, aerr)
+	}()
+	err := x.drainSub(ctx, sub, sink, false)
+	var lf leaderFailedError
+	if errors.As(err, &lf) {
+		// The leader's caller reports its own run's failure plainly.
+		return lf.err
+	}
+	return err
+}
+
+// publishRun drives the engine to completion at engine speed, publishing
+// every certified result (and the DNF best-effort tail, matching the
+// batch contract) plus the trailing summary into the topic. Overflowing
+// subscribers are dropped by the topic per their policy; the run itself
+// never waits on a consumer beyond that consumer's cumulative block
+// budget. An engine failure comes back raw — the caller decides how to
+// classify and count it.
+func (x *Executor) publishRun(ctx context.Context, q *proxrank.Query, opts proxrank.Options, entries []*Entry, topic *streamTopic) (*QueryResponse, error) {
+	var combos []proxrank.Combination
+	publish := func(ev api.ResultEvent) {
+		if n := topic.Publish(ev); n > 0 {
+			x.slowDrops.Add(int64(n))
+		}
+	}
+	dnf, err := pullCombinations(ctx, q, opts.K, func(c proxrank.Combination) error {
+		combos = append(combos, c)
+		wire := wireCombination(c, entries)
+		publish(api.ResultEvent{Type: api.EventResult, Rank: len(combos), Result: &wire})
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	res := proxrank.Result{
+		Combinations: combos,
+		Threshold:    q.Threshold(),
+		DNF:          dnf,
+		Stats:        q.Stats(),
+	}
+	resp := buildResponse(res, entries)
+	x.recordOutcome(res.Stats)
+	publish(api.ResultEvent{Type: api.EventSummary, Summary: &api.Summary{
+		Count:  len(resp.Results),
+		DNF:    resp.DNF,
+		Cached: false,
+		Cost:   resp.Cost,
+	}})
+	return resp, nil
+}
+
+// drainSub delivers one subscription to one sink at the sink's own pace
+// — the consumer half of brokered delivery. markCached rewrites the
+// summary on a copy (events are shared across subscribers) the way
+// replayResponse marks a follower's replay.
+func (x *Executor) drainSub(ctx context.Context, sub *broker.Sub[api.ResultEvent], sink EventSink, markCached bool) error {
+	// Detach on every exit so an abandoned subscription never constrains
+	// the engine.
+	defer sub.Cancel()
+	for {
+		ev, err := sub.Next(ctx)
+		switch {
+		case err == nil:
+			if markCached && ev.Type == api.EventSummary && ev.Summary != nil {
+				s := *ev.Summary
+				s.Cached = true
+				ev.Summary = &s
+			}
+			if serr := sink(ev); serr != nil {
+				x.canceled.Add(1)
+				return apiErrorf(CodeCanceled, "stream sink: %v", serr)
+			}
+		case errors.Is(err, broker.ErrDone):
+			return nil
+		case errors.Is(err, broker.ErrSlowSubscriber):
+			return apiErrorf(CodeOverloaded, "stream consumer too slow: fell more than %d events behind the engine", x.cfg.StreamBuffer)
+		case ctx.Err() != nil && errors.Is(err, ctx.Err()):
+			x.canceled.Add(1)
+			return asAPIError(err)
+		default:
+			// The topic's terminal error: the engine side already recorded
+			// and classified it. Wrapped so a follower that saw no events
+			// yet can retry instead of inheriting the leader's failure.
+			return leaderFailedError{asAPIError(err)}
+		}
+	}
+}
+
+// leaderFailedError relays a brokered leader's terminal failure to a
+// subscriber. The leader's own caller unwraps it; a follower that has
+// delivered nothing yet treats it as a cue to retry the flight.
+type leaderFailedError struct{ err *APIError }
+
+func (e leaderFailedError) Error() string { return e.err.Error() }
+func (e leaderFailedError) Unwrap() error { return e.err }
 
 // replayResponse streams an already-computed response as events, summary
 // marked cached — the follower/cache-hit half of ExecuteStream.
@@ -501,62 +852,26 @@ func (x *Executor) runStream(ctx context.Context, query proxrank.Vector, opts pr
 		x.canceled.Add(1)
 		return nil, asAPIError(err)
 	}
-	release, aerr := x.acquireSlot(ctx)
+	q, release, aerr := x.openSession(ctx, query, opts, entries)
 	if aerr != nil {
 		return nil, aerr
 	}
 	defer release()
 
-	sources, aerr := x.buildSources(opts, query, entries)
-	if aerr != nil {
-		x.failed.Add(1)
-		return nil, aerr
-	}
-	// A streamed query delivers at most K results (certified prefix plus
-	// DNF drain), so the session buffer is bounded to K exactly like the
-	// batch path — O(K) peak memory per run, byte-identical events.
-	// Validation guarantees an explicit client MaxBuffered is >= K.
-	q, err := proxrank.NewQuerySources(query, sources, opts.BoundedToK())
-	if err != nil {
-		x.failed.Add(1)
-		return nil, asAPIError(err)
-	}
-
 	x.engineRuns.Add(1)
 	var combos []proxrank.Combination
-	emit := func(c proxrank.Combination) error {
+	dnf, err := pullCombinations(ctx, q, opts.K, func(c proxrank.Combination) error {
 		combos = append(combos, c)
 		wire := wireCombination(c, entries)
 		return sink(api.ResultEvent{Type: api.EventResult, Rank: len(combos), Result: &wire})
-	}
-	dnf := false
-pull:
-	for len(combos) < opts.K {
-		batch, err := q.NextContext(ctx, 1)
-		for _, c := range batch {
-			if serr := emit(c); serr != nil {
-				x.canceled.Add(1)
-				return nil, apiErrorf(CodeCanceled, "stream sink: %v", serr)
-			}
+	})
+	if err != nil {
+		var serr sinkError
+		if errors.As(err, &serr) {
+			x.canceled.Add(1)
+			return nil, apiErrorf(CodeCanceled, "stream sink: %v", serr.err)
 		}
-		switch {
-		case err == nil:
-		case errors.Is(err, proxrank.ErrStreamDone):
-			break pull
-		case errors.Is(err, proxrank.ErrDNF):
-			// Batch DNF contract, streamed: deliver the uncertified
-			// best-effort tail in report order, then flag the summary.
-			dnf = true
-			for _, c := range q.DrainBest(opts.K - len(combos)) {
-				if serr := emit(c); serr != nil {
-					x.canceled.Add(1)
-					return nil, apiErrorf(CodeCanceled, "stream sink: %v", serr)
-				}
-			}
-			break pull
-		default:
-			return nil, x.classifyRunError(err)
-		}
+		return nil, x.classifyRunError(err)
 	}
 
 	res := proxrank.Result{
@@ -579,6 +894,83 @@ pull:
 		return resp, apiErrorf(CodeCanceled, "stream sink: %v", serr)
 	}
 	return resp, nil
+}
+
+// openSession is the setup half shared by both streaming delivery paths
+// (sink-coupled runStream and brokered leadBrokered): claim a worker
+// slot, open the per-relation sources, and build the bounded query
+// session. On error the slot is already released and the failure
+// counters recorded; on success the caller owns release.
+//
+// The session buffer is bounded to K exactly like the batch path — a
+// streamed query delivers at most K results (certified prefix plus DNF
+// drain) — so peak memory is O(K) with byte-identical events.
+// Validation guarantees an explicit client MaxBuffered is >= K.
+func (x *Executor) openSession(ctx context.Context, query proxrank.Vector, opts proxrank.Options, entries []*Entry) (*proxrank.Query, func(), *APIError) {
+	release, aerr := x.acquireSlot(ctx)
+	if aerr != nil {
+		return nil, nil, aerr
+	}
+	sources, aerr := x.buildSources(opts, query, entries)
+	if aerr != nil {
+		release()
+		x.failed.Add(1)
+		return nil, nil, aerr
+	}
+	q, err := proxrank.NewQuerySources(query, sources, opts.BoundedToK())
+	if err != nil {
+		release()
+		x.failed.Add(1)
+		return nil, nil, asAPIError(err)
+	}
+	return q, release, nil
+}
+
+// sinkError marks an emit failure inside pullCombinations, so callers
+// can tell a consumer that went away apart from an engine failure.
+type sinkError struct{ err error }
+
+func (e sinkError) Error() string { return e.err.Error() }
+
+// pullCombinations drives a query session to at most k results, handing
+// each to emit the moment it is certified. A capped run delivers the
+// uncertified best-effort tail in report order too — matching the batch
+// DNF contract — and returns dnf true. The error is a sinkError if emit
+// failed, or the engine's own failure otherwise; both streaming delivery
+// paths (sink-coupled and brokered) share this one loop, which is what
+// keeps their event sequences identical.
+func pullCombinations(ctx context.Context, q *proxrank.Query, k int, emit func(proxrank.Combination) error) (bool, error) {
+	emitted := 0
+	send := func(c proxrank.Combination) error {
+		emitted++
+		if err := emit(c); err != nil {
+			return sinkError{err}
+		}
+		return nil
+	}
+	for emitted < k {
+		batch, err := q.NextContext(ctx, 1)
+		for _, c := range batch {
+			if serr := send(c); serr != nil {
+				return false, serr
+			}
+		}
+		switch {
+		case err == nil:
+		case errors.Is(err, proxrank.ErrStreamDone):
+			return false, nil
+		case errors.Is(err, proxrank.ErrDNF):
+			for _, c := range q.DrainBest(k - emitted) {
+				if serr := send(c); serr != nil {
+					return false, serr
+				}
+			}
+			return true, nil
+		default:
+			return false, err
+		}
+	}
+	return false, nil
 }
 
 // buildSources opens one engine stream per relation: every shard of every

@@ -1,6 +1,17 @@
 package service
 
-import "sync"
+import (
+	"sync"
+	"sync/atomic"
+
+	"repro/api"
+	"repro/internal/broker"
+)
+
+// streamTopic is the delivery topic of one in-flight streamed query: the
+// engine publishes wire events into it at engine speed, subscribers
+// (the leader's sink, coalesced followers) drain at their own.
+type streamTopic = broker.Topic[api.ResultEvent]
 
 // flightGroup coalesces concurrent identical cache misses: the first
 // caller of a key becomes the leader and runs the engine; every caller
@@ -19,6 +30,13 @@ type flightCall struct {
 	done chan struct{}
 	resp *QueryResponse
 	err  error
+	// topic, when set, is a streaming leader's live delivery topic: a
+	// follower that finds one attaches mid-run — replaying the certified
+	// prefix, then tailing live events — instead of waiting on done for
+	// the completed response. Stored by the leader after setup succeeds;
+	// a follower that loads nil (the leader is still setting up, or it is
+	// a batch leader) falls back to waiting on done.
+	topic atomic.Pointer[streamTopic]
 }
 
 func newFlightGroup() *flightGroup {
@@ -27,7 +45,7 @@ func newFlightGroup() *flightGroup {
 
 // join registers interest in key. The boolean is true for the leader —
 // who must eventually call leave — and false for followers, who wait on
-// the call's done channel.
+// the call's done channel (or attach to its topic).
 func (g *flightGroup) join(key string) (*flightCall, bool) {
 	g.mu.Lock()
 	defer g.mu.Unlock()
