@@ -82,6 +82,13 @@ type Request struct {
 	// NoCache bypasses the result cache for this query. Transport
 	// concern: not part of the canonical encoding.
 	NoCache bool `json:"noCache,omitempty"`
+	// Trace asks for a structured execution trace — per-phase timings,
+	// per-pull access depths, bound updates, buffer events — returned in
+	// Response.Trace (batch) or as a terminal trace event (streams).
+	// Transport concern: not part of the canonical encoding, so a traced
+	// request shares cache entries and coalesces with its untraced twin;
+	// results are byte-identical either way.
+	Trace bool `json:"trace,omitempty"`
 }
 
 // Weights mirrors the aggregation weights of paper eq. (2) in JSON.
@@ -133,6 +140,11 @@ type Response struct {
 	DNF    bool `json:"dnf,omitempty"`
 	Cached bool `json:"cached"`
 	Cost   Cost `json:"cost"`
+	// Trace is the execution trace, present only when the request asked
+	// for one (Request.Trace). Never shared with the result cache: a
+	// cached Response is handed out without it and each traced caller
+	// gets its own.
+	Trace *Trace `json:"trace,omitempty"`
 }
 
 // EventType discriminates streaming events.
@@ -146,11 +158,16 @@ const (
 	EventSummary EventType = "summary"
 	// EventError closes a stream that failed after it started.
 	EventError EventType = "error"
+	// EventTrace carries the execution trace of a traced stream, emitted
+	// once after the summary (it is the terminal event: the trace spans
+	// the delivery itself, so it cannot precede the summary).
+	EventTrace EventType = "trace"
 )
 
 // ResultEvent is one NDJSON line of an incremental query stream: K result
 // events (rank 1 first, flushed as produced) followed by exactly one
-// summary event — or an error event if the run fails midway.
+// summary event — or an error event if the run fails midway. A traced
+// stream appends exactly one trace event after the summary.
 type ResultEvent struct {
 	Type EventType `json:"type"`
 	// Rank is the 1-based position of a result event.
@@ -161,6 +178,8 @@ type ResultEvent struct {
 	Summary *Summary `json:"summary,omitempty"`
 	// Error is set on error events.
 	Error *Error `json:"error,omitempty"`
+	// Trace is set on trace events.
+	Trace *Trace `json:"trace,omitempty"`
 }
 
 // Summary is the trailer of a result stream: everything a Response
@@ -182,7 +201,11 @@ type Summary struct {
 // against the batch one.
 func CollectStream(events []ResultEvent) (*Response, *Error) {
 	resp := &Response{}
+	summarized := false
 	for _, ev := range events {
+		if summarized && ev.Type != EventTrace {
+			return nil, Errorf(CodeInternal, "event of type %q after the summary", ev.Type)
+		}
 		switch ev.Type {
 		case EventResult:
 			if ev.Result == nil {
@@ -196,15 +219,26 @@ func CollectStream(events []ResultEvent) (*Response, *Error) {
 			resp.DNF = ev.Summary.DNF
 			resp.Cached = ev.Summary.Cached
 			resp.Cost = ev.Summary.Cost
-			return resp, nil
+			summarized = true
 		case EventError:
 			if ev.Error == nil {
 				return nil, Errorf(CodeInternal, "error event carries no error")
 			}
 			return nil, ev.Error
+		case EventTrace:
+			if !summarized {
+				return nil, Errorf(CodeInternal, "trace event before the summary")
+			}
+			if ev.Trace == nil {
+				return nil, Errorf(CodeInternal, "trace event carries no trace")
+			}
+			resp.Trace = ev.Trace
 		default:
 			return nil, Errorf(CodeInternal, "unknown event type %q", ev.Type)
 		}
 	}
-	return nil, Errorf(CodeInternal, "stream ended without a summary event")
+	if !summarized {
+		return nil, Errorf(CodeInternal, "stream ended without a summary event")
+	}
+	return resp, nil
 }

@@ -128,6 +128,10 @@ func main() {
 	if err != nil {
 		log.Fatalf("proxload: reading /v1/stats: %v", err)
 	}
+	metricsBefore, err := scrapeMetrics(client, base)
+	if err != nil {
+		log.Fatalf("proxload: %v", err)
+	}
 
 	gen := &generator{
 		client:    client,
@@ -180,8 +184,16 @@ func main() {
 	if err != nil {
 		log.Fatalf("proxload: reading /v1/stats: %v", err)
 	}
+	metricsAfter, err := scrapeMetrics(client, base)
+	if err != nil {
+		log.Fatalf("proxload: %v", err)
+	}
 
 	rep := gen.report(elapsed, statsBefore, statsAfter, slowDropped.Load())
+	if metricsAfter != nil {
+		rep.ServerDuration = summarizeHist(metricsAfter.delta(metricsBefore, "proxrank_query_duration_seconds"))
+		rep.ServerTTFE = summarizeHist(metricsAfter.delta(metricsBefore, "proxrank_query_ttfe_seconds"))
+	}
 	rep.print(os.Stdout)
 	if *jsonOut != "" {
 		buf, _ := json.MarshalIndent(rep, "", "  ")
@@ -580,6 +592,12 @@ type report struct {
 	TTFE        latencyMs   `json:"ttfe"`
 	SlowDropped int64       `json:"slowClientDrops"`
 	Server      serverStats `json:"serverDelta"`
+	// ServerDuration/ServerTTFE are the run's deltas of the server's own
+	// /metrics histograms (all modes and cache states folded together) —
+	// the executor's view of the same requests the client percentiles
+	// time from the outside.
+	ServerDuration serverHist `json:"serverDurationHist"`
+	ServerTTFE     serverHist `json:"serverTtfeHist"`
 }
 
 func (g *generator) report(elapsed time.Duration, before, after serverStats, slowDropped int64) report {
@@ -618,6 +636,15 @@ func (r report) print(w *os.File) {
 	row("batch latency", r.Batch)
 	row("stream latency", r.Stream)
 	row("stream TTFE", r.TTFE)
+	srow := func(name string, h serverHist) {
+		if h.Count == 0 {
+			return
+		}
+		fmt.Fprintf(w, "  %-18s %6d  p50 %8.2fms  p95 %8.2fms  p99 %8.2fms  mean %8.2fms  (server /metrics)\n",
+			name, h.Count, h.P50Ms, h.P95Ms, h.P99Ms, h.MeanMs)
+	}
+	srow("server latency", r.ServerDuration)
+	srow("server TTFE", r.ServerTTFE)
 	d := r.Server
 	fmt.Fprintf(w, "  server delta: queries %d, cacheHits %d (%.0f%%), coalesced %d, engineRuns %d\n",
 		d.Queries, d.CacheHits, pct(d.CacheHits, d.Queries), d.Coalesced, d.EngineRuns)

@@ -1,0 +1,265 @@
+package main
+
+// The /metrics scrape: proxload reads the server's Prometheus exposition
+// before and after the run, validates it (a malformed exposition fails
+// the run — this is the CI gate on the metrics endpoint), and derives
+// server-side latency percentiles from the histogram deltas. Client and
+// server percentiles answer different questions — the client numbers
+// include connection setup, HTTP framing, and generator scheduling; the
+// server histograms see only what the executor did — so the report
+// prints them side by side.
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"log"
+	"math"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/obs"
+)
+
+// histSnap is one histogram family folded across its label sets:
+// cumulative bucket counts by upper bound, total count, total sum.
+type histSnap struct {
+	buckets map[float64]int64
+	count   int64
+	sum     float64
+}
+
+// metricsSnap is one scrape's histogram families by name.
+type metricsSnap struct {
+	hists map[string]*histSnap
+}
+
+// scrapeMetrics reads GET /metrics and parses the histogram families. A
+// missing endpoint (older server) returns nil without error so the rest
+// of the report still works; a malformed exposition is a hard failure.
+func scrapeMetrics(client *http.Client, base string) (*metricsSnap, error) {
+	resp, err := client.Get(base + "/metrics")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode == http.StatusNotFound {
+		log.Printf("server has no /metrics endpoint; skipping server-side histograms")
+		return nil, nil
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("GET /metrics: status %d", resp.StatusCode)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, err
+	}
+	if err := obs.CheckExposition(bytes.NewReader(body)); err != nil {
+		return nil, fmt.Errorf("malformed /metrics exposition: %w", err)
+	}
+	snap := &metricsSnap{hists: make(map[string]*histSnap)}
+	for _, line := range strings.Split(string(body), "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		name, labels, value, ok := parseSampleLine(line)
+		if !ok {
+			continue
+		}
+		switch {
+		case strings.HasSuffix(name, "_bucket"):
+			le, err := strconv.ParseFloat(labels["le"], 64)
+			if err != nil {
+				continue
+			}
+			h := snap.hist(strings.TrimSuffix(name, "_bucket"))
+			h.buckets[le] += int64(value)
+		case strings.HasSuffix(name, "_sum"):
+			snap.hist(strings.TrimSuffix(name, "_sum")).sum += value
+		case strings.HasSuffix(name, "_count"):
+			snap.hist(strings.TrimSuffix(name, "_count")).count += int64(value)
+		}
+	}
+	return snap, nil
+}
+
+func (s *metricsSnap) hist(family string) *histSnap {
+	h := s.hists[family]
+	if h == nil {
+		h = &histSnap{buckets: make(map[float64]int64)}
+		s.hists[family] = h
+	}
+	return h
+}
+
+// delta subtracts an earlier scrape of the same family; either side may
+// be missing (nil is an empty histogram).
+func (s *metricsSnap) delta(before *metricsSnap, family string) histSnap {
+	d := histSnap{buckets: make(map[float64]int64)}
+	var a, b *histSnap
+	if s != nil {
+		a = s.hists[family]
+	}
+	if before != nil {
+		b = before.hists[family]
+	}
+	if a == nil {
+		return d
+	}
+	d.count, d.sum = a.count, a.sum
+	for le, c := range a.buckets {
+		d.buckets[le] = c
+	}
+	if b != nil {
+		d.count -= b.count
+		d.sum -= b.sum
+		for le, c := range b.buckets {
+			d.buckets[le] -= c
+		}
+	}
+	return d
+}
+
+// quantile estimates the q-quantile from cumulative bucket counts the
+// way Prometheus's histogram_quantile does: find the bucket the target
+// rank lands in and interpolate linearly inside it. The +Inf bucket
+// reports its lower bound (the histogram cannot resolve further).
+func (h histSnap) quantile(q float64) float64 {
+	if h.count == 0 {
+		return 0
+	}
+	les := make([]float64, 0, len(h.buckets))
+	for le := range h.buckets {
+		les = append(les, le)
+	}
+	sort.Float64s(les)
+	target := q * float64(h.count)
+	prevCum, prevLe := 0.0, 0.0
+	for _, le := range les {
+		cum := float64(h.buckets[le])
+		if cum >= target {
+			if math.IsInf(le, +1) {
+				// The histogram cannot resolve past its last finite bound.
+				return prevLe
+			}
+			inBucket := cum - prevCum
+			if inBucket <= 0 {
+				return le
+			}
+			return prevLe + (le-prevLe)*(target-prevCum)/inBucket
+		}
+		prevCum, prevLe = cum, le
+	}
+	return prevLe
+}
+
+// serverHist is one server-side histogram delta summarized for the
+// report, in milliseconds.
+type serverHist struct {
+	Count  int64   `json:"count"`
+	P50Ms  float64 `json:"p50Ms"`
+	P95Ms  float64 `json:"p95Ms"`
+	P99Ms  float64 `json:"p99Ms"`
+	MeanMs float64 `json:"meanMs"`
+}
+
+// summarizeHist folds a seconds-histogram delta into milliseconds.
+func summarizeHist(d histSnap) serverHist {
+	s := serverHist{Count: d.count}
+	if d.count == 0 {
+		return s
+	}
+	s.P50Ms = d.quantile(0.50) * 1e3
+	s.P95Ms = d.quantile(0.95) * 1e3
+	s.P99Ms = d.quantile(0.99) * 1e3
+	s.MeanMs = d.sum / float64(d.count) * 1e3
+	return s
+}
+
+// parseSampleLine splits one exposition sample into name, labels, and
+// value. Quote-aware so escaped label values cannot derail the scan;
+// lenient because CheckExposition already validated the format.
+func parseSampleLine(line string) (name string, labels map[string]string, value float64, ok bool) {
+	labels = map[string]string{}
+	rest := line
+	if i := strings.IndexByte(line, '{'); i >= 0 && i < strings.IndexByte(line+" ", ' ') {
+		name = line[:i]
+		body, tail, found := cutLabelBody(line[i+1:])
+		if !found {
+			return "", nil, 0, false
+		}
+		for _, pair := range splitLabelPairs(body) {
+			k, v, found := strings.Cut(pair, "=")
+			if !found {
+				continue
+			}
+			labels[k] = unquoteLabel(v)
+		}
+		rest = strings.TrimSpace(tail)
+	} else {
+		fields := strings.Fields(line)
+		if len(fields) < 2 {
+			return "", nil, 0, false
+		}
+		name = fields[0]
+		rest = fields[1]
+	}
+	fields := strings.Fields(rest)
+	if len(fields) < 1 {
+		return "", nil, 0, false
+	}
+	v, err := strconv.ParseFloat(fields[0], 64)
+	if err != nil {
+		return "", nil, 0, false
+	}
+	return name, labels, v, true
+}
+
+// cutLabelBody scans to the '}' closing a label body, respecting quoted
+// strings and their escapes.
+func cutLabelBody(s string) (body, tail string, ok bool) {
+	inQuote := false
+	for i := 0; i < len(s); i++ {
+		switch {
+		case inQuote && s[i] == '\\':
+			i++
+		case s[i] == '"':
+			inQuote = !inQuote
+		case !inQuote && s[i] == '}':
+			return s[:i], s[i+1:], true
+		}
+	}
+	return "", "", false
+}
+
+// splitLabelPairs splits "a=\"x\",b=\"y\"" on commas outside quotes.
+func splitLabelPairs(s string) []string {
+	var out []string
+	start, inQuote := 0, false
+	for i := 0; i < len(s); i++ {
+		switch {
+		case inQuote && s[i] == '\\':
+			i++
+		case s[i] == '"':
+			inQuote = !inQuote
+		case !inQuote && s[i] == ',':
+			out = append(out, s[start:i])
+			start = i + 1
+		}
+	}
+	if start < len(s) {
+		out = append(out, s[start:])
+	}
+	return out
+}
+
+// unquoteLabel undoes the exposition's label escaping.
+func unquoteLabel(v string) string {
+	v = strings.TrimPrefix(v, `"`)
+	v = strings.TrimSuffix(v, `"`)
+	r := strings.NewReplacer(`\\`, `\`, `\"`, `"`, `\n`, "\n")
+	return r.Replace(v)
+}

@@ -32,6 +32,12 @@
 //	DELETE /v1/relations/{name}
 //	GET    /v1/healthz
 //	GET    /v1/stats
+//	GET    /metrics          Prometheus text exposition
+//
+// Observability: -slow-query logs requests past a duration threshold as
+// JSON lines (same trace structure the api's trace flag returns), and
+// -debug-addr opens the net/http/pprof endpoints on a separate listener
+// kept off the serving mux.
 package main
 
 import (
@@ -41,6 +47,7 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"strconv"
@@ -86,6 +93,10 @@ func main() {
 			"policy for a stream client that falls a full buffer behind: block (wait, then drop) or drop (immediately)")
 		blockFl = flag.Duration("stream-block-timeout", service.DefaultStreamBlockTimeout,
 			"total time the engine will wait on one block-policy laggard before dropping it")
+		debugAddr = flag.String("debug-addr", "",
+			"listen address for the net/http/pprof profiling endpoints (empty = disabled); keep it off public interfaces")
+		slowQuery = flag.Duration("slow-query", 0,
+			"log every request at least this slow as a JSON line on stderr, with its per-phase trace (0 = disabled)")
 	)
 	flag.Var(&rels, "rel", "relation to serve, as name=path.csv[:shards] (repeatable)")
 	flag.Var(&cities, "city", "simulated city data set to serve: SF, NY, BO, DA, HO (repeatable)")
@@ -157,11 +168,31 @@ func main() {
 		StreamBuffer:       *streamBuf,
 		StreamOverflow:     overflow,
 		StreamBlockTimeout: *blockFl,
+		SlowQueryThreshold: *slowQuery,
+		SlowQueryLog:       os.Stderr,
 	})
 	srv := &http.Server{
 		Addr:              *addr,
 		Handler:           service.NewServer(cat, exec).Handler(),
 		ReadHeaderTimeout: 10 * time.Second,
+	}
+	if *debugAddr != "" {
+		// The profiling endpoints live on their own listener and mux so
+		// they can stay bound to localhost while the API faces the world,
+		// and so the serving mux never inherits the pprof routes.
+		dbg := http.NewServeMux()
+		dbg.HandleFunc("/debug/pprof/", pprof.Index)
+		dbg.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		dbg.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		dbg.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		dbg.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		go func() {
+			dbgSrv := &http.Server{Addr: *debugAddr, Handler: dbg, ReadHeaderTimeout: 10 * time.Second}
+			log.Printf("pprof on %s/debug/pprof/", *debugAddr)
+			if err := dbgSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				log.Printf("proxserve: pprof listener: %v", err)
+			}
+		}()
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)

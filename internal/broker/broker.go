@@ -97,6 +97,10 @@ type Topic[T any] struct {
 
 	subs    map[*Sub[T]]struct{}
 	dropped int // subscribers removed by overflow, for stats
+
+	// ins, when attached, receives lifecycle telemetry (subscriber
+	// counts, lag, blocked time, drops). Nil costs nothing.
+	ins *Instruments
 }
 
 // DefaultCapacity is the lag window used when New is given a
@@ -152,6 +156,9 @@ func (t *Topic[T]) Subscribe(policy Policy) *Sub[T] {
 	s := &Sub[T]{topic: t, policy: policy, base: len(t.events)}
 	if !t.closed {
 		t.subs[s] = struct{}{}
+		if t.ins != nil {
+			t.ins.Subscribers.Add(1)
+		}
 	}
 	return s
 }
@@ -216,8 +223,15 @@ func (t *Topic[T]) Publish(ev T) int {
 		for _, s := range blocking {
 			s.blockSpent += elapsed
 		}
+		if t.ins != nil {
+			t.ins.BlockedNanos.Add(int64(elapsed))
+			if t.ins.ObserveBlocked != nil {
+				t.ins.ObserveBlocked(elapsed)
+			}
+		}
 	}
 	t.events = append(t.events, ev)
+	t.notePeakLag()
 	t.wakeSubscribers()
 	n := t.dropped - droppedBefore
 	t.mu.Unlock()
@@ -232,6 +246,14 @@ func (t *Topic[T]) drop(s *Sub[T]) {
 	delete(t.subs, s)
 	s.dropped = true
 	t.dropped++
+	if t.ins != nil {
+		t.ins.Subscribers.Add(-1)
+		if s.policy == PolicyDrop {
+			t.ins.DroppedDrop.Add(1)
+		} else {
+			t.ins.DroppedBlock.Add(1)
+		}
+	}
 	t.wakeSubscribers()
 }
 
@@ -327,6 +349,9 @@ func (s *Sub[T]) Cancel() {
 	defer t.mu.Unlock()
 	if _, ok := t.subs[s]; ok {
 		delete(t.subs, s)
+		if t.ins != nil {
+			t.ins.Subscribers.Add(-1)
+		}
 		t.wakeProducer()
 	}
 	s.gone = true

@@ -316,6 +316,10 @@ func (e *Engine) capped() bool {
 // default hot path pays no timer calls per pull.
 func (e *Engine) step(ri int) error {
 	rs := e.rels[ri]
+	var pStart time.Time
+	if e.opts.Tracer != nil {
+		pStart = time.Now()
+	}
 	tup, err := rs.src.Next()
 	if errors.Is(err, relation.ErrExhausted) {
 		rs.exhausted = true
@@ -327,6 +331,9 @@ func (e *Engine) step(ri int) error {
 		e.t = e.bound.threshold()
 		if e.opts.CollectTimings {
 			e.stats.BoundTime += time.Since(bStart)
+		}
+		if e.opts.Tracer != nil {
+			e.opts.Tracer.TraceBound(e.stats.SumDepths, e.t)
 		}
 		return nil
 	}
@@ -366,14 +373,22 @@ func (e *Engine) step(ri int) error {
 		domBefore = e.stats.DominanceTime
 	}
 	e.bound.register(ri)
+	updated := false
 	if p := e.opts.BoundPeriod; p <= 1 || e.pulls%int64(p) == 0 {
 		e.t = e.bound.threshold()
 		e.stats.BoundUpdates++
+		updated = true
 	}
 	if e.opts.CollectTimings {
 		// Dominance testing runs inside register but is reported as its own
 		// stacked component (Fig 3(m)/(n)); keep BoundTime disjoint from it.
 		e.stats.BoundTime += time.Since(bStart) - (e.stats.DominanceTime - domBefore)
+	}
+	if tr := e.opts.Tracer; tr != nil {
+		tr.TracePull(ri, rs.depth(), time.Since(pStart))
+		if updated {
+			tr.TraceBound(e.stats.SumDepths, e.t)
+		}
 	}
 	return nil
 }

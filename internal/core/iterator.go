@@ -37,6 +37,7 @@ type sessionBuffer struct {
 	policy BufferPolicy
 	heap   *pqueue.MinMax[combRef] // min = worst, max = best
 	stats  *Stats
+	tracer Tracer // nil unless the run is traced
 
 	spillScores []float64
 	spillRanks  []int32 // entry i occupies [i*n : (i+1)*n]
@@ -85,6 +86,9 @@ func (b *sessionBuffer) spillAppend(score float64, ranks []int32) {
 	b.spillScores = append(b.spillScores, score)
 	b.spillRanks = append(b.spillRanks, ranks...)
 	b.stats.SpilledCombinations++
+	if b.tracer != nil {
+		b.tracer.TraceBuffer(TraceActionSpill, 1)
+	}
 }
 
 // offer implements refSink.
@@ -162,6 +166,13 @@ func (b *sessionBuffer) revive() {
 	m := b.spillCount()
 	if m == 0 {
 		return
+	}
+	if b.tracer != nil {
+		take := m
+		if b.max > 0 && take > b.max {
+			take = b.max
+		}
+		b.tracer.TraceBuffer(TraceActionRevive, take)
 	}
 	n := b.arena.n
 	idx := make([]int, m)
@@ -244,6 +255,7 @@ func NewIterator(sources []relation.Source, opts Options) (*Iterator, error) {
 		e:   e,
 		buf: newSessionBuffer(e.arena, bufMax, policy, &e.stats),
 	}
+	it.buf.tracer = opts.Tracer
 	// Reroute formed combinations into the session buffer.
 	e.sink = it.buf
 	return it, nil

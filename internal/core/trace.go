@@ -1,0 +1,32 @@
+package core
+
+import "time"
+
+// Tracer observes one engine run at pull granularity. It is the hook
+// behind per-query tracing and the traced-run pull histograms: nil (the
+// default) costs the hot path exactly one pointer check per pull, so
+// untraced runs — including every benchmark — pay nothing.
+//
+// Callbacks arrive on the goroutine driving the engine, in causal
+// order, and must not retain the engine. Implementations are expected
+// to be cheap (append to a preallocated slice, observe a histogram);
+// the engine does not buffer on their behalf.
+type Tracer interface {
+	// TracePull reports one completed sorted access: the relation's join
+	// position, its depth after the pull, and the wall time of the whole
+	// step (access + combination formation + bound registration).
+	TracePull(relation, depth int, d time.Duration)
+	// TraceBound reports a stopping-threshold recomputation with the
+	// cumulative access depth at which it happened. The threshold may be
+	// ±Inf (+Inf before the first finite bound, −Inf after exhaustion).
+	TraceBound(sumDepths int, threshold float64)
+	// TraceBuffer reports session-buffer pressure: action is "spill" or
+	// "revive", count the number of combinations moved.
+	TraceBuffer(action string, count int)
+}
+
+// Buffer actions reported through Tracer.TraceBuffer.
+const (
+	TraceActionSpill  = "spill"
+	TraceActionRevive = "revive"
+)

@@ -178,6 +178,10 @@ type Options struct {
 	// Fig. 3(d)-(n)). Off by default so stats collection does not tax
 	// every pull; Stats.TotalTime is always collected.
 	CollectTimings bool
+	// Tracer, when non-nil, observes the run at pull granularity: every
+	// access with its depth and wall time, every threshold update, every
+	// buffer pressure event. Nil costs one pointer check per pull.
+	Tracer Tracer
 	// disablePrune turns score-floor pruning off even for separable
 	// aggregations. Test-only: the unpruned run is the byte-identity
 	// oracle for the pruned one.

@@ -1,0 +1,147 @@
+package obs
+
+import (
+	"io"
+	"math"
+	"net/http"
+	"strconv"
+	"strings"
+)
+
+// WritePrometheus renders every registered family in Prometheus text
+// exposition format (version 0.0.4): families sorted by name, each with
+// a # HELP and # TYPE header, children sorted by label values,
+// histograms as cumulative le buckets ending in +Inf plus _sum/_count.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	r.mu.RLock()
+	names := make([]string, len(r.names))
+	copy(names, r.names)
+	r.mu.RUnlock()
+
+	var b strings.Builder
+	for _, name := range names {
+		r.mu.RLock()
+		f := r.families[name]
+		r.mu.RUnlock()
+		f.writeFamily(&b)
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+func (f *family) writeFamily(b *strings.Builder) {
+	f.mu.RLock()
+	keys := make([]string, len(f.order))
+	copy(keys, f.order)
+	children := make([]metric, len(keys))
+	for i, k := range keys {
+		children[i] = f.children[k]
+	}
+	f.mu.RUnlock()
+	if len(children) == 0 {
+		return // a vec with no observed children yet: no samples, no headers
+	}
+	b.WriteString("# HELP ")
+	b.WriteString(f.name)
+	b.WriteByte(' ')
+	b.WriteString(escapeHelp(f.help))
+	b.WriteByte('\n')
+	b.WriteString("# TYPE ")
+	b.WriteString(f.name)
+	b.WriteByte(' ')
+	b.WriteString(string(f.kind))
+	b.WriteByte('\n')
+	for i, key := range keys {
+		children[i].write(b, f.name, f.labelString(key))
+	}
+}
+
+// labelString renders the {k="v",...} block for a child key ("" for
+// label-less families).
+func (f *family) labelString(key string) string {
+	if len(f.labels) == 0 {
+		return ""
+	}
+	values := strings.Split(key, "\xff")
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, l := range f.labels {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(l)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabel(values[i]))
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// escapeLabel escapes a label value per the text format: backslash,
+// double quote, and newline.
+func escapeLabel(s string) string {
+	if !strings.ContainsAny(s, "\\\"\n") {
+		return s
+	}
+	var b strings.Builder
+	for _, c := range s {
+		switch c {
+		case '\\':
+			b.WriteString(`\\`)
+		case '"':
+			b.WriteString(`\"`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteRune(c)
+		}
+	}
+	return b.String()
+}
+
+// escapeHelp escapes a HELP string: backslash and newline only.
+func escapeHelp(s string) string {
+	if !strings.ContainsAny(s, "\\\n") {
+		return s
+	}
+	var b strings.Builder
+	for _, c := range s {
+		switch c {
+		case '\\':
+			b.WriteString(`\\`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteRune(c)
+		}
+	}
+	return b.String()
+}
+
+// formatFloat renders a float the way Prometheus expects: shortest
+// round-trip representation, with the special values spelled +Inf,
+// -Inf, and NaN.
+func formatFloat(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	case math.IsNaN(v):
+		return "NaN"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// Handler returns an http.Handler serving the exposition at any GET.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		if req.Method != http.MethodGet && req.Method != http.MethodHead {
+			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = r.WritePrometheus(w)
+	})
+}

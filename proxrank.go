@@ -176,7 +176,16 @@ type Options struct {
 	// timers measurably tax every pull, and most callers only need
 	// Stats.TotalTime (always collected).
 	CollectTimings bool
+	// Tracer, when non-nil, observes the run at pull granularity — every
+	// access with its depth and wall time, every threshold update, every
+	// buffer pressure event. The hook behind per-query tracing; nil (the
+	// default) costs one pointer check per pull.
+	Tracer Tracer
 }
+
+// Tracer observes one run at pull granularity (see core.Tracer for the
+// callback contract).
+type Tracer = core.Tracer
 
 // BufferPolicy selects what a bounded session buffer does at its cap.
 type BufferPolicy = core.BufferPolicy
@@ -286,6 +295,7 @@ func (o Options) engineOptions(query Vector, fn agg.Function) core.Options {
 		MaxBuffered:     o.MaxBuffered,
 		BufferPolicy:    o.BufferPolicy,
 		CollectTimings:  o.CollectTimings,
+		Tracer:          o.Tracer,
 	}
 }
 

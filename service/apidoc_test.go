@@ -73,6 +73,12 @@ func TestAPIDoc(t *testing.T) {
 			if _, err := proxrank.ReadRelationCSV(strings.NewReader(b.text), "doc", 0); err != nil {
 				t.Errorf("docs/API.md:%d: documented CSV does not parse: %v", b.line, err)
 			}
+		case "slowquery":
+			var rec service.SlowQuery
+			strictDecode(t, b, &rec)
+			if rec.Mode == "" || rec.Outcome == "" || len(rec.Trace.Phases) == 0 {
+				t.Errorf("docs/API.md:%d: slow-query example missing mode, outcome, or phases", b.line)
+			}
 		case "live-request", "live-stream":
 			pendingLive = &blocks[i]
 		case "live-response":
@@ -233,12 +239,14 @@ func normalizeDoc(t *testing.T, line int, data []byte) any {
 	return v
 }
 
-// scrub zeroes every "elapsedMicros" anywhere in the value.
+// scrub zeroes every wall-clock field — any key ending in "Micros"
+// (elapsedMicros, durationMicros, the trace's per-phase and per-pull
+// timings) — anywhere in the value.
 func scrub(v any) {
 	switch m := v.(type) {
 	case map[string]any:
 		for k, val := range m {
-			if k == "elapsedMicros" {
+			if strings.HasSuffix(k, "Micros") {
 				m[k] = float64(0)
 				continue
 			}

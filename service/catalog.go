@@ -52,6 +52,18 @@ type Catalog struct {
 	mu      sync.RWMutex
 	entries map[string]*Entry
 	nextGen uint64
+	// buildObserver, when set, receives every registration's index-build
+	// cost: shard count and the wall time spent partitioning and
+	// building indexes. Wired to the metrics registry by NewExecutor.
+	buildObserver func(shards int, d time.Duration)
+}
+
+// SetBuildObserver installs fn to observe index-build timings of later
+// registrations. Call before the catalog is shared; a nil fn disables.
+func (c *Catalog) SetBuildObserver(fn func(shards int, d time.Duration)) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.buildObserver = fn
 }
 
 // NewCatalog returns an empty catalog.
@@ -94,9 +106,16 @@ func (c *Catalog) RegisterSharded(name string, rel *proxrank.Relation, shards in
 	// Partitioning and index construction are the expensive part; do them
 	// outside the lock so concurrent queries are not stalled behind bulk
 	// loads.
+	buildStart := time.Now()
 	sharded, err := proxrank.NewShardedRelation(rel, shards, strategy)
 	if err != nil {
 		return apiErrorf(CodeBadRequest, "relation %q: %v", name, err)
+	}
+	c.mu.RLock()
+	observe := c.buildObserver
+	c.mu.RUnlock()
+	if observe != nil {
+		observe(sharded.NumShards(), time.Since(buildStart))
 	}
 	e := &Entry{sharded: sharded, loadedAt: time.Now()}
 	c.mu.Lock()

@@ -3,6 +3,7 @@ package service
 import (
 	"context"
 	"errors"
+	"io"
 	"math"
 	"runtime"
 	"strconv"
@@ -14,6 +15,7 @@ import (
 	proxrank "repro"
 	"repro/api"
 	"repro/internal/broker"
+	"repro/internal/obs"
 )
 
 // Config tunes the executor.
@@ -58,6 +60,19 @@ type Config struct {
 	// catching up at the last instant still delays the engine by at
 	// most this much in total.
 	StreamBlockTimeout time.Duration
+	// Registry receives every metric family the executor registers
+	// (exposed by the HTTP layer at GET /metrics). Nil gets a private
+	// registry, still reachable via Executor.Registry() — sharing one
+	// registry across executors panics on the duplicate families.
+	Registry *obs.Registry
+	// SlowQueryThreshold, when positive, logs every request whose total
+	// duration reaches it as one SlowQuery JSON line on SlowQueryLog.
+	// The log line carries the same per-phase trace structure a traced
+	// request returns.
+	SlowQueryThreshold time.Duration
+	// SlowQueryLog is where slow-query lines go. Nil disables logging
+	// even when the threshold is set.
+	SlowQueryLog io.Writer
 }
 
 // DefaultMaxK caps K when Config.MaxK is unset: a serving layer should
@@ -140,6 +155,15 @@ type StatsSnapshot struct {
 	// overflow policy for consuming slower than the delivery buffer
 	// allows.
 	SlowSubscriberDrops int64 `json:"slowSubscriberDrops"`
+	// StreamSubscribers is the number of stream subscriptions attached
+	// right now, across every live topic.
+	StreamSubscribers int64 `json:"streamSubscribers"`
+	// StreamPeakLag is the largest subscriber lag (in buffered events)
+	// any publish has ever observed.
+	StreamPeakLag int64 `json:"streamPeakLag"`
+	// StreamBlockedMicros is the cumulative time engine publishes spent
+	// parked on block-policy laggards.
+	StreamBlockedMicros int64 `json:"streamBlockedMicros"`
 	TotalSumDepths      int64 `json:"totalSumDepths"`
 	TotalCombinations   int64 `json:"totalCombinations"`
 	TotalBoundUpdates   int64 `json:"totalBoundUpdates"`
@@ -158,6 +182,13 @@ type Executor struct {
 	slots  chan struct{}
 	cache  *resultCache
 	flight *flightGroup
+
+	// m is the metric instrument set; bins the broker instruments every
+	// stream topic attaches, so delivery health aggregates across runs.
+	m    *metrics
+	bins *broker.Instruments
+	// slowMu serializes slow-query log lines (the sink is shared).
+	slowMu sync.Mutex
 
 	// wrapSource, when set (tests only), wraps each relation's merged
 	// source before the engine reads it — the hook used to prove
@@ -213,14 +244,31 @@ func NewExecutor(cat *Catalog, cfg Config) *Executor {
 	} else {
 		cfg.StreamOverflow = DefaultStreamOverflow
 	}
-	return &Executor{
+	x := &Executor{
 		cat:    cat,
 		cfg:    cfg,
 		slots:  make(chan struct{}, cfg.Workers),
 		cache:  newResultCache(cfg.CacheSize),
 		flight: newFlightGroup(),
+		bins:   &broker.Instruments{},
 	}
+	reg := cfg.Registry
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
+	x.m = newMetrics(reg, x)
+	// Histogram hooks before the first topic attaches (Instruments
+	// contract): lag and blocked-wait distributions ride the same
+	// struct the gauges read.
+	x.bins.ObserveLag = x.m.observeLag
+	x.bins.ObserveBlocked = x.m.observeBlocked
+	x.m.registerCatalog(cat)
+	return x
 }
+
+// Registry returns the metrics registry this executor reports into —
+// Config.Registry when one was supplied, a private registry otherwise.
+func (x *Executor) Registry() *obs.Registry { return x.m.reg }
 
 // Stats returns a consistent-enough snapshot of the counters.
 func (x *Executor) Stats() StatsSnapshot {
@@ -241,6 +289,9 @@ func (x *Executor) Stats() StatsSnapshot {
 		StreamsBrokered:     x.streamsBrokered.Load(),
 		MidRunAttaches:      x.midRunAttaches.Load(),
 		SlowSubscriberDrops: x.slowDrops.Load(),
+		StreamSubscribers:   x.bins.Subscribers.Load(),
+		StreamPeakLag:       x.bins.PeakLag.Load(),
+		StreamBlockedMicros: x.bins.BlockedNanos.Load() / 1e3,
 		TotalSumDepths:      x.totalSumDepths.Load(),
 		TotalCombinations:   x.totalCombinations.Load(),
 		TotalBoundUpdates:   x.totalBoundUpdates.Load(),
@@ -314,24 +365,52 @@ func cacheKey(req *QueryRequest, entries []*Entry) string {
 // need to mutate a response must copy those slices first.
 func (x *Executor) Execute(ctx context.Context, req *QueryRequest) (*QueryResponse, error) {
 	x.queries.Add(1)
+	o := x.beginObs(labelModeBatch, req)
+	resp, err := x.execute(ctx, req, o)
+	o.finish(req, err)
+	if err == nil && req.Trace && resp != nil {
+		// Attach on a shallow copy: the response may be shared with the
+		// cache, and the trace describes this request alone.
+		traced := *resp
+		traced.Trace = o.trace()
+		resp = &traced
+	}
+	return resp, err
+}
+
+// execute is the uninstrumented body of Execute; o records the phase
+// spans and (for traced requests) carries the engine's trace recorder.
+func (x *Executor) execute(ctx context.Context, req *QueryRequest, o *queryObs) (*QueryResponse, error) {
 	norm, query, opts, entries, aerr := x.prepare(req)
 	if aerr != nil {
 		return nil, aerr
 	}
+	o.algo = norm.Algorithm
+	o.phase(api.PhaseValidate)
+	if o.rec != nil {
+		opts.Tracer = o.rec
+	}
 	req = norm
 	if req.NoCache || !x.cache.enabled() {
+		o.cache = api.CacheBypass
 		ctx, cancel := x.applyDeadline(ctx, req)
 		defer cancel()
-		return x.run(ctx, query, opts, entries, "", false)
+		resp, err := x.run(ctx, query, opts, entries, "", false)
+		o.phase(api.PhaseEngine)
+		return resp, err
 	}
 	key := cacheKey(req, entries)
 	if cached, ok := x.cache.get(key); ok {
 		x.cacheHits.Add(1)
+		o.cache = api.CacheHit
+		o.phase(api.PhaseCache)
 		hit := *cached // shallow copy; cached value stays immutable
 		hit.Cached = true
 		return &hit, nil
 	}
 	x.cacheMisses.Add(1)
+	o.cache = api.CacheMiss
+	o.phase(api.PhaseCache)
 	// The deadline is applied before the flight so a follower's wait is
 	// bounded by its own requested timeout, not the leader's.
 	ctx, cancel := x.applyDeadline(ctx, req)
@@ -343,6 +422,7 @@ func (x *Executor) Execute(ctx context.Context, req *QueryRequest) (*QueryRespon
 	for {
 		c, leader := x.flight.join(key)
 		if leader {
+			o.phase(api.PhaseFlight)
 			finished := false
 			// If a panic unwinds through the engine run, retire the flight
 			// before it continues so followers are woken to retry instead
@@ -353,6 +433,7 @@ func (x *Executor) Execute(ctx context.Context, req *QueryRequest) (*QueryRespon
 				}
 			}()
 			resp, err := x.run(ctx, query, opts, entries, key, true)
+			o.phase(api.PhaseEngine)
 			finished = true
 			x.flight.leave(key, c, resp, err)
 			return resp, err
@@ -363,6 +444,8 @@ func (x *Executor) Execute(ctx context.Context, req *QueryRequest) (*QueryRespon
 				continue
 			}
 			x.coalesced.Add(1)
+			o.cache = api.CacheCoalesced
+			o.phase(api.PhaseFlight)
 			hit := *c.resp // shallow copy, like a cache hit
 			hit.Cached = true
 			return &hit, nil
@@ -410,39 +493,83 @@ func (x *Executor) Execute(ctx context.Context, req *QueryRequest) (*QueryRespon
 func (x *Executor) ExecuteStream(ctx context.Context, req *QueryRequest, sink EventSink) error {
 	x.queries.Add(1)
 	x.streamed.Add(1)
+	o := x.beginObs(labelModeStream, req)
+	// Wrap the sink so the first delivered event stamps TTFE; the inner
+	// path never sees the raw sink.
+	wrapped := func(ev api.ResultEvent) error {
+		o.firstEvent()
+		return sink(ev)
+	}
+	err := x.executeStream(ctx, req, o, wrapped)
+	o.finish(req, err)
+	if err == nil && req.Trace {
+		// The terminal trace event rides this subscriber's own sink after
+		// its summary — it is never published into the shared topic, so
+		// untraced consumers of the same run see an unchanged stream.
+		if serr := sink(api.ResultEvent{Type: api.EventTrace, Trace: o.trace()}); serr != nil {
+			x.canceled.Add(1)
+			return apiErrorf(CodeCanceled, "stream sink: %v", serr)
+		}
+	}
+	return err
+}
+
+// executeStream is the uninstrumented body of ExecuteStream; o records
+// the phase spans and carries the trace recorder for traced requests.
+func (x *Executor) executeStream(ctx context.Context, req *QueryRequest, o *queryObs, sink EventSink) error {
 	norm, query, opts, entries, aerr := x.prepare(req)
 	if aerr != nil {
 		return aerr
 	}
+	o.algo = norm.Algorithm
+	o.phase(api.PhaseValidate)
+	if o.rec != nil {
+		opts.Tracer = o.rec
+	}
 	req = norm
 	if req.NoCache || !x.cache.enabled() {
+		o.cache = api.CacheBypass
 		ctx, cancel := x.applyDeadline(ctx, req)
 		defer cancel()
 		if req.NoCache || !x.brokerEnabled() {
 			// NoCache is the documented opt-out into strict coupling;
 			// a disabled broker couples everything.
 			_, err := x.runStream(ctx, query, opts, entries, "", false, sink)
+			o.phase(api.PhaseEngine)
 			return err
 		}
 		// Cache disabled but broker on: a private brokered run — no
 		// flight, nothing stored, but the delivery guarantees (slot
 		// released at enumeration end, slow sink bounded by the overflow
 		// policy) still hold.
-		return x.leadBrokered(ctx, req, query, opts, entries, "", nil, sink)
+		err := x.leadBrokered(ctx, req, query, opts, entries, "", nil, sink)
+		o.phase(api.PhaseDrain)
+		return err
 	}
 	key := cacheKey(req, entries)
 	if cached, ok := x.cache.get(key); ok {
 		x.cacheHits.Add(1)
-		return replayResponse(cached, sink)
+		o.cache = api.CacheHit
+		o.phase(api.PhaseCache)
+		err := replayResponse(cached, sink)
+		o.phase(api.PhaseDrain)
+		return err
 	}
 	x.cacheMisses.Add(1)
+	o.cache = api.CacheMiss
+	o.phase(api.PhaseCache)
 	ctx, cancel := x.applyDeadline(ctx, req)
 	defer cancel()
 	for {
 		c, leader := x.flight.join(key)
 		if leader {
+			o.phase(api.PhaseFlight)
 			if x.brokerEnabled() {
-				return x.leadBrokered(ctx, req, query, opts, entries, key, c, sink)
+				// The leader's drain overlaps its own engine run, so the
+				// span from here to completion is delivery time.
+				err := x.leadBrokered(ctx, req, query, opts, entries, key, c, sink)
+				o.phase(api.PhaseDrain)
+				return err
 			}
 			finished := false
 			defer func() {
@@ -451,6 +578,7 @@ func (x *Executor) ExecuteStream(ctx context.Context, req *QueryRequest, sink Ev
 				}
 			}()
 			resp, err := x.runStream(ctx, query, opts, entries, key, true, sink)
+			o.phase(api.PhaseEngine)
 			finished = true
 			x.flight.leave(key, c, resp, err)
 			return err
@@ -460,6 +588,8 @@ func (x *Executor) ExecuteStream(ctx context.Context, req *QueryRequest, sink Ev
 		if topic := c.topic.Load(); topic != nil {
 			x.coalesced.Add(1)
 			x.midRunAttaches.Add(1)
+			o.cache = api.CacheCoalesced
+			o.phase(api.PhaseFlight)
 			delivered := 0
 			counting := func(ev api.ResultEvent) error {
 				delivered++
@@ -476,10 +606,12 @@ func (x *Executor) ExecuteStream(ctx context.Context, req *QueryRequest, sink Ev
 					// nothing was shared.
 					x.coalesced.Add(-1)
 					x.midRunAttaches.Add(-1)
+					o.cache = api.CacheMiss
 					continue
 				}
 				return lf.err
 			}
+			o.phase(api.PhaseDrain)
 			return err
 		}
 		select {
@@ -488,7 +620,11 @@ func (x *Executor) ExecuteStream(ctx context.Context, req *QueryRequest, sink Ev
 				continue
 			}
 			x.coalesced.Add(1)
-			return replayResponse(c.resp, sink)
+			o.cache = api.CacheCoalesced
+			o.phase(api.PhaseFlight)
+			err := replayResponse(c.resp, sink)
+			o.phase(api.PhaseDrain)
+			return err
 		case <-ctx.Done():
 			x.canceled.Add(1)
 			return asAPIError(ctx.Err())
@@ -522,6 +658,7 @@ func (x *Executor) subPolicy(req *QueryRequest) broker.Policy {
 // sink.
 func (x *Executor) leadBrokered(ctx context.Context, req *QueryRequest, query proxrank.Vector, opts proxrank.Options, entries []*Entry, key string, c *flightCall, sink EventSink) error {
 	topic := broker.New[api.ResultEvent](x.cfg.StreamBuffer, x.cfg.StreamBlockTimeout)
+	topic.Attach(x.bins)
 	// A coalescable run (c != nil) is detached from the leader's
 	// cancellation: a leader whose client goes away must not abort work
 	// that followers and the cache will consume. This is a deliberate
@@ -653,8 +790,10 @@ func (x *Executor) publishRun(ctx context.Context, q *proxrank.Query, opts proxr
 			x.slowDrops.Add(int64(n))
 		}
 	}
+	gap := x.m.newGapObserver(opts.Algorithm)
 	dnf, err := pullCombinations(ctx, q, opts.K, func(c proxrank.Combination) error {
 		combos = append(combos, c)
+		gap()
 		wire := wireCombination(c, entries)
 		publish(api.ResultEvent{Type: api.EventResult, Rank: len(combos), Result: &wire})
 		return nil
@@ -785,13 +924,18 @@ func (x *Executor) acquireSlot(ctx context.Context) (func(), *APIError) {
 	}
 }
 
-// recordOutcome folds one finished engine run into the counters.
+// recordOutcome folds one finished engine run into the counters and the
+// per-run engine cost distributions.
 func (x *Executor) recordOutcome(stats proxrank.Stats) {
 	x.completed.Add(1)
 	x.totalSumDepths.Add(int64(stats.SumDepths))
 	x.totalCombinations.Add(stats.CombinationsFormed)
 	x.totalBoundUpdates.Add(stats.BoundUpdates)
 	x.totalEngineMicros.Add(stats.TotalTime.Microseconds())
+	x.m.sumDepths.Observe(float64(stats.SumDepths))
+	if stats.CombinationsFormed > 0 {
+		x.m.pruneRatio.Observe(float64(stats.CombinationsPruned) / float64(stats.CombinationsFormed))
+	}
 }
 
 // classifyRunError records the failure counters for an engine-run error
@@ -860,8 +1004,10 @@ func (x *Executor) runStream(ctx context.Context, query proxrank.Vector, opts pr
 
 	x.engineRuns.Add(1)
 	var combos []proxrank.Combination
+	gap := x.m.newGapObserver(opts.Algorithm)
 	dnf, err := pullCombinations(ctx, q, opts.K, func(c proxrank.Combination) error {
 		combos = append(combos, c)
+		gap()
 		wire := wireCombination(c, entries)
 		return sink(api.ResultEvent{Type: api.EventResult, Rank: len(combos), Result: &wire})
 	})

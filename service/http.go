@@ -31,6 +31,9 @@ const maxRelationBody = 32 << 20
 //	DELETE /v1/relations/{name} — evict a relation
 //	GET    /v1/healthz          — liveness probe
 //	GET    /v1/stats            — cumulative serving counters
+//	GET    /metrics             — Prometheus text exposition of the same
+//	                              counters plus latency/TTFE/engine-cost
+//	                              histograms
 //
 // Every error produced by the handlers carries the structured body
 // {"error":{"code":..., "message":...}}; unmatched paths and methods are
@@ -53,6 +56,7 @@ func NewServer(cat *Catalog, exec *Executor) *Server {
 	s.mux.HandleFunc("DELETE /v1/relations/{name}", s.handleEvictRelation)
 	s.mux.HandleFunc("GET /v1/healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
+	s.mux.Handle("GET /metrics", exec.Registry().Handler())
 	return s
 }
 
