@@ -16,7 +16,7 @@
 // structurally equal; Canonical then encodes exactly the answer-affecting
 // fields into the deterministic string that servers use as their cache
 // and single-flight key. Transport and delivery knobs (TimeoutMillis,
-// NoCache, Overflow, MaxBuffered) are validated but excluded from the
+// NoCache, Overflow, MaxBuffered, BlockSize) are validated but excluded from the
 // encoding, so requests differing only in how they want the answer
 // delivered share one cache entry and coalesce into one engine run.
 //

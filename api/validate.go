@@ -129,5 +129,10 @@ func (r *Request) Normalize(limits Limits) *Error {
 	if r.MaxBuffered > 0 && r.MaxBuffered < r.K {
 		return Errorf(CodeBadRequest, "maxBuffered %d must be 0 or at least k %d", r.MaxBuffered, r.K)
 	}
+	// Any block width yields byte-identical results, so only the sign can
+	// be wrong; 0 delegates the choice to the engine.
+	if r.BlockSize < 0 {
+		return Errorf(CodeBadRequest, "blockSize must be non-negative")
+	}
 	return nil
 }

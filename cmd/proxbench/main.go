@@ -12,6 +12,7 @@
 //	proxbench -fig 3a,3h -quick         # selected panels at reduced size
 //	proxbench -list                     # list available panels
 //	proxbench -core-out BENCH_core.json # refresh the hot-path perf snapshot
+//	proxbench -core-check BENCH_core.json # fail if allocs/op regressed vs the snapshot
 package main
 
 import (
@@ -26,14 +27,41 @@ import (
 
 func main() {
 	var (
-		figs    = flag.String("fig", "all", "comma-separated figure ids (3a..3n) or 'all'")
-		quick   = flag.Bool("quick", false, "reduced repetitions and data sizes")
-		reps    = flag.Int("reps", 0, "override the number of seeded data sets per point")
-		list    = flag.Bool("list", false, "list available figures and exit")
-		seed    = flag.Int64("seed", 0, "base seed for data generation")
-		coreOut = flag.String("core-out", "", "run the hot-path micro-benchmarks and write the JSON snapshot here ('-' for stdout)")
+		figs      = flag.String("fig", "all", "comma-separated figure ids (3a..3n) or 'all'")
+		quick     = flag.Bool("quick", false, "reduced repetitions and data sizes")
+		reps      = flag.Int("reps", 0, "override the number of seeded data sets per point")
+		list      = flag.Bool("list", false, "list available figures and exit")
+		seed      = flag.Int64("seed", 0, "base seed for data generation")
+		coreOut   = flag.String("core-out", "", "run the hot-path micro-benchmarks and write the JSON snapshot here ('-' for stdout)")
+		coreCheck = flag.String("core-check", "", "run the hot-path micro-benchmarks and fail if any exceeds the committed snapshot's allocs/op by more than -alloc-tol")
+		allocTol  = flag.Float64("alloc-tol", 0.10, "allocs/op headroom for -core-check, as a fraction of the committed value")
 	)
 	flag.Parse()
+
+	if *coreCheck != "" {
+		f, err := os.Open(*coreCheck)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "proxbench: %v\n", err)
+			os.Exit(1)
+		}
+		committed, err := benchcore.ReadSnapshot(f)
+		f.Close()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "proxbench: %v\n", err)
+			os.Exit(1)
+		}
+		fresh := benchcore.Run()
+		for _, b := range fresh.Benchmarks {
+			fmt.Fprintf(os.Stderr, "%-14s %12.0f ns/op %10d B/op %8d allocs/op\n",
+				b.Name, b.NsPerOp, b.BytesPerOp, b.AllocsPerOp)
+		}
+		if err := benchcore.CheckAllocs(fresh, committed, *allocTol); err != nil {
+			fmt.Fprintf(os.Stderr, "proxbench: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "proxbench: allocs/op within %.0f%% of %s\n", *allocTol*100, *coreCheck)
+		return
+	}
 
 	if *coreOut != "" {
 		snap := benchcore.Run()

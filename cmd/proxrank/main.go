@@ -40,6 +40,7 @@ func main() {
 		showIO  = flag.Bool("stats", false, "print access statistics")
 		maxSum  = flag.Int("max-sum-depths", 0, "abort after this many accesses (0 = unlimited)")
 		maxBuf  = flag.Int("max-buffered", 0, "bound the buffer of formed-but-unemitted combinations (0 = K)")
+		blockSz = flag.Int("block-size", 0, "batched scoring kernel width (0 = engine default; results identical at any width)")
 		useTree = flag.Bool("rtree", false, "serve distance access via R-tree incremental NN")
 		stream  = flag.Bool("stream", false, "print each result as soon as it is certified")
 	)
@@ -104,6 +105,7 @@ func main() {
 		Weights:      &api.Weights{Ws: *ws, Wq: *wq, Wmu: *wmu},
 		MaxSumDepths: *maxSum,
 		MaxBuffered:  *maxBuf,
+		BlockSize:    *blockSz,
 	}
 	qvec, opts, err := proxrank.OptionsFromRequest(req)
 	if err != nil {

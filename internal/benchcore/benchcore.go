@@ -13,6 +13,7 @@ import (
 	"fmt"
 	"io"
 	"runtime"
+	"strings"
 	"sync"
 	"testing"
 	"time"
@@ -213,6 +214,49 @@ func (s Snapshot) Write(w io.Writer) error {
 	enc.SetIndent("", "  ")
 	if err := enc.Encode(s); err != nil {
 		return fmt.Errorf("benchcore: encoding snapshot: %w", err)
+	}
+	return nil
+}
+
+// ReadSnapshot parses a BENCH_core.json document.
+func ReadSnapshot(r io.Reader) (Snapshot, error) {
+	var s Snapshot
+	if err := json.NewDecoder(r).Decode(&s); err != nil {
+		return Snapshot{}, fmt.Errorf("benchcore: decoding snapshot: %w", err)
+	}
+	return s, nil
+}
+
+// CheckAllocs gates allocation regressions: every benchmark present in
+// both snapshots must not exceed the committed allocs/op by more than
+// tol (a fraction; 0.10 allows 10% headroom). Allocation counts are the
+// one hot-path metric that is deterministic across hardware — unlike
+// ns/op, which CI runners make too noisy to gate on — so this is the
+// check that keeps the arena'd partial state and the allocation-free
+// merge from silently regressing. Benchmarks appearing in only one
+// snapshot are skipped (renames and additions are not regressions); all
+// violations are reported together.
+func CheckAllocs(fresh, committed Snapshot, tol float64) error {
+	base := make(map[string]Result, len(committed.Benchmarks))
+	for _, b := range committed.Benchmarks {
+		base[b.Name] = b
+	}
+	var bad []string
+	for _, b := range fresh.Benchmarks {
+		ref, ok := base[b.Name]
+		if !ok {
+			continue
+		}
+		// The +1 floor keeps a tiny committed count (0 or 1 allocs/op)
+		// from turning one stray allocation into a hard failure.
+		limit := int64(float64(ref.AllocsPerOp)*(1+tol)) + 1
+		if b.AllocsPerOp > limit {
+			bad = append(bad, fmt.Sprintf("%s: %d allocs/op exceeds committed %d (+%.0f%% tolerance → limit %d)",
+				b.Name, b.AllocsPerOp, ref.AllocsPerOp, tol*100, limit))
+		}
+	}
+	if len(bad) > 0 {
+		return fmt.Errorf("benchcore: allocation regression:\n  %s", strings.Join(bad, "\n  "))
 	}
 	return nil
 }

@@ -27,6 +27,20 @@ func newCombArena(n int) *combArena {
 	return &combArena{n: n}
 }
 
+// reserve pre-sizes the slab and freelist for the given number of live
+// slots, so a buffer with a known retention bound (the batch top-K)
+// never grows the arena incrementally.
+func (a *combArena) reserve(slots int) {
+	if cap(a.ranks) < slots*a.n {
+		ranks := make([]int32, len(a.ranks), slots*a.n)
+		copy(ranks, a.ranks)
+		a.ranks = ranks
+	}
+	if cap(a.free) < 1 {
+		a.free = make([]int32, 0, 8)
+	}
+}
+
 // alloc copies ranks into a fresh or recycled slot and returns its index.
 func (a *combArena) alloc(ranks []int32) int32 {
 	var s int32

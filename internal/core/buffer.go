@@ -94,7 +94,9 @@ type refTopK struct {
 }
 
 func newRefTopK(k int, arena *combArena, peak *int) *refTopK {
-	return &refTopK{k: k, arena: arena, heap: pqueue.New(arena.refWorse), peak: peak}
+	t := &refTopK{k: k, arena: arena, heap: pqueue.New(arena.refWorse), peak: peak}
+	t.heap.Grow(k)
+	return t
 }
 
 // offer implements refSink: combinations that cannot enter the top K are

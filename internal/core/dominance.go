@@ -21,21 +21,29 @@ import (
 // heap; once dominated, always dominated, because regions only shrink as
 // new partials arrive.
 
-// dominanceCoeffs fills p.domG (= 2·b_α) and p.domK for partial p of
-// subset ss, in coordinates shifted by the query.
+// dominanceCoeffs fills p.domG (= 2·b_α, preallocated in the subset's
+// gradient slab) and p.domK for partial p of subset ss, in coordinates
+// shifted by the query. The intermediates run through bounder scratch;
+// hoisting β·ν̃ out of the spread loop is bit-neutral because the factor
+// is identical on every iteration.
 func (b *tightDistBounder) dominanceCoeffs(ss *subsetState, p *distPartial) {
 	e := b.e
 	n := float64(e.n)
 	m := float64(len(ss.members))
 	if len(ss.members) == 0 {
-		p.domG = vec.New(e.dim)
+		if p.domG == nil {
+			p.domG = vec.New(e.dim)
+		}
+		for i := range p.domG {
+			p.domG[i] = 0
+		}
 		p.domK = 0
 		return
 	}
 	beta := m / n
-	nuT := p.nu.Sub(e.q)
+	nuT := vec.SubInto(b.domNuT, p.nu, e.q)
 	// b_α = −w_µ·(n−m)·(m/n)·ν̃  (paper eq. (25)); domG = 2·b_α.
-	p.domG = nuT.Scale(-2 * b.wmu * (n - m) * beta)
+	vec.ScaleInto(p.domG, -2*b.wmu*(n-m)*beta, nuT)
 
 	// K_α collects every y-free term of the objective:
 	//   Σ_seen [w_s·T(σ) − w_q·‖x̃‖²]  +  Σ_unseen w_s·T(σ_max)
@@ -45,10 +53,16 @@ func (b *tightDistBounder) dominanceCoeffs(ss *subsetState, p *distPartial) {
 		k += b.ws * b.quad.TransformScore(e.rels[j].maxScore)
 	}
 	var spread float64
+	betaNu := vec.ScaleInto(b.domBNu, beta, nuT)
 	for _, x := range p.xs {
-		xt := x.Sub(e.q)
+		xt := vec.SubInto(b.domXT, x, e.q)
 		k -= b.wq * xt.Norm2()
-		spread += xt.Sub(nuT.Scale(beta)).Norm2()
+		var s float64
+		for i, v := range xt {
+			d := v - betaNu[i]
+			s += d * d
+		}
+		spread += s
 	}
 	spread += (n - m) * beta * beta * nuT.Norm2()
 	k -= b.wmu * spread
@@ -74,17 +88,20 @@ func (b *tightDistBounder) dominanceEval(ss *subsetState, p *distPartial, y vec.
 // unconstrained peak ỹ_α = −b_α/a: if f_α is maximal there among the live
 // partials, that point witnesses D(τ_α) ≠ ∅ and the LP is skipped. The
 // screen is exact (never mis-flags); only candidates that lose at their
-// own peak go to the LP.
+// own peak go to the LP. The live set and peak point come from bounder
+// scratch; the LP rows are still built fresh, but only on the rare
+// screen-miss path.
 func (b *tightDistBounder) dominanceSweep(ss *subsetState) {
 	if len(ss.members) == 0 {
 		return // single empty partial, nothing to dominate
 	}
-	live := make([]*distPartial, 0, len(ss.partials))
-	for _, p := range ss.partials {
-		if !p.dominated {
-			live = append(live, p)
+	live := b.liveBuf[:0]
+	for id := range ss.partials {
+		if !ss.partials[id].dominated {
+			live = append(live, id)
 		}
 	}
+	b.liveBuf = live // keep any growth for the next sweep
 	if len(live) < 2 {
 		return
 	}
@@ -96,18 +113,23 @@ func (b *tightDistBounder) dominanceSweep(ss *subsetState) {
 	evalAt := func(p *distPartial, yt vec.Vector, ynorm2 float64) float64 {
 		return p.domK - a*ynorm2 - p.domG.Dot(yt)
 	}
-	for _, alpha := range live {
+	for _, ai := range live {
+		alpha := &ss.partials[ai]
 		if alpha.dominated {
 			continue
 		}
 		if a > 1e-300 {
 			// Witness screen at α's unconstrained peak.
-			peak := alpha.domG.Scale(-1 / (2 * a))
+			peak := vec.ScaleInto(b.domPeak, -1/(2*a), alpha.domG)
 			pn2 := peak.Norm2()
 			fa := evalAt(alpha, peak, pn2)
 			wins := true
-			for _, betaP := range live {
-				if betaP == alpha || betaP.dominated {
+			for _, bi := range live {
+				if bi == ai {
+					continue
+				}
+				betaP := &ss.partials[bi]
+				if betaP.dominated {
 					continue
 				}
 				if evalAt(betaP, peak, pn2) > fa+1e-12 {
@@ -121,8 +143,12 @@ func (b *tightDistBounder) dominanceSweep(ss *subsetState) {
 		}
 		rows := make([][]float64, 0, len(live)-1)
 		rhs := make([]float64, 0, len(live)-1)
-		for _, betaP := range live {
-			if betaP == alpha || betaP.dominated {
+		for _, bi := range live {
+			if bi == ai {
+				continue
+			}
+			betaP := &ss.partials[bi]
+			if betaP.dominated {
 				continue
 			}
 			row := make([]float64, b.e.dim)

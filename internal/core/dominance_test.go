@@ -51,7 +51,7 @@ func TestQuickDominanceQuadraticExpansion(t *testing.T) {
 			if len(ss.members) == 0 || len(ss.partials) == 0 {
 				continue
 			}
-			p := ss.partials[r.Intn(len(ss.partials))]
+			p := &ss.partials[r.Intn(len(ss.partials))]
 			for trial := 0; trial < 4; trial++ {
 				y := vec.New(e.dim)
 				for c := range y {
@@ -111,7 +111,8 @@ func TestQuickDominatedNeverDeterminesTM(t *testing.T) {
 				continue
 			}
 			tm := b.tM(ss)
-			for _, p := range ss.partials {
+			for id := range ss.partials {
+				p := &ss.partials[id]
 				if !p.dominated {
 					continue
 				}
@@ -146,7 +147,8 @@ func TestQuickTightnessWitness(t *testing.T) {
 			if !b.valid(ss) {
 				continue
 			}
-			for _, p := range ss.partials {
+			for id := range ss.partials {
+				p := &ss.partials[id]
 				b.computeBound(ss, p)
 				if math.Abs(p.bound-tGlobal) > 1e-9 {
 					continue

@@ -37,6 +37,10 @@ type relState struct {
 	solo       []float64
 	soloMax    float64
 	soloAbsMax float64
+	// qterm caches each prefix tuple's centroid-independent score term
+	// (agg.BlockScorer.QTerm), parallel to tuples; the columnar input of
+	// the batched scoring kernel. Empty when block scoring is off.
+	qterm []float64
 }
 
 // depth returns p_i.
@@ -121,6 +125,12 @@ type Engine struct {
 	// score-floor pruning, scorer the allocation-free leaf evaluation.
 	sep    agg.Separable
 	scorer agg.ScratchScorer
+	// blk is the batched-kernel fast path: the innermost enumeration level
+	// scores candidate blocks of width blockSize in one kernel call over
+	// the columnar qterm/vector state instead of one leaf at a time.
+	blk       agg.BlockScorer
+	blockSize int
+	lastVar   int // innermost non-pulled level of the current formation
 	// Formation scratch, reused across every formCombinations call.
 	scrRanks  []int32
 	scrSigmas []float64
@@ -129,6 +139,18 @@ type Engine struct {
 	sufBound  []float64 // sufBound[i]: Σ soloMax over levels ≥ i (skip excluded)
 	sufCount  []int64   // sufCount[i]: Π depth over levels ≥ i (skip excluded)
 	pruneMag  float64   // Σ soloAbsMax: term-magnitude scale for pruneSlack
+	// Block-mode scratch: per-slot cached qterms, the kernel's working
+	// storage, and the per-block candidate/column/output buffers.
+	scrQterms []float64
+	blkScr    agg.BlockScratch
+	blkCands  []int32
+	blkQ      []float64
+	blkXs     []vec.Vector
+	blkOut    []float64
+	// Emission arenas: materialize carves public Combination slices from
+	// these in chunks instead of allocating two slices per result.
+	matTuples []relation.Tuple
+	matRanks  []int
 }
 
 // NewEngine validates the configuration and builds an engine. All sources
@@ -149,6 +171,9 @@ func NewEngine(sources []relation.Source, opts Options) (*Engine, error) {
 	if opts.MaxBuffered < 0 {
 		return nil, fmt.Errorf("core: MaxBuffered must be non-negative, got %d", opts.MaxBuffered)
 	}
+	if opts.BlockSize < 0 {
+		return nil, fmt.Errorf("core: BlockSize must be non-negative, got %d", opts.BlockSize)
+	}
 	kind := sources[0].Kind()
 	dim := sources[0].Relation().Dim()
 	if opts.Query.Dim() != dim {
@@ -163,48 +188,126 @@ func NewEngine(sources []relation.Source, opts Options) (*Engine, error) {
 				ErrDimMismatch, s.Relation().Name, s.Relation().Dim(), dim)
 		}
 	}
+	// Detect the aggregation fast paths up front: the scratch slab layout
+	// below depends on which of them are active.
+	scorer, _ := opts.Agg.(agg.ScratchScorer)
+	var sep agg.Separable
+	if !opts.disablePrune {
+		sep, _ = opts.Agg.(agg.Separable)
+	}
+	var blk agg.BlockScorer
+	if !opts.disableBlock {
+		blk, _ = opts.Agg.(agg.BlockScorer)
+	}
+	blockSize := 0
+	if blk != nil {
+		blockSize = opts.BlockSize
+		if blockSize == 0 {
+			blockSize = DefaultBlockSize
+		}
+	}
+
+	n := len(sources)
 	e := &Engine{
 		opts:      opts,
 		q:         opts.Query.Clone(),
-		n:         len(sources),
+		n:         n,
 		dim:       dim,
 		kind:      kind,
-		arena:     newCombArena(len(sources)),
+		arena:     newCombArena(n),
 		t:         posInf,
-		scrRanks:  make([]int32, len(sources)),
-		scrSigmas: make([]float64, len(sources)),
-		scrXs:     make([]vec.Vector, len(sources)),
-		scrMu:     vec.New(dim),
-		sufBound:  make([]float64, len(sources)+1),
-		sufCount:  make([]int64, len(sources)+1),
+		sep:       sep,
+		scorer:    scorer,
+		blk:       blk,
+		blockSize: blockSize,
+		sufCount:  make([]int64, n+1),
 	}
+	e.arena.reserve(opts.K)
 	e.out = newRefTopK(opts.K, e.arena, &e.stats.PeakBuffered)
 	e.sink = e.out
-	e.rels = make([]*relState, e.n)
-	for i, s := range sources {
+	e.stats.Depths = make([]int, n)
+
+	// colCap is the initial capacity of relation i's prefix columns.
+	colCap := func(i int) int {
 		c := prefixCap
-		if l := s.Relation().Len(); l < c {
+		if l := sources[i].Relation().Len(); l < c {
 			c = l
 		}
-		e.rels[i] = &relState{
-			index:    i,
-			src:      s,
-			maxScore: s.Relation().MaxScore,
-			tuples:   make([]relation.Tuple, 0, c),
-			dists:    make([]float64, 0, c),
-		}
+		return c
 	}
-	e.stats.Depths = make([]int, e.n)
-	if !opts.disablePrune {
-		if sep, ok := opts.Agg.(agg.Separable); ok {
-			e.sep = sep
-			for _, rs := range e.rels {
-				rs.solo = make([]float64, 0, cap(rs.tuples))
-			}
-		}
+	colTotal := 0
+	for i := range sources {
+		colTotal += colCap(i)
 	}
-	if scorer, ok := opts.Agg.(agg.ScratchScorer); ok {
-		e.scorer = scorer
+
+	// Every float64 the engine owns — formation scratch, block-kernel
+	// lanes, and the per-relation dists/solo/qterm columns — is carved
+	// from one slab, so construction costs one allocation instead of one
+	// per buffer. Columns take zero-length full-capacity views (the
+	// three-index slices below), so an append that outgrows its segment
+	// relocates that column without touching its neighbors.
+	cols := 1 // dists
+	if sep != nil {
+		cols++ // solo
+	}
+	if blk != nil {
+		cols++ // qterm
+	}
+	nf := n + (n + 1) + dim + cols*colTotal
+	if blk != nil {
+		nf += 2*blockSize + n
+	}
+	floats := make([]float64, nf)
+	takeN := func(k int) []float64 { s := floats[:k:k]; floats = floats[k:]; return s }
+	takeCol := func(c int) []float64 { s := floats[:0:c]; floats = floats[c:]; return s }
+	e.scrSigmas = takeN(n)
+	e.sufBound = takeN(n + 1)
+	e.scrMu = vec.Vector(takeN(dim))
+
+	// Vector-view scratch shares one backing array the same way, and
+	// scrRanks shares its int32 backing with the block candidate list.
+	nv := n
+	if blk != nil {
+		nv += blockSize
+	}
+	vecs := make([]vec.Vector, nv)
+	e.scrXs = vecs[:n:n]
+	i32 := make([]int32, n, n+prefixCap)
+	e.scrRanks = i32[:n:n]
+
+	if blk != nil {
+		e.scrQterms = takeN(n)
+		e.blkQ = takeN(blockSize)
+		e.blkOut = takeN(blockSize)
+		e.blkXs = vecs[n : n+blockSize : n+blockSize]
+		e.blkCands = i32[n:n:cap(i32)]
+		// Pre-size the kernel scratch to the full block width: the widths
+		// ScoreBlock sees grow with the candidate lists, and regrowing
+		// lane buffers mid-run would allocate on the hot path.
+		e.blkScr.Ensure(dim, blockSize)
+	}
+
+	// The relation states live in one backing array and their tuple
+	// columns in one slab; the float columns come from the slab above.
+	states := make([]relState, n)
+	e.rels = make([]*relState, n)
+	tupSlab := make([]relation.Tuple, colTotal)
+	for i, s := range sources {
+		c := colCap(i)
+		rs := &states[i]
+		rs.index = i
+		rs.src = s
+		rs.maxScore = s.Relation().MaxScore
+		rs.tuples = tupSlab[:0:c]
+		tupSlab = tupSlab[c:]
+		rs.dists = takeCol(c)
+		if sep != nil {
+			rs.solo = takeCol(c)
+		}
+		if blk != nil {
+			rs.qterm = takeCol(c)
+		}
+		e.rels[i] = rs
 	}
 
 	// Select the bounding scheme. The tight bound needs the quadratic
@@ -279,14 +382,32 @@ func (e *Engine) RunContext(ctx context.Context) (Result, error) {
 // materialize converts an arena-backed ref into a public Combination,
 // reconstructing tuples from the relation prefixes (rank r of relation i
 // is always rels[i].tuples[r] — prefixes only ever grow).
+//
+// The emitted slices are carved from chunked backing arrays (capacity-
+// capped views, so callers appending to a Combination cannot clobber a
+// neighbor) instead of two allocations per emission: a batch drain of K
+// results costs two chunk allocations, and a long-lived iterator pays
+// two per matChunk emissions. A full chunk is abandoned to the garbage
+// collector once every Combination carved from it is dropped; one
+// retained Combination keeps at most matChunk·n entries alive.
 func (e *Engine) materialize(ref combRef) Combination {
+	const matChunk = 16
 	rank32 := e.arena.ranksAt(ref.slot)
-	tuples := make([]relation.Tuple, e.n)
-	ranks := make([]int, e.n)
-	for i, r := range rank32 {
-		tuples[i] = e.rels[i].tuples[r]
-		ranks[i] = int(r)
+	if len(e.matTuples)+e.n > cap(e.matTuples) {
+		c := matChunk * e.n
+		if k := e.opts.K * e.n; c < k {
+			c = k // a batch drain emits K at once; carve it in one chunk
+		}
+		e.matTuples = make([]relation.Tuple, 0, c)
+		e.matRanks = make([]int, 0, c)
 	}
+	mt, mr := len(e.matTuples), len(e.matRanks)
+	for i, r := range rank32 {
+		e.matTuples = append(e.matTuples, e.rels[i].tuples[r])
+		e.matRanks = append(e.matRanks, int(r))
+	}
+	tuples := e.matTuples[mt : mt+e.n : mt+e.n]
+	ranks := e.matRanks[mr : mr+e.n : mr+e.n]
 	return Combination{Tuples: tuples, Ranks: ranks, Score: ref.score}
 }
 
@@ -351,11 +472,18 @@ func (e *Engine) step(ri int) error {
 	if e.sep != nil {
 		solo = e.sep.SoloBound(ri, tup.Score, dist)
 	}
+	var qt float64
+	if e.blk != nil {
+		qt = e.blk.QTerm(ri, tup.Score, tup.Vec, e.q)
+	}
 
-	e.formCombinations(ri, tup, solo)
+	e.formCombinations(ri, tup, solo, qt)
 
 	rs.tuples = append(rs.tuples, tup)
 	rs.dists = append(rs.dists, dist)
+	if e.blk != nil {
+		rs.qterm = append(rs.qterm, qt)
+	}
 	if e.sep != nil {
 		rs.solo = append(rs.solo, solo)
 		if len(rs.solo) == 1 || solo > rs.soloMax {
@@ -400,7 +528,7 @@ func (e *Engine) step(ri int) error {
 // still count into Stats.CombinationsFormed (and CombinationsPruned), so
 // the paper's cost metric and the MaxCombinations cap semantics are
 // unchanged by pruning.
-func (e *Engine) formCombinations(ri int, tup relation.Tuple, solo float64) {
+func (e *Engine) formCombinations(ri int, tup relation.Tuple, solo, qt float64) {
 	for _, rs := range e.rels {
 		if rs.index != ri && rs.depth() == 0 {
 			return
@@ -411,6 +539,16 @@ func (e *Engine) formCombinations(ri int, tup relation.Tuple, solo float64) {
 	e.scrRanks[ri] = int32(e.rels[ri].depth())
 	e.scrSigmas[ri] = tup.Score
 	e.scrXs[ri] = tup.Vec
+	if e.blk != nil {
+		e.scrQterms[ri] = qt
+		// The innermost level that varies (the pulled slot never does) is
+		// where the batched kernel takes over from the recursion.
+		last := e.n - 1
+		if last == ri {
+			last--
+		}
+		e.lastVar = last
+	}
 	if e.sep != nil {
 		// Suffix tables over the remaining levels: the best additional solo
 		// mass and the number of leaves below each level. pruneMag collects
@@ -485,6 +623,10 @@ func (e *Engine) enumerate(i, skip int, partial float64) {
 		e.enumerate(i+1, skip, partial)
 		return
 	}
+	if e.blk != nil && i == e.lastVar {
+		e.enumerateBlock(i, partial)
+		return
+	}
 	rs := e.rels[i]
 	if e.sep != nil {
 		if floor, ok := e.sink.floor(); ok {
@@ -500,6 +642,9 @@ func (e *Engine) enumerate(i, skip int, partial float64) {
 				e.scrRanks[i] = int32(r)
 				e.scrSigmas[i] = t.Score
 				e.scrXs[i] = t.Vec
+				if e.blk != nil {
+					e.scrQterms[i] = rs.qterm[r]
+				}
 				e.enumerate(i+1, skip, next)
 			}
 			return
@@ -509,11 +654,68 @@ func (e *Engine) enumerate(i, skip int, partial float64) {
 		e.scrRanks[i] = int32(r)
 		e.scrSigmas[i] = t.Score
 		e.scrXs[i] = t.Vec
+		if e.blk != nil {
+			e.scrQterms[i] = rs.qterm[r]
+		}
 		var next float64
 		if e.sep != nil {
 			next = partial + rs.solo[r]
 		}
 		e.enumerate(i+1, skip, next)
+	}
+}
+
+// enumerateBlock replaces the innermost varying level of the recursion
+// with batched kernel calls. The prune filter runs first over the whole
+// prefix against the sink floor captured once at entry — exactly the
+// capture discipline of the scalar level, whose in-loop offers never
+// refresh the floor either — then survivors are scored blockSize at a
+// time and offered in rank order. Same offers, same stats, same bits.
+func (e *Engine) enumerateBlock(i int, partial float64) {
+	rs := e.rels[i]
+	cands := e.blkCands[:0]
+	pruned := false
+	var floor, slack float64
+	if e.sep != nil {
+		if f, ok := e.sink.floor(); ok {
+			pruned, floor = true, f
+			slack = pruneSlack(floor, e.pruneMag)
+		}
+	}
+	if pruned {
+		sufB, sufC := e.sufBound[i+1], e.sufCount[i+1]
+		for r := range rs.tuples {
+			next := partial + rs.solo[r]
+			if next+sufB < floor-slack {
+				e.stats.CombinationsFormed = satAdd(e.stats.CombinationsFormed, sufC)
+				e.stats.CombinationsPruned = satAdd(e.stats.CombinationsPruned, sufC)
+				continue
+			}
+			cands = append(cands, int32(r))
+		}
+	} else {
+		for r := range rs.tuples {
+			cands = append(cands, int32(r))
+		}
+	}
+	e.blkCands = cands // keep any growth for the next formation
+	for start := 0; start < len(cands); start += e.blockSize {
+		end := start + e.blockSize
+		if end > len(cands) {
+			end = len(cands)
+		}
+		chunk := cands[start:end]
+		w := len(chunk)
+		for j, r := range chunk {
+			e.blkQ[j] = rs.qterm[r]
+			e.blkXs[j] = rs.tuples[r].Vec
+		}
+		e.blk.ScoreBlock(e.q, e.scrQterms, e.scrXs, i, e.blkQ[:w], e.blkXs[:w], &e.blkScr, e.blkOut[:w])
+		for j, r := range chunk {
+			e.stats.CombinationsFormed++
+			e.scrRanks[i] = r
+			e.sink.offer(e.blkOut[j], e.scrRanks)
+		}
 	}
 }
 

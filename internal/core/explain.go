@@ -47,7 +47,8 @@ func (e *Engine) TightBoundBreakdown() (subsets []SubsetBound, ok bool) {
 			Valid:   b.valid(ss),
 			TM:      negInf,
 		}
-		for _, p := range ss.partials {
+		for id := range ss.partials {
+			p := &ss.partials[id]
 			b.computeBound(ss, p)
 			ids := make([]string, len(p.xs))
 			for k, x := range p.xs {

@@ -245,6 +245,75 @@ func TestQuickSessionBufferByteIdentity(t *testing.T) {
 	}
 }
 
+// TestQuickBlockByteIdentity: the batched scoring kernel is invisible in
+// the output. For every algorithm and access kind, a run whose innermost
+// enumeration level is scored through ScoreBlock — at widths 1 (every
+// block is a single candidate), 7 (blocks straddle candidate-list
+// boundaries), and 64 (the default) — is byte-identical to the scalar
+// per-candidate path: combinations, ranks, threshold, DNF flag, and
+// every schedule counter including CombinationsFormed and
+// CombinationsPruned (block mode makes the same prune decisions with the
+// same float associativity, so even the optimization-reporting counter
+// must agree).
+func TestQuickBlockByteIdentity(t *testing.T) {
+	r := rand.New(rand.NewSource(8191))
+	for ci, c := range identityCases(r, 8) {
+		scalar := c.opts
+		scalar.disableBlock = true
+		plain := runAlgo(t, c.in, c.kind, scalar)
+		for _, bs := range []int{1, 7, 64} {
+			blocked := c.opts
+			blocked.BlockSize = bs
+			res := runAlgo(t, c.in, c.kind, blocked)
+			if err := combosIdentical(res.Combinations, plain.Combinations); err != nil {
+				t.Fatalf("case %d bs=%d (%v, %v): %v", ci, bs, c.opts.Algorithm, c.kind, err)
+			}
+			if math.Float64bits(res.Threshold) != math.Float64bits(plain.Threshold) {
+				t.Fatalf("case %d bs=%d: threshold %v vs %v", ci, bs, res.Threshold, plain.Threshold)
+			}
+			if res.DNF != plain.DNF {
+				t.Fatalf("case %d bs=%d: DNF %v vs %v", ci, bs, res.DNF, plain.DNF)
+			}
+			if err := statsIdentical(res.Stats, plain.Stats); err != nil {
+				t.Fatalf("case %d bs=%d (%v, %v): %v", ci, bs, c.opts.Algorithm, c.kind, err)
+			}
+			if res.Stats.CombinationsPruned != plain.Stats.CombinationsPruned {
+				t.Fatalf("case %d bs=%d: pruned %d vs %d", ci, bs,
+					res.Stats.CombinationsPruned, plain.Stats.CombinationsPruned)
+			}
+		}
+	}
+}
+
+// TestQuickBlockByteIdentityStream extends the block identity to the
+// incremental surface: the iterator's emission order, terminal
+// condition, and best-effort drain are unchanged by batched scoring.
+func TestQuickBlockByteIdentityStream(t *testing.T) {
+	r := rand.New(rand.NewSource(131071))
+	for ci, c := range identityCases(r, 4) {
+		scalar := c.opts
+		scalar.disableBlock = true
+		baseEmit, baseDrain, baseErr, baseStats := drainIterator(t, c.in, c.kind, scalar)
+		for _, bs := range []int{1, 7, 64} {
+			blocked := c.opts
+			blocked.BlockSize = bs
+			emit, drain, terminal, stats := drainIterator(t, c.in, c.kind, blocked)
+			if !errors.Is(terminal, baseErr) {
+				t.Fatalf("case %d bs=%d: terminal %v vs %v", ci, bs, terminal, baseErr)
+			}
+			if err := combosIdentical(emit, baseEmit); err != nil {
+				t.Fatalf("case %d bs=%d: emissions: %v", ci, bs, err)
+			}
+			if err := combosIdentical(drain, baseDrain); err != nil {
+				t.Fatalf("case %d bs=%d: drain: %v", ci, bs, err)
+			}
+			if err := statsIdentical(stats, baseStats); err != nil {
+				t.Fatalf("case %d bs=%d: stats: %v", ci, bs, err)
+			}
+		}
+	}
+}
+
 // TestQuickPruneByteIdentityLargeMagnitude targets the floating-point
 // corner of the prune slack: identity scores and wide coordinates make
 // the per-tuple solo terms many orders of magnitude larger than the

@@ -157,7 +157,8 @@ func TestPaperTable3PerPartial(t *testing.T) {
 	}
 	checked := 0
 	for _, ss := range b.subsets {
-		for _, p := range ss.partials {
+		for id := range ss.partials {
+			p := &ss.partials[id]
 			key := ""
 			for k, x := range p.xs {
 				if k > 0 {
@@ -218,9 +219,9 @@ func TestPaperExample32Reconstruction(t *testing.T) {
 	// Partial τ2^(1) (mask {2} = bit 1): y1* = [√2/2, √2/2], y3* = [2, 2].
 	ss := b.subsets[2]
 	var p *distPartial
-	for _, cand := range ss.partials {
-		if cand.xs[0].Equal(vec.Of(1, 1)) {
-			p = cand
+	for id := range ss.partials {
+		if ss.partials[id].xs[0].Equal(vec.Of(1, 1)) {
+			p = &ss.partials[id]
 		}
 	}
 	if p == nil {
@@ -238,9 +239,9 @@ func TestPaperExample32Reconstruction(t *testing.T) {
 	// Partial τ1^(1) × τ3^(1) (mask {1,3} = 5): y2* ≈ [−2.53, 1.26], t = −16.
 	ss = b.subsets[5]
 	p = nil
-	for _, cand := range ss.partials {
-		if cand.xs[0].Equal(vec.Of(0, -0.5)) && cand.xs[1].Equal(vec.Of(-1, 1)) {
-			p = cand
+	for id := range ss.partials {
+		if ss.partials[id].xs[0].Equal(vec.Of(0, -0.5)) && ss.partials[id].xs[1].Equal(vec.Of(-1, 1)) {
+			p = &ss.partials[id]
 		}
 	}
 	if p == nil {

@@ -22,6 +22,15 @@ import (
 // the exact t_M while recomputing only candidates that could be maximal.
 // Options.EagerBounds reproduces the paper's Algorithm 2 schedule instead
 // (recompute every affected partial on every pull).
+//
+// Partial state is arena'd: the partials of a subset live in one value
+// slice (the heap id is the index), and their vector payloads — seen
+// tuples, centroid, dominance gradient — are views into per-subset slabs
+// appended in id order. Growing a slab relocates future segments only;
+// committed views keep pointing at the retired array, which is written
+// exactly once at partial creation and read-only afterwards, so no view
+// ever dangles. Bound recomputation runs through per-bounder scratch
+// buffers and qp.Eval, making the steady-state hot path allocation-free.
 type tightDistBounder struct {
 	e             *Engine
 	quad          agg.Quadratic
@@ -29,19 +38,37 @@ type tightDistBounder struct {
 	subsets       []*subsetState
 	exhaustedMask int
 	baseDir       vec.Vector // fallback ray direction when ν = q or m = 0
+	// computeBound scratch, reused across every bound evaluation.
+	dirBuf     vec.Vector
+	fixedBuf   []float64
+	lowerBuf   []float64
+	ptsBuf     []vec.Vector
+	unseenSlab []float64 // reconstruction points, dim floats per unseen
+	muBuf      vec.Vector
+	qpScr      qp.Scratch
+	// Dominance scratch (see dominance.go).
+	domNuT  vec.Vector
+	domBNu  vec.Vector
+	domXT   vec.Vector
+	domPeak vec.Vector
+	liveBuf []int
 }
 
 // subsetState holds PC(M) for one proper subset M (identified by bitmask).
 type subsetState struct {
 	mask       int
-	members    []int // relations in M, ascending
-	unseen     []int // complement, ascending
-	partials   []*distPartial
-	heap       *pqueue.Indexed[float64] // max-heap: partial id -> cached bound
-	deltaEpoch int64                    // pull counter when an unseen δ last changed
+	members    []int                 // relations in M, ascending
+	unseen     []int                 // complement, ascending
+	partials   []distPartial         // arena: index = partial id = heap id
+	xsSlab     []vec.Vector          // len(members) tuple views per partial, id order
+	nuSlab     []float64             // dim floats per partial: centroid storage
+	domGSlab   []float64             // dim floats per partial: dominance gradients
+	heap       pqueue.Dense[float64] // max-heap: partial id -> cached bound
+	deltaEpoch int64                 // pull counter when an unseen δ last changed
 }
 
-// distPartial is one partial combination τ ∈ PC(M).
+// distPartial is one partial combination τ ∈ PC(M). The slice fields are
+// views into the owning subset's slabs.
 type distPartial struct {
 	id        int
 	xs        []vec.Vector // seen feature vectors, member order
@@ -54,22 +81,72 @@ type distPartial struct {
 	domK      float64    // constant K_α of the dominance form
 }
 
+// growFloats extends s to length n, doubling capacity on reallocation
+// (with a floor, so the first partials of a subset do not reallocate
+// once each) — slab growth stays amortized O(1) per appended element.
+func growFloats(s []float64, n int) []float64 {
+	if cap(s) >= n {
+		return s[:n]
+	}
+	c := 2 * n
+	if c < 256 {
+		c = 256
+	}
+	ns := make([]float64, n, c)
+	copy(ns, s)
+	return ns
+}
+
 func newTightDistBounder(e *Engine, quad agg.Quadratic) *tightDistBounder {
 	ws, wq, wmu := quad.Weights()
 	b := &tightDistBounder{
 		e:    e,
 		quad: quad,
 		ws:   ws, wq: wq, wmu: wmu,
-		baseDir: vec.New(e.dim),
+		ptsBuf: make([]vec.Vector, 0, e.n),
 	}
+	// All float scratch — ray directions, per-relation columns, the
+	// unseen reconstruction points, and (when dominance screening is on)
+	// the dominance work vectors — comes from one slab.
+	nf := 3*e.dim + 2*e.n + e.n*e.dim
+	if e.opts.DominancePeriod > 0 {
+		nf += 4 * e.dim
+	}
+	fs := make([]float64, nf)
+	take := func(k int) []float64 { s := fs[:k:k]; fs = fs[k:]; return s }
+	b.baseDir = vec.Vector(take(e.dim))
+	b.dirBuf = vec.Vector(take(e.dim))
+	b.muBuf = vec.Vector(take(e.dim))
+	b.fixedBuf = take(e.n)
+	b.lowerBuf = take(e.n)
+	b.unseenSlab = take(e.n * e.dim)
 	b.baseDir[0] = 1
+	if e.opts.DominancePeriod > 0 {
+		b.domNuT = vec.Vector(take(e.dim))
+		b.domBNu = vec.Vector(take(e.dim))
+		b.domXT = vec.Vector(take(e.dim))
+		b.domPeak = vec.Vector(take(e.dim))
+	}
 	full := 1 << e.n
+	// Subset states are one backing array behind the by-mask pointer
+	// index, and the members/unseen lists are carved from one int slab
+	// (each subset partitions the n relations between the two).
 	b.subsets = make([]*subsetState, full-1)
+	states := make([]subsetState, full-1)
+	ints := make([]int, (full-1)*e.n)
 	for mask := 0; mask < full-1; mask++ {
-		ss := &subsetState{
-			mask: mask,
-			heap: pqueue.NewIndexed[float64](func(a, c float64) bool { return a > c }),
+		ss := &states[mask]
+		ss.mask = mask
+		ss.heap = pqueue.MakeDense[float64](func(a, c float64) bool { return a > c })
+		k := 0
+		for i := 0; i < e.n; i++ {
+			if mask&(1<<i) != 0 {
+				k++
+			}
 		}
+		ss.members = ints[:0:k]
+		ss.unseen = ints[k : k : k+(e.n-k)]
+		ints = ints[e.n:]
 		for i := 0; i < e.n; i++ {
 			if mask&(1<<i) != 0 {
 				ss.members = append(ss.members, i)
@@ -81,9 +158,8 @@ func newTightDistBounder(e *Engine, quad agg.Quadratic) *tightDistBounder {
 	}
 	// The empty partial ⟨⟩ exists from the start; its bound is refreshed on
 	// first use (epoch -1 forces a recomputation).
-	empty := &distPartial{id: 0, bound: posInf, epoch: -1}
-	b.subsets[0].partials = []*distPartial{empty}
-	b.subsets[0].heap.Push(0, empty.bound)
+	b.subsets[0].partials = []distPartial{{id: 0, bound: posInf, epoch: -1}}
+	b.subsets[0].heap.Push(0, posInf)
 	e.stats.PartialsTracked++
 	return b
 }
@@ -107,7 +183,8 @@ func (b *tightDistBounder) register(ri int) {
 			if ss.mask&(1<<ri) != 0 || !b.valid(ss) {
 				continue
 			}
-			for _, p := range ss.partials {
+			for id := range ss.partials {
+				p := &ss.partials[id]
 				if p.dominated || p.epoch >= ss.deltaEpoch {
 					continue
 				}
@@ -133,7 +210,9 @@ func (b *tightDistBounder) register(ri int) {
 }
 
 // extendSubset adds the partial combinations of M that use the new tuple:
-// PC(M − {ri}) × {τ}.
+// PC(M − {ri}) × {τ}. Each new partial appends exactly len(members) tuple
+// views, one centroid, and (under dominance) one gradient to the subset
+// slabs, so segment offsets are a multiple of the id.
 func (b *tightDistBounder) extendSubset(ss *subsetState, ri int, tau relation.Tuple) {
 	baseMask := ss.mask &^ (1 << ri)
 	base := b.subsets[baseMask]
@@ -142,24 +221,37 @@ func (b *tightDistBounder) extendSubset(ss *subsetState, ri int, tau relation.Tu
 	for pos < len(ss.members) && ss.members[pos] != ri {
 		pos++
 	}
+	m := len(ss.members)
+	dim := b.e.dim
 	tauT := b.ws * b.quad.TransformScore(tau.Score)
-	for _, bp := range base.partials {
-		xs := make([]vec.Vector, 0, len(ss.members))
-		xs = append(xs, bp.xs[:pos]...)
-		xs = append(xs, tau.Vec)
-		xs = append(xs, bp.xs[pos:]...)
-		p := &distPartial{
-			id:   len(ss.partials),
-			xs:   xs,
-			sumT: bp.sumT + tauT,
-			nu:   vec.Mean(xs...),
-		}
+	if cap(ss.partials) == 0 {
+		// First extension of this subset: reserve room for a batch of
+		// partials so the arena and view slab are not regrown once per
+		// early id.
+		const seed = 64
+		ss.partials = make([]distPartial, 0, seed)
+		ss.xsSlab = make([]vec.Vector, 0, seed*m)
+		ss.heap.Grow(seed)
+	}
+	for bi := range base.partials {
+		bp := &base.partials[bi]
+		id := len(ss.partials)
+		off := id * m
+		ss.xsSlab = append(ss.xsSlab, bp.xs[:pos]...)
+		ss.xsSlab = append(ss.xsSlab, tau.Vec)
+		ss.xsSlab = append(ss.xsSlab, bp.xs[pos:]...)
+		xs := ss.xsSlab[off : off+m : off+m]
+		ss.nuSlab = growFloats(ss.nuSlab, (id+1)*dim)
+		nu := vec.MeanInto(vec.Vector(ss.nuSlab[id*dim:(id+1)*dim]), xs)
+		p := distPartial{id: id, xs: xs, sumT: bp.sumT + tauT, nu: nu}
 		if b.e.opts.DominancePeriod > 0 {
-			b.dominanceCoeffs(ss, p)
+			ss.domGSlab = growFloats(ss.domGSlab, (id+1)*dim)
+			p.domG = vec.Vector(ss.domGSlab[id*dim : (id+1)*dim])
+			b.dominanceCoeffs(ss, &p)
 		}
-		b.computeBound(ss, p)
+		b.computeBound(ss, &p)
 		ss.partials = append(ss.partials, p)
-		ss.heap.Push(p.id, p.bound)
+		ss.heap.Push(id, p.bound)
 		b.e.stats.PartialsTracked++
 	}
 }
@@ -216,7 +308,7 @@ func (b *tightDistBounder) tM(ss *subsetState) float64 {
 		if !ok {
 			return negInf
 		}
-		p := ss.partials[id]
+		p := &ss.partials[id]
 		if p.epoch >= ss.deltaEpoch {
 			return cached
 		}
@@ -226,7 +318,11 @@ func (b *tightDistBounder) tM(ss *subsetState) float64 {
 }
 
 // computeBound solves problem (12) for partial p via the Theorem 3.4
-// reduction and stores the resulting t(τ).
+// reduction and stores the resulting t(τ). All working storage comes from
+// the bounder scratch; the evaluation is bit-identical to the allocating
+// formulation it replaced (SubDot ≡ Sub+Dot, ScaleInPlace ≡ Scale,
+// AddScaledInto ≡ AddScaled, MeanInto ≡ Mean — each replays the same
+// floating-point operation sequence).
 func (b *tightDistBounder) computeBound(ss *subsetState, p *distPartial) {
 	e := b.e
 	m := len(ss.members)
@@ -238,19 +334,20 @@ func (b *tightDistBounder) computeBound(ss *subsetState, p *distPartial) {
 	// is zero either way, so an arbitrary axis is exact.
 	dir := b.baseDir
 	if m > 0 {
-		if d, ok := p.nu.Sub(e.q).Unit(); ok {
-			dir = d
+		d := vec.SubInto(b.dirBuf, p.nu, e.q)
+		if nrm := d.Norm(); nrm >= 1e-300 {
+			dir = d.ScaleInPlace(1 / nrm)
 		}
 	}
-	fixed := make([]float64, m)
+	fixed := b.fixedBuf[:m]
 	for k, x := range p.xs {
-		fixed[k] = x.Sub(e.q).Dot(dir)
+		fixed[k] = vec.SubDot(x, e.q, dir)
 	}
-	lower := make([]float64, u)
+	lower := b.lowerBuf[:u]
 	for k, j := range ss.unseen {
 		lower[k] = e.rels[j].lastDist()
 	}
-	sol, err := qp.Solve14(b.wq, b.wmu, fixed, lower)
+	sol, err := qp.Eval(b.wq, b.wmu, fixed, lower, &b.qpScr)
 	if err != nil {
 		// Weights were validated at aggregation construction; treat any
 		// residual failure as "no pruning" rather than wrong pruning.
@@ -263,16 +360,17 @@ func (b *tightDistBounder) computeBound(ss *subsetState, p *distPartial) {
 	// Reconstruct the optimal unseen locations (eq. (15)) and evaluate the
 	// true objective (12) there; this restores the perpendicular residual
 	// terms the 1-D form drops.
-	pts := make([]vec.Vector, 0, m+u)
+	pts := b.ptsBuf[:0]
 	pts = append(pts, p.xs...)
 	for k := range ss.unseen {
-		pts = append(pts, e.q.AddScaled(sol.Unseen[k], dir))
+		pt := vec.Vector(b.unseenSlab[k*e.dim : (k+1)*e.dim])
+		pts = append(pts, vec.AddScaledInto(pt, e.q, sol.Unseen[k], dir))
 	}
 	val := p.sumT
 	for _, j := range ss.unseen {
 		val += b.ws * b.quad.TransformScore(e.rels[j].maxScore)
 	}
-	mu := vec.Mean(pts...)
+	mu := vec.MeanInto(b.muBuf, pts)
 	for _, pt := range pts {
 		val -= b.wq*pt.Dist2(e.q) + b.wmu*pt.Dist2(mu)
 	}

@@ -17,12 +17,28 @@ import (
 // shrink uniformly for every partial of M as scores descend, so only the
 // best geometric value per subset must be retained (Algorithm 3's
 // τ_best^M bookkeeping) — no partial list is stored at all.
+//
+// The geometric evaluations run through per-bounder scratch (centroid,
+// optimal completion point, reconstruction list), so the steady state
+// allocates nothing per partial.
 type tightScoreBounder struct {
 	e             *Engine
 	quad          agg.Quadratic
 	ws, wq, wmu   float64
 	subsets       []*scoreSubset
 	exhaustedMask int
+	// geo scratch, reused across every geometric evaluation.
+	nuBuf    vec.Vector
+	diffBuf  vec.Vector
+	ystarBuf vec.Vector
+	muBuf    vec.Vector
+	ptsBuf   []vec.Vector
+	// extendSubset walk state (single-threaded recursion scratch).
+	extOthers []int
+	extXs     []vec.Vector
+	extSS     *scoreSubset
+	extPos    int
+	extTauT   float64
 }
 
 type scoreSubset struct {
@@ -35,7 +51,18 @@ type scoreSubset struct {
 
 func newTightScoreBounder(e *Engine, quad agg.Quadratic) *tightScoreBounder {
 	ws, wq, wmu := quad.Weights()
-	b := &tightScoreBounder{e: e, quad: quad, ws: ws, wq: wq, wmu: wmu}
+	b := &tightScoreBounder{
+		e:    e,
+		quad: quad,
+		ws:   ws, wq: wq, wmu: wmu,
+		nuBuf:     vec.New(e.dim),
+		diffBuf:   vec.New(e.dim),
+		ystarBuf:  vec.New(e.dim),
+		muBuf:     vec.New(e.dim),
+		ptsBuf:    make([]vec.Vector, 0, e.n),
+		extOthers: make([]int, 0, e.n),
+		extXs:     make([]vec.Vector, e.n),
+	}
 	full := 1 << e.n
 	b.subsets = make([]*scoreSubset, full-1)
 	for mask := 0; mask < full-1; mask++ {
@@ -69,73 +96,79 @@ func (b *tightScoreBounder) register(ri int) {
 }
 
 // extendSubset evaluates the geometric bound of every new partial
-// PC(M−{ri}) × {τ} and keeps the per-subset maximum.
+// PC(M−{ri}) × {τ} and keeps the per-subset maximum. The walk state lives
+// on the bounder (the engine is single-threaded), so the enumeration
+// itself allocates nothing.
 func (b *tightScoreBounder) extendSubset(ss *scoreSubset, ri int, tau relation.Tuple) {
 	// Enumerate the cartesian product of the other members' buffers.
-	others := make([]int, 0, len(ss.members)-1)
+	others := b.extOthers[:0]
 	for _, j := range ss.members {
 		if j != ri {
 			others = append(others, j)
 		}
 	}
-	xs := make([]vec.Vector, len(ss.members))
+	b.extOthers = others
+	xs := b.extXs[:len(ss.members)]
 	// Position of ri within members.
 	pos := 0
 	for pos < len(ss.members) && ss.members[pos] != ri {
 		pos++
 	}
 	xs[pos] = tau.Vec
-	tauT := b.ws * b.quad.TransformScore(tau.Score)
+	b.extSS, b.extPos = ss, pos
+	b.extTauT = b.ws * b.quad.TransformScore(tau.Score)
+	b.extend(0, 0)
+}
 
-	var rec func(oi int, acc float64)
-	rec = func(oi int, acc float64) {
-		if oi == len(others) {
-			if g := b.geo(xs, acc+tauT); g > ss.bestGeo {
-				ss.bestGeo = g
-			}
-			ss.any = true
-			b.e.stats.PartialsTracked++
-			return
+// extend recurses over the other members' prefixes (extendSubset's state).
+func (b *tightScoreBounder) extend(oi int, acc float64) {
+	ss := b.extSS
+	xs := b.extXs[:len(ss.members)]
+	if oi == len(b.extOthers) {
+		if g := b.geo(xs, acc+b.extTauT); g > ss.bestGeo {
+			ss.bestGeo = g
 		}
-		j := others[oi]
-		xi := oi
-		if oi >= pos {
-			xi = oi + 1
-		}
-		for _, t := range b.e.rels[j].tuples {
-			xs[xi] = t.Vec
-			rec(oi+1, acc+b.ws*b.quad.TransformScore(t.Score))
-		}
+		ss.any = true
+		b.e.stats.PartialsTracked++
+		return
 	}
-	rec(0, 0)
+	j := b.extOthers[oi]
+	xi := oi
+	if oi >= b.extPos {
+		xi = oi + 1
+	}
+	for _, t := range b.e.rels[j].tuples {
+		xs[xi] = t.Vec
+		b.extend(oi+1, acc+b.ws*b.quad.TransformScore(t.Score))
+	}
 }
 
 // geo evaluates the geometric part of the bound: seen transformed scores
-// plus the distance penalties at the closed-form optimal completion.
+// plus the distance penalties at the closed-form optimal completion. The
+// scratch-based evaluation replays the allocating formulation's
+// floating-point operation sequence exactly (MeanInto ≡ Mean,
+// AddScaledInto ≡ AddScaled over SubInto ≡ Sub).
 func (b *tightScoreBounder) geo(xs []vec.Vector, sumT float64) float64 {
 	e := b.e
 	m := len(xs)
 	n := e.n
 	u := n - m
 
-	var ystar vec.Vector
-	if m == 0 || b.wmu == 0 {
-		ystar = e.q
-	} else {
-		nu := vec.Mean(xs...)
+	ystar := e.q
+	if m > 0 && b.wmu != 0 {
+		nu := vec.MeanInto(b.nuBuf, xs)
 		denom := float64(m)*b.wmu + float64(n)*b.wq
-		if denom <= 0 {
-			ystar = e.q
-		} else {
-			ystar = e.q.AddScaled(float64(m)*b.wmu/denom, nu.Sub(e.q))
+		if denom > 0 {
+			diff := vec.SubInto(b.diffBuf, nu, e.q)
+			ystar = vec.AddScaledInto(b.ystarBuf, e.q, float64(m)*b.wmu/denom, diff)
 		}
 	}
-	pts := make([]vec.Vector, 0, n)
+	pts := b.ptsBuf[:0]
 	pts = append(pts, xs...)
 	for k := 0; k < u; k++ {
 		pts = append(pts, ystar)
 	}
-	mu := vec.Mean(pts...)
+	mu := vec.MeanInto(b.muBuf, pts)
 	val := sumT
 	for _, pt := range pts {
 		val -= b.wq*pt.Dist2(e.q) + b.wmu*pt.Dist2(mu)

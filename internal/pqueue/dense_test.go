@@ -1,0 +1,141 @@
+package pqueue
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestDenseBasic(t *testing.T) {
+	h := NewDense[float64](func(a, b float64) bool { return a > b }) // max-heap
+	if _, _, ok := h.Peek(); ok {
+		t.Fatal("Peek on empty heap returned ok")
+	}
+	h.Push(10, 1.5)
+	h.Push(20, 9.5)
+	h.Push(30, 4.5)
+	if k, v, _ := h.Peek(); k != 20 || v != 9.5 {
+		t.Fatalf("Peek = %d %v", k, v)
+	}
+	if !h.Contains(30) || h.Contains(99) || h.Contains(-1) {
+		t.Fatal("Contains wrong")
+	}
+	if v, ok := h.Get(30); !ok || v != 4.5 {
+		t.Fatalf("Get = %v %v", v, ok)
+	}
+	h.Update(10, 100)
+	if k, _, _ := h.Peek(); k != 10 {
+		t.Fatalf("after Update peek key = %d", k)
+	}
+	if !h.Remove(10) {
+		t.Fatal("Remove existing failed")
+	}
+	if h.Remove(10) {
+		t.Fatal("Remove of absent key reported true")
+	}
+	k, v, ok := h.Pop()
+	if !ok || k != 20 || v != 9.5 {
+		t.Fatalf("Pop = %d %v %v", k, v, ok)
+	}
+	if h.Len() != 1 {
+		t.Fatalf("Len = %d", h.Len())
+	}
+	// A removed key can be pushed again.
+	h.Push(10, 2.5)
+	if v, ok := h.Get(10); !ok || v != 2.5 {
+		t.Fatalf("re-push Get = %v %v", v, ok)
+	}
+}
+
+func TestDenseDuplicatePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate key did not panic")
+		}
+	}()
+	h := NewDense[int](intMin)
+	h.Push(1, 1)
+	h.Push(1, 2)
+}
+
+func TestDenseNegativeKeyPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative key did not panic")
+		}
+	}()
+	NewDense[int](intMin).Push(-1, 1)
+}
+
+func TestDenseUpdateMissingPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("update missing key did not panic")
+		}
+	}()
+	NewDense[int](intMin).Update(5, 1)
+}
+
+// Property: Dense agrees with Indexed operation for operation — same
+// peeks, same pop order — under a random push/update/remove sequence
+// with dense arena-style keys. Dense replaced Indexed under the tight
+// bound's per-subset heap, so behavioral equality is what keeps that
+// swap invisible.
+func TestQuickDenseMatchesIndexed(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		max := func(a, b float64) bool { return a > b }
+		d := NewDense[float64](max)
+		ix := NewIndexed[float64](max)
+		live := []int{}
+		nextKey := 0
+		for op := 0; op < 300; op++ {
+			switch r.Intn(4) {
+			case 0, 1: // push
+				v := r.Float64()
+				d.Push(nextKey, v)
+				ix.Push(nextKey, v)
+				live = append(live, nextKey)
+				nextKey++
+			case 2: // update random existing
+				if len(live) == 0 {
+					continue
+				}
+				k := live[r.Intn(len(live))]
+				v := r.Float64() * 2
+				d.Update(k, v)
+				ix.Update(k, v)
+			case 3: // remove random existing
+				if len(live) == 0 {
+					continue
+				}
+				i := r.Intn(len(live))
+				k := live[i]
+				live = append(live[:i], live[i+1:]...)
+				if !d.Remove(k) || !ix.Remove(k) {
+					return false
+				}
+			}
+			dk, dv, dok := d.Peek()
+			ik, iv, iok := ix.Peek()
+			if dok != iok || dv != iv || dk != ik {
+				return false
+			}
+			if d.Len() != ix.Len() {
+				return false
+			}
+		}
+		for d.Len() > 0 {
+			dk, dv, _ := d.Pop()
+			ik, iv, iok := ix.Pop()
+			if !iok || dk != ik || dv != iv {
+				return false
+			}
+		}
+		_, _, ok := ix.Pop()
+		return !ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}

@@ -20,7 +20,6 @@ import (
 	"errors"
 	"fmt"
 	"math"
-	"sort"
 
 	"repro/internal/linalg"
 )
@@ -43,6 +42,28 @@ type Solution14 struct {
 	Objective float64
 }
 
+// Scratch holds the working storage of Eval so that a caller solving one
+// problem (14) instance per bound evaluation — the engine solves tens of
+// thousands per query — reuses the same two slices across calls instead
+// of allocating them. A Scratch belongs to one engine (goroutine); it is
+// deliberately not pooled, so ownership and lifetime stay explicit.
+type Scratch struct {
+	theta []float64
+	order []int
+}
+
+// grow resizes the scratch for an n-variable problem with u unseen.
+func (s *Scratch) grow(n, u int) {
+	if cap(s.theta) < n {
+		s.theta = make([]float64, n)
+	}
+	s.theta = s.theta[:n]
+	if cap(s.order) < u {
+		s.order = make([]int, u)
+	}
+	s.order = s.order[:u]
+}
+
 // Solve14 solves paper problem (14) exactly.
 //
 // fixed are the ray projections of the m seen tuples (may be negative);
@@ -50,7 +71,18 @@ type Solution14 struct {
 // wq and wmu are the query- and centroid-distance weights (non-negative,
 // not both zero together with an empty problem is fine — the objective is
 // then identically zero).
+//
+// The returned solution owns its storage; the allocation-free variant for
+// hot paths is Eval.
 func Solve14(wq, wmu float64, fixed, lower []float64) (Solution14, error) {
+	var scr Scratch
+	return Eval(wq, wmu, fixed, lower, &scr)
+}
+
+// Eval is Solve14 writing into caller-owned scratch: the returned
+// solution's Theta/Unseen alias scr's storage and stay valid only until
+// the next Eval with the same scratch. Results are identical to Solve14.
+func Eval(wq, wmu float64, fixed, lower []float64, scr *Scratch) (Solution14, error) {
 	if !(wq >= 0) || !(wmu >= 0) || math.IsInf(wq, 0) || math.IsInf(wmu, 0) {
 		return Solution14{}, ErrBadWeights
 	}
@@ -60,7 +92,8 @@ func Solve14(wq, wmu float64, fixed, lower []float64) (Solution14, error) {
 		return Solution14{Theta: nil, Unseen: nil, Objective: 0}, nil
 	}
 
-	theta := make([]float64, n)
+	scr.grow(n, u)
+	theta := scr.theta
 	copy(theta, fixed)
 	unseen := theta[m:]
 
@@ -71,12 +104,18 @@ func Solve14(wq, wmu float64, fixed, lower []float64) (Solution14, error) {
 
 	// Sort unseen indices by δ descending: the optimal active set clamps a
 	// prefix of this order (threshold structure of the shared stationary
-	// value).
-	order := make([]int, u)
+	// value). Insertion sort: the typical u is n−m ≤ 3, and for any u < 12
+	// the permutation (ties included) matches what sort.Slice used to
+	// produce, without the reflection-based swapper allocation.
+	order := scr.order
 	for i := range order {
 		order[i] = i
 	}
-	sort.Slice(order, func(a, b int) bool { return lower[order[a]] > lower[order[b]] })
+	for i := 1; i < u; i++ {
+		for j := i; j > 0 && lower[order[j]] > lower[order[j-1]]; j-- {
+			order[j], order[j-1] = order[j-1], order[j]
+		}
+	}
 
 	sumFixed := 0.0
 	for _, p := range fixed {

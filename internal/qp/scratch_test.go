@@ -1,0 +1,79 @@
+package qp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// TestEvalMatchesSolve14 checks that the scratch-based entry point is
+// bitwise identical to Solve14 across random problems, including repeated
+// reuse of one Scratch over problems of varying size.
+func TestEvalMatchesSolve14(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	var scr Scratch
+	for trial := 0; trial < 500; trial++ {
+		m, u := r.Intn(4), r.Intn(4)
+		wq, wmu := r.Float64()*2, r.Float64()*2
+		if r.Intn(8) == 0 {
+			wq = 0
+		}
+		if r.Intn(8) == 0 {
+			wmu = 0
+		}
+		fixed := make([]float64, m)
+		for i := range fixed {
+			fixed[i] = r.NormFloat64() * 3
+		}
+		lower := make([]float64, u)
+		for i := range lower {
+			lower[i] = r.Float64() * 4
+			if r.Intn(3) == 0 && i > 0 {
+				lower[i] = lower[i-1] // exercise ties
+			}
+		}
+		want, errW := Solve14(wq, wmu, fixed, lower)
+		got, errG := Eval(wq, wmu, fixed, lower, &scr)
+		if (errW == nil) != (errG == nil) {
+			t.Fatalf("trial %d: error mismatch %v vs %v", trial, errW, errG)
+		}
+		if errW != nil {
+			continue
+		}
+		if math.Float64bits(got.Objective) != math.Float64bits(want.Objective) {
+			t.Fatalf("trial %d: objective %v vs %v", trial, got.Objective, want.Objective)
+		}
+		if len(got.Theta) != len(want.Theta) {
+			t.Fatalf("trial %d: theta length %d vs %d", trial, len(got.Theta), len(want.Theta))
+		}
+		for i := range want.Theta {
+			if math.Float64bits(got.Theta[i]) != math.Float64bits(want.Theta[i]) {
+				t.Fatalf("trial %d: theta[%d] %v vs %v", trial, i, got.Theta[i], want.Theta[i])
+			}
+		}
+	}
+}
+
+// BenchmarkQPBound tracks the cost of one tight-bound QP evaluation the
+// way the engine pays it: a per-engine Scratch reused across calls. The
+// allocs/op of this benchmark must stay at zero — it is the per-partial
+// allocation hotspot the columnar hot path eliminated.
+func BenchmarkQPBound(b *testing.B) {
+	r := rand.New(rand.NewSource(1))
+	fixed := make([]float64, 2)
+	for i := range fixed {
+		fixed[i] = r.NormFloat64() * 2
+	}
+	lower := make([]float64, 2)
+	for i := range lower {
+		lower[i] = r.Float64() * 3
+	}
+	var scr Scratch
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Eval(1, 1, fixed, lower, &scr); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

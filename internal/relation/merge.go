@@ -2,8 +2,6 @@ package relation
 
 import (
 	"errors"
-
-	"repro/internal/pqueue"
 )
 
 // MergedSource k-way-merges N ordered shard streams into one Source that
@@ -17,13 +15,23 @@ import (
 // with one tuple per shard on the first Next, and a shard is re-pulled
 // only after its head has been emitted. Draining a prefix of the merged
 // stream therefore costs at most len(prefix)+N underlying reads.
+//
+// The heap is inlined and preallocated to the shard count, and the
+// steady-state emit path is allocation-free: the root head is emitted by
+// peek, then overwritten in place by its shard's next tuple and restored
+// with a single sift-down — one fixup per tuple instead of the pop+push
+// pair of a generic heap, and no re-boxing of the head struct.
 type MergedSource struct {
 	rel    *Relation
 	kind   AccessKind
 	inputs []keyedSource
-	heap   *pqueue.Heap[mergeHead]
+	heads  []mergeHead // binary min-heap by (key, ord)
 	primed int         // inputs [0,primed) have contributed their first head
-	refill keyedSource // shard whose head was emitted by the previous Next
+	// pending marks that heads[0] was emitted by the previous Next and must
+	// be refilled (or retired) before the next emit. Kept set across a
+	// failed refill so a retry re-pulls the same shard without skipping or
+	// duplicating tuples.
+	pending bool
 }
 
 // mergeHead is one shard's current front tuple.
@@ -41,18 +49,50 @@ func newMergedSource(parent *Relation, kind AccessKind, inputs []keyedSource) *M
 		rel:    parent,
 		kind:   kind,
 		inputs: inputs,
-		heap: pqueue.New(func(a, b mergeHead) bool {
-			if a.key != b.key {
-				return a.key < b.key
-			}
-			return a.ord < b.ord
-		}),
+		heads:  make([]mergeHead, 0, len(inputs)),
 	}
 }
 
-// pull reads one tuple from src into the heap; exhaustion retires the
-// shard silently.
-func (m *MergedSource) pull(src keyedSource) error {
+func (m *MergedSource) less(a, b *mergeHead) bool {
+	if a.key != b.key {
+		return a.key < b.key
+	}
+	return a.ord < b.ord
+}
+
+func (m *MergedSource) siftUp(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !m.less(&m.heads[i], &m.heads[parent]) {
+			return
+		}
+		m.heads[i], m.heads[parent] = m.heads[parent], m.heads[i]
+		i = parent
+	}
+}
+
+func (m *MergedSource) siftDown(i int) {
+	n := len(m.heads)
+	for {
+		left := 2*i + 1
+		if left >= n {
+			return
+		}
+		least := left
+		if right := left + 1; right < n && m.less(&m.heads[right], &m.heads[left]) {
+			least = right
+		}
+		if !m.less(&m.heads[least], &m.heads[i]) {
+			return
+		}
+		m.heads[i], m.heads[least] = m.heads[least], m.heads[i]
+		i = least
+	}
+}
+
+// prime reads the first tuple of src into the heap; an already-exhausted
+// shard is retired silently.
+func (m *MergedSource) prime(src keyedSource) error {
 	t, key, ord, err := src.nextKeyed()
 	if errors.Is(err, ErrExhausted) {
 		return nil
@@ -60,7 +100,32 @@ func (m *MergedSource) pull(src keyedSource) error {
 	if err != nil {
 		return err
 	}
-	m.heap.Push(mergeHead{src: src, t: t, key: key, ord: ord})
+	m.heads = append(m.heads, mergeHead{src: src, t: t, key: key, ord: ord})
+	m.siftUp(len(m.heads) - 1)
+	return nil
+}
+
+// refillRoot replaces the emitted root head with its shard's next tuple in
+// place (or retires the shard on exhaustion) and restores heap order with
+// one sift-down.
+func (m *MergedSource) refillRoot() error {
+	t, key, ord, err := m.heads[0].src.nextKeyed()
+	if errors.Is(err, ErrExhausted) {
+		last := len(m.heads) - 1
+		m.heads[0] = m.heads[last]
+		m.heads[last] = mergeHead{} // release the retired shard's source
+		m.heads = m.heads[:last]
+		m.siftDown(0)
+		m.pending = false
+		return nil
+	}
+	if err != nil {
+		return err // pending stays set: a retry refills the same shard
+	}
+	h := &m.heads[0]
+	h.t, h.key, h.ord = t, key, ord
+	m.siftDown(0)
+	m.pending = false
 	return nil
 }
 
@@ -69,23 +134,21 @@ func (m *MergedSource) pull(src keyedSource) error {
 // skipping or duplicating tuples.
 func (m *MergedSource) Next() (Tuple, error) {
 	for m.primed < len(m.inputs) {
-		if err := m.pull(m.inputs[m.primed]); err != nil {
+		if err := m.prime(m.inputs[m.primed]); err != nil {
 			return Tuple{}, err
 		}
 		m.primed++
 	}
-	if m.refill != nil {
-		if err := m.pull(m.refill); err != nil {
+	if m.pending {
+		if err := m.refillRoot(); err != nil {
 			return Tuple{}, err
 		}
-		m.refill = nil
 	}
-	top, ok := m.heap.Pop()
-	if !ok {
+	if len(m.heads) == 0 {
 		return Tuple{}, ErrExhausted
 	}
-	m.refill = top.src
-	return top.t, nil
+	m.pending = true
+	return m.heads[0].t, nil
 }
 
 // Kind implements Source.

@@ -4,7 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
-	"sort"
+	"slices"
 
 	"repro/internal/rtree"
 	"repro/internal/vec"
@@ -168,34 +168,66 @@ func ordinalOf(orig []int, i int) int {
 	return orig[i]
 }
 
-// newSortedSource sorts r's tuples by (key, ordinal) ascending and wraps
-// them in a sliceSource. orig is nil for a whole relation; for shards it
-// maps storage indexes back to parent ordinals so that ties resolve in
-// the parent's order.
-func newSortedSource(r *Relation, kind AccessKind, orig []int, keyOf func(Tuple) float64) *sliceSource {
-	type keyed struct {
-		t   Tuple
-		key float64
-		ord int
-	}
-	ks := make([]keyed, len(r.tuples))
-	for i, t := range r.tuples {
-		ks[i] = keyed{t: t, key: keyOf(t), ord: ordinalOf(orig, i)}
-	}
-	sort.Slice(ks, func(a, b int) bool {
-		if ks[a].key != ks[b].key {
-			return ks[a].key < ks[b].key
+// keyedTuple pairs a tuple with its ascending merge key and its
+// parent-relation ordinal, the sort unit of every materialized access
+// order.
+type keyedTuple struct {
+	t   Tuple
+	key float64
+	ord int
+}
+
+// sortKeyed orders by (key, ordinal) ascending. Ordinals are unique
+// within one relation, so the comparator is a total order and the
+// resulting permutation is independent of the sorting algorithm — an
+// unstable slices.SortFunc yields exactly the order the previous
+// reflection-based sort.Slice did, without its per-call Swapper
+// allocations.
+func sortKeyed(ks []keyedTuple) {
+	slices.SortFunc(ks, func(a, b keyedTuple) int {
+		switch {
+		case a.key < b.key:
+			return -1
+		case a.key > b.key:
+			return 1
+		case a.ord < b.ord:
+			return -1
+		case a.ord > b.ord:
+			return 1
 		}
-		return ks[a].ord < ks[b].ord
+		return 0
 	})
-	ord := make([]Tuple, len(ks))
-	keys := make([]float64, len(ks))
-	ords := make([]int, len(ks))
+}
+
+// fillKeyed computes the keyed view of r's tuples into ks (len must equal
+// r.Len()).
+func fillKeyed(ks []keyedTuple, r *Relation, orig []int, keyOf func(Tuple) float64) {
+	for i, t := range r.tuples {
+		ks[i] = keyedTuple{t: t, key: keyOf(t), ord: ordinalOf(orig, i)}
+	}
+}
+
+// unpackKeyed scatters a sorted keyed view into parallel columns.
+func unpackKeyed(ks []keyedTuple, ord []Tuple, keys []float64, ords []int) {
 	for i, k := range ks {
 		ord[i] = k.t
 		keys[i] = k.key
 		ords[i] = k.ord
 	}
+}
+
+// newSortedSource sorts r's tuples by (key, ordinal) ascending and wraps
+// them in a sliceSource. orig is nil for a whole relation; for shards it
+// maps storage indexes back to parent ordinals so that ties resolve in
+// the parent's order.
+func newSortedSource(r *Relation, kind AccessKind, orig []int, keyOf func(Tuple) float64) *sliceSource {
+	ks := make([]keyedTuple, len(r.tuples))
+	fillKeyed(ks, r, orig, keyOf)
+	sortKeyed(ks)
+	ord := make([]Tuple, len(ks))
+	keys := make([]float64, len(ks))
+	ords := make([]int, len(ks))
+	unpackKeyed(ks, ord, keys, ords)
 	return &sliceSource{rel: r, kind: kind, ord: ord, keys: keys, ords: ords}
 }
 
@@ -368,8 +400,13 @@ func (s *rtreeSource) nextKeyed() (Tuple, float64, int, error) {
 			}
 			s.batch = append(s.batch, h)
 		}
-		if len(s.batch) > 1 {
-			sort.Slice(s.batch, func(a, b int) bool { return s.batch[a].ord < s.batch[b].ord })
+		// Order the tie run by parent ordinal. Ordinals are unique, so an
+		// insertion sort gives the canonical order without the reflection
+		// swapper sort.Slice allocates; tie runs are short in practice.
+		for i := 1; i < len(s.batch); i++ {
+			for j := i; j > 0 && s.batch[j].ord < s.batch[j-1].ord; j-- {
+				s.batch[j], s.batch[j-1] = s.batch[j-1], s.batch[j]
+			}
 		}
 	}
 	h := s.batch[0]

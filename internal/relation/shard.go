@@ -305,8 +305,62 @@ func (s *Sharded) Merge(sources []Source) (Source, error) {
 	return newMergedSource(s.parent, kind, ks), nil
 }
 
+// distanceSources builds the sorted distance stream of every shard in one
+// pass over shared columnar slabs: one tuple/key/ordinal column set for
+// all shards, one reused sort scratch, and one sliceSource backing array,
+// instead of newDistanceSource's per-shard allocations. The emitted
+// streams are element-for-element identical to per-shard construction —
+// only the placement of their backing memory changes.
+func (s *Sharded) distanceSources(q vec.Vector, metric vec.Metric) ([]Source, error) {
+	if q.Dim() != s.parent.dim {
+		return nil, fmt.Errorf("relation %q: query dim %d, want %d", s.parent.Name, q.Dim(), s.parent.dim)
+	}
+	if metric == nil {
+		metric = vec.Euclidean{}
+	}
+	total, maxLen := 0, 0
+	for i := range s.shards {
+		n := s.shards[i].rel.Len()
+		total += n
+		if n > maxLen {
+			maxLen = n
+		}
+	}
+	sources := make([]Source, len(s.shards))
+	states := make([]sliceSource, len(s.shards))
+	ordSlab := make([]Tuple, total)
+	keySlab := make([]float64, total)
+	ordsSlab := make([]int, total)
+	ks := make([]keyedTuple, maxLen)
+	off := 0
+	for i := range s.shards {
+		sh := &s.shards[i]
+		n := sh.rel.Len()
+		kss := ks[:n]
+		fillKeyed(kss, sh.rel, sh.orig, func(t Tuple) float64 {
+			return metric.Distance(t.Vec, q)
+		})
+		sortKeyed(kss)
+		ord := ordSlab[off : off+n : off+n]
+		keys := keySlab[off : off+n : off+n]
+		ords := ordsSlab[off : off+n : off+n]
+		off += n
+		unpackKeyed(kss, ord, keys, ords)
+		states[i] = sliceSource{rel: sh.rel, kind: DistanceAccess, ord: ord, keys: keys, ords: ords}
+		sources[i] = &states[i]
+	}
+	return sources, nil
+}
+
 // openSource implements Input: per-shard streams merged into one.
 func (s *Sharded) openSource(kind AccessKind, q vec.Vector, metric vec.Metric, useRTree bool) (Source, error) {
+	if kind == DistanceAccess && !useRTree && len(s.shards) > 1 {
+		sources, err := s.distanceSources(q, metric)
+		if err != nil {
+			return nil, err
+		}
+		return s.Merge(sources)
+	}
 	sources := make([]Source, len(s.shards))
 	for i := range s.shards {
 		src, err := s.ShardSource(i, kind, q, metric, useRTree)

@@ -171,6 +171,12 @@ type Options struct {
 	// append-only slab — exact for open enumeration with the ranked heap
 	// still bounded.
 	BufferPolicy BufferPolicy
+	// BlockSize sets the width of the engine's batched scoring kernel at
+	// the innermost combination-formation level (0 = the benchmarked
+	// default, core.DefaultBlockSize). Results are byte-identical at any
+	// width — the kernels replay the scalar operation sequence exactly —
+	// so this is purely an engine tuning knob, like MaxBuffered.
+	BlockSize int
 	// CollectTimings enables the per-pull wall-clock sampling behind
 	// Stats.BoundTime and Stats.DominanceTime. Off by default: the
 	// timers measurably tax every pull, and most callers only need
@@ -294,6 +300,7 @@ func (o Options) engineOptions(query Vector, fn agg.Function) core.Options {
 		MaxCombinations: o.MaxCombinations,
 		MaxBuffered:     o.MaxBuffered,
 		BufferPolicy:    o.BufferPolicy,
+		BlockSize:       o.BlockSize,
 		CollectTimings:  o.CollectTimings,
 		Tracer:          o.Tracer,
 	}

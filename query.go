@@ -38,6 +38,7 @@ func OptionsFromRequest(req *api.Request, limits ...api.Limits) (Vector, Options
 		MaxSumDepths:    req.MaxSumDepths,
 		MaxCombinations: req.MaxCombinations,
 		MaxBuffered:     req.MaxBuffered,
+		BlockSize:       req.BlockSize,
 	}
 	algo, err := ParseAlgorithm(req.Algorithm)
 	if err != nil {
