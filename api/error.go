@@ -37,6 +37,10 @@ const (
 	CodeDNF ErrorCode = "dnf"
 	// CodeInternal marks unexpected engine failures.
 	CodeInternal ErrorCode = "internal"
+	// CodeUnavailable marks queries that needed a remote shard server the
+	// coordinator could not reach (after retries and failover). Transient
+	// by nature: the same request may succeed once the peer returns.
+	CodeUnavailable ErrorCode = "unavailable"
 )
 
 // HTTPStatus maps an error code onto the response status.
@@ -54,6 +58,8 @@ func (c ErrorCode) HTTPStatus() int {
 		// Closest standard status for "client went away".
 		return http.StatusRequestTimeout
 	case CodeOverloaded:
+		return http.StatusServiceUnavailable
+	case CodeUnavailable:
 		return http.StatusServiceUnavailable
 	case CodeDNF:
 		// A capped run is an unfinishable request, not a server fault.

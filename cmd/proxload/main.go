@@ -28,6 +28,17 @@
 // no external setup: the -stream-buffer/-stream-overflow/
 // -stream-block-timeout flags configure the in-process server exactly
 // like proxserve.
+//
+// -topology coord:N upgrades -selfserve to a distributed deployment: N
+// in-process shard servers (each owning every Nth shard of every
+// relation, partitioned per -shards/-shard-strategy) behind a
+// coordinator that prunes unreachable shards by their advertised bounds
+// and merges the rest over the wire. The same latency/TTFE study then
+// measures the coordinator path, and the report's server delta includes
+// shardsPruned/remoteStreamsOpened. -identity-check additionally replays
+// a fixed query set against a single-node twin of the same data and
+// exits nonzero on any byte-level response difference — the CI gate for
+// the distributed merge.
 package main
 
 import (
@@ -50,6 +61,7 @@ import (
 
 	proxrank "repro"
 	"repro/api"
+	"repro/internal/shardrpc"
 	"repro/service"
 )
 
@@ -84,27 +96,61 @@ func main() {
 		blockTo   = flag.Duration("stream-block-timeout", service.DefaultStreamBlockTimeout, "selfserve: engine wait on block-policy laggards")
 		cacheSz   = flag.Int("cache", service.DefaultCacheSize, "selfserve: LRU result-cache capacity")
 		srvSndbuf = flag.Int("server-sndbuf", 0, "selfserve: cap accepted connections' send buffers (0 = kernel default; loopback autotuning otherwise hides slow readers)")
+
+		// Distributed selfserve knobs.
+		topology  = flag.String("topology", "single", `selfserve deployment: "single" or "coord:N" (N in-process shard servers behind a coordinator)`)
+		shardsFl  = flag.Int("shards", 6, "selfserve coord topology: shards per relation")
+		strategyF = flag.String("shard-strategy", "grid", "selfserve coord topology: partition strategy (hash|grid)")
+		identityF = flag.Bool("identity-check", false, "selfserve coord topology: replay fixed queries against a single-node twin and exit nonzero on any byte difference")
 	)
 	flag.Parse()
 
 	base := *addr
 	var baseVec []float64
+	cfg := service.Config{
+		Workers:            *workers,
+		CacheSize:          *cacheSz,
+		DefaultTimeout:     *timeout,
+		StreamBuffer:       *streamBuf,
+		StreamOverflow:     *overflowS,
+		StreamBlockTimeout: *blockTo,
+	}
 	if *selfserve {
-		srvURL, landmark, shutdown, err := startSelfServe(*city, *srvSndbuf, service.Config{
-			Workers:            *workers,
-			CacheSize:          *cacheSz,
-			DefaultTimeout:     *timeout,
-			StreamBuffer:       *streamBuf,
-			StreamOverflow:     *overflowS,
-			StreamBlockTimeout: *blockTo,
-		})
-		if err != nil {
-			log.Fatalf("proxload: selfserve: %v", err)
+		switch {
+		case *topology == "single":
+			srvURL, landmark, shutdown, err := startSelfServe(*city, *srvSndbuf, cfg)
+			if err != nil {
+				log.Fatalf("proxload: selfserve: %v", err)
+			}
+			defer shutdown()
+			base = srvURL
+			baseVec = landmark
+			log.Printf("selfserve: in-process proxserve on %s (city %s, streamBuffer %d)", srvURL, strings.ToUpper(*city), *streamBuf)
+		case strings.HasPrefix(*topology, "coord:"):
+			n := 0
+			if _, err := fmt.Sscanf(*topology, "coord:%d", &n); err != nil || n < 1 {
+				log.Fatalf("proxload: -topology %q: want coord:N with N >= 1", *topology)
+			}
+			deploy, err := startCoordServe(*city, n, *shardsFl, *strategyF, *srvSndbuf, cfg)
+			if err != nil {
+				log.Fatalf("proxload: coord selfserve: %v", err)
+			}
+			defer deploy.shutdown()
+			base = deploy.url
+			baseVec = deploy.landmark
+			log.Printf("selfserve: coordinator on %s over %d shard servers (city %s, %d %s shards/relation)",
+				deploy.url, n, strings.ToUpper(*city), *shardsFl, *strategyF)
+			if *identityF {
+				if err := deploy.identityCheck(cfg); err != nil {
+					log.Fatalf("proxload: identity check FAILED: %v", err)
+				}
+				log.Printf("identity check: coordinator and single-node twin byte-identical on %d fixed queries", identityQueries)
+			}
+		default:
+			log.Fatalf("proxload: -topology %q: want single or coord:N", *topology)
 		}
-		defer shutdown()
-		base = srvURL
-		baseVec = landmark
-		log.Printf("selfserve: in-process proxserve on %s (city %s, streamBuffer %d)", srvURL, strings.ToUpper(*city), *streamBuf)
+	} else if *topology != "single" || *identityF {
+		log.Fatal("proxload: -topology/-identity-check require -selfserve")
 	}
 	if *baseFl != "" {
 		v, err := parseVector(*baseFl)
@@ -240,6 +286,166 @@ func startSelfServe(city string, sndbuf int, cfg service.Config) (string, []floa
 	return "http://" + ln.Addr().String(), []float64(query), shutdown, nil
 }
 
+// coordDeploy is an in-process distributed deployment: N shard servers,
+// a coordinator serving HTTP, and enough bookkeeping to replay queries
+// against a single-node twin of the same data.
+type coordDeploy struct {
+	url      string
+	landmark []float64
+	coord    *service.Executor
+	rels     []*proxrank.Relation
+	names    []string
+	shards   int
+	strategy proxrank.PartitionStrategy
+	shutdown func()
+}
+
+// startCoordServe builds the bundled city data set, partitions every
+// relation, serves the shards from n in-process shard servers (server i
+// owns shard s when s%n == i), and fronts them with a coordinator
+// listening on a loopback port — the same deployment `proxserve
+// -shard-server` × n plus `proxserve -coordinator` builds across
+// processes, minus the process boundaries.
+func startCoordServe(city string, n, shards int, strategyName string, sndbuf int, cfg service.Config) (*coordDeploy, error) {
+	rels, query, _, err := proxrank.CityDataset(strings.ToUpper(city))
+	if err != nil {
+		return nil, err
+	}
+	strategy, err := proxrank.ParsePartitionStrategy(strategyName)
+	if err != nil {
+		return nil, err
+	}
+	var cleanups []func()
+	shutdown := func() {
+		for i := len(cleanups) - 1; i >= 0; i-- {
+			cleanups[i]()
+		}
+	}
+	addrs := make([]string, n)
+	for i := 0; i < n; i++ {
+		cat := service.NewCatalog()
+		for _, rel := range rels {
+			if err := cat.RegisterSharded(rel.Name, rel, shards, strategy); err != nil {
+				shutdown()
+				return nil, err
+			}
+		}
+		exec := service.NewExecutor(cat, cfg)
+		backend := service.NewShardBackend(cat, exec, service.Ownership{Index: i, Count: n})
+		srv := shardrpc.NewServer(backend)
+		bound, err := srv.Listen("127.0.0.1:0")
+		if err != nil {
+			shutdown()
+			return nil, err
+		}
+		backend.SetName(bound.String())
+		addrs[i] = bound.String()
+		cleanups = append(cleanups, srv.Close)
+	}
+
+	fleet := shardrpc.NewFleet(addrs)
+	cleanups = append(cleanups, fleet.Close)
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	remotes, err := fleet.Discover(ctx)
+	cancel()
+	if err != nil {
+		shutdown()
+		return nil, err
+	}
+	coordCat := service.NewCatalog()
+	var names []string
+	for name, rr := range remotes {
+		if err := coordCat.RegisterRemote(name, rr); err != nil {
+			shutdown()
+			return nil, err
+		}
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	coordExec := service.NewExecutor(coordCat, cfg)
+	apiSrv := service.NewServer(coordCat, coordExec)
+	apiSrv.AttachFleet(fleet)
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		shutdown()
+		return nil, err
+	}
+	if sndbuf > 0 {
+		ln = clampSndbufListener(ln, sndbuf)
+	}
+	httpSrv := &http.Server{Handler: apiSrv.Handler()}
+	go func() { _ = httpSrv.Serve(ln) }()
+	cleanups = append(cleanups, func() { _ = httpSrv.Close() })
+
+	return &coordDeploy{
+		url:      "http://" + ln.Addr().String(),
+		landmark: []float64(query),
+		coord:    coordExec,
+		rels:     rels,
+		names:    names,
+		shards:   shards,
+		strategy: strategy,
+		shutdown: shutdown,
+	}, nil
+}
+
+// identityQueries is the size of the fixed query set -identity-check
+// replays: the landmark plus deterministic offsets around it, each at a
+// different K, batch path, default algorithm and access.
+const identityQueries = 8
+
+// identityCheck replays the fixed query set against the coordinator
+// executor and a freshly built single-node twin of the same relations,
+// failing on the first byte-level difference between the canonicalized
+// responses (wall-clock cost fields excluded — everything else,
+// including float score bits, must match).
+func (d *coordDeploy) identityCheck(cfg service.Config) error {
+	cfg.CacheSize = -1 // compare engine answers, not cache luck
+	twinCat := service.NewCatalog()
+	for _, rel := range d.rels {
+		if err := twinCat.RegisterSharded(rel.Name, rel, d.shards, d.strategy); err != nil {
+			return err
+		}
+	}
+	twin := service.NewExecutor(twinCat, cfg)
+	relations := d.names
+	if len(relations) > 2 {
+		relations = relations[:2]
+	}
+	for i := 0; i < identityQueries; i++ {
+		vec := make([]float64, len(d.landmark))
+		for j, b := range d.landmark {
+			vec[j] = b + 0.01*float64(i-identityQueries/2)*float64(j+1)
+		}
+		req := &service.QueryRequest{Query: vec, Relations: relations, K: 2 + i%5}
+		want, err := twin.Execute(context.Background(), req)
+		if err != nil {
+			return fmt.Errorf("query %d: single-node twin: %w", i, err)
+		}
+		got, err := d.coord.Execute(context.Background(), req)
+		if err != nil {
+			return fmt.Errorf("query %d: coordinator: %w", i, err)
+		}
+		w, g := canonicalResponse(want), canonicalResponse(got)
+		if w != g {
+			return fmt.Errorf("query %d: responses differ\nsingle-node: %s\ncoordinator: %s", i, w, g)
+		}
+	}
+	return nil
+}
+
+// canonicalResponse strips wall-clock fields and renders the response as
+// JSON; Go's float64 marshaling is shortest-round-trip, so score bits
+// survive into the comparison.
+func canonicalResponse(resp *service.QueryResponse) string {
+	c := *resp
+	c.Cost.ElapsedMicros = 0
+	c.Cached = false
+	buf, _ := json.Marshal(&c)
+	return string(buf)
+}
+
 // pickRelations resolves the relation list: the -rel flag verbatim, or
 // the first two names the server reports.
 func pickRelations(client *http.Client, base, flagVal string) ([]string, error) {
@@ -283,6 +489,8 @@ type serverStats struct {
 	SlowSubscriberDrops int64 `json:"slowSubscriberDrops"`
 	Rejected            int64 `json:"rejected"`
 	Canceled            int64 `json:"canceled"`
+	RemoteStreamsOpened int64 `json:"remoteStreamsOpened"`
+	ShardsPruned        int64 `json:"shardsPruned"`
 }
 
 func fetchStats(client *http.Client, base string) (serverStats, error) {
@@ -308,6 +516,8 @@ func (a serverStats) sub(b serverStats) serverStats {
 		SlowSubscriberDrops: a.SlowSubscriberDrops - b.SlowSubscriberDrops,
 		Rejected:            a.Rejected - b.Rejected,
 		Canceled:            a.Canceled - b.Canceled,
+		RemoteStreamsOpened: a.RemoteStreamsOpened - b.RemoteStreamsOpened,
+		ShardsPruned:        a.ShardsPruned - b.ShardsPruned,
 	}
 }
 
@@ -650,6 +860,10 @@ func (r report) print(w *os.File) {
 		d.Queries, d.CacheHits, pct(d.CacheHits, d.Queries), d.Coalesced, d.EngineRuns)
 	fmt.Fprintf(w, "                brokered %d, midRunAttaches %d, slowSubscriberDrops %d, rejected %d, canceled %d\n",
 		d.StreamsBrokered, d.MidRunAttaches, d.SlowSubscriberDrops, d.Rejected, d.Canceled)
+	if d.RemoteStreamsOpened > 0 || d.ShardsPruned > 0 {
+		fmt.Fprintf(w, "                remoteStreamsOpened %d, shardsPruned %d (%.0f%% of remote shard sources)\n",
+			d.RemoteStreamsOpened, d.ShardsPruned, pct(d.ShardsPruned, d.ShardsPruned+d.RemoteStreamsOpened))
+	}
 	if r.SlowDropped > 0 {
 		fmt.Fprintf(w, "  slow clients dropped by overflow policy: %d\n", r.SlowDropped)
 	}

@@ -13,12 +13,26 @@
 // client drains at its own pace without holding a worker slot, governed
 // by -stream-buffer, -stream-overflow, and -stream-block-timeout.
 //
+// Distributed serving splits one logical deployment across processes:
+// shard servers load the full data set but serve only the shards they
+// own over a length-prefixed RPC protocol, and a coordinator discovers
+// them, registers their relations as remote entries, and k-way-merges
+// their shard streams into byte-identical answers — skipping (pruning)
+// every remote shard whose bounding metadata proves it cannot
+// contribute. All servers must load identical data with identical
+// -shards and -shard-strategy so the global partition agrees.
+//
 // Usage:
 //
 //	proxserve -addr :8080 -city SF
 //	proxserve -rel hotels=hotels.csv -rel food=food.csv -workers 8
 //	proxserve -city NY -shards 8 -shard-strategy grid
 //	proxserve -rel hotels=hotels.csv:4 -rel food=food.csv
+//
+//	# a 2-server distributed deployment plus its coordinator:
+//	proxserve -city SF -shards 8 -shard-server -rpc-addr :9001 -own 0/2
+//	proxserve -city SF -shards 8 -shard-server -rpc-addr :9002 -own 1/2
+//	proxserve -coordinator -peers localhost:9001,localhost:9002 -addr :8080
 //
 // Endpoints (queries speak the versioned api.Request model; /v1/topk is
 // the legacy alias of /v1/query):
@@ -57,6 +71,7 @@ import (
 
 	proxrank "repro"
 	"repro/api"
+	"repro/internal/shardrpc"
 	"repro/service"
 )
 
@@ -97,6 +112,16 @@ func main() {
 			"listen address for the net/http/pprof profiling endpoints (empty = disabled); keep it off public interfaces")
 		slowQuery = flag.Duration("slow-query", 0,
 			"log every request at least this slow as a JSON line on stderr, with its per-phase trace (0 = disabled)")
+		shardServer = flag.Bool("shard-server", false,
+			"serve locally-owned shards to coordinators over the shard RPC protocol on -rpc-addr")
+		rpcAddr = flag.String("rpc-addr", ":8081",
+			"shard RPC listen address (with -shard-server)")
+		ownFl = flag.String("own", "",
+			"shard ownership as i/n: serve shard s exactly when s%n == i (empty = every shard)")
+		coordinator = flag.Bool("coordinator", false,
+			"discover relations from -peers shard servers and answer queries by merging their shard streams")
+		peersFl = flag.String("peers", "",
+			"comma-separated shard-server RPC addresses (with -coordinator)")
 	)
 	flag.Var(&rels, "rel", "relation to serve, as name=path.csv[:shards] (repeatable)")
 	flag.Var(&cities, "city", "simulated city data set to serve: SF, NY, BO, DA, HO (repeatable)")
@@ -154,8 +179,39 @@ func main() {
 			logRegistered(cat, rel.Name, "landmark "+landmark)
 		}
 	}
+	// Coordinator mode: hello every peer, cross-check what they agree to
+	// serve, and register each remote relation as a metadata-only entry
+	// whose shards resolve to RPC streams at query time. Locally loaded
+	// relations keep precedence over a remote relation of the same name.
+	var fleet *shardrpc.Fleet
+	if *coordinator {
+		if *peersFl == "" {
+			fmt.Fprintln(os.Stderr, "proxserve: -coordinator needs -peers host:port,...")
+			os.Exit(2)
+		}
+		fleet = shardrpc.NewFleet(strings.Split(*peersFl, ","))
+		discoverCtx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		remotes, err := fleet.Discover(discoverCtx)
+		cancel()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "proxserve: %v\n", err)
+			os.Exit(1)
+		}
+		for name, rr := range remotes {
+			if _, err := cat.Get(name); err == nil {
+				log.Printf("relation %s is loaded locally; ignoring the remote copy", name)
+				continue
+			}
+			if err := cat.RegisterRemote(name, rr); err != nil {
+				fmt.Fprintf(os.Stderr, "proxserve: %v\n", err)
+				os.Exit(1)
+			}
+			log.Printf("registered %s (%d tuples, %d shard(s), remote via %d peer(s))",
+				name, rr.Tuples, rr.Shards, len(fleet.Peers()))
+		}
+	}
 	if cat.Len() == 0 {
-		fmt.Fprintln(os.Stderr, "proxserve: no relations to serve; pass -rel and/or -city")
+		fmt.Fprintln(os.Stderr, "proxserve: no relations to serve; pass -rel, -city, or -coordinator -peers")
 		os.Exit(2)
 	}
 
@@ -171,9 +227,34 @@ func main() {
 		SlowQueryThreshold: *slowQuery,
 		SlowQueryLog:       os.Stderr,
 	})
+	apiServer := service.NewServer(cat, exec)
+	if fleet != nil {
+		apiServer.AttachFleet(fleet)
+	}
+
+	// Shard-server mode: expose this process's owned shards (and whole
+	// queries) over the RPC listener, alongside the normal HTTP API.
+	var rpcSrv *shardrpc.Server
+	if *shardServer {
+		own, err := service.ParseOwnership(*ownFl)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "proxserve: %v\n", err)
+			os.Exit(2)
+		}
+		backend := service.NewShardBackend(cat, exec, own)
+		rpcSrv = shardrpc.NewServer(backend)
+		bound, err := rpcSrv.Listen(*rpcAddr)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "proxserve: shard RPC listener: %v\n", err)
+			os.Exit(1)
+		}
+		backend.SetName(bound.String())
+		log.Printf("shard RPC on %s (owning %s)", bound, ownDesc(*ownFl))
+	}
+
 	srv := &http.Server{
 		Addr:              *addr,
-		Handler:           service.NewServer(cat, exec).Handler(),
+		Handler:           apiServer.Handler(),
 		ReadHeaderTimeout: 10 * time.Second,
 	}
 	if *debugAddr != "" {
@@ -211,7 +292,21 @@ func main() {
 		if err := srv.Shutdown(shutdownCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
 			log.Printf("proxserve: shutdown: %v", err)
 		}
+		if rpcSrv != nil {
+			rpcSrv.Close()
+		}
+		if fleet != nil {
+			fleet.Close()
+		}
 		st := exec.Stats()
 		log.Printf("served %d queries (%d cache hits, %d canceled)", st.Queries, st.CacheHits, st.Canceled)
 	}
+}
+
+// ownDesc renders the -own flag for logs.
+func ownDesc(own string) string {
+	if own == "" {
+		return "every shard"
+	}
+	return "shards " + own
 }

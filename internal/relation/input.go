@@ -1,6 +1,10 @@
 package relation
 
-import "repro/internal/vec"
+import (
+	"fmt"
+
+	"repro/internal/vec"
+)
 
 // Input is anything the rank-join engine can read a relation from: a
 // plain *Relation or a *Sharded partitioned relation. The openSource
@@ -22,6 +26,9 @@ func (r *Relation) InputRelation() *Relation { return r }
 // openSource implements Input for a plain relation, dispatching exactly
 // as the facade's historical source construction did.
 func (r *Relation) openSource(kind AccessKind, q vec.Vector, metric vec.Metric, useRTree bool) (Source, error) {
+	if r.IsStub() {
+		return nil, fmt.Errorf("relation %q: cannot open a local source over a remote stub", r.Name)
+	}
 	switch {
 	case kind == ScoreAccess:
 		return NewScoreSource(r), nil

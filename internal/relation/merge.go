@@ -2,6 +2,7 @@ package relation
 
 import (
 	"errors"
+	"fmt"
 )
 
 // MergedSource k-way-merges N ordered shard streams into one Source that
@@ -12,9 +13,20 @@ import (
 // parent relation — byte-identical to the unsharded stream.
 //
 // Pulling is lazy: nothing is read at construction, the heap is primed
-// with one tuple per shard on the first Next, and a shard is re-pulled
-// only after its head has been emitted. Draining a prefix of the merged
-// stream therefore costs at most len(prefix)+N underlying reads.
+// on the first Next, and a shard is re-pulled only after its head has
+// been emitted. Draining a prefix of the merged stream therefore costs
+// at most len(prefix)+N underlying reads.
+//
+// Inputs that implement BoundedSource are primed without a read: they
+// enter the heap as a latent head at their key lower bound (ordinal −1,
+// so at key ties the latent head sorts before every real head) and are
+// first read only when that bound reaches the heap root. Every real key
+// of such a source is >= its bound, so no emission the eager merge would
+// have made can precede the materialization point — the output is
+// byte-identical — while a source whose bound the merge never reaches is
+// never read at all. For remote shard streams this deferral is
+// distance-aware shard pruning: the coordinator opens a remote stream
+// only when the merge provably needs keys at or past the shard's bound.
 //
 // The heap is inlined and preallocated to the shard count, and the
 // steady-state emit path is allocation-free: the root head is emitted by
@@ -24,7 +36,7 @@ import (
 type MergedSource struct {
 	rel    *Relation
 	kind   AccessKind
-	inputs []keyedSource
+	inputs []KeyedSource
 	heads  []mergeHead // binary min-heap by (key, ord)
 	primed int         // inputs [0,primed) have contributed their first head
 	// pending marks that heads[0] was emitted by the previous Next and must
@@ -34,23 +46,51 @@ type MergedSource struct {
 	pending bool
 }
 
-// mergeHead is one shard's current front tuple.
+// mergeHead is one shard's current front tuple — or, for a latent
+// bounded source, the virtual head standing in for its first unread
+// tuple.
 type mergeHead struct {
-	src keyedSource
+	src KeyedSource
 	t   Tuple
 	key float64
 	ord int
+	// latent marks a bounded source that has not been read yet: key is
+	// its lower bound, ord is −1, and t is zero. The source is read (and
+	// the head becomes real) only when it reaches the heap root.
+	latent bool
 }
 
 // newMergedSource builds the merged stream over per-shard sources that
 // all share one access kind.
-func newMergedSource(parent *Relation, kind AccessKind, inputs []keyedSource) *MergedSource {
+func newMergedSource(parent *Relation, kind AccessKind, inputs []KeyedSource) *MergedSource {
 	return &MergedSource{
 		rel:    parent,
 		kind:   kind,
 		inputs: inputs,
 		heads:  make([]mergeHead, 0, len(inputs)),
 	}
+}
+
+// NewMergedSource merges externally-constructed keyed streams — remote
+// shard readers, local shard sources, or any mix — into the canonical
+// parent order. Every input must stream in kind's (key, ordinal) order
+// with ordinals unique across all inputs; parent supplies σ_max and
+// metadata for the engine. Inputs implementing BoundedSource are opened
+// lazily (see the type comment).
+func NewMergedSource(parent *Relation, kind AccessKind, inputs []KeyedSource) (*MergedSource, error) {
+	if parent == nil {
+		return nil, fmt.Errorf("relation: merged source needs a parent relation")
+	}
+	for i, src := range inputs {
+		if src == nil {
+			return nil, fmt.Errorf("relation %q: merge input %d is nil", parent.Name, i)
+		}
+		if src.Kind() != kind {
+			return nil, fmt.Errorf("relation %q: merge input %d has access kind %v, want %v",
+				parent.Name, i, src.Kind(), kind)
+		}
+	}
+	return newMergedSource(parent, kind, inputs), nil
 }
 
 func (m *MergedSource) less(a, b *mergeHead) bool {
@@ -90,10 +130,16 @@ func (m *MergedSource) siftDown(i int) {
 	}
 }
 
-// prime reads the first tuple of src into the heap; an already-exhausted
-// shard is retired silently.
-func (m *MergedSource) prime(src keyedSource) error {
-	t, key, ord, err := src.nextKeyed()
+// prime enters src into the heap: bounded sources as a latent head
+// without a read, everything else by reading its first tuple (an
+// already-exhausted shard is retired silently).
+func (m *MergedSource) prime(src KeyedSource) error {
+	if b, ok := src.(BoundedSource); ok {
+		m.heads = append(m.heads, mergeHead{src: src, key: b.KeyLowerBound(), ord: -1, latent: true})
+		m.siftUp(len(m.heads) - 1)
+		return nil
+	}
+	t, key, ord, err := src.NextKeyed()
 	if errors.Is(err, ErrExhausted) {
 		return nil
 	}
@@ -105,17 +151,23 @@ func (m *MergedSource) prime(src keyedSource) error {
 	return nil
 }
 
+// retireRoot drops the root head (its shard is exhausted) and restores
+// heap order.
+func (m *MergedSource) retireRoot() {
+	last := len(m.heads) - 1
+	m.heads[0] = m.heads[last]
+	m.heads[last] = mergeHead{} // release the retired shard's source
+	m.heads = m.heads[:last]
+	m.siftDown(0)
+}
+
 // refillRoot replaces the emitted root head with its shard's next tuple in
 // place (or retires the shard on exhaustion) and restores heap order with
 // one sift-down.
 func (m *MergedSource) refillRoot() error {
-	t, key, ord, err := m.heads[0].src.nextKeyed()
+	t, key, ord, err := m.heads[0].src.NextKeyed()
 	if errors.Is(err, ErrExhausted) {
-		last := len(m.heads) - 1
-		m.heads[0] = m.heads[last]
-		m.heads[last] = mergeHead{} // release the retired shard's source
-		m.heads = m.heads[:last]
-		m.siftDown(0)
+		m.retireRoot()
 		m.pending = false
 		return nil
 	}
@@ -126,6 +178,25 @@ func (m *MergedSource) refillRoot() error {
 	h.t, h.key, h.ord = t, key, ord
 	m.siftDown(0)
 	m.pending = false
+	return nil
+}
+
+// materializeRoot reads the first tuple of the latent root and turns its
+// virtual head real (or retires the shard if it turns out empty). On a
+// transient read error the head stays latent at the root, so a retry
+// re-attempts the same source without skipping or reordering anything.
+func (m *MergedSource) materializeRoot() error {
+	t, key, ord, err := m.heads[0].src.NextKeyed()
+	if errors.Is(err, ErrExhausted) {
+		m.retireRoot()
+		return nil
+	}
+	if err != nil {
+		return err
+	}
+	h := &m.heads[0]
+	h.t, h.key, h.ord, h.latent = t, key, ord, false
+	m.siftDown(0)
 	return nil
 }
 
@@ -141,6 +212,15 @@ func (m *MergedSource) Next() (Tuple, error) {
 	}
 	if m.pending {
 		if err := m.refillRoot(); err != nil {
+			return Tuple{}, err
+		}
+	}
+	// A latent head at the root means the merge has advanced to a shard's
+	// lower bound: its true first tuple may now be due, so read it. The
+	// loop re-checks because materialization can surface another latent
+	// head (or retire the shard and promote one).
+	for len(m.heads) > 0 && m.heads[0].latent {
+		if err := m.materializeRoot(); err != nil {
 			return Tuple{}, err
 		}
 	}

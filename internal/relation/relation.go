@@ -27,6 +27,10 @@ type Relation struct {
 	MaxScore float64
 	tuples   []Tuple
 	dim      int
+	// stubLen, for a metadata-only stub (see NewStub), is the advertised
+	// tuple count of a relation whose tuples live in another process.
+	// Zero for ordinary relations, whose tuples slice is never empty.
+	stubLen int
 }
 
 // ErrExhausted is returned by Source.Next when the relation has been read
@@ -63,6 +67,31 @@ func New(name string, maxScore float64, tuples []Tuple) (*Relation, error) {
 	return &Relation{Name: name, MaxScore: maxScore, tuples: own, dim: dim}, nil
 }
 
+// NewStub builds a metadata-only relation describing tuples that live in
+// another process (a remote shard server). It carries everything the
+// engine and a catalog read from a relation — name, σ_max, the feature
+// dimensionality, and the remote tuple count via Len — but holds no
+// tuples itself: At and Tuples must not be used, local sources cannot be
+// opened over it, and it cannot be partitioned. A coordinator hands a
+// stub to MergedSource as the parent of remote shard streams, so engine
+// bounds (σ_max) and error messages reflect the true remote relation.
+func NewStub(name string, maxScore float64, dim, count int) (*Relation, error) {
+	if maxScore <= 0 || math.IsInf(maxScore, 0) || math.IsNaN(maxScore) {
+		return nil, fmt.Errorf("relation %q: max score %v must be finite and positive", name, maxScore)
+	}
+	if dim < 1 {
+		return nil, fmt.Errorf("relation %q: dimensionality %d must be at least 1", name, dim)
+	}
+	if count < 1 {
+		return nil, fmt.Errorf("relation %q: remote tuple count %d must be at least 1", name, count)
+	}
+	return &Relation{Name: name, MaxScore: maxScore, dim: dim, stubLen: count}, nil
+}
+
+// IsStub reports whether the relation is a metadata-only stub for
+// remotely-held tuples (see NewStub).
+func (r *Relation) IsStub() bool { return r.stubLen > 0 }
+
 // MustNew is New that panics on error, for tests and literals.
 func MustNew(name string, maxScore float64, tuples []Tuple) *Relation {
 	r, err := New(name, maxScore, tuples)
@@ -72,8 +101,14 @@ func MustNew(name string, maxScore float64, tuples []Tuple) *Relation {
 	return r
 }
 
-// Len returns the number of tuples.
-func (r *Relation) Len() int { return len(r.tuples) }
+// Len returns the number of tuples (the advertised remote count for a
+// stub).
+func (r *Relation) Len() int {
+	if r.stubLen > 0 {
+		return r.stubLen
+	}
+	return len(r.tuples)
+}
 
 // Dim returns the feature-space dimensionality.
 func (r *Relation) Dim() int { return r.dim }
@@ -120,16 +155,41 @@ type Source interface {
 	Relation() *Relation
 }
 
-// keyedSource is the package-internal contract merged shard streams rely
-// on: alongside each tuple, the source reports the ascending sort key its
-// order is defined by (distance, or negated score for score access) and
-// the tuple's ordinal in the parent relation. Ordinals break key ties
-// with a total order every shard of one relation agrees on, which is what
-// makes a k-way merge of shard streams byte-identical to the unsharded
-// stream (see MergedSource).
-type keyedSource interface {
+// KeyedSource is the contract merged shard streams rely on: alongside
+// each tuple, the source reports the ascending sort key its order is
+// defined by (distance, or negated score for score access) and the
+// tuple's ordinal in the parent relation. Ordinals break key ties with a
+// total order every shard of one relation agrees on, which is what makes
+// a k-way merge of shard streams byte-identical to the unsharded stream
+// (see MergedSource).
+//
+// Exported so that a stream arriving from another process — a remote
+// shard server speaking the shardrpc wire protocol — can join a merge on
+// equal terms with local shard streams. A foreign implementation must
+// uphold the canonical (key, ordinal) ordering: keys ascending, ordinals
+// unique within the parent relation and breaking every key tie.
+type KeyedSource interface {
 	Source
-	nextKeyed() (t Tuple, key float64, ord int, err error)
+	NextKeyed() (t Tuple, key float64, ord int, err error)
+}
+
+// BoundedSource is a KeyedSource that can report, before its first read,
+// a sound lower bound on every merge key it will emit. MergedSource
+// keeps such a source latent — represented in the merge by a virtual
+// head at the bound — and first reads it only when the bound reaches the
+// front of the merge. A latent source whose bound is never reached is
+// never read at all; for remote shard streams that is distance-aware
+// shard pruning with zero wire traffic, and the emitted sequence is
+// provably identical to eagerly priming every source (every real key of
+// the source is >= the bound, so no emission could have preceded the
+// materialization point).
+type BoundedSource interface {
+	KeyedSource
+	// KeyLowerBound returns b with b <= key for every tuple the source
+	// will emit. The bound must stay sound under floating-point rounding
+	// (see ShardBounds.DistanceLowerBound for the slack discipline);
+	// an overestimate can reorder emissions across shards.
+	KeyLowerBound() float64
 }
 
 // sliceSource streams a pre-ordered copy of the tuples.
@@ -143,11 +203,12 @@ type sliceSource struct {
 }
 
 func (s *sliceSource) Next() (Tuple, error) {
-	t, _, _, err := s.nextKeyed()
+	t, _, _, err := s.NextKeyed()
 	return t, err
 }
 
-func (s *sliceSource) nextKeyed() (Tuple, float64, int, error) {
+// NextKeyed implements KeyedSource.
+func (s *sliceSource) NextKeyed() (Tuple, float64, int, error) {
 	if s.pos >= len(s.ord) {
 		return Tuple{}, 0, 0, ErrExhausted
 	}
@@ -365,7 +426,7 @@ func NewRTreeDistanceSource(r *Relation, q vec.Vector) (Source, error) {
 }
 
 func (s *rtreeSource) Next() (Tuple, error) {
-	t, _, _, err := s.nextKeyed()
+	t, _, _, err := s.NextKeyed()
 	return t, err
 }
 
@@ -382,7 +443,8 @@ func (s *rtreeSource) take() (nnHit, bool) {
 	return nnHit{idx: idx, ord: ordinalOf(s.orig, idx), dist: d}, true
 }
 
-func (s *rtreeSource) nextKeyed() (Tuple, float64, int, error) {
+// NextKeyed implements KeyedSource.
+func (s *rtreeSource) NextKeyed() (Tuple, float64, int, error) {
 	if len(s.batch) == 0 {
 		first, ok := s.take()
 		if !ok {

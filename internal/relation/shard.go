@@ -57,10 +57,80 @@ const maxShards = 1 << 16
 // to parent ordinals. orig is nil when the shard IS the parent (the
 // single-shard fast path), making ordinals the identity.
 type shard struct {
-	rel   *Relation
-	orig  []int
-	rtree *RTreeIndex
-	score *ScoreIndex
+	rel    *Relation
+	orig   []int
+	rtree  *RTreeIndex
+	score  *ScoreIndex
+	bounds ShardBounds
+}
+
+// ShardBounds is one shard's bounding metadata: a bounding ball
+// (centroid + radius) over its vectors and its true maximum score. From
+// it a coordinator derives, without touching the shard's tuples, a lower
+// bound on any sort key the shard can produce — the basis for
+// distance-aware shard pruning (the partition-pruning idea of the
+// MapReduce kNN-join literature applied to rank-join sources).
+type ShardBounds struct {
+	// Centroid is the mean of the shard's vectors.
+	Centroid []float64 `json:"centroid"`
+	// Radius is the maximum Euclidean distance from Centroid to any
+	// tuple in the shard.
+	Radius float64 `json:"radius"`
+	// MaxScore is the largest tuple score present in the shard (its
+	// effective σ_max, at most the parent's declared bound).
+	MaxScore float64 `json:"maxScore"`
+	// Tuples is the shard's tuple count.
+	Tuples int `json:"tuples"`
+}
+
+// boundSlack shrinks derived lower bounds by a relative hair so that
+// floating-point rounding in the centroid/radius/triangle-inequality
+// arithmetic can never push a bound above a shard's true minimum key —
+// which would reorder a byte-identical merge. The true bound inequality
+// holds exactly in real arithmetic; 1e-9 relative dwarfs the ~1e-15
+// per-operation error while costing nothing measurable in pruning power.
+const boundSlack = 1e-9
+
+// DistanceLowerBound returns a sound lower bound on the Euclidean
+// distance from q to any tuple in the shard: max(0, d(q,centroid) −
+// radius), deflated by boundSlack. Valid only for the plain Euclidean
+// metric (the triangle inequality is what makes it sound).
+func (b ShardBounds) DistanceLowerBound(q vec.Vector) float64 {
+	d := vec.Euclidean{}.Distance(vec.Vector(b.Centroid), q) - b.Radius
+	if d <= 0 {
+		return 0
+	}
+	return d * (1 - boundSlack)
+}
+
+// computeBounds derives the bounding metadata of one shard's relation.
+func computeBounds(r *Relation) ShardBounds {
+	n := len(r.tuples)
+	b := ShardBounds{Tuples: n, MaxScore: math.Inf(-1)}
+	if n == 0 {
+		b.MaxScore = 0
+		b.Centroid = make([]float64, r.dim)
+		return b
+	}
+	c := make([]float64, r.dim)
+	for _, t := range r.tuples {
+		for d := 0; d < r.dim; d++ {
+			c[d] += t.Vec[d]
+		}
+		if t.Score > b.MaxScore {
+			b.MaxScore = t.Score
+		}
+	}
+	for d := range c {
+		c[d] /= float64(n)
+	}
+	b.Centroid = c
+	for _, t := range r.tuples {
+		if d := (vec.Euclidean{}).Distance(t.Vec, c); d > b.Radius {
+			b.Radius = d
+		}
+	}
+	return b
 }
 
 // Sharded is a relation partitioned into shards, each with its own
@@ -82,6 +152,9 @@ type Sharded struct {
 func Partition(r *Relation, n int, strategy PartitionStrategy) (*Sharded, error) {
 	if r == nil {
 		return nil, fmt.Errorf("relation: cannot partition a nil relation")
+	}
+	if r.IsStub() {
+		return nil, fmt.Errorf("relation %q: cannot partition a remote stub", r.Name)
 	}
 	if n < 1 {
 		return nil, fmt.Errorf("relation %q: shard count %d must be at least 1", r.Name, n)
@@ -141,6 +214,7 @@ func Partition(r *Relation, n int, strategy PartitionStrategy) (*Sharded, error)
 			defer wg.Done()
 			sh.rtree = NewRTreeIndex(sh.rel)
 			sh.score = newScoreIndex(sh.rel, sh.orig)
+			sh.bounds = computeBounds(sh.rel)
 		}(&s.shards[i])
 	}
 	wg.Wait()
@@ -258,6 +332,9 @@ func (s *Sharded) ShardSizes() []int {
 // tests; its tuple order is shard storage order, not access order).
 func (s *Sharded) ShardRelation(i int) *Relation { return s.shards[i].rel }
 
+// ShardBounds returns shard i's bounding metadata.
+func (s *Sharded) ShardBounds(i int) ShardBounds { return s.shards[i].bounds }
+
 // ShardSource opens the ordered stream of shard i for one access
 // configuration, using the shard's precomputed indexes where possible.
 // The streams of all shards under one configuration merge back into the
@@ -291,9 +368,9 @@ func (s *Sharded) Merge(sources []Source) (Source, error) {
 		return sources[0], nil
 	}
 	kind := sources[0].Kind()
-	ks := make([]keyedSource, len(sources))
+	ks := make([]KeyedSource, len(sources))
 	for i, src := range sources {
-		k, ok := src.(keyedSource)
+		k, ok := src.(KeyedSource)
 		if !ok {
 			return nil, fmt.Errorf("relation %q: source %d (%T) is not a shard stream", s.parent.Name, i, src)
 		}

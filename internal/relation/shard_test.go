@@ -201,7 +201,7 @@ func TestMergedSourceLazyPulls(t *testing.T) {
 		// keyed adapter.
 		cs := &CountingSource{Inner: src}
 		counted[i] = cs
-		sources[i] = countingKeyed{cs, src.(keyedSource)}
+		sources[i] = countingKeyed{cs, src.(KeyedSource)}
 	}
 	merged, err := s.Merge(sources)
 	if err != nil {
@@ -222,15 +222,15 @@ func TestMergedSourceLazyPulls(t *testing.T) {
 	}
 }
 
-// countingKeyed threads nextKeyed through a CountingSource so merge-layer
+// countingKeyed threads NextKeyed through a CountingSource so merge-layer
 // laziness is observable in tests.
 type countingKeyed struct {
 	*CountingSource
-	keyed keyedSource
+	keyed KeyedSource
 }
 
-func (c countingKeyed) nextKeyed() (Tuple, float64, int, error) {
-	t, key, ord, err := c.keyed.nextKeyed()
+func (c countingKeyed) NextKeyed() (Tuple, float64, int, error) {
+	t, key, ord, err := c.keyed.NextKeyed()
 	if err == nil {
 		c.CountingSource.Reads++
 	}

@@ -1,0 +1,314 @@
+package shardrpc
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/api"
+	"repro/internal/relation"
+)
+
+// Retry policy for transient transport failures: redial and re-issue up
+// to maxAttempts times with bounded exponential backoff. Structured
+// api.Errors from the server are NOT retried — the server answered; it
+// just said no.
+const (
+	maxAttempts    = 4
+	backoffBase    = 25 * time.Millisecond
+	backoffCap     = 400 * time.Millisecond
+	defaultTimeout = 5 * time.Second
+)
+
+// Peer is one remote shard server: an address, a pool of idle
+// connections, and the per-peer health counters the coordinator exports.
+// A Peer is safe for concurrent use; individual connections are not, so
+// streaming callers check one out for the duration of a stream.
+type Peer struct {
+	// Addr is the server's host:port.
+	Addr string
+	// DialTimeout bounds connection establishment; PullTimeout bounds one
+	// request/response exchange. Zero means defaultTimeout.
+	DialTimeout time.Duration
+	PullTimeout time.Duration
+	// ObservePull, when set, receives the duration of every completed
+	// exchange (success or failure) — the hook the service layer binds to
+	// its per-peer latency histogram without shardrpc importing obs.
+	ObservePull func(d time.Duration, err error)
+
+	// Pulls counts exchanges attempted, Retries those re-issued after a
+	// transport failure, Reconnects the dials that were not first contact.
+	Pulls      atomic.Int64
+	Retries    atomic.Int64
+	Reconnects atomic.Int64
+
+	mu     sync.Mutex
+	idle   []net.Conn
+	dialed bool
+	closed bool
+}
+
+// NewPeer returns a peer for addr with default timeouts.
+func NewPeer(addr string) *Peer { return &Peer{Addr: addr} }
+
+func (p *Peer) dialTimeout() time.Duration {
+	if p.DialTimeout > 0 {
+		return p.DialTimeout
+	}
+	return defaultTimeout
+}
+
+func (p *Peer) pullTimeout() time.Duration {
+	if p.PullTimeout > 0 {
+		return p.PullTimeout
+	}
+	return defaultTimeout
+}
+
+// get returns an idle pooled connection or dials a new one.
+func (p *Peer) get(ctx context.Context) (net.Conn, error) {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return nil, fmt.Errorf("shardrpc: peer %s is closed", p.Addr)
+	}
+	if n := len(p.idle); n > 0 {
+		c := p.idle[n-1]
+		p.idle = p.idle[:n-1]
+		p.mu.Unlock()
+		return c, nil
+	}
+	again := p.dialed
+	p.dialed = true
+	p.mu.Unlock()
+	if again {
+		p.Reconnects.Add(1)
+	}
+	d := net.Dialer{Timeout: p.dialTimeout()}
+	return d.DialContext(ctx, "tcp", p.Addr)
+}
+
+// put returns a connection to the idle pool. Only connections in a clean
+// framing state (one full response read per request written) may be
+// returned; anything doubtful must be closed instead.
+func (p *Peer) put(c net.Conn) {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		c.Close()
+		return
+	}
+	p.idle = append(p.idle, c)
+	p.mu.Unlock()
+}
+
+// Close drops the idle pool. Checked-out connections are unaffected;
+// they are closed when their streams finish.
+func (p *Peer) Close() {
+	p.mu.Lock()
+	idle := p.idle
+	p.idle = nil
+	p.closed = true
+	p.mu.Unlock()
+	for _, c := range idle {
+		c.Close()
+	}
+}
+
+// exchange performs one request/response on a specific connection under
+// the pull deadline, reporting to ObservePull.
+func (p *Peer) exchange(c net.Conn, req *Request, resp *Response) error {
+	p.Pulls.Add(1)
+	start := time.Now()
+	err := func() error {
+		if err := c.SetDeadline(time.Now().Add(p.pullTimeout())); err != nil {
+			return err
+		}
+		if err := writeFrame(c, req); err != nil {
+			return err
+		}
+		*resp = Response{}
+		return readFrame(c, resp)
+	}()
+	if p.ObservePull != nil {
+		p.ObservePull(time.Since(start), err)
+	}
+	return err
+}
+
+// Call performs one pooled request/response exchange with retries: a
+// transport failure closes the connection, backs off, redials, and
+// re-issues the request. Safe for every verb except VerbNext, whose
+// stream state is connection-bound (remoteSource handles that case by
+// re-pulling at its offset instead). A structured server-side failure is
+// returned as its *api.Error without retrying.
+func (p *Peer) Call(ctx context.Context, req *Request) (*Response, error) {
+	var lastErr error
+	for attempt := 0; attempt < maxAttempts; attempt++ {
+		if attempt > 0 {
+			p.Retries.Add(1)
+			if err := sleepCtx(ctx, backoff(attempt)); err != nil {
+				return nil, err
+			}
+		}
+		c, err := p.get(ctx)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		var resp Response
+		if err := p.exchange(c, req, &resp); err != nil {
+			c.Close()
+			lastErr = err
+			continue
+		}
+		p.put(c)
+		if resp.Err != nil {
+			return nil, resp.Err
+		}
+		return &resp, nil
+	}
+	return nil, api.Errorf(api.CodeUnavailable, "peer %s unreachable after %d attempts: %v", p.Addr, maxAttempts, lastErr)
+}
+
+// backoff returns the sleep before retry attempt n (n >= 1), doubling
+// from backoffBase and capped at backoffCap.
+func backoff(n int) time.Duration {
+	d := backoffBase << (n - 1)
+	if d > backoffCap {
+		return backoffCap
+	}
+	return d
+}
+
+func sleepCtx(ctx context.Context, d time.Duration) error {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
+}
+
+// RemoteRelation is the coordinator's merged view of one relation across
+// a fleet: the metadata every peer agreed on, plus which peers own which
+// shard and each shard's bounds. A shard owned by more than one peer
+// (replication) gives streaming failover for free.
+type RemoteRelation struct {
+	Name     string
+	MaxScore float64
+	Dim      int
+	Tuples   int
+	Shards   int
+	// Owners[s] lists the peers serving shard s, in fleet order.
+	Owners map[int][]*Peer
+	// Bounds[s] is shard s's bounding metadata.
+	Bounds map[int]relation.ShardBounds
+}
+
+// Stub builds the metadata-only relation the engine sees for a remote
+// relation: correct name, σ_max, dimensionality, and tuple count, with
+// no local tuples behind it.
+func (r *RemoteRelation) Stub() (*relation.Relation, error) {
+	return relation.NewStub(r.Name, r.MaxScore, r.Dim, r.Tuples)
+}
+
+// Fleet is the coordinator's set of shard-server peers.
+type Fleet struct {
+	peers []*Peer
+}
+
+// NewFleet builds a fleet over one peer per address.
+func NewFleet(addrs []string) *Fleet {
+	peers := make([]*Peer, len(addrs))
+	for i, a := range addrs {
+		peers[i] = NewPeer(a)
+	}
+	return &Fleet{peers: peers}
+}
+
+// Peers returns the fleet's peers in construction order.
+func (f *Fleet) Peers() []*Peer { return f.peers }
+
+// Close releases every peer's connection pool.
+func (f *Fleet) Close() {
+	for _, p := range f.peers {
+		p.Close()
+	}
+}
+
+// Discover hellos every peer and merges what they report into per-
+// relation remote views. It fails loudly on disagreement — peers that
+// report different metadata for the same relation name have not loaded
+// identical data identically, and merging their streams would corrupt
+// results — and on partial coverage (a shard no responding peer owns),
+// because a coordinator missing a shard can never certify a top-K.
+func (f *Fleet) Discover(ctx context.Context) (map[string]*RemoteRelation, error) {
+	if len(f.peers) == 0 {
+		return nil, fmt.Errorf("shardrpc: fleet has no peers")
+	}
+	rels := make(map[string]*RemoteRelation)
+	for _, p := range f.peers {
+		resp, err := p.Call(ctx, &Request{Verb: VerbHello})
+		if err != nil {
+			return nil, fmt.Errorf("shardrpc: hello %s: %w", p.Addr, err)
+		}
+		if resp.Hello == nil {
+			return nil, fmt.Errorf("shardrpc: peer %s answered hello without a body", p.Addr)
+		}
+		for _, ri := range resp.Hello.Relations {
+			r, ok := rels[ri.Name]
+			if !ok {
+				r = &RemoteRelation{
+					Name:     ri.Name,
+					MaxScore: ri.MaxScore,
+					Dim:      ri.Dim,
+					Tuples:   ri.Tuples,
+					Shards:   ri.Shards,
+					Owners:   make(map[int][]*Peer),
+					Bounds:   make(map[int]relation.ShardBounds),
+				}
+				rels[ri.Name] = r
+			} else if r.MaxScore != ri.MaxScore || r.Dim != ri.Dim || r.Tuples != ri.Tuples || r.Shards != ri.Shards {
+				return nil, fmt.Errorf(
+					"shardrpc: peers disagree on relation %q (peer %s reports maxScore=%v dim=%d tuples=%d shards=%d, fleet has maxScore=%v dim=%d tuples=%d shards=%d); all shard servers must load identical data with identical -shards/-shard-strategy",
+					ri.Name, p.Addr, ri.MaxScore, ri.Dim, ri.Tuples, ri.Shards, r.MaxScore, r.Dim, r.Tuples, r.Shards)
+			}
+			for _, own := range ri.Owned {
+				if own.Index < 0 || own.Index >= r.Shards {
+					return nil, fmt.Errorf("shardrpc: peer %s owns shard %d of relation %q, out of range [0,%d)", p.Addr, own.Index, ri.Name, r.Shards)
+				}
+				if prev, seen := r.Bounds[own.Index]; seen && !boundsEqual(prev, own.Bounds) {
+					return nil, fmt.Errorf("shardrpc: peers disagree on the bounds of relation %q shard %d", ri.Name, own.Index)
+				}
+				r.Owners[own.Index] = append(r.Owners[own.Index], p)
+				r.Bounds[own.Index] = own.Bounds
+			}
+		}
+	}
+	for name, r := range rels {
+		for s := 0; s < r.Shards; s++ {
+			if len(r.Owners[s]) == 0 {
+				return nil, fmt.Errorf("shardrpc: no peer owns shard %d of relation %q — the fleet cannot answer queries over it", s, name)
+			}
+		}
+	}
+	return rels, nil
+}
+
+func boundsEqual(a, b relation.ShardBounds) bool {
+	if a.Radius != b.Radius || a.MaxScore != b.MaxScore || a.Tuples != b.Tuples || len(a.Centroid) != len(b.Centroid) {
+		return false
+	}
+	for i := range a.Centroid {
+		if a.Centroid[i] != b.Centroid[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,534 @@
+package shardrpc
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"net"
+	"testing"
+	"time"
+
+	"repro/api"
+	"repro/internal/relation"
+	"repro/internal/vec"
+)
+
+// testRelation builds a relation engineered for ties: discrete scores
+// and grid-snapped vectors, so the ordinal tie-break is exercised on the
+// wire exactly as it is locally.
+func testRelation(t testing.TB, name string, seed int64, size, dim int) *relation.Relation {
+	t.Helper()
+	r := rand.New(rand.NewSource(seed))
+	tuples := make([]relation.Tuple, size)
+	for i := range tuples {
+		v := vec.New(dim)
+		for c := range v {
+			v[c] = float64(r.Intn(6))
+		}
+		tuples[i] = relation.Tuple{
+			ID:    fmt.Sprintf("%s%03d", name, i),
+			Score: 0.25 + 0.25*float64(r.Intn(3)),
+			Vec:   v,
+		}
+	}
+	rel, err := relation.New(name, 1.0, tuples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rel
+}
+
+// testBackend serves one sharded relation with an ownership predicate.
+type testBackend struct {
+	name   string
+	rels   map[string]*relation.Sharded
+	owns   func(shard int) bool
+	events []api.ResultEvent
+}
+
+func (b *testBackend) Hello() HelloInfo {
+	h := HelloInfo{Server: b.name}
+	for name, s := range b.rels {
+		rel := s.Relation()
+		ri := RelationInfo{
+			Name:     name,
+			MaxScore: rel.MaxScore,
+			Dim:      rel.Dim(),
+			Tuples:   rel.Len(),
+			Shards:   s.NumShards(),
+		}
+		for i := 0; i < s.NumShards(); i++ {
+			if b.owns(i) {
+				ri.Owned = append(ri.Owned, OwnedShard{Index: i, Bounds: s.ShardBounds(i)})
+			}
+		}
+		h.Relations = append(h.Relations, ri)
+	}
+	return h
+}
+
+func (b *testBackend) OpenShard(relName string, shard int, access string, query []float64) (relation.KeyedSource, error) {
+	s, ok := b.rels[relName]
+	if !ok {
+		return nil, api.Errorf(api.CodeNotFound, "relation %q is not registered", relName)
+	}
+	if shard < 0 || shard >= s.NumShards() || !b.owns(shard) {
+		return nil, api.Errorf(api.CodeNotFound, "shard %d of %q is not served here", shard, relName)
+	}
+	kind, err := kindOf(access)
+	if err != nil {
+		return nil, api.Errorf(api.CodeBadRequest, "%v", err)
+	}
+	src, err := s.ShardSource(shard, kind, query, nil, true)
+	if err != nil {
+		return nil, err
+	}
+	return src.(relation.KeyedSource), nil
+}
+
+func (b *testBackend) Query(_ context.Context, _ *api.Request) ([]api.ResultEvent, error) {
+	return b.events, nil
+}
+
+// startServer runs a server over backend on a loopback port.
+func startServer(t *testing.T, backend Backend) (addr string) {
+	t.Helper()
+	srv := NewServer(backend)
+	bound, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(srv.Close)
+	return bound.String()
+}
+
+// shardedFixture partitions a tie-heavy relation and serves it from n
+// servers, server i owning shard s when s%n == i, returning the fleet
+// and the discovered remote view.
+func shardedFixture(t *testing.T, shards, servers int, strategy relation.PartitionStrategy) (*relation.Sharded, *Fleet, *RemoteRelation) {
+	t.Helper()
+	rel := testRelation(t, "pts", 7, 90, 2)
+	sharded, err := relation.Partition(rel, shards, strategy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	addrs := make([]string, servers)
+	for i := 0; i < servers; i++ {
+		i := i
+		addrs[i] = startServer(t, &testBackend{
+			name: fmt.Sprintf("srv%d", i),
+			rels: map[string]*relation.Sharded{"pts": sharded},
+			owns: func(s int) bool { return s%servers == i },
+		})
+	}
+	fleet := NewFleet(addrs)
+	t.Cleanup(fleet.Close)
+	remotes, err := fleet.Discover(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rr, ok := remotes["pts"]
+	if !ok {
+		t.Fatalf("discover returned %v, want relation pts", remotes)
+	}
+	return sharded, fleet, rr
+}
+
+func TestFrameRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	in := Request{Verb: VerbPull, Relation: "r", Shard: 3, Access: api.AccessDistance,
+		Query: []float64{1.5, math.Nextafter(2, 3)}, Offset: 17, Batch: 64}
+	if err := writeFrame(&buf, &in); err != nil {
+		t.Fatal(err)
+	}
+	var out Request
+	if err := readFrame(&buf, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Verb != in.Verb || out.Shard != in.Shard || out.Offset != in.Offset ||
+		math.Float64bits(out.Query[1]) != math.Float64bits(in.Query[1]) {
+		t.Fatalf("frame round trip: got %+v, want %+v", out, in)
+	}
+	// A hostile length prefix must be refused, not allocated.
+	var hdr bytes.Buffer
+	hdr.Write([]byte{0xff, 0xff, 0xff, 0xff})
+	if err := readFrame(&hdr, &out); err == nil {
+		t.Fatal("oversized frame accepted")
+	}
+}
+
+// drainKeyed pulls src dry, recording the exact bits of every row.
+type keyedRow struct {
+	id       string
+	key, ord uint64
+	score    uint64
+	vec      []uint64
+}
+
+func drainKeyed(t *testing.T, src relation.KeyedSource, max int) []keyedRow {
+	t.Helper()
+	var rows []keyedRow
+	for len(rows) < max {
+		tu, key, ord, err := src.NextKeyed()
+		if errors.Is(err, relation.ErrExhausted) {
+			return rows
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		row := keyedRow{id: tu.ID, key: math.Float64bits(key), ord: uint64(ord), score: math.Float64bits(tu.Score)}
+		for _, c := range tu.Vec {
+			row.vec = append(row.vec, math.Float64bits(c))
+		}
+		rows = append(rows, row)
+	}
+	return rows
+}
+
+func rowsEqual(a, b []keyedRow) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		x, y := a[i], b[i]
+		if x.id != y.id || x.key != y.key || x.ord != y.ord || x.score != y.score || len(x.vec) != len(y.vec) {
+			return false
+		}
+		for j := range x.vec {
+			if x.vec[j] != y.vec[j] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// TestRemoteStreamByteIdentity: every shard streamed over the wire is
+// bit-for-bit the local shard stream, for both access kinds.
+func TestRemoteStreamByteIdentity(t *testing.T) {
+	sharded, _, rr := shardedFixture(t, 4, 2, relation.HashPartition)
+	stub, err := rr.Stub()
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := []float64{2, 2}
+	for _, access := range []string{api.AccessDistance, api.AccessScore} {
+		kind, _ := kindOf(access)
+		for s := 0; s < sharded.NumShards(); s++ {
+			local, err := sharded.ShardSource(s, kind, q, nil, true)
+			if err != nil {
+				t.Fatal(err)
+			}
+			remote, err := OpenRemoteShard(context.Background(), stub, rr, s, access, q, 7)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := drainKeyed(t, local.(relation.KeyedSource), 1<<20)
+			got := drainKeyed(t, remote, 1<<20)
+			if !rowsEqual(got, want) {
+				t.Fatalf("%s shard %d: remote stream differs from local (%d vs %d rows)", access, s, len(got), len(want))
+			}
+			if !remote.Exhausted() {
+				t.Fatalf("%s shard %d: remote source not marked exhausted after drain", access, s)
+			}
+		}
+	}
+}
+
+// TestRemoteMergeByteIdentity: the k-way merge over remote shard streams
+// is bit-for-bit the merge over local ones, and bounded (latent) priming
+// changes nothing.
+func TestRemoteMergeByteIdentity(t *testing.T) {
+	sharded, _, rr := shardedFixture(t, 5, 2, relation.GridPartition)
+	stub, err := rr.Stub()
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := []float64{0.5, 0.5}
+	for _, access := range []string{api.AccessDistance, api.AccessScore} {
+		kind, _ := kindOf(access)
+		locals := make([]relation.Source, sharded.NumShards())
+		for s := range locals {
+			src, err := sharded.ShardSource(s, kind, q, nil, true)
+			if err != nil {
+				t.Fatal(err)
+			}
+			locals[s] = src
+		}
+		localMerged, err := sharded.Merge(locals)
+		if err != nil {
+			t.Fatal(err)
+		}
+		inputs := make([]relation.KeyedSource, sharded.NumShards())
+		for s := range inputs {
+			rs, err := OpenRemoteShard(context.Background(), stub, rr, s, access, q, 11)
+			if err != nil {
+				t.Fatal(err)
+			}
+			inputs[s] = rs
+		}
+		remoteMerged, err := relation.NewMergedSource(stub, kind, inputs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; ; i++ {
+			wt, werr := localMerged.Next()
+			gt, gerr := remoteMerged.Next()
+			if (werr == nil) != (gerr == nil) {
+				t.Fatalf("%s row %d: local err %v, remote err %v", access, i, werr, gerr)
+			}
+			if werr != nil {
+				break
+			}
+			if wt.ID != gt.ID || math.Float64bits(wt.Score) != math.Float64bits(gt.Score) {
+				t.Fatalf("%s row %d: local %q/%x, remote %q/%x", access, i,
+					wt.ID, math.Float64bits(wt.Score), gt.ID, math.Float64bits(gt.Score))
+			}
+		}
+	}
+}
+
+// TestRemoteMergePrunesFarShards: under grid partitioning, draining only
+// a short prefix near the query must leave at least one far shard's
+// stream unopened — the observable form of distance-aware pruning.
+func TestRemoteMergePrunesFarShards(t *testing.T) {
+	sharded, _, rr := shardedFixture(t, 6, 2, relation.GridPartition)
+	stub, err := rr.Stub()
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := []float64{0, 0}
+	inputs := make([]relation.KeyedSource, sharded.NumShards())
+	remotes := make([]*RemoteSource, sharded.NumShards())
+	for s := range inputs {
+		rs, err := OpenRemoteShard(context.Background(), stub, rr, s, api.AccessDistance, q, 8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		inputs[s], remotes[s] = rs, rs
+	}
+	merged, err := relation.NewMergedSource(stub, relation.DistanceAccess, inputs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if _, err := merged.Next(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	opened := 0
+	for _, rs := range remotes {
+		if rs.Opened() {
+			opened++
+		}
+	}
+	if opened == len(remotes) {
+		t.Fatalf("short prefix opened all %d shards; bounds pruned nothing", opened)
+	}
+}
+
+// TestRemoteSourceResume: killing the connection mid-stream must be
+// invisible — the source redials and re-pulls at its offset, and the
+// delivered rows stay bit-for-bit identical.
+func TestRemoteSourceResume(t *testing.T) {
+	sharded, _, rr := shardedFixture(t, 3, 1, relation.HashPartition)
+	stub, err := rr.Stub()
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := []float64{1, 1}
+	local, err := sharded.ShardSource(0, relation.DistanceAccess, q, nil, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := drainKeyed(t, local.(relation.KeyedSource), 1<<20)
+
+	remote, err := OpenRemoteShard(context.Background(), stub, rr, 0, api.AccessDistance, q, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got []keyedRow
+	for i := 0; ; i++ {
+		tu, key, ord, err := remote.NextKeyed()
+		if errors.Is(err, relation.ErrExhausted) {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		row := keyedRow{id: tu.ID, key: math.Float64bits(key), ord: uint64(ord), score: math.Float64bits(tu.Score)}
+		got = append(got, row)
+		// Sever the live connection every few rows, in the middle of a
+		// buffered batch and at batch edges alike.
+		if i%5 == 2 && remote.conn != nil {
+			remote.conn.Close()
+		}
+	}
+	for i := range got {
+		got[i].vec = want[i].vec // vec not tracked above; compare the rest
+	}
+	if !rowsEqual(got, want) {
+		t.Fatalf("resumed stream differs: %d vs %d rows", len(got), len(want))
+	}
+	if remote.peerRetriesTotal() == 0 {
+		t.Fatal("stream survived connection kills without recording any retries")
+	}
+}
+
+// peerRetriesTotal sums retry counters over the source's owners.
+func (r *RemoteSource) peerRetriesTotal() int64 {
+	var n int64
+	for _, p := range r.owners {
+		n += p.Retries.Load()
+	}
+	return n
+}
+
+// TestDeadPeerCleanError: a peer that is gone for good must surface as a
+// structured unavailable error, not a hang or a raw transport error.
+func TestDeadPeerCleanError(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close() // nothing listens here anymore
+
+	stub, err := relation.NewStub("pts", 1.0, 2, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	peer := NewPeer(addr)
+	peer.DialTimeout = 200 * time.Millisecond
+	peer.PullTimeout = 200 * time.Millisecond
+	rr := &RemoteRelation{
+		Name: "pts", MaxScore: 1.0, Dim: 2, Tuples: 10, Shards: 1,
+		Owners: map[int][]*Peer{0: {peer}},
+		Bounds: map[int]relation.ShardBounds{0: {Centroid: []float64{0, 0}, Radius: 1, MaxScore: 1, Tuples: 10}},
+	}
+	rs, err := OpenRemoteShard(context.Background(), stub, rr, 0, api.AccessScore, nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, _, _, err = rs.NextKeyed()
+	var apiErr *api.Error
+	if !errors.As(err, &apiErr) || apiErr.Code != api.CodeUnavailable {
+		t.Fatalf("dead peer: got %v, want *api.Error with code %q", err, api.CodeUnavailable)
+	}
+}
+
+// TestQueryForwarding: the query verb carries the event stream verbatim.
+func TestQueryForwarding(t *testing.T) {
+	score := 0.75
+	events := []api.ResultEvent{
+		{Type: api.EventResult, Rank: 1, Result: &api.Combination{Score: score}},
+		{Type: api.EventSummary, Summary: &api.Summary{Count: 1}},
+	}
+	addr := startServer(t, &testBackend{name: "q", rels: map[string]*relation.Sharded{},
+		owns: func(int) bool { return true }, events: events})
+	peer := NewPeer(addr)
+	defer peer.Close()
+	resp, err := peer.Call(context.Background(), &Request{Verb: VerbQuery, Request: &api.Request{Version: api.Version}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Events) != 2 || resp.Events[0].Result == nil ||
+		math.Float64bits(resp.Events[0].Result.Score) != math.Float64bits(score) {
+		t.Fatalf("forwarded events corrupted: %+v", resp.Events)
+	}
+}
+
+// TestDiscoverRejectsDisagreement: peers reporting different metadata
+// for one relation name must fail discovery.
+func TestDiscoverRejectsDisagreement(t *testing.T) {
+	relA := testRelation(t, "pts", 1, 40, 2)
+	relB := testRelation(t, "pts", 2, 44, 2) // different tuple count
+	sa, err := relation.Partition(relA, 2, relation.HashPartition)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sb, err := relation.Partition(relB, 2, relation.HashPartition)
+	if err != nil {
+		t.Fatal(err)
+	}
+	addrA := startServer(t, &testBackend{name: "a", rels: map[string]*relation.Sharded{"pts": sa}, owns: func(int) bool { return true }})
+	addrB := startServer(t, &testBackend{name: "b", rels: map[string]*relation.Sharded{"pts": sb}, owns: func(int) bool { return true }})
+	fleet := NewFleet([]string{addrA, addrB})
+	defer fleet.Close()
+	if _, err := fleet.Discover(context.Background()); err == nil {
+		t.Fatal("discovery accepted disagreeing peers")
+	}
+}
+
+// TestDiscoverRejectsCoverageGaps: a shard nobody owns fails discovery.
+func TestDiscoverRejectsCoverageGaps(t *testing.T) {
+	rel := testRelation(t, "pts", 3, 40, 2)
+	s, err := relation.Partition(rel, 4, relation.HashPartition)
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := startServer(t, &testBackend{name: "a", rels: map[string]*relation.Sharded{"pts": s},
+		owns: func(i int) bool { return i != 1 }})
+	fleet := NewFleet([]string{addr})
+	defer fleet.Close()
+	if _, err := fleet.Discover(context.Background()); err == nil {
+		t.Fatal("discovery accepted a fleet missing shard 1")
+	}
+}
+
+// TestScoreBoundIsFirstKey: the advertised score bound equals the true
+// first key of the shard stream — exactness the latent merge relies on.
+func TestScoreBoundIsFirstKey(t *testing.T) {
+	sharded, _, rr := shardedFixture(t, 4, 2, relation.HashPartition)
+	stub, err := rr.Stub()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for s := 0; s < sharded.NumShards(); s++ {
+		rs, err := OpenRemoteShard(context.Background(), stub, rr, s, api.AccessScore, nil, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bound := rs.KeyLowerBound()
+		_, key, _, err := rs.NextKeyed()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if bound != key {
+			t.Fatalf("shard %d: score bound %v, first key %v", s, bound, key)
+		}
+		rs.Close()
+	}
+}
+
+// TestDistanceBoundIsSound: for many random queries, every shard's
+// advertised distance bound must lower-bound its true first key.
+func TestDistanceBoundIsSound(t *testing.T) {
+	sharded, _, rr := shardedFixture(t, 5, 2, relation.GridPartition)
+	stub, err := rr.Stub()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rnd := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 25; trial++ {
+		q := []float64{rnd.Float64() * 6, rnd.Float64() * 6}
+		for s := 0; s < sharded.NumShards(); s++ {
+			rs, err := OpenRemoteShard(context.Background(), stub, rr, s, api.AccessDistance, q, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			bound := rs.KeyLowerBound()
+			_, key, _, err := rs.NextKeyed()
+			if err != nil {
+				t.Fatal(err)
+			}
+			rs.Close()
+			if bound > key {
+				t.Fatalf("trial %d shard %d: bound %v exceeds first key %v", trial, s, bound, key)
+			}
+		}
+	}
+}

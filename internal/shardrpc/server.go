@@ -1,0 +1,242 @@
+package shardrpc
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+
+	"repro/api"
+	"repro/internal/relation"
+)
+
+// Backend is what a shard server serves. The service layer implements it
+// over its catalog and executor; shardrpc itself stays a pure transport
+// with no dependency on the serving stack.
+type Backend interface {
+	// Hello describes the server: relations, partition layout, owned
+	// shards and their bounds.
+	Hello() HelloInfo
+	// OpenShard opens the canonical keyed stream of one owned shard for
+	// one access configuration. Errors are returned to the client as
+	// structured api.Errors (an unowned shard or unknown relation should
+	// yield api.CodeNotFound).
+	OpenShard(relName string, shard int, access string, query []float64) (relation.KeyedSource, error)
+	// Query runs a whole request and returns its event stream.
+	Query(ctx context.Context, req *api.Request) ([]api.ResultEvent, error)
+}
+
+// Server accepts shardrpc connections and answers them from a Backend.
+// Each connection is handled by one goroutine and carries at most one
+// open shard stream (the target of VerbNext).
+type Server struct {
+	backend Backend
+
+	mu     sync.Mutex
+	ln     net.Listener
+	conns  map[net.Conn]struct{}
+	closed bool
+	wg     sync.WaitGroup
+}
+
+// NewServer wraps backend; call Serve or Listen to start accepting.
+func NewServer(backend Backend) *Server {
+	return &Server{backend: backend, conns: make(map[net.Conn]struct{})}
+}
+
+// Listen binds addr and starts serving in a background goroutine,
+// returning the bound address (useful with a ":0" addr).
+func (s *Server) Listen(addr string) (net.Addr, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		ln.Close()
+		return nil, errors.New("shardrpc: server is closed")
+	}
+	s.ln = ln
+	s.mu.Unlock()
+	s.wg.Add(1)
+	go func() {
+		defer s.wg.Done()
+		s.serve(ln)
+	}()
+	return ln.Addr(), nil
+}
+
+func (s *Server) serve(ln net.Listener) {
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			conn.Close()
+			return
+		}
+		s.conns[conn] = struct{}{}
+		s.mu.Unlock()
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			s.handle(conn)
+		}()
+	}
+}
+
+// Close stops accepting, closes every live connection, and waits for
+// handlers to drain.
+func (s *Server) Close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		s.wg.Wait()
+		return
+	}
+	s.closed = true
+	ln := s.ln
+	conns := make([]net.Conn, 0, len(s.conns))
+	for c := range s.conns {
+		conns = append(conns, c)
+	}
+	s.mu.Unlock()
+	if ln != nil {
+		ln.Close()
+	}
+	for _, c := range conns {
+		c.Close()
+	}
+	s.wg.Wait()
+}
+
+// handle runs one connection's request/response loop until the peer
+// hangs up or a transport error occurs. Structured failures (unknown
+// relation, bad verb) are answered in-band and do not end the loop.
+func (s *Server) handle(conn net.Conn) {
+	defer func() {
+		conn.Close()
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+	}()
+	// stream is the connection's current shard stream (VerbNext target).
+	var stream relation.KeyedSource
+	for {
+		var req Request
+		if err := readFrame(conn, &req); err != nil {
+			return
+		}
+		var resp Response
+		switch req.Verb {
+		case VerbPing:
+			// Empty success response.
+		case VerbHello:
+			h := s.backend.Hello()
+			resp.Hello = &h
+		case VerbPull:
+			src, err := s.backend.OpenShard(req.Relation, req.Shard, req.Access, req.Query)
+			if err == nil {
+				err = skip(src, req.Offset)
+			}
+			if err != nil {
+				stream = nil
+				resp.Err = asWireError(err)
+				break
+			}
+			stream = src
+			resp.Tuples, resp.Done, err = fill(stream, batchSize(req.Batch))
+			if err != nil {
+				stream = nil
+				resp = Response{Err: asWireError(err)}
+			}
+		case VerbNext:
+			if stream == nil {
+				resp.Err = api.Errorf(api.CodeBadRequest, "next without an open stream on this connection")
+				break
+			}
+			var err error
+			resp.Tuples, resp.Done, err = fill(stream, batchSize(req.Batch))
+			if err != nil {
+				stream = nil
+				resp = Response{Err: asWireError(err)}
+			}
+		case VerbQuery:
+			if req.Request == nil {
+				resp.Err = api.Errorf(api.CodeBadRequest, "query verb needs a request body")
+				break
+			}
+			events, err := s.backend.Query(context.Background(), req.Request)
+			if err != nil {
+				resp.Err = asWireError(err)
+				break
+			}
+			resp.Events = events
+		default:
+			resp.Err = api.Errorf(api.CodeBadRequest, "unknown verb %q", req.Verb)
+		}
+		if resp.Done {
+			stream = nil
+		}
+		if err := writeFrame(conn, &resp); err != nil {
+			return
+		}
+	}
+}
+
+// batchSize clamps a requested batch to [1, MaxBatch].
+func batchSize(n int) int {
+	switch {
+	case n <= 0:
+		return DefaultBatch
+	case n > MaxBatch:
+		return MaxBatch
+	}
+	return n
+}
+
+// skip advances a freshly opened stream past n rows (the client's resume
+// offset). Exhausting during the skip is fine — the following fill
+// reports Done.
+func skip(src relation.KeyedSource, n int) error {
+	for i := 0; i < n; i++ {
+		if _, _, _, err := src.NextKeyed(); err != nil {
+			if errors.Is(err, relation.ErrExhausted) {
+				return nil
+			}
+			return err
+		}
+	}
+	return nil
+}
+
+// fill drains up to batch rows from the stream into wire form.
+func fill(src relation.KeyedSource, batch int) ([]WireTuple, bool, error) {
+	out := make([]WireTuple, 0, batch)
+	for len(out) < batch {
+		t, key, ord, err := src.NextKeyed()
+		if errors.Is(err, relation.ErrExhausted) {
+			return out, true, nil
+		}
+		if err != nil {
+			return nil, false, err
+		}
+		out = append(out, WireTuple{Key: key, Ord: ord, ID: t.ID, Score: t.Score, Vec: t.Vec, Attrs: t.Attrs})
+	}
+	return out, false, nil
+}
+
+// asWireError shapes any backend failure as a structured api.Error so
+// clients always get a code they can act on.
+func asWireError(err error) *api.Error {
+	var apiErr *api.Error
+	if errors.As(err, &apiErr) {
+		return apiErr
+	}
+	return api.Errorf(api.CodeInternal, "%s", fmt.Sprintf("%v", err))
+}

@@ -1,0 +1,232 @@
+package shardrpc
+
+import (
+	"context"
+	"fmt"
+	"net"
+
+	"repro/api"
+	"repro/internal/relation"
+)
+
+// RemoteSource streams one remote shard as a relation.BoundedSource: the
+// engine and merge layers cannot tell it from a local shard stream. It
+// pulls batches over a checked-out peer connection, resumes
+// byte-identically after a broken connection by re-pulling at its
+// consumed offset (failing over to a replica owner when one exists), and
+// reports its shard's key lower bound so MergedSource defers opening it
+// — the mechanism behind distance-aware shard pruning. A RemoteSource is
+// single-stream state and must not be shared across goroutines.
+type RemoteSource struct {
+	parent *relation.Relation // metadata stub of the logical relation
+	kind   relation.AccessKind
+	bound  float64
+
+	relName string
+	shard   int
+	access  string
+	query   []float64
+	batch   int
+	owners  []*Peer
+	ctx     context.Context
+
+	// opened flips on the first NextKeyed call: a source that ends its
+	// query with opened still false was pruned — the merge never needed
+	// any key at or past its bound.
+	opened bool
+
+	conn     net.Conn
+	peer     *Peer // owner of conn
+	ownerIdx int   // owner to try on the next (re)connect
+	buf      []WireTuple
+	pos      int
+	offset   int // rows consumed from the stream (resume point)
+	done     bool
+}
+
+// OpenRemoteShard builds the stream of one shard of a discovered remote
+// relation. parent must be the stub (or local twin) of the logical
+// relation; access is the wire access name (api.AccessDistance or
+// api.AccessScore) with query set for distance access. Nothing is sent
+// until the first read — constructing a RemoteSource is free, which is
+// what lets a coordinator set up every shard's source and let the merge
+// decide which ones to actually open. batch <= 0 selects DefaultBatch.
+func OpenRemoteShard(ctx context.Context, parent *relation.Relation, rr *RemoteRelation, shard int, access string, query []float64, batch int) (*RemoteSource, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	kind, err := kindOf(access)
+	if err != nil {
+		return nil, err
+	}
+	owners := rr.Owners[shard]
+	if len(owners) == 0 {
+		return nil, fmt.Errorf("shardrpc: no peer owns shard %d of relation %q", shard, rr.Name)
+	}
+	bounds, ok := rr.Bounds[shard]
+	if !ok {
+		return nil, fmt.Errorf("shardrpc: no bounds for shard %d of relation %q", shard, rr.Name)
+	}
+	var bound float64
+	switch kind {
+	case relation.ScoreAccess:
+		// Score streams ascend in key −score; the shard's true σ_max gives
+		// the exact first key. No slack needed: the bound is a recorded
+		// minimum, not derived arithmetic.
+		bound = -bounds.MaxScore
+	default:
+		bound = bounds.DistanceLowerBound(query)
+	}
+	if batch <= 0 {
+		batch = DefaultBatch
+	}
+	return &RemoteSource{
+		parent:  parent,
+		kind:    kind,
+		bound:   bound,
+		relName: rr.Name,
+		shard:   shard,
+		access:  access,
+		query:   query,
+		batch:   batch,
+		owners:  owners,
+		ctx:     ctx,
+	}, nil
+}
+
+// kindOf maps a wire access name onto the relation-layer access kind.
+func kindOf(access string) (relation.AccessKind, error) {
+	switch access {
+	case api.AccessScore:
+		return relation.ScoreAccess, nil
+	case api.AccessDistance:
+		return relation.DistanceAccess, nil
+	}
+	return 0, fmt.Errorf("shardrpc: unknown access kind %q", access)
+}
+
+// Kind implements relation.Source.
+func (r *RemoteSource) Kind() relation.AccessKind { return r.kind }
+
+// Relation implements relation.Source: the logical parent, so σ_max,
+// dimensionality, and error messages reflect what the caller queried.
+func (r *RemoteSource) Relation() *relation.Relation { return r.parent }
+
+// KeyLowerBound implements relation.BoundedSource.
+func (r *RemoteSource) KeyLowerBound() float64 { return r.bound }
+
+// Opened reports whether the stream was ever read. False after a query
+// completes means the shard was pruned.
+func (r *RemoteSource) Opened() bool { return r.opened }
+
+// Shard returns the shard index this source streams.
+func (r *RemoteSource) Shard() int { return r.shard }
+
+// Next implements relation.Source.
+func (r *RemoteSource) Next() (relation.Tuple, error) {
+	t, _, _, err := r.NextKeyed()
+	return t, err
+}
+
+// NextKeyed implements relation.KeyedSource. Transport failures retry
+// transparently (redial, replica failover, offset resume); only after
+// the retry budget is spent does it fail, with an *api.Error of code
+// CodeUnavailable.
+func (r *RemoteSource) NextKeyed() (relation.Tuple, float64, int, error) {
+	r.opened = true
+	for r.pos >= len(r.buf) {
+		if r.done {
+			return relation.Tuple{}, 0, 0, relation.ErrExhausted
+		}
+		if err := r.fetch(); err != nil {
+			return relation.Tuple{}, 0, 0, err
+		}
+	}
+	w := r.buf[r.pos]
+	r.pos++
+	r.offset++
+	return w.Tuple(), w.Key, w.Ord, nil
+}
+
+// fetch pulls the next batch into buf. A healthy checked-out connection
+// continues the stream with VerbNext; otherwise it (re)connects —
+// rotating through replica owners — and re-opens with VerbPull at the
+// consumed offset, which resumes the deterministic stream exactly where
+// the last delivered row left it.
+func (r *RemoteSource) fetch() error {
+	var lastErr error
+	for attempt := 0; attempt < maxAttempts; attempt++ {
+		if attempt > 0 {
+			if err := sleepCtx(r.ctx, backoff(attempt)); err != nil {
+				return err
+			}
+		}
+		verb := VerbNext
+		if r.conn == nil {
+			peer := r.owners[r.ownerIdx%len(r.owners)]
+			r.ownerIdx++
+			if attempt > 0 || lastErr != nil {
+				peer.Retries.Add(1)
+			}
+			c, err := peer.get(r.ctx)
+			if err != nil {
+				lastErr = fmt.Errorf("dial %s: %w", peer.Addr, err)
+				continue
+			}
+			r.conn, r.peer = c, peer
+			verb = VerbPull
+		}
+		req := Request{
+			Verb:     verb,
+			Relation: r.relName,
+			Shard:    r.shard,
+			Access:   r.access,
+			Query:    r.query,
+			Offset:   r.offset,
+			Batch:    r.batch,
+		}
+		var resp Response
+		if err := r.peer.exchange(r.conn, &req, &resp); err != nil {
+			r.conn.Close()
+			r.conn, r.peer = nil, nil
+			lastErr = err
+			continue
+		}
+		if resp.Err != nil {
+			// The server answered: a structured refusal, not a transport
+			// fault. Surface it without burning retries.
+			r.release()
+			return resp.Err
+		}
+		r.buf, r.pos, r.done = resp.Tuples, 0, resp.Done
+		if r.done {
+			r.release()
+		}
+		return nil
+	}
+	return api.Errorf(api.CodeUnavailable,
+		"shard %d of relation %q unreachable after %d attempts (last error: %v)",
+		r.shard, r.relName, maxAttempts, lastErr)
+}
+
+// release returns the checked-out connection to its peer's pool. The
+// connection is always in a clean framing state here (every exchange
+// either completed or closed it), and an abandoned server-side stream
+// cursor is harmless: the next pull on the connection resets it.
+func (r *RemoteSource) release() {
+	if r.conn != nil {
+		r.peer.put(r.conn)
+		r.conn, r.peer = nil, nil
+	}
+}
+
+// Close releases the source's connection without draining the stream.
+// Idempotent; the source stays formally usable (a later read re-pulls at
+// its offset), though callers treat Close as the end of its life.
+func (r *RemoteSource) Close() { r.release() }
+
+// Exhausted reports whether the stream ended naturally (every row
+// delivered).
+func (r *RemoteSource) Exhausted() bool { return r.done && r.pos >= len(r.buf) }
+
+var _ relation.BoundedSource = (*RemoteSource)(nil)

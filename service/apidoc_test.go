@@ -2,6 +2,7 @@ package service_test
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"net/http"
 	"net/http/httptest"
@@ -12,6 +13,7 @@ import (
 
 	proxrank "repro"
 	"repro/api"
+	"repro/internal/shardrpc"
 	"repro/service"
 )
 
@@ -38,12 +40,19 @@ import (
 //	               fixture server; the next live-events block must equal
 //	               the actual NDJSON lines (volatile cost timings zeroed)
 //	live-events    see live-stream
+//	rpc-request    the block decodes strictly into shardrpc.Request
+//	rpc-response   the block decodes strictly into shardrpc.Response
+//	rpc-live-request   the block is sent as a frame to the fixture shard
+//	                   server; the next rpc-live-response block must
+//	                   equal the actual response frame's JSON
+//	rpc-live-response  see rpc-live-request
 func TestAPIDoc(t *testing.T) {
 	blocks := parseDocBlocks(t, "../docs/API.md")
 	if len(blocks) == 0 {
 		t.Fatal("docs/API.md has no doctest-annotated blocks")
 	}
 	srv := docFixtureServer(t)
+	rpcPeer := docShardServer(t)
 	counts := map[string]int{}
 	var pendingLive *docBlock
 	for i := range blocks {
@@ -89,6 +98,21 @@ func TestAPIDoc(t *testing.T) {
 			requireLive(t, b, pendingLive, "live-stream")
 			checkLiveStream(t, srv, pendingLive, b)
 			pendingLive = nil
+		case "rpc-request":
+			var req shardrpc.Request
+			strictDecode(t, b, &req)
+			if req.Verb == "" {
+				t.Errorf("docs/API.md:%d: rpc request example has no verb", b.line)
+			}
+		case "rpc-response":
+			var resp shardrpc.Response
+			strictDecode(t, b, &resp)
+		case "rpc-live-request":
+			pendingLive = &blocks[i]
+		case "rpc-live-response":
+			requireLive(t, b, pendingLive, "rpc-live-request")
+			checkLiveRPC(t, rpcPeer, pendingLive, b)
+			pendingLive = nil
 		default:
 			t.Errorf("docs/API.md:%d: unknown doctest mode %q", b.line, b.mode)
 		}
@@ -97,7 +121,7 @@ func TestAPIDoc(t *testing.T) {
 		t.Errorf("docs/API.md:%d: %s block without its answer block", pendingLive.line, pendingLive.mode)
 	}
 	// The reference must keep covering the core shapes.
-	for _, mode := range []string{"request", "events", "error", "live-response", "live-events"} {
+	for _, mode := range []string{"request", "events", "error", "live-response", "live-events", "rpc-request", "rpc-live-response"} {
 		if counts[mode] == 0 {
 			t.Errorf("docs/API.md documents no %s example", mode)
 		}
@@ -225,6 +249,76 @@ func docFixtureServer(t *testing.T) *httptest.Server {
 	srv := httptest.NewServer(service.NewServer(cat, exec).Handler())
 	t.Cleanup(srv.Close)
 	return srv
+}
+
+// docShardServer serves the same fixture data set over the shardrpc
+// wire protocol, each relation as a single owned shard, under the fixed
+// server name the documentation shows. Every rpc-live example runs
+// against it.
+func docShardServer(t *testing.T) *shardrpc.Peer {
+	t.Helper()
+	hotels, err := proxrank.NewRelation("hotels", 1.0, []proxrank.Tuple{
+		{ID: "h1", Score: 0.9, Vec: proxrank.Vector{0.1, 0}},
+		{ID: "h2", Score: 0.2, Vec: proxrank.Vector{5, 5}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	food, err := proxrank.NewRelation("restaurants", 1.0, []proxrank.Tuple{
+		{ID: "r1", Score: 0.8, Vec: proxrank.Vector{0, 0.2}},
+		{ID: "r2", Score: 0.3, Vec: proxrank.Vector{-4, 4}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cat := service.NewCatalog()
+	if err := cat.Register("hotels", hotels); err != nil {
+		t.Fatal(err)
+	}
+	if err := cat.Register("restaurants", food); err != nil {
+		t.Fatal(err)
+	}
+	exec := service.NewExecutor(cat, service.Config{Workers: 2, CacheSize: -1})
+	backend := service.NewShardBackend(cat, exec, service.Ownership{})
+	backend.SetName("shard-a.internal:8081")
+	rpcSrv := shardrpc.NewServer(backend)
+	addr, err := rpcSrv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(rpcSrv.Close)
+	peer := shardrpc.NewPeer(addr.String())
+	t.Cleanup(peer.Close)
+	return peer
+}
+
+// checkLiveRPC sends the documented request frame to the fixture shard
+// server and compares the actual response frame's JSON with the
+// documented one.
+func checkLiveRPC(t *testing.T, peer *shardrpc.Peer, reqB *docBlock, respB docBlock) {
+	t.Helper()
+	var req shardrpc.Request
+	dec := json.NewDecoder(strings.NewReader(reqB.text))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		t.Errorf("docs/API.md:%d: rpc request does not decode: %v", reqB.line, err)
+		return
+	}
+	resp, err := peer.Call(context.Background(), &req)
+	if err != nil {
+		t.Errorf("docs/API.md:%d: documented rpc request failed: %v", reqB.line, err)
+		return
+	}
+	live, err := json.Marshal(resp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := normalizeDoc(t, respB.line, []byte(respB.text))
+	have := normalizeDoc(t, respB.line, live)
+	if !reflect.DeepEqual(want, have) {
+		gotJSON, _ := json.MarshalIndent(have, "", "  ")
+		t.Errorf("docs/API.md:%d: documented rpc response differs from the live shard server.\nlive:\n%s", respB.line, gotJSON)
+	}
 }
 
 // normalizeDoc parses one JSON value and zeroes the volatile cost fields

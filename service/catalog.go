@@ -7,6 +7,7 @@ import (
 	"time"
 
 	proxrank "repro"
+	"repro/internal/shardrpc"
 )
 
 // Entry is one catalog slot: the relation partitioned into one or more
@@ -20,16 +21,39 @@ type Entry struct {
 	sharded  *proxrank.ShardedRelation
 	gen      uint64
 	loadedAt time.Time
+	// Remote entries (coordinator mode) carry no local tuples: stub is a
+	// metadata-only relation and remote maps shards onto fleet peers.
+	// Exactly one of sharded and remote is set.
+	stub   *proxrank.Relation
+	remote *shardrpc.RemoteRelation
 }
 
-// Relation returns the registered (parent) relation.
-func (e *Entry) Relation() *proxrank.Relation { return e.sharded.Relation() }
+// Relation returns the registered (parent) relation — a metadata-only
+// stub for remote entries.
+func (e *Entry) Relation() *proxrank.Relation {
+	if e.remote != nil {
+		return e.stub
+	}
+	return e.sharded.Relation()
+}
 
-// Sharded returns the partitioned form queries stream from.
+// Sharded returns the partitioned form queries stream from, or nil for a
+// remote entry (its shards live on other servers).
 func (e *Entry) Sharded() *proxrank.ShardedRelation { return e.sharded }
 
+// Remote returns the remote shard map, or nil for a local entry.
+func (e *Entry) Remote() *shardrpc.RemoteRelation { return e.remote }
+
+// IsRemote reports whether the entry's shards live on remote peers.
+func (e *Entry) IsRemote() bool { return e.remote != nil }
+
 // Shards returns the entry's shard count.
-func (e *Entry) Shards() int { return e.sharded.NumShards() }
+func (e *Entry) Shards() int {
+	if e.remote != nil {
+		return e.remote.Shards
+	}
+	return e.sharded.NumShards()
+}
 
 // Generation returns the registration generation (monotone across the
 // catalog; a name re-registered after eviction gets a fresh generation).
@@ -43,6 +67,10 @@ type RelationInfo struct {
 	MaxScore float64   `json:"maxScore"`
 	Shards   int       `json:"shards"`
 	LoadedAt time.Time `json:"loadedAt"`
+	// Remote marks a coordinator entry whose shards live on peers;
+	// Owners then maps each peer address to the shard indices it serves.
+	Remote bool             `json:"remote,omitempty"`
+	Owners map[string][]int `json:"owners,omitempty"`
 }
 
 // Catalog is a concurrency-safe registry of named relations. Registration
@@ -118,6 +146,36 @@ func (c *Catalog) RegisterSharded(name string, rel *proxrank.Relation, shards in
 		observe(sharded.NumShards(), time.Since(buildStart))
 	}
 	e := &Entry{sharded: sharded, loadedAt: time.Now()}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.entries[name]; ok {
+		return apiErrorf(CodeConflict, "relation %q is already registered", name)
+	}
+	c.nextGen++
+	e.gen = c.nextGen
+	c.entries[name] = e
+	return nil
+}
+
+// RegisterRemote names a relation whose shards live on fleet peers
+// (coordinator mode). The entry carries only metadata — a stub relation
+// built from what the peers agreed on during discovery — and the shard
+// ownership map; the query path resolves its shards to RemoteSources.
+func (c *Catalog) RegisterRemote(name string, rr *shardrpc.RemoteRelation) error {
+	if name == "" {
+		return apiErrorf(CodeBadRequest, "relation name must not be empty")
+	}
+	if rr == nil {
+		return apiErrorf(CodeBadRequest, "relation %q: nil remote relation", name)
+	}
+	if rr.Name != name {
+		return apiErrorf(CodeBadRequest, "catalog name %q differs from relation name %q", name, rr.Name)
+	}
+	stub, err := rr.Stub()
+	if err != nil {
+		return apiErrorf(CodeBadRequest, "relation %q: %v", name, err)
+	}
+	e := &Entry{stub: stub, remote: rr, loadedAt: time.Now()}
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if _, ok := c.entries[name]; ok {
@@ -207,7 +265,7 @@ func (c *Catalog) TotalShards() int {
 	defer c.mu.RUnlock()
 	total := 0
 	for _, e := range c.entries {
-		total += e.sharded.NumShards()
+		total += e.Shards()
 	}
 	return total
 }
@@ -215,7 +273,7 @@ func (c *Catalog) TotalShards() int {
 // info builds the wire metadata of one entry.
 func info(name string, e *Entry) RelationInfo {
 	rel := e.Relation()
-	return RelationInfo{
+	ri := RelationInfo{
 		Name:     name,
 		Tuples:   rel.Len(),
 		Dim:      rel.Dim(),
@@ -223,6 +281,16 @@ func info(name string, e *Entry) RelationInfo {
 		Shards:   e.Shards(),
 		LoadedAt: e.loadedAt,
 	}
+	if rr := e.remote; rr != nil {
+		ri.Remote = true
+		ri.Owners = make(map[string][]int)
+		for s := 0; s < rr.Shards; s++ {
+			for _, p := range rr.Owners[s] {
+				ri.Owners[p.Addr] = append(ri.Owners[p.Addr], s)
+			}
+		}
+	}
+	return ri
 }
 
 // Info returns the metadata of one registered relation.

@@ -1,0 +1,460 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	proxrank "repro"
+	"repro/api"
+	"repro/internal/shardrpc"
+)
+
+// distFixture is one distributed deployment next to its single-node
+// twin: the same relations, partitioned identically, served once by a
+// fleet of shard servers behind a coordinator and once by a plain local
+// executor. Byte-identity between the two is the system's core
+// distributed invariant.
+type distFixture struct {
+	names []string
+	// single-node twin
+	local *Executor
+	// coordinator over the fleet
+	coord    *Executor
+	coordCat *Catalog
+	fleet    *shardrpc.Fleet
+	servers  []*shardrpc.Server
+}
+
+// newDistFixture partitions nRels tie-prone relations into shards and
+// serves them from nServers shard servers (server i owns shard s when
+// s%n == i), plus a coordinator and a single-node twin.
+func newDistFixture(t testing.TB, nRels, size, shards, nServers int, strategy proxrank.PartitionStrategy) *distFixture {
+	t.Helper()
+	f := &distFixture{}
+	rels := make([]*proxrank.Relation, nRels)
+	for i := range rels {
+		f.names = append(f.names, string(rune('A'+i)))
+		rels[i] = testRelation(t, f.names[i], int64(300+i), size, 2)
+	}
+
+	localCat := NewCatalog()
+	addrs := make([]string, nServers)
+	for i := 0; i < nServers; i++ {
+		cat := NewCatalog()
+		for _, rel := range rels {
+			if err := cat.RegisterSharded(rel.Name, rel, shards, strategy); err != nil {
+				t.Fatal(err)
+			}
+		}
+		exec := NewExecutor(cat, Config{Workers: 2, CacheSize: -1})
+		backend := NewShardBackend(cat, exec, Ownership{Index: i, Count: nServers})
+		srv := shardrpc.NewServer(backend)
+		bound, err := srv.Listen("127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		backend.SetName(bound.String())
+		addrs[i] = bound.String()
+		f.servers = append(f.servers, srv)
+		t.Cleanup(srv.Close)
+	}
+	for _, rel := range rels {
+		if err := localCat.RegisterSharded(rel.Name, rel, shards, strategy); err != nil {
+			t.Fatal(err)
+		}
+	}
+	f.local = NewExecutor(localCat, Config{Workers: 2, CacheSize: -1})
+
+	f.fleet = shardrpc.NewFleet(addrs)
+	t.Cleanup(f.fleet.Close)
+	remotes, err := f.fleet.Discover(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.coordCat = NewCatalog()
+	for name, rr := range remotes {
+		if err := f.coordCat.RegisterRemote(name, rr); err != nil {
+			t.Fatal(err)
+		}
+	}
+	f.coord = NewExecutor(f.coordCat, Config{Workers: 2, CacheSize: -1})
+	return f
+}
+
+// scrubResponse canonicalizes a response for comparison: wall-time
+// fields are the only legitimate difference between a local and a
+// distributed answer, so they are zeroed before the byte comparison.
+// Scores survive via Float64bits inside the JSON encoding (Go marshals
+// float64 shortest-round-trip).
+func scrubResponse(t testing.TB, resp *api.Response) string {
+	t.Helper()
+	c := *resp
+	c.Cost.ElapsedMicros = 0
+	buf, err := json.Marshal(&c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(buf)
+}
+
+// scrubEvents canonicalizes a streamed event sequence the same way.
+func scrubEvents(t testing.TB, events []api.ResultEvent) string {
+	t.Helper()
+	var b strings.Builder
+	for _, ev := range events {
+		if ev.Summary != nil {
+			s := *ev.Summary
+			s.Cost.ElapsedMicros = 0
+			ev.Summary = &s
+		}
+		buf, err := json.Marshal(ev)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b.Write(buf)
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+func getJSON(t testing.TB, url string, out any) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s: %s", url, resp.Status)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+		t.Fatalf("GET %s: decode: %v", url, err)
+	}
+}
+
+func getBody(t testing.TB, url string) string {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	buf, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(buf)
+}
+
+// TestDistributedByteIdentity: coordinator + 3 shard servers answer
+// byte-identically to a single node across algorithms × access kinds ×
+// batch/stream consumption — scores, order, stats, and event sequence.
+func TestDistributedByteIdentity(t *testing.T) {
+	f := newDistFixture(t, 2, 120, 5, 3, proxrank.GridPartition)
+	queries := [][]float64{{0.2, -0.1}, {1.4, 1.1}, {-2.0, 0.4}}
+	for _, algo := range []string{"cbrr", "cbpa", "tbrr", "tbpa"} {
+		for _, access := range []string{api.AccessDistance, api.AccessScore} {
+			for qi, q := range queries {
+				req := &QueryRequest{
+					Query:     q,
+					Relations: f.names,
+					K:         4,
+					Algorithm: algo,
+					Access:    access,
+				}
+				name := fmt.Sprintf("%s/%s/q%d", algo, access, qi)
+				want, err := f.local.Execute(context.Background(), req)
+				if err != nil {
+					t.Fatalf("%s: local: %v", name, err)
+				}
+				got, err := f.coord.Execute(context.Background(), req)
+				if err != nil {
+					t.Fatalf("%s: coordinator: %v", name, err)
+				}
+				if w, g := scrubResponse(t, want), scrubResponse(t, got); w != g {
+					t.Fatalf("%s: batch responses differ\nlocal:       %s\ncoordinator: %s", name, w, g)
+				}
+				wantEv, err := collectEvents(t, f.local, req)
+				if err != nil {
+					t.Fatalf("%s: local stream: %v", name, err)
+				}
+				gotEv, err := collectEvents(t, f.coord, req)
+				if err != nil {
+					t.Fatalf("%s: coordinator stream: %v", name, err)
+				}
+				if w, g := scrubEvents(t, wantEv), scrubEvents(t, gotEv); w != g {
+					t.Fatalf("%s: event streams differ\nlocal:\n%s\ncoordinator:\n%s", name, w, g)
+				}
+			}
+		}
+	}
+}
+
+// TestDistributedPruning: a far-corner query under grid partitioning
+// must leave whole remote shards unopened, and say so in the stats.
+func TestDistributedPruning(t *testing.T) {
+	f := newDistFixture(t, 2, 160, 6, 2, proxrank.GridPartition)
+	req := &QueryRequest{
+		Query:     []float64{-2.5, -2.5},
+		Relations: f.names,
+		K:         2,
+	}
+	want, err := f.local.Execute(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := f.coord.Execute(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w, g := scrubResponse(t, want), scrubResponse(t, got); w != g {
+		t.Fatalf("pruned answer differs from local\nlocal:       %s\ncoordinator: %s", w, g)
+	}
+	st := f.coord.Stats()
+	if st.ShardsPruned == 0 {
+		t.Fatalf("far-corner K=2 query pruned nothing (opened %d remote streams)", st.RemoteStreamsOpened)
+	}
+	if st.ShardsPruned+st.RemoteStreamsOpened != int64(f.coordCat.TotalShards()) {
+		// Every remote shard source ends the query either opened or pruned.
+		t.Fatalf("pruned %d + opened %d does not cover the %d shards",
+			st.ShardsPruned, st.RemoteStreamsOpened, f.coordCat.TotalShards())
+	}
+}
+
+// TestDistributedMixedLocalRemote: a coordinator holding one relation
+// locally and one remotely merges both worlds byte-identically.
+func TestDistributedMixedLocalRemote(t *testing.T) {
+	f := newDistFixture(t, 2, 100, 4, 2, proxrank.HashPartition)
+	// Rebuild the coordinator catalog: A local, B remote.
+	remotes, err := f.fleet.Discover(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	mixedCat := NewCatalog()
+	if err := mixedCat.RegisterSharded("A", testRelation(t, "A", 300, 100, 2), 4, proxrank.HashPartition); err != nil {
+		t.Fatal(err)
+	}
+	if err := mixedCat.RegisterRemote("B", remotes["B"]); err != nil {
+		t.Fatal(err)
+	}
+	mixed := NewExecutor(mixedCat, Config{Workers: 2, CacheSize: -1})
+	req := &QueryRequest{Query: []float64{0.3, 0.3}, Relations: f.names, K: 5}
+	want, err := f.local.Execute(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := mixed.Execute(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w, g := scrubResponse(t, want), scrubResponse(t, got); w != g {
+		t.Fatalf("mixed local+remote differs\nlocal: %s\nmixed: %s", w, g)
+	}
+}
+
+// TestDistributedPeerDeath: with no replicas, losing a peer surfaces as
+// a clean structured unavailable error — never a hang or a corrupt
+// partial answer.
+func TestDistributedPeerDeath(t *testing.T) {
+	f := newDistFixture(t, 2, 80, 4, 2, proxrank.HashPartition)
+	for _, p := range f.fleet.Peers() {
+		p.DialTimeout = 200 * time.Millisecond
+		p.PullTimeout = 500 * time.Millisecond
+	}
+	f.servers[1].Close() // peer 1 dies for good
+	req := &QueryRequest{Query: []float64{0, 0}, Relations: f.names, K: 3}
+	_, err := f.coord.Execute(context.Background(), req)
+	if err == nil {
+		t.Fatal("query over a dead, unreplicated peer succeeded")
+	}
+	var ae *APIError
+	if !errors.As(err, &ae) || ae.Code != CodeUnavailable {
+		t.Fatalf("got %v, want *APIError with code %q", err, CodeUnavailable)
+	}
+}
+
+// TestDistributedReplicaFailover: when every shard is replicated on a
+// second peer, losing one mid-deployment is invisible to queries.
+func TestDistributedReplicaFailover(t *testing.T) {
+	relA := testRelation(t, "A", 300, 100, 2)
+	relB := testRelation(t, "B", 301, 100, 2)
+	var servers []*shardrpc.Server
+	addrs := make([]string, 2)
+	for i := 0; i < 2; i++ {
+		cat := NewCatalog()
+		for _, rel := range []*proxrank.Relation{relA, relB} {
+			if err := cat.RegisterSharded(rel.Name, rel, 4, proxrank.HashPartition); err != nil {
+				t.Fatal(err)
+			}
+		}
+		exec := NewExecutor(cat, Config{Workers: 2, CacheSize: -1})
+		backend := NewShardBackend(cat, exec, Ownership{}) // owns everything
+		srv := shardrpc.NewServer(backend)
+		bound, err := srv.Listen("127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		backend.SetName(bound.String())
+		addrs[i] = bound.String()
+		servers = append(servers, srv)
+		t.Cleanup(srv.Close)
+	}
+	fleet := shardrpc.NewFleet(addrs)
+	t.Cleanup(fleet.Close)
+	remotes, err := fleet.Discover(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cat := NewCatalog()
+	for _, name := range []string{"A", "B"} {
+		if err := cat.RegisterRemote(name, remotes[name]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	coord := NewExecutor(cat, Config{Workers: 2, CacheSize: -1})
+	for _, p := range fleet.Peers() {
+		p.DialTimeout = 200 * time.Millisecond
+		p.PullTimeout = 500 * time.Millisecond
+	}
+
+	localCat := NewCatalog()
+	for _, rel := range []*proxrank.Relation{relA, relB} {
+		if err := localCat.RegisterSharded(rel.Name, rel, 4, proxrank.HashPartition); err != nil {
+			t.Fatal(err)
+		}
+	}
+	local := NewExecutor(localCat, Config{Workers: 2, CacheSize: -1})
+
+	servers[0].Close() // first-choice owner dies; replica carries on
+	req := &QueryRequest{Query: []float64{0.1, 0.1}, Relations: []string{"A", "B"}, K: 3}
+	want, err := local.Execute(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := coord.Execute(context.Background(), req)
+	if err != nil {
+		t.Fatalf("failover query failed: %v", err)
+	}
+	if w, g := scrubResponse(t, want), scrubResponse(t, got); w != g {
+		t.Fatalf("failover answer differs\nlocal:       %s\ncoordinator: %s", w, g)
+	}
+}
+
+// TestCoordinatorEndpoints: /v1/relations reports per-peer ownership,
+// /v1/healthz reports per-peer health and degrades (status only, still
+// 200) when a peer is down, /v1/stats carries the remote counters.
+func TestCoordinatorEndpoints(t *testing.T) {
+	f := newDistFixture(t, 2, 80, 4, 2, proxrank.HashPartition)
+	for _, p := range f.fleet.Peers() {
+		p.DialTimeout = 200 * time.Millisecond
+		p.PullTimeout = 500 * time.Millisecond
+	}
+	srv := NewServer(f.coordCat, f.coord)
+	srv.AttachFleet(f.fleet)
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+
+	var rels struct {
+		Relations []RelationInfo `json:"relations"`
+	}
+	getJSON(t, ts.URL+"/v1/relations", &rels)
+	if len(rels.Relations) != 2 || !rels.Relations[0].Remote || !rels.Relations[1].Remote {
+		t.Fatalf("relations: %+v, want two remote entries", rels.Relations)
+	}
+	ownedTotal := 0
+	for _, shards := range rels.Relations[0].Owners {
+		ownedTotal += len(shards)
+	}
+	if len(rels.Relations[0].Owners) != 2 || ownedTotal != rels.Relations[0].Shards {
+		t.Fatalf("ownership map incomplete: %+v", rels.Relations[0].Owners)
+	}
+
+	var health struct {
+		Status string       `json:"status"`
+		Peers  []PeerHealth `json:"peers"`
+	}
+	getJSON(t, ts.URL+"/v1/healthz", &health)
+	if health.Status != "ok" || len(health.Peers) != 2 {
+		t.Fatalf("healthy fleet: %+v", health)
+	}
+
+	// Run one query so the stats carry remote counters.
+	req := &QueryRequest{Query: []float64{0, 0}, Relations: f.names, K: 3}
+	if _, err := f.coord.Execute(context.Background(), req); err != nil {
+		t.Fatal(err)
+	}
+	var stats struct {
+		StatsSnapshot
+		Peers []PeerStats `json:"peers"`
+	}
+	getJSON(t, ts.URL+"/v1/stats", &stats)
+	if len(stats.Peers) != 2 {
+		t.Fatalf("stats peers: %+v", stats.Peers)
+	}
+	var pulls int64
+	for _, p := range stats.Peers {
+		pulls += p.Pulls
+	}
+	if pulls == 0 || stats.RemoteStreamsOpened == 0 {
+		t.Fatalf("remote counters empty after a query: pulls=%d opened=%d", pulls, stats.RemoteStreamsOpened)
+	}
+
+	// Kill a peer: healthz degrades but stays a 200 liveness signal.
+	f.servers[1].Close()
+	getJSON(t, ts.URL+"/v1/healthz", &health)
+	if health.Status != "degraded" {
+		t.Fatalf("one peer down: status %q, want degraded", health.Status)
+	}
+	downs := 0
+	for _, p := range health.Peers {
+		if p.Status == "down" {
+			downs++
+			if p.Coverage != "bound-dependent" {
+				t.Fatalf("unreplicated down peer coverage %q, want bound-dependent", p.Coverage)
+			}
+		}
+	}
+	if downs != 1 {
+		t.Fatalf("%d peers down, want 1: %+v", downs, health.Peers)
+	}
+
+	// The pruning counter is exposed on /metrics under its canonical name.
+	body := getBody(t, ts.URL+"/metrics")
+	if !strings.Contains(body, "proxrank_shards_pruned_total") ||
+		!strings.Contains(body, "proxrank_rpc_pull_duration_seconds") {
+		t.Fatal("metrics exposition is missing the fleet families")
+	}
+}
+
+// TestRemoteScoresBitExact double-checks the JSON wire keeps float bits:
+// the remote response's scores must be bit-identical, not just close.
+func TestRemoteScoresBitExact(t *testing.T) {
+	f := newDistFixture(t, 2, 90, 3, 2, proxrank.HashPartition)
+	req := &QueryRequest{Query: []float64{0.7, -0.3}, Relations: f.names, K: 5}
+	want, err := f.local.Execute(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := f.coord.Execute(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(want.Results) != len(got.Results) {
+		t.Fatalf("result counts differ: %d vs %d", len(want.Results), len(got.Results))
+	}
+	for i := range want.Results {
+		if math.Float64bits(want.Results[i].Score) != math.Float64bits(got.Results[i].Score) {
+			t.Fatalf("result %d: score bits differ: %x vs %x", i,
+				math.Float64bits(want.Results[i].Score), math.Float64bits(got.Results[i].Score))
+		}
+	}
+}

@@ -21,14 +21,15 @@ type (
 
 // Error codes, re-exported from the api package.
 const (
-	CodeBadRequest = api.CodeBadRequest
-	CodeNotFound   = api.CodeNotFound
-	CodeConflict   = api.CodeConflict
-	CodeTimeout    = api.CodeTimeout
-	CodeCanceled   = api.CodeCanceled
-	CodeOverloaded = api.CodeOverloaded
-	CodeDNF        = api.CodeDNF
-	CodeInternal   = api.CodeInternal
+	CodeBadRequest  = api.CodeBadRequest
+	CodeNotFound    = api.CodeNotFound
+	CodeConflict    = api.CodeConflict
+	CodeTimeout     = api.CodeTimeout
+	CodeCanceled    = api.CodeCanceled
+	CodeOverloaded  = api.CodeOverloaded
+	CodeDNF         = api.CodeDNF
+	CodeInternal    = api.CodeInternal
+	CodeUnavailable = api.CodeUnavailable
 )
 
 // apiErrorf builds an APIError with a formatted message.

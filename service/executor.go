@@ -16,6 +16,8 @@ import (
 	"repro/api"
 	"repro/internal/broker"
 	"repro/internal/obs"
+	"repro/internal/relation"
+	"repro/internal/shardrpc"
 )
 
 // Config tunes the executor.
@@ -168,6 +170,11 @@ type StatsSnapshot struct {
 	TotalCombinations   int64 `json:"totalCombinations"`
 	TotalBoundUpdates   int64 `json:"totalBoundUpdates"`
 	TotalEngineMicros   int64 `json:"totalEngineMicros"`
+	// RemoteStreamsOpened counts remote shard streams a query actually
+	// pulled from; ShardsPruned counts those whose bound proved the shard
+	// could not contribute, so the coordinator never opened them.
+	RemoteStreamsOpened int64 `json:"remoteStreamsOpened"`
+	ShardsPruned        int64 `json:"shardsPruned"`
 }
 
 // Executor answers queries against a catalog through a bounded worker
@@ -214,6 +221,8 @@ type Executor struct {
 	totalCombinations atomic.Int64
 	totalBoundUpdates atomic.Int64
 	totalEngineMicros atomic.Int64
+	remoteOpened      atomic.Int64
+	shardsPruned      atomic.Int64
 }
 
 // NewExecutor builds an executor over cat.
@@ -270,6 +279,11 @@ func NewExecutor(cat *Catalog, cfg Config) *Executor {
 // Config.Registry when one was supplied, a private registry otherwise.
 func (x *Executor) Registry() *obs.Registry { return x.m.reg }
 
+// AttachFleet wires a coordinator's peer fleet into this executor's
+// metric registry: per-peer pull latency histograms and func-backed
+// pull/retry/reconnect counters. Call once at coordinator startup.
+func (x *Executor) AttachFleet(fleet *shardrpc.Fleet) { x.m.registerFleet(fleet) }
+
 // Stats returns a consistent-enough snapshot of the counters.
 func (x *Executor) Stats() StatsSnapshot {
 	return StatsSnapshot{
@@ -296,6 +310,8 @@ func (x *Executor) Stats() StatsSnapshot {
 		TotalCombinations:   x.totalCombinations.Load(),
 		TotalBoundUpdates:   x.totalBoundUpdates.Load(),
 		TotalEngineMicros:   x.totalEngineMicros.Load(),
+		RemoteStreamsOpened: x.remoteOpened.Load(),
+		ShardsPruned:        x.shardsPruned.Load(),
 	}
 }
 
@@ -965,11 +981,12 @@ func (x *Executor) run(ctx context.Context, query proxrank.Vector, opts proxrank
 	}
 	defer release()
 
-	sources, aerr := x.buildSources(opts, query, entries)
+	sources, cleanup, aerr := x.buildSources(ctx, opts, query, entries)
 	if aerr != nil {
 		x.failed.Add(1)
 		return nil, aerr
 	}
+	defer cleanup()
 
 	x.engineRuns.Add(1)
 	res, err := proxrank.TopKFromSourcesContext(ctx, query, sources, opts)
@@ -1057,7 +1074,7 @@ func (x *Executor) openSession(ctx context.Context, query proxrank.Vector, opts 
 	if aerr != nil {
 		return nil, nil, aerr
 	}
-	sources, aerr := x.buildSources(opts, query, entries)
+	sources, cleanup, aerr := x.buildSources(ctx, opts, query, entries)
 	if aerr != nil {
 		release()
 		x.failed.Add(1)
@@ -1065,11 +1082,16 @@ func (x *Executor) openSession(ctx context.Context, query proxrank.Vector, opts 
 	}
 	q, err := proxrank.NewQuerySources(query, sources, opts.BoundedToK())
 	if err != nil {
+		cleanup()
 		release()
 		x.failed.Add(1)
 		return nil, nil, asAPIError(err)
 	}
-	return q, release, nil
+	done := func() {
+		cleanup()
+		release()
+	}
+	return q, done, nil
 }
 
 // sinkError marks an emit failure inside pullCombinations, so callers
@@ -1119,6 +1141,14 @@ func pullCombinations(ctx context.Context, q *proxrank.Query, k int, emit func(p
 	return false, nil
 }
 
+// wireAccess maps an engine access kind to its wire name.
+func wireAccess(kind proxrank.AccessKind) string {
+	if kind == proxrank.ScoreAccess {
+		return api.AccessScore
+	}
+	return api.AccessDistance
+}
+
 // buildSources opens one engine stream per relation: every shard of every
 // relation gets its ordered source, creation fans out across a bounded
 // pool when the entries hold more than one shard in total, and each
@@ -1126,11 +1156,58 @@ func pullCombinations(ctx context.Context, q *proxrank.Query, k int, emit func(p
 // dim pre-check in prepare already rules out the only documented source
 // failure; anything surfacing here is a server-side problem, which the
 // caller reports as internal.
-func (x *Executor) buildSources(opts proxrank.Options, query proxrank.Vector, entries []*Entry) ([]proxrank.Source, *APIError) {
+//
+// Remote entries (coordinator mode) resolve each shard to a
+// shardrpc.RemoteSource — constructed lazily, so nothing touches the
+// network here — and merge them with the same k-way merge local shards
+// use. The returned cleanup must run once the engine is done with the
+// sources: it releases remote connections and settles the pruning
+// accounting (a remote source the merge never opened is a pruned shard).
+// It is always non-nil, also on error.
+func (x *Executor) buildSources(ctx context.Context, opts proxrank.Options, query proxrank.Vector, entries []*Entry) ([]proxrank.Source, func(), *APIError) {
+	var remotes []*shardrpc.RemoteSource
+	cleanup := func() {
+		var opened, pruned int64
+		for _, rs := range remotes {
+			if rs.Opened() {
+				opened++
+			} else {
+				pruned++
+			}
+			rs.Close()
+		}
+		x.remoteOpened.Add(opened)
+		x.shardsPruned.Add(pruned)
+	}
+
 	type job struct{ rel, shard int }
 	var jobs []job
 	perRel := make([][]proxrank.Source, len(entries))
+	sources := make([]proxrank.Source, len(entries))
 	for i, e := range entries {
+		if rr := e.Remote(); rr != nil {
+			inputs := make([]relation.KeyedSource, rr.Shards)
+			for s := 0; s < rr.Shards; s++ {
+				rs, err := shardrpc.OpenRemoteShard(ctx, e.Relation(), rr, s, wireAccess(opts.Access), query, 0)
+				if err != nil {
+					cleanup()
+					return nil, func() {}, apiErrorf(CodeInternal, "%v", err)
+				}
+				remotes = append(remotes, rs)
+				inputs[s] = rs
+			}
+			merged, err := relation.NewMergedSource(e.Relation(), opts.Access, inputs)
+			if err != nil {
+				cleanup()
+				return nil, func() {}, apiErrorf(CodeInternal, "%v", err)
+			}
+			if x.wrapSource != nil {
+				sources[i] = x.wrapSource(merged)
+			} else {
+				sources[i] = merged
+			}
+			continue
+		}
 		n := e.Shards()
 		perRel[i] = make([]proxrank.Source, n)
 		for s := 0; s < n; s++ {
@@ -1145,6 +1222,10 @@ func (x *Executor) buildSources(opts proxrank.Options, query proxrank.Vector, en
 		}
 		perRel[j.rel][j.shard] = src
 		return nil
+	}
+	fail := func(err error) ([]proxrank.Source, func(), *APIError) {
+		cleanup()
+		return nil, func() {}, apiErrorf(CodeInternal, "%v", err)
 	}
 	// Opening an in-memory shard source is cheap (a cursor or an O(1)
 	// traversal setup), so the pool only pays for itself on wide fan-outs;
@@ -1172,27 +1253,29 @@ func (x *Executor) buildSources(opts proxrank.Options, query proxrank.Vector, en
 		close(feed)
 		wg.Wait()
 		if errp := firstErr.Load(); errp != nil {
-			return nil, apiErrorf(CodeInternal, "%v", *errp)
+			return fail(*errp)
 		}
 	} else {
 		for _, j := range jobs {
 			if err := open(j); err != nil {
-				return nil, apiErrorf(CodeInternal, "%v", err)
+				return fail(err)
 			}
 		}
 	}
-	sources := make([]proxrank.Source, len(entries))
 	for i, e := range entries {
+		if e.IsRemote() {
+			continue // already merged above
+		}
 		merged, err := e.Sharded().Merge(perRel[i])
 		if err != nil {
-			return nil, apiErrorf(CodeInternal, "%v", err)
+			return fail(err)
 		}
 		if x.wrapSource != nil {
 			merged = x.wrapSource(merged)
 		}
 		sources[i] = merged
 	}
-	return sources, nil
+	return sources, cleanup, nil
 }
 
 // wireCombination converts one engine combination into its wire form.

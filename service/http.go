@@ -1,6 +1,7 @@
 package service
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"net/http"
@@ -9,6 +10,7 @@ import (
 
 	proxrank "repro"
 	"repro/api"
+	"repro/internal/shardrpc"
 )
 
 // maxRequestBody bounds the JSON body of a query to keep a single caller
@@ -43,6 +45,9 @@ type Server struct {
 	cat   *Catalog
 	start time.Time
 	mux   *http.ServeMux
+	// fleet, when set (coordinator mode), adds per-peer health to
+	// /v1/healthz and per-peer RPC counters to /v1/stats.
+	fleet *shardrpc.Fleet
 }
 
 // NewServer wires the endpoints over cat and exec.
@@ -62,6 +67,16 @@ func NewServer(cat *Catalog, exec *Executor) *Server {
 
 // Handler returns the routed handler, ready for http.Server.
 func (s *Server) Handler() http.Handler { return s.mux }
+
+// AttachFleet marks this server a coordinator over fleet: /v1/healthz
+// gains per-peer health (with degraded, not failed, reporting when a
+// peer is down), /v1/stats gains per-peer RPC counters, and the
+// executor's registry gains the per-peer metric families. Call once,
+// before serving.
+func (s *Server) AttachFleet(fleet *shardrpc.Fleet) {
+	s.fleet = fleet
+	s.exec.AttachFleet(fleet)
+}
 
 // writeJSON serializes v with status code. Marshaling happens before the
 // header is written so an encode failure can still surface as a
@@ -254,18 +269,124 @@ func (s *Server) handleEvictRelation(w http.ResponseWriter, r *http.Request) {
 	}{name})
 }
 
-func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+// PeerHealth is one fleet peer's state in the coordinator's healthz.
+type PeerHealth struct {
+	Addr   string `json:"addr"`
+	Status string `json:"status"` // "ok" or "down"
+	Error  string `json:"error,omitempty"`
+	// OwnedShards maps relation name to the shard indices this peer
+	// serves, per discovery.
+	OwnedShards map[string][]int `json:"ownedShards,omitempty"`
+	// Coverage qualifies a down peer: "replicated" when every shard it
+	// owns is also served by a live peer (queries are unaffected),
+	// "bound-dependent" when some shard has no live replica — a query
+	// still succeeds if its score floor proves those shards prunable, and
+	// maps to a clean "unavailable" error otherwise.
+	Coverage string `json:"coverage,omitempty"`
+}
+
+// peerHealth pings every fleet peer and classifies the fallout of any
+// that are down. The coordinator itself is alive either way, so the
+// aggregate status is "degraded", never a non-200: a down peer removes
+// capacity, not the coordinator.
+func (s *Server) peerHealth(ctx context.Context) (status string, peers []PeerHealth) {
+	status = "ok"
+	owned := make(map[string]map[string][]int)    // addr → relation → shards
+	replicas := make(map[string]map[int][]string) // relation → shard → owner addrs
+	for _, ri := range s.cat.Infos() {
+		for addr, shards := range ri.Owners {
+			m, ok := owned[addr]
+			if !ok {
+				m = make(map[string][]int)
+				owned[addr] = m
+			}
+			m[ri.Name] = shards
+			rm, ok := replicas[ri.Name]
+			if !ok {
+				rm = make(map[int][]string)
+				replicas[ri.Name] = rm
+			}
+			for _, sh := range shards {
+				rm[sh] = append(rm[sh], addr)
+			}
+		}
+	}
+	up := make(map[string]bool)
+	for _, p := range s.fleet.Peers() {
+		ph := PeerHealth{Addr: p.Addr, Status: "ok", OwnedShards: owned[p.Addr]}
+		if _, err := p.Call(ctx, &shardrpc.Request{Verb: shardrpc.VerbPing}); err != nil {
+			ph.Status = "down"
+			ph.Error = err.Error()
+			status = "degraded"
+		} else {
+			up[p.Addr] = true
+		}
+		peers = append(peers, ph)
+	}
+	for i := range peers {
+		if peers[i].Status != "down" {
+			continue
+		}
+		coverage := "replicated"
+		for rel, shards := range peers[i].OwnedShards {
+			for _, sh := range shards {
+				live := false
+				for _, addr := range replicas[rel][sh] {
+					if up[addr] {
+						live = true
+						break
+					}
+				}
+				if !live {
+					coverage = "bound-dependent"
+				}
+			}
+		}
+		peers[i].Coverage = coverage
+	}
+	return status, peers
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	status := "ok"
+	var peers []PeerHealth
+	if s.fleet != nil {
+		ctx, cancel := context.WithTimeout(r.Context(), 2*time.Second)
+		defer cancel()
+		status, peers = s.peerHealth(ctx)
+	}
 	writeJSON(w, http.StatusOK, struct {
-		Status        string  `json:"status"`
-		Relations     int     `json:"relations"`
-		UptimeSeconds float64 `json:"uptimeSeconds"`
-	}{"ok", s.cat.Len(), time.Since(s.start).Seconds()})
+		Status        string       `json:"status"`
+		Relations     int          `json:"relations"`
+		UptimeSeconds float64      `json:"uptimeSeconds"`
+		Peers         []PeerHealth `json:"peers,omitempty"`
+	}{status, s.cat.Len(), time.Since(s.start).Seconds(), peers})
+}
+
+// PeerStats is one fleet peer's cumulative RPC counters in /v1/stats.
+type PeerStats struct {
+	Addr       string `json:"addr"`
+	Pulls      int64  `json:"pulls"`
+	Retries    int64  `json:"retries"`
+	Reconnects int64  `json:"reconnects"`
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
+	var peers []PeerStats
+	if s.fleet != nil {
+		for _, p := range s.fleet.Peers() {
+			peers = append(peers, PeerStats{
+				Addr:       p.Addr,
+				Pulls:      p.Pulls.Load(),
+				Retries:    p.Retries.Load(),
+				Reconnects: p.Reconnects.Load(),
+			})
+		}
+	}
 	writeJSON(w, http.StatusOK, struct {
 		StatsSnapshot
-		Relations   int `json:"relations"`
-		TotalShards int `json:"totalShards"`
-	}{s.exec.Stats(), s.cat.Len(), s.cat.TotalShards()})
+		Relations   int         `json:"relations"`
+		TotalShards int         `json:"totalShards"`
+		Peers       []PeerStats `json:"peers,omitempty"`
+	}{s.exec.Stats(), s.cat.Len(), s.cat.TotalShards(), peers})
 }

@@ -7,6 +7,7 @@ import (
 
 	proxrank "repro"
 	"repro/internal/obs"
+	"repro/internal/shardrpc"
 )
 
 // Metric label values for the query-latency and TTFE histograms.
@@ -110,6 +111,8 @@ func newMetrics(reg *obs.Registry, x *Executor) *metrics {
 	c("proxrank_engine_runs_total", "Engine executions started.", &x.engineRuns)
 	c("proxrank_streams_brokered_total", "Streaming leaders whose delivery went through the broker.", &x.streamsBrokered)
 	c("proxrank_stream_midrun_attaches_total", "Coalesced stream followers that attached to a live topic mid-run.", &x.midRunAttaches)
+	c("proxrank_shards_pruned_total", "Remote shards whose bound proved they could not contribute, so their streams were never opened.", &x.shardsPruned)
+	c("proxrank_remote_streams_opened_total", "Remote shard streams a query actually pulled from.", &x.remoteOpened)
 	c("proxrank_engine_sum_depths_total", "Cumulative access depth across completed runs.", &x.totalSumDepths)
 	c("proxrank_engine_combinations_total", "Cumulative combinations formed across completed runs.", &x.totalCombinations)
 	c("proxrank_engine_bound_updates_total", "Cumulative stopping-threshold recomputations across completed runs.", &x.totalBoundUpdates)
@@ -154,6 +157,33 @@ func (m *metrics) registerCatalog(cat *Catalog) {
 	cat.SetBuildObserver(func(_ int, d time.Duration) {
 		m.indexBuild.ObserveDuration(d.Seconds())
 	})
+}
+
+// registerFleet adds the coordinator's per-peer RPC families: a
+// round-trip latency histogram labeled by peer address and func-backed
+// mirrors of each peer's pull/retry/reconnect counters. Called once, at
+// coordinator startup, before the fleet serves queries.
+func (m *metrics) registerFleet(fleet *shardrpc.Fleet) {
+	pull := m.reg.HistogramVec("proxrank_rpc_pull_duration_seconds",
+		"Shardrpc request/response round-trip time, by peer.",
+		obs.DurationBuckets(), "peer")
+	pulls := m.reg.CounterFuncVec("proxrank_rpc_pulls_total",
+		"Shardrpc exchanges attempted, by peer.", "peer")
+	retries := m.reg.CounterFuncVec("proxrank_rpc_retries_total",
+		"Shardrpc exchanges re-issued after a transport failure, by peer.", "peer")
+	reconnects := m.reg.CounterFuncVec("proxrank_rpc_reconnects_total",
+		"Shardrpc dials that were not a peer's first contact, by peer.", "peer")
+	peers := fleet.Peers()
+	m.reg.GaugeFunc("proxrank_fleet_peers", "Configured shard-server peers.",
+		func() float64 { return float64(len(peers)) })
+	for _, p := range peers {
+		p := p
+		h := pull.With(p.Addr)
+		p.ObservePull = func(d time.Duration, _ error) { h.ObserveDuration(d.Seconds()) }
+		pulls.Bind(func() float64 { return float64(p.Pulls.Load()) }, p.Addr)
+		retries.Bind(func() float64 { return float64(p.Retries.Load()) }, p.Addr)
+		reconnects.Bind(func() float64 { return float64(p.Reconnects.Load()) }, p.Addr)
+	}
 }
 
 // observeLag and observeBlocked are the broker's histogram hooks;

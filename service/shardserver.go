@@ -1,0 +1,154 @@
+package service
+
+import (
+	"context"
+	"fmt"
+
+	proxrank "repro"
+	"repro/api"
+	"repro/internal/relation"
+	"repro/internal/shardrpc"
+)
+
+// Ownership selects which shards of every catalog relation a shard
+// server serves: server Index of Count peers owns shard s exactly when
+// s % Count == Index. Every peer loads the same data with the same
+// -shards/-shard-strategy, so the global partition (and every tuple's
+// parent ordinal) is agreed on by construction; ownership only decides
+// who answers for each piece. The zero value (Count <= 1) owns
+// everything.
+type Ownership struct {
+	Index int
+	Count int
+}
+
+// ParseOwnership reads the "i/n" form of the -own flag.
+func ParseOwnership(s string) (Ownership, error) {
+	if s == "" {
+		return Ownership{}, nil
+	}
+	var o Ownership
+	if _, err := fmt.Sscanf(s, "%d/%d", &o.Index, &o.Count); err != nil {
+		return Ownership{}, fmt.Errorf("ownership %q: want the form i/n (e.g. 0/3)", s)
+	}
+	if o.Count < 1 || o.Index < 0 || o.Index >= o.Count {
+		return Ownership{}, fmt.Errorf("ownership %q: want 0 <= i < n", s)
+	}
+	return o, nil
+}
+
+// Owns reports whether shard s belongs to this server.
+func (o Ownership) Owns(s int) bool {
+	if o.Count <= 1 {
+		return true
+	}
+	return s%o.Count == o.Index
+}
+
+// ShardBackend serves a catalog's locally-loaded shards (and whole
+// queries through an executor) over shardrpc. It is the service half of
+// a shard server: shardrpc provides the transport, this type the
+// semantics.
+type ShardBackend struct {
+	cat  *Catalog
+	exec *Executor
+	own  Ownership
+	// name is the identity advertised in hello (the RPC listen address).
+	name string
+}
+
+// NewShardBackend builds a backend over cat and exec serving the shards
+// selected by own. Call SetName once the RPC listener's address is
+// known.
+func NewShardBackend(cat *Catalog, exec *Executor, own Ownership) *ShardBackend {
+	return &ShardBackend{cat: cat, exec: exec, own: own}
+}
+
+// SetName records the identity advertised in hello responses.
+func (b *ShardBackend) SetName(name string) { b.name = name }
+
+// Hello implements shardrpc.Backend: every local relation's partition
+// layout, restricted to the shards this server owns.
+func (b *ShardBackend) Hello() shardrpc.HelloInfo {
+	h := shardrpc.HelloInfo{Server: b.name}
+	for _, name := range b.cat.Names() {
+		e, err := b.cat.Get(name)
+		if err != nil || e.IsRemote() {
+			continue
+		}
+		rel := e.Relation()
+		ri := shardrpc.RelationInfo{
+			Name:     name,
+			MaxScore: rel.MaxScore,
+			Dim:      rel.Dim(),
+			Tuples:   rel.Len(),
+			Shards:   e.Shards(),
+		}
+		for s := 0; s < e.Shards(); s++ {
+			if b.own.Owns(s) {
+				ri.Owned = append(ri.Owned, shardrpc.OwnedShard{
+					Index:  s,
+					Bounds: e.Sharded().ShardBounds(s),
+				})
+			}
+		}
+		h.Relations = append(h.Relations, ri)
+	}
+	return h
+}
+
+// OpenShard implements shardrpc.Backend: the canonical keyed stream of
+// one owned shard.
+func (b *ShardBackend) OpenShard(relName string, shard int, access string, query []float64) (relation.KeyedSource, error) {
+	e, err := b.cat.Get(relName)
+	if err != nil {
+		return nil, err
+	}
+	if e.IsRemote() {
+		return nil, api.Errorf(api.CodeBadRequest, "relation %q is remote here; shard servers serve local data only", relName)
+	}
+	if shard < 0 || shard >= e.Shards() {
+		return nil, api.Errorf(api.CodeNotFound, "relation %q has no shard %d", relName, shard)
+	}
+	if !b.own.Owns(shard) {
+		return nil, api.Errorf(api.CodeNotFound, "shard %d of relation %q is not served here", shard, relName)
+	}
+	var kind proxrank.AccessKind
+	switch access {
+	case api.AccessScore:
+		kind = proxrank.ScoreAccess
+	case api.AccessDistance:
+		kind = proxrank.DistanceAccess
+		if len(query) != e.Relation().Dim() {
+			return nil, api.Errorf(api.CodeBadRequest, "relation %q has dim %d, query has dim %d", relName, e.Relation().Dim(), len(query))
+		}
+	default:
+		return nil, api.Errorf(api.CodeBadRequest, "unknown access kind %q", access)
+	}
+	src, err := e.Sharded().ShardSource(shard, kind, query, nil, true)
+	if err != nil {
+		return nil, api.Errorf(api.CodeInternal, "open shard %d of %q: %v", shard, relName, err)
+	}
+	ks, ok := src.(relation.KeyedSource)
+	if !ok {
+		return nil, api.Errorf(api.CodeInternal, "shard %d of %q: stream %T carries no merge keys", shard, relName, src)
+	}
+	return ks, nil
+}
+
+// Query implements shardrpc.Backend: the whole request runs through the
+// executor's streaming path and the finished event sequence is returned
+// verbatim.
+func (b *ShardBackend) Query(ctx context.Context, req *api.Request) ([]api.ResultEvent, error) {
+	var events []api.ResultEvent
+	err := b.exec.ExecuteStream(ctx, req, func(ev api.ResultEvent) error {
+		events = append(events, ev)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return events, nil
+}
+
+var _ shardrpc.Backend = (*ShardBackend)(nil)
