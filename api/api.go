@@ -22,6 +22,12 @@ const (
 
 	OverflowBlock = "block"
 	OverflowDrop  = "drop"
+
+	// PartialAllow (the default) lets a distributed query degrade to the
+	// surviving shards when every replica of some shard is down;
+	// PartialForbid fails such queries with CodeUnavailable instead.
+	PartialAllow  = "allow"
+	PartialForbid = "forbid"
 )
 
 // Request is one proximity rank join query. Only Query, Relations and K
@@ -95,6 +101,14 @@ type Request struct {
 	// request shares cache entries and coalesces with its untraced twin;
 	// results are byte-identical either way.
 	Trace bool `json:"trace,omitempty"`
+	// Partial is "allow" (default) or "forbid": whether a distributed
+	// query may complete over the surviving shards — reporting
+	// Response.Degraded with the missing shards — when every replica of
+	// some shard is unreachable, or must fail with CodeUnavailable.
+	// Under healthy operation the answer is identical either way, and
+	// degraded responses are never cached, so Partial is not part of the
+	// canonical encoding.
+	Partial string `json:"partial,omitempty"`
 }
 
 // Weights mirrors the aggregation weights of paper eq. (2) in JSON.
@@ -151,6 +165,26 @@ type Response struct {
 	// cached Response is handed out without it and each traced caller
 	// gets its own.
 	Trace *Trace `json:"trace,omitempty"`
+	// Degraded is true when the query completed without some shard whose
+	// every replica was unreachable (Request.Partial "allow"): Results
+	// are exact over the surviving shards — byte-identical to a run over
+	// only those shards — but are not a certified global top-K.
+	// Degraded responses are never cached.
+	Degraded bool `json:"degraded,omitempty"`
+	// ShardsMissing lists the shards that contributed nothing (or only a
+	// prefix, if their replicas died mid-stream) to a degraded response.
+	ShardsMissing []MissingShard `json:"shardsMissing,omitempty"`
+	// ResultsCertified is set on degraded responses: the number of
+	// results certified against the data that was actually reachable
+	// (len(Results), or 0 when a DNF cap also fired and even the
+	// surviving-shard certification was cut short).
+	ResultsCertified int `json:"resultsCertified,omitempty"`
+}
+
+// MissingShard identifies one shard a degraded response is missing.
+type MissingShard struct {
+	Relation string `json:"relation"`
+	Shard    int    `json:"shard"`
 }
 
 // EventType discriminates streaming events.
@@ -199,6 +233,11 @@ type Summary struct {
 	DNF    bool `json:"dnf,omitempty"`
 	Cached bool `json:"cached"`
 	Cost   Cost `json:"cost"`
+	// Degraded/ShardsMissing/ResultsCertified mirror the batch Response
+	// fields for a stream that completed without some shard.
+	Degraded         bool           `json:"degraded,omitempty"`
+	ShardsMissing    []MissingShard `json:"shardsMissing,omitempty"`
+	ResultsCertified int            `json:"resultsCertified,omitempty"`
 }
 
 // CollectStream reassembles a batch Response from a finished event
@@ -225,6 +264,9 @@ func CollectStream(events []ResultEvent) (*Response, *Error) {
 			resp.DNF = ev.Summary.DNF
 			resp.Cached = ev.Summary.Cached
 			resp.Cost = ev.Summary.Cost
+			resp.Degraded = ev.Summary.Degraded
+			resp.ShardsMissing = ev.Summary.ShardsMissing
+			resp.ResultsCertified = ev.Summary.ResultsCertified
 			summarized = true
 		case EventError:
 			if ev.Error == nil {

@@ -68,6 +68,10 @@ type Trace struct {
 	// DroppedEvents counts detail events the recorder discarded after
 	// its per-kind retention cap — the trace is truncated, not the run.
 	DroppedEvents int64 `json:"droppedEvents,omitempty"`
+	// Degraded/ShardsMissing mirror the response fields: the run
+	// completed without these shards (every replica unreachable).
+	Degraded      bool           `json:"degraded,omitempty"`
+	ShardsMissing []MissingShard `json:"shardsMissing,omitempty"`
 }
 
 // TracePhase is one service-layer span.

@@ -106,6 +106,14 @@ func (r *Request) Normalize(limits Limits) *Error {
 	default:
 		return Errorf(CodeBadRequest, "unknown overflow policy %q (want block|drop)", r.Overflow)
 	}
+	switch strings.ToLower(r.Partial) {
+	case "", PartialAllow:
+		r.Partial = PartialAllow
+	case PartialForbid:
+		r.Partial = PartialForbid
+	default:
+		return Errorf(CodeBadRequest, "unknown partial policy %q (want allow|forbid)", r.Partial)
+	}
 	if r.Epsilon < 0 || math.IsNaN(r.Epsilon) || math.IsInf(r.Epsilon, 0) {
 		return Errorf(CodeBadRequest, "epsilon must be finite and non-negative")
 	}

@@ -31,14 +31,23 @@
 //
 // -topology coord:N upgrades -selfserve to a distributed deployment: N
 // in-process shard servers (each owning every Nth shard of every
-// relation, partitioned per -shards/-shard-strategy) behind a
-// coordinator that prunes unreachable shards by their advertised bounds
-// and merges the rest over the wire. The same latency/TTFE study then
-// measures the coordinator path, and the report's server delta includes
+// relation, partitioned per -shards/-shard-strategy; -replicas r gives
+// every shard r consecutive owners) behind a coordinator that prunes
+// unreachable shards by their advertised bounds and merges the rest
+// over the wire. The same latency/TTFE study then measures the
+// coordinator path, and the report's server delta includes
 // shardsPruned/remoteStreamsOpened. -identity-check additionally replays
 // a fixed query set against a single-node twin of the same data and
 // exits nonzero on any byte-level response difference — the CI gate for
 // the distributed merge.
+//
+// -chaos "verb=pull;action=delay;delay=200ms;every=10" puts the first
+// shard server behind a fault-injecting listener (same grammar as
+// proxserve -fault-spec), so the run reports what hedged pulls,
+// failover, and degradation do to tail latency instead of the happy
+// path; failures are broken down by structured error code in the
+// report. Startup waits on /v1/readyz, so measurements never include
+// index builds.
 package main
 
 import (
@@ -46,6 +55,7 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
@@ -61,6 +71,7 @@ import (
 
 	proxrank "repro"
 	"repro/api"
+	"repro/internal/faultinject"
 	"repro/internal/shardrpc"
 	"repro/service"
 )
@@ -101,7 +112,9 @@ func main() {
 		topology  = flag.String("topology", "single", `selfserve deployment: "single" or "coord:N" (N in-process shard servers behind a coordinator)`)
 		shardsFl  = flag.Int("shards", 6, "selfserve coord topology: shards per relation")
 		strategyF = flag.String("shard-strategy", "grid", "selfserve coord topology: partition strategy (hash|grid)")
+		replicasF = flag.Int("replicas", 1, "selfserve coord topology: consecutive-peer owners per shard (the r of proxserve -own i/n/r)")
 		identityF = flag.Bool("identity-check", false, "selfserve coord topology: replay fixed queries against a single-node twin and exit nonzero on any byte difference")
+		chaosF    = flag.String("chaos", "", "selfserve coord topology: fault-injection spec applied to the first shard server (same grammar as proxserve -fault-spec); pair with -replicas 2 to study hedging and failover under load")
 	)
 	flag.Parse()
 
@@ -131,15 +144,18 @@ func main() {
 			if _, err := fmt.Sscanf(*topology, "coord:%d", &n); err != nil || n < 1 {
 				log.Fatalf("proxload: -topology %q: want coord:N with N >= 1", *topology)
 			}
-			deploy, err := startCoordServe(*city, n, *shardsFl, *strategyF, *srvSndbuf, cfg)
+			deploy, err := startCoordServe(*city, n, *shardsFl, *strategyF, *srvSndbuf, *replicasF, *chaosF, cfg)
 			if err != nil {
 				log.Fatalf("proxload: coord selfserve: %v", err)
 			}
 			defer deploy.shutdown()
 			base = deploy.url
 			baseVec = deploy.landmark
-			log.Printf("selfserve: coordinator on %s over %d shard servers (city %s, %d %s shards/relation)",
-				deploy.url, n, strings.ToUpper(*city), *shardsFl, *strategyF)
+			log.Printf("selfserve: coordinator on %s over %d shard servers (city %s, %d %s shards/relation, %d replica(s)/shard)",
+				deploy.url, n, strings.ToUpper(*city), *shardsFl, *strategyF, *replicasF)
+			if *chaosF != "" {
+				log.Printf("CHAOS: injecting faults into shard server 0 (%s)", *chaosF)
+			}
 			if *identityF {
 				if err := deploy.identityCheck(cfg); err != nil {
 					log.Fatalf("proxload: identity check FAILED: %v", err)
@@ -149,8 +165,8 @@ func main() {
 		default:
 			log.Fatalf("proxload: -topology %q: want single or coord:N", *topology)
 		}
-	} else if *topology != "single" || *identityF {
-		log.Fatal("proxload: -topology/-identity-check require -selfserve")
+	} else if *topology != "single" || *identityF || *chaosF != "" || *replicasF != 1 {
+		log.Fatal("proxload: -topology/-identity-check/-chaos/-replicas require -selfserve")
 	}
 	if *baseFl != "" {
 		v, err := parseVector(*baseFl)
@@ -161,6 +177,9 @@ func main() {
 	}
 
 	client := &http.Client{Timeout: *timeout}
+	if err := waitReady(client, base, 30*time.Second); err != nil {
+		log.Fatalf("proxload: %v", err)
+	}
 	relations, err := pickRelations(client, base, *relsFl)
 	if err != nil {
 		log.Fatalf("proxload: %v", err)
@@ -302,11 +321,14 @@ type coordDeploy struct {
 
 // startCoordServe builds the bundled city data set, partitions every
 // relation, serves the shards from n in-process shard servers (server i
-// owns shard s when s%n == i), and fronts them with a coordinator
-// listening on a loopback port — the same deployment `proxserve
-// -shard-server` × n plus `proxserve -coordinator` builds across
-// processes, minus the process boundaries.
-func startCoordServe(city string, n, shards int, strategyName string, sndbuf int, cfg service.Config) (*coordDeploy, error) {
+// owns shard s when i is among the replicas consecutive peers starting
+// at s%n), and fronts them with a coordinator listening on a loopback
+// port — the same deployment `proxserve -shard-server` × n plus
+// `proxserve -coordinator` builds across processes, minus the process
+// boundaries. A non-empty chaosSpec puts server 0 behind a
+// fault-injecting listener, so the run measures resilience (hedges,
+// failover, degradation) instead of the happy path.
+func startCoordServe(city string, n, shards int, strategyName string, sndbuf, replicas int, chaosSpec string, cfg service.Config) (*coordDeploy, error) {
 	rels, query, _, err := proxrank.CityDataset(strings.ToUpper(city))
 	if err != nil {
 		return nil, err
@@ -314,6 +336,16 @@ func startCoordServe(city string, n, shards int, strategyName string, sndbuf int
 	strategy, err := proxrank.ParsePartitionStrategy(strategyName)
 	if err != nil {
 		return nil, err
+	}
+	if replicas < 1 || replicas > n {
+		return nil, fmt.Errorf("-replicas %d: want 1 <= r <= %d shard servers", replicas, n)
+	}
+	var inj *faultinject.Injector
+	if chaosSpec != "" {
+		inj, err = faultinject.Parse(chaosSpec)
+		if err != nil {
+			return nil, fmt.Errorf("-chaos: %w", err)
+		}
 	}
 	var cleanups []func()
 	shutdown := func() {
@@ -331,12 +363,26 @@ func startCoordServe(city string, n, shards int, strategyName string, sndbuf int
 			}
 		}
 		exec := service.NewExecutor(cat, cfg)
-		backend := service.NewShardBackend(cat, exec, service.Ownership{Index: i, Count: n})
+		backend := service.NewShardBackend(cat, exec, service.Ownership{Index: i, Count: n, Replicas: replicas})
 		srv := shardrpc.NewServer(backend)
-		bound, err := srv.Listen("127.0.0.1:0")
-		if err != nil {
-			shutdown()
-			return nil, err
+		var bound net.Addr
+		if i == 0 && inj != nil {
+			ln, err := net.Listen("tcp", "127.0.0.1:0")
+			if err != nil {
+				shutdown()
+				return nil, err
+			}
+			if err := srv.Serve(inj.Listener(ln)); err != nil {
+				shutdown()
+				return nil, err
+			}
+			bound = ln.Addr()
+		} else {
+			bound, err = srv.Listen("127.0.0.1:0")
+			if err != nil {
+				shutdown()
+				return nil, err
+			}
 		}
 		backend.SetName(bound.String())
 		addrs[i] = bound.String()
@@ -446,6 +492,33 @@ func canonicalResponse(resp *service.QueryResponse) string {
 	return string(buf)
 }
 
+// waitReady blocks until the target answers GET /v1/readyz with 200 —
+// the startup gate that keeps the load run from measuring index builds
+// or an uncovered fleet as query latency. Servers predating the
+// endpoint (404) fall back to /v1/healthz.
+func waitReady(client *http.Client, base string, budget time.Duration) error {
+	deadline := time.Now().Add(budget)
+	probe := base + "/v1/readyz"
+	for {
+		resp, err := client.Get(probe)
+		if err == nil {
+			code := resp.StatusCode
+			resp.Body.Close()
+			if code == http.StatusOK {
+				return nil
+			}
+			if code == http.StatusNotFound && strings.HasSuffix(probe, "/v1/readyz") {
+				probe = base + "/v1/healthz"
+				continue
+			}
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("server not ready after %v (last probe %s)", budget, probe)
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+}
+
 // pickRelations resolves the relation list: the -rel flag verbatim, or
 // the first two names the server reports.
 func pickRelations(client *http.Client, base, flagVal string) ([]string, error) {
@@ -549,7 +622,18 @@ type generator struct {
 	strmNs  []float64 // end-to-end latency, stream
 	ttfeNs  []float64 // time to first event, stream
 	errs    int
+	errCode map[string]int // failures keyed by structured api code (or "transport")
 	firstEr error
+}
+
+// errCodeOf buckets one failure for the report: the structured api
+// error code when the server answered with one, "transport" otherwise.
+func errCodeOf(err error) string {
+	var ae *api.Error
+	if errors.As(err, &ae) && ae.Code != "" {
+		return string(ae.Code)
+	}
+	return "transport"
 }
 
 // randVec draws a query vector around the base point.
@@ -637,11 +721,18 @@ func (g *generator) fire(vec []float64, stream bool) {
 	if err == nil {
 		var sink struct {
 			Results []json.RawMessage `json:"results"`
+			Error   *api.Error        `json:"error"`
 		}
 		err = json.NewDecoder(resp.Body).Decode(&sink)
 		resp.Body.Close()
 		if err == nil && resp.StatusCode != http.StatusOK {
-			err = fmt.Errorf("status %d", resp.StatusCode)
+			// Prefer the structured error body (code buckets in the
+			// report) over the bare status line.
+			if sink.Error != nil {
+				err = sink.Error
+			} else {
+				err = fmt.Errorf("status %d", resp.StatusCode)
+			}
 		}
 	}
 	total := time.Since(start)
@@ -658,6 +749,12 @@ func (g *generator) fireStream(vec []float64) (ttfe, total time.Duration, err er
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
+		var errBody struct {
+			Error *api.Error `json:"error"`
+		}
+		if jerr := json.NewDecoder(resp.Body).Decode(&errBody); jerr == nil && errBody.Error != nil {
+			return 0, 0, errBody.Error
+		}
 		return 0, 0, fmt.Errorf("status %d", resp.StatusCode)
 	}
 	br := bufio.NewReader(resp.Body)
@@ -694,6 +791,10 @@ func (g *generator) record(err error, ok func()) {
 	defer g.mu.Unlock()
 	if err != nil {
 		g.errs++
+		if g.errCode == nil {
+			g.errCode = make(map[string]int)
+		}
+		g.errCode[errCodeOf(err)]++
 		if g.firstEr == nil {
 			g.firstEr = err
 		}
@@ -791,17 +892,18 @@ func summarize(ns []float64) latencyMs {
 
 // report is the run's full output, printable and JSON-serializable.
 type report struct {
-	ElapsedSec  float64     `json:"elapsedSec"`
-	OfferedRPS  float64     `json:"offeredRps"`
-	AchievedRPS float64     `json:"achievedRps"`
-	Shed        int64       `json:"shed"`
-	Errors      int         `json:"errors"`
-	FirstError  string      `json:"firstError,omitempty"`
-	Batch       latencyMs   `json:"batch"`
-	Stream      latencyMs   `json:"stream"`
-	TTFE        latencyMs   `json:"ttfe"`
-	SlowDropped int64       `json:"slowClientDrops"`
-	Server      serverStats `json:"serverDelta"`
+	ElapsedSec   float64        `json:"elapsedSec"`
+	OfferedRPS   float64        `json:"offeredRps"`
+	AchievedRPS  float64        `json:"achievedRps"`
+	Shed         int64          `json:"shed"`
+	Errors       int            `json:"errors"`
+	ErrorsByCode map[string]int `json:"errorsByCode,omitempty"`
+	FirstError   string         `json:"firstError,omitempty"`
+	Batch        latencyMs      `json:"batch"`
+	Stream       latencyMs      `json:"stream"`
+	TTFE         latencyMs      `json:"ttfe"`
+	SlowDropped  int64          `json:"slowClientDrops"`
+	Server       serverStats    `json:"serverDelta"`
 	// ServerDuration/ServerTTFE are the run's deltas of the server's own
 	// /metrics histograms (all modes and cache states folded together) —
 	// the executor's view of the same requests the client percentiles
@@ -816,16 +918,17 @@ func (g *generator) report(elapsed time.Duration, before, after serverStats, slo
 	delta := after.sub(before)
 	done := len(g.batchNs) + len(g.strmNs)
 	r := report{
-		ElapsedSec:  elapsed.Seconds(),
-		OfferedRPS:  float64(done+g.errs+int(g.shed.Load())) / elapsed.Seconds(),
-		AchievedRPS: float64(done) / elapsed.Seconds(),
-		Shed:        g.shed.Load(),
-		Errors:      g.errs,
-		Batch:       summarize(g.batchNs),
-		Stream:      summarize(g.strmNs),
-		TTFE:        summarize(g.ttfeNs),
-		SlowDropped: slowDropped,
-		Server:      delta,
+		ElapsedSec:   elapsed.Seconds(),
+		OfferedRPS:   float64(done+g.errs+int(g.shed.Load())) / elapsed.Seconds(),
+		AchievedRPS:  float64(done) / elapsed.Seconds(),
+		Shed:         g.shed.Load(),
+		Errors:       g.errs,
+		ErrorsByCode: g.errCode,
+		Batch:        summarize(g.batchNs),
+		Stream:       summarize(g.strmNs),
+		TTFE:         summarize(g.ttfeNs),
+		SlowDropped:  slowDropped,
+		Server:       delta,
 	}
 	if g.firstEr != nil {
 		r.FirstError = g.firstEr.Error()
@@ -838,6 +941,18 @@ func (r report) print(w *os.File) {
 		r.ElapsedSec, r.OfferedRPS, r.AchievedRPS, r.Shed, r.Errors)
 	if r.FirstError != "" {
 		fmt.Fprintf(w, "  first error: %s\n", r.FirstError)
+	}
+	if len(r.ErrorsByCode) > 0 {
+		codes := make([]string, 0, len(r.ErrorsByCode))
+		for c := range r.ErrorsByCode {
+			codes = append(codes, c)
+		}
+		sort.Strings(codes)
+		fmt.Fprintf(w, "  errors by code:")
+		for _, c := range codes {
+			fmt.Fprintf(w, " %s=%d", c, r.ErrorsByCode[c])
+		}
+		fmt.Fprintln(w)
 	}
 	row := func(name string, l latencyMs) {
 		fmt.Fprintf(w, "  %-18s %6d  p50 %8.2fms  p95 %8.2fms  p99 %8.2fms  mean %8.2fms  max %8.2fms\n",

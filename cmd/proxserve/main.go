@@ -44,7 +44,9 @@
 //	GET    /v1/relations
 //	POST   /v1/relations?name=bars&shards=4   (CSV body)
 //	DELETE /v1/relations/{name}
-//	GET    /v1/healthz
+//	GET    /v1/healthz       liveness (200 while the process runs)
+//	GET    /v1/readyz        readiness (503 while the catalog builds or
+//	                         some shard has no reachable replica)
 //	GET    /v1/stats
 //	GET    /metrics          Prometheus text exposition
 //
@@ -60,6 +62,7 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"net"
 	"net/http"
 	"net/http/pprof"
 	"os"
@@ -71,6 +74,7 @@ import (
 
 	proxrank "repro"
 	"repro/api"
+	"repro/internal/faultinject"
 	"repro/internal/shardrpc"
 	"repro/service"
 )
@@ -117,11 +121,17 @@ func main() {
 		rpcAddr = flag.String("rpc-addr", ":8081",
 			"shard RPC listen address (with -shard-server)")
 		ownFl = flag.String("own", "",
-			"shard ownership as i/n: serve shard s exactly when s%n == i (empty = every shard)")
+			"shard ownership as i/n or i/n/r: serve shard s when this server is one of its r consecutive ring owners starting at s%n (empty = every shard)")
 		coordinator = flag.Bool("coordinator", false,
 			"discover relations from -peers shard servers and answer queries by merging their shard streams")
 		peersFl = flag.String("peers", "",
 			"comma-separated shard-server RPC addresses (with -coordinator)")
+		hedgeAfter = flag.Duration("hedge-after", 0,
+			"coordinator: hedge a slow shard pull to another replica after this delay (0 = adaptive per-peer p90, negative = never hedge)")
+		breakerCooldown = flag.Duration("breaker-cooldown", 0,
+			"coordinator: how long a peer's circuit breaker stays open before probing it again (0 = default 1s)")
+		faultSpec = flag.String("fault-spec", "",
+			"inject faults into the shard RPC listener per this spec (chaos testing only; refused unless PROXSERVE_CHAOS=1)")
 	)
 	flag.Var(&rels, "rel", "relation to serve, as name=path.csv[:shards] (repeatable)")
 	flag.Var(&cities, "city", "simulated city data set to serve: SF, NY, BO, DA, HO (repeatable)")
@@ -190,6 +200,17 @@ func main() {
 			os.Exit(2)
 		}
 		fleet = shardrpc.NewFleet(strings.Split(*peersFl, ","))
+		// Resilience policy must be set before Discover: discovery stamps
+		// the hedge policy into every remote relation it registers.
+		switch {
+		case *hedgeAfter < 0:
+			fleet.Hedge = shardrpc.HedgePolicy{Disable: true}
+		case *hedgeAfter > 0:
+			fleet.Hedge = shardrpc.HedgePolicy{After: *hedgeAfter}
+		}
+		if *breakerCooldown > 0 {
+			fleet.SetBreakerConfig(shardrpc.BreakerConfig{Cooldown: *breakerCooldown})
+		}
 		discoverCtx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
 		remotes, err := fleet.Discover(discoverCtx)
 		cancel()
@@ -243,10 +264,37 @@ func main() {
 		}
 		backend := service.NewShardBackend(cat, exec, own)
 		rpcSrv = shardrpc.NewServer(backend)
-		bound, err := rpcSrv.Listen(*rpcAddr)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "proxserve: shard RPC listener: %v\n", err)
-			os.Exit(1)
+		var bound net.Addr
+		if *faultSpec != "" {
+			// Chaos builds only: the env gate keeps a copy-pasted chaos
+			// command line from silently corrupting a production server.
+			if os.Getenv("PROXSERVE_CHAOS") != "1" {
+				fmt.Fprintln(os.Stderr, "proxserve: -fault-spec is a chaos-testing flag; set PROXSERVE_CHAOS=1 to confirm")
+				os.Exit(2)
+			}
+			inj, err := faultinject.Parse(*faultSpec)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "proxserve: %v\n", err)
+				os.Exit(2)
+			}
+			ln, err := net.Listen("tcp", *rpcAddr)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "proxserve: shard RPC listener: %v\n", err)
+				os.Exit(1)
+			}
+			if err := rpcSrv.Serve(inj.Listener(ln)); err != nil {
+				fmt.Fprintf(os.Stderr, "proxserve: shard RPC listener: %v\n", err)
+				os.Exit(1)
+			}
+			bound = ln.Addr()
+			log.Printf("CHAOS: injecting faults on the shard RPC listener (%d rule(s))", len(inj.Rules()))
+		} else {
+			b, err := rpcSrv.Listen(*rpcAddr)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "proxserve: shard RPC listener: %v\n", err)
+				os.Exit(1)
+			}
+			bound = b
 		}
 		backend.SetName(bound.String())
 		log.Printf("shard RPC on %s (owning %s)", bound, ownDesc(*ownFl))

@@ -1,0 +1,92 @@
+package faultinject
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Parse builds an injector from a compact spec string, the form the
+// proxserve -fault-spec flag and proxload -chaos accept.
+//
+// A spec is one or more rules separated by '|'; each rule is a list of
+// key=value pairs separated by ';':
+//
+//	verb=pull;action=delay;delay=1s;jitter=200ms
+//	action=refuse
+//	verb=next;action=reset;nth=3 | verb=pull;action=corrupt;every=5
+//
+// Keys: verb, peer, action (refuse|reset|delay|drip|corrupt), nth,
+// every, times, delay, jitter, chunk, gap. Durations use Go syntax
+// ("250ms", "1s"); whitespace around separators is ignored.
+func Parse(spec string) (*Injector, error) {
+	var rules []*Rule
+	for _, part := range strings.Split(spec, "|") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		r, err := parseRule(part)
+		if err != nil {
+			return nil, err
+		}
+		rules = append(rules, r)
+	}
+	if len(rules) == 0 {
+		return nil, fmt.Errorf("faultinject: empty spec")
+	}
+	return New(rules...), nil
+}
+
+func parseRule(s string) (*Rule, error) {
+	r := &Rule{}
+	for _, kv := range strings.Split(s, ";") {
+		kv = strings.TrimSpace(kv)
+		if kv == "" {
+			continue
+		}
+		k, v, ok := strings.Cut(kv, "=")
+		if !ok {
+			return nil, fmt.Errorf("faultinject: %q is not key=value", kv)
+		}
+		k, v = strings.TrimSpace(k), strings.TrimSpace(v)
+		var err error
+		switch k {
+		case "verb":
+			r.Verb = v
+		case "peer":
+			r.Peer = v
+		case "action":
+			switch Action(v) {
+			case ActionRefuse, ActionReset, ActionDelay, ActionDrip, ActionCorrupt:
+				r.Action = Action(v)
+			default:
+				return nil, fmt.Errorf("faultinject: unknown action %q", v)
+			}
+		case "nth":
+			r.Nth, err = strconv.Atoi(v)
+		case "every":
+			r.Every, err = strconv.Atoi(v)
+		case "times":
+			r.Times, err = strconv.Atoi(v)
+		case "chunk":
+			r.Chunk, err = strconv.Atoi(v)
+		case "delay":
+			r.Delay, err = time.ParseDuration(v)
+		case "jitter":
+			r.Jitter, err = time.ParseDuration(v)
+		case "gap":
+			r.Gap, err = time.ParseDuration(v)
+		default:
+			return nil, fmt.Errorf("faultinject: unknown key %q", k)
+		}
+		if err != nil {
+			return nil, fmt.Errorf("faultinject: bad value for %s: %v", k, err)
+		}
+	}
+	if r.Action == "" {
+		return nil, fmt.Errorf("faultinject: rule %q has no action", s)
+	}
+	return r, nil
+}

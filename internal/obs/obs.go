@@ -175,6 +175,15 @@ func (r *Registry) CounterFuncVec(name, help string, labels ...string) *FuncVec 
 	return &FuncVec{f: f}
 }
 
+// GaugeFuncVec registers a labeled family of func-backed gauges; each
+// series is added once with Bind. Unlike CounterFuncVec, the functions
+// may move in either direction (e.g. a circuit breaker's state enum).
+func (r *Registry) GaugeFuncVec(name, help string, labels ...string) *FuncVec {
+	f := &family{name: name, help: help, kind: KindGauge, labels: labels, children: map[string]metric{}}
+	r.register(f)
+	return &FuncVec{f: f}
+}
+
 // FuncVec is a labeled family whose series are scrape-time functions.
 type FuncVec struct{ f *family }
 

@@ -1,0 +1,221 @@
+package shardrpc
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// BreakerState is a circuit breaker's position.
+type BreakerState int32
+
+const (
+	// BreakerClosed: requests flow normally.
+	BreakerClosed BreakerState = iota
+	// BreakerOpen: requests fail fast without touching the network.
+	BreakerOpen
+	// BreakerHalfOpen: one probe request is allowed through; its outcome
+	// decides between closing and re-opening.
+	BreakerHalfOpen
+)
+
+// String returns the exposition-friendly state name.
+func (s BreakerState) String() string {
+	switch s {
+	case BreakerOpen:
+		return "open"
+	case BreakerHalfOpen:
+		return "half-open"
+	}
+	return "closed"
+}
+
+// BreakerConfig tunes one peer's circuit breaker. Zero values select
+// the defaults documented on each field.
+type BreakerConfig struct {
+	// FailureThreshold opens the breaker after this many consecutive
+	// transport failures (default 5).
+	FailureThreshold int
+	// ErrorRate opens the breaker when the windowed failure rate
+	// reaches this fraction (default 0.5), once WindowMin outcomes have
+	// been observed. It catches flapping peers that never fail
+	// consecutively enough to trip FailureThreshold.
+	ErrorRate float64
+	// WindowMin is the minimum number of windowed outcomes before
+	// ErrorRate applies (default 16; the window holds the last 32).
+	WindowMin int
+	// Cooldown is how long the breaker stays open before allowing a
+	// half-open probe (default 1s).
+	Cooldown time.Duration
+}
+
+func (c BreakerConfig) withDefaults() BreakerConfig {
+	if c.FailureThreshold <= 0 {
+		c.FailureThreshold = 5
+	}
+	if c.ErrorRate <= 0 {
+		c.ErrorRate = 0.5
+	}
+	if c.WindowMin <= 0 {
+		c.WindowMin = 16
+	}
+	if c.Cooldown <= 0 {
+		c.Cooldown = time.Second
+	}
+	return c
+}
+
+// breakerWindow is the size of the sliding outcome window.
+const breakerWindow = 32
+
+// Breaker is a per-peer circuit breaker: closed → open on consecutive
+// failures or a high windowed error rate, open → half-open after a
+// cooldown, half-open → closed on a successful probe (or back to open
+// on a failed one). Safe for concurrent use.
+type Breaker struct {
+	cfg BreakerConfig
+	now func() time.Time // injectable clock for tests
+
+	mu      sync.Mutex
+	state   BreakerState
+	consec  int // consecutive failures while closed
+	win     [breakerWindow]bool
+	wn, wi  int // filled size, next write index
+	werr    int // failures currently in the window
+	until   time.Time
+	probing bool
+
+	opens atomic.Int64
+}
+
+// NewBreaker builds a closed breaker with cfg (zero fields defaulted).
+func NewBreaker(cfg BreakerConfig) *Breaker {
+	return &Breaker{cfg: cfg.withDefaults(), now: time.Now}
+}
+
+// State reports the breaker's position, folding an expired open period
+// into half-open (the state a caller would observe by asking Allow).
+func (b *Breaker) State() BreakerState {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.state == BreakerOpen && !b.now().Before(b.until) {
+		return BreakerHalfOpen
+	}
+	return b.state
+}
+
+// Opens counts closed/half-open → open transitions since construction.
+func (b *Breaker) Opens() int64 { return b.opens.Load() }
+
+// Allow reports whether a request may proceed. In half-open it grants
+// the single probe slot; callers that are granted a slot must call
+// Record with the outcome.
+func (b *Breaker) Allow() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case BreakerClosed:
+		return true
+	case BreakerOpen:
+		if b.now().Before(b.until) {
+			return false
+		}
+		b.state = BreakerHalfOpen
+		b.probing = true
+		return true
+	default: // BreakerHalfOpen
+		if b.probing {
+			return false
+		}
+		b.probing = true
+		return true
+	}
+}
+
+// Record feeds one request outcome back. Transport-level failures count
+// against the peer; a structured server answer counts as a success
+// (the peer is alive — it just said no).
+func (b *Breaker) Record(ok bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case BreakerHalfOpen:
+		// The probe's verdict. Late results from requests admitted
+		// before the breaker opened land here too; treating them as the
+		// probe errs toward whichever signal arrived last, which is the
+		// freshest evidence either way.
+		b.probing = false
+		if ok {
+			b.reset()
+		} else {
+			b.trip()
+		}
+	case BreakerClosed:
+		b.observe(ok)
+		if ok {
+			b.consec = 0
+		} else {
+			b.consec++
+		}
+		// The rate rule is checked on every outcome (not just failures):
+		// a flapping peer can cross the windowed threshold on the success
+		// that completes the window.
+		if b.consec >= b.cfg.FailureThreshold || b.rateTripped() {
+			b.trip()
+		}
+	case BreakerOpen:
+		// A stale completion from before the trip; the cooldown clock
+		// is already running. Ignore.
+	}
+}
+
+// Abandon releases a half-open probe slot without a verdict: the
+// request was abandoned (e.g. it lost a hedge race and its connection
+// was closed from under it), so its failure proves nothing about the
+// peer.
+func (b *Breaker) Abandon() {
+	b.mu.Lock()
+	if b.state == BreakerHalfOpen {
+		b.probing = false
+	}
+	b.mu.Unlock()
+}
+
+// observe pushes one outcome into the sliding window.
+func (b *Breaker) observe(ok bool) {
+	if b.wn == breakerWindow {
+		if !b.win[b.wi] {
+			b.werr--
+		}
+	} else {
+		b.wn++
+	}
+	b.win[b.wi] = ok
+	if !ok {
+		b.werr++
+	}
+	b.wi = (b.wi + 1) % breakerWindow
+}
+
+// rateTripped reports whether the windowed error rate crosses the
+// configured threshold.
+func (b *Breaker) rateTripped() bool {
+	return b.wn >= b.cfg.WindowMin && float64(b.werr) >= b.cfg.ErrorRate*float64(b.wn)
+}
+
+// trip opens the breaker and starts the cooldown.
+func (b *Breaker) trip() {
+	b.state = BreakerOpen
+	b.until = b.now().Add(b.cfg.Cooldown)
+	b.probing = false
+	b.consec = 0
+	b.opens.Add(1)
+}
+
+// reset closes the breaker and clears its history.
+func (b *Breaker) reset() {
+	b.state = BreakerClosed
+	b.consec = 0
+	b.wn, b.wi, b.werr = 0, 0, 0
+	b.probing = false
+}

@@ -1,0 +1,127 @@
+package shardrpc
+
+import (
+	"testing"
+	"time"
+)
+
+// fakeClock drives a breaker's cooldown deterministically.
+type fakeClock struct{ t time.Time }
+
+func (c *fakeClock) now() time.Time          { return c.t }
+func (c *fakeClock) advance(d time.Duration) { c.t = c.t.Add(d) }
+func newTestBreaker(cfg BreakerConfig) (*Breaker, *fakeClock) {
+	b := NewBreaker(cfg)
+	clk := &fakeClock{t: time.Unix(1000, 0)}
+	b.now = clk.now
+	return b, clk
+}
+
+func TestBreakerConsecutiveFailuresOpen(t *testing.T) {
+	b, clk := newTestBreaker(BreakerConfig{FailureThreshold: 3, Cooldown: time.Second})
+	for i := 0; i < 2; i++ {
+		if !b.Allow() {
+			t.Fatalf("closed breaker denied request %d", i)
+		}
+		b.Record(false)
+		if got := b.State(); got != BreakerClosed {
+			t.Fatalf("after %d failures state=%v, want closed", i+1, got)
+		}
+	}
+	b.Record(false) // third consecutive failure trips it
+	if got := b.State(); got != BreakerOpen {
+		t.Fatalf("state=%v, want open", got)
+	}
+	if b.Allow() {
+		t.Fatal("open breaker admitted a request inside the cooldown")
+	}
+	if b.Opens() != 1 {
+		t.Fatalf("opens=%d, want 1", b.Opens())
+	}
+
+	// Cooldown elapses: exactly one half-open probe is admitted.
+	clk.advance(time.Second + time.Millisecond)
+	if got := b.State(); got != BreakerHalfOpen {
+		t.Fatalf("after cooldown state=%v, want half-open", got)
+	}
+	if !b.Allow() {
+		t.Fatal("half-open breaker denied the probe")
+	}
+	if b.Allow() {
+		t.Fatal("half-open breaker admitted a second concurrent probe")
+	}
+
+	// Failed probe re-opens with a fresh cooldown.
+	b.Record(false)
+	if got := b.State(); got != BreakerOpen {
+		t.Fatalf("after failed probe state=%v, want open", got)
+	}
+	clk.advance(time.Second + time.Millisecond)
+	if !b.Allow() {
+		t.Fatal("second probe denied")
+	}
+	b.Record(true)
+	if got := b.State(); got != BreakerClosed {
+		t.Fatalf("after successful probe state=%v, want closed", got)
+	}
+	if !b.Allow() {
+		t.Fatal("freshly closed breaker denied a request")
+	}
+}
+
+func TestBreakerSuccessResetsConsecutive(t *testing.T) {
+	b, _ := newTestBreaker(BreakerConfig{FailureThreshold: 3})
+	// Alternate failures and successes: never trips on the consecutive
+	// rule (and the window stays below half errors).
+	for i := 0; i < 6; i++ {
+		b.Record(false)
+		b.Record(true)
+		b.Record(true)
+	}
+	if got := b.State(); got != BreakerClosed {
+		t.Fatalf("state=%v, want closed (no 3 consecutive failures)", got)
+	}
+}
+
+func TestBreakerErrorRateOpens(t *testing.T) {
+	b, _ := newTestBreaker(BreakerConfig{FailureThreshold: 100, ErrorRate: 0.5, WindowMin: 8})
+	// Alternate strictly: 50% error rate, never 2 consecutive failures.
+	// Once WindowMin outcomes are in, the rate rule trips.
+	for i := 0; i < 4; i++ {
+		b.Record(false)
+		b.Record(true)
+	}
+	if got := b.State(); got != BreakerOpen {
+		t.Fatalf("state=%v, want open via error rate", got)
+	}
+}
+
+func TestBreakerAbandonReleasesProbe(t *testing.T) {
+	b, clk := newTestBreaker(BreakerConfig{FailureThreshold: 1, Cooldown: time.Second})
+	b.Record(false)
+	clk.advance(2 * time.Second)
+	if !b.Allow() {
+		t.Fatal("probe denied")
+	}
+	if b.Allow() {
+		t.Fatal("second probe admitted while first in flight")
+	}
+	b.Abandon()
+	if !b.Allow() {
+		t.Fatal("probe slot not released by Abandon")
+	}
+}
+
+func TestBreakerIgnoresStaleResultsWhileOpen(t *testing.T) {
+	b, _ := newTestBreaker(BreakerConfig{FailureThreshold: 1, Cooldown: time.Hour})
+	b.Record(false)
+	if got := b.State(); got != BreakerOpen {
+		t.Fatalf("state=%v, want open", got)
+	}
+	// A request admitted before the trip completes late; the breaker
+	// must stay open for its cooldown.
+	b.Record(true)
+	if got := b.State(); got != BreakerOpen {
+		t.Fatalf("stale success closed the breaker: state=%v", got)
+	}
+}

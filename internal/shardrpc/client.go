@@ -3,7 +3,9 @@ package shardrpc
 import (
 	"context"
 	"fmt"
+	"math/rand"
 	"net"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -44,11 +46,85 @@ type Peer struct {
 	Pulls      atomic.Int64
 	Retries    atomic.Int64
 	Reconnects atomic.Int64
+	// Hedges counts hedged requests issued TO this peer; HedgeWins those
+	// whose response was adopted ahead of the primary's.
+	Hedges    atomic.Int64
+	HedgeWins atomic.Int64
 
 	mu     sync.Mutex
 	idle   []net.Conn
 	dialed bool
 	closed bool
+	brk    *Breaker
+
+	// Recent exchange durations (successes only), the basis of the
+	// adaptive hedge trigger: hedge when the primary is slower than the
+	// peer's own recent p90.
+	latMu sync.Mutex
+	lat   [latWindow]int64 // nanoseconds, ring
+	latN  int              // filled size
+	latI  int              // next write index
+}
+
+// latWindow is the size of the per-peer latency ring.
+const latWindow = 32
+
+// Breaker returns the peer's circuit breaker, creating it with default
+// thresholds on first use.
+func (p *Peer) Breaker() *Breaker {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.brk == nil {
+		p.brk = NewBreaker(BreakerConfig{})
+	}
+	return p.brk
+}
+
+// SetBreakerConfig replaces the peer's breaker with a fresh closed one
+// under cfg. Call before serving traffic.
+func (p *Peer) SetBreakerConfig(cfg BreakerConfig) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.brk = NewBreaker(cfg)
+}
+
+// observeLatency records one successful exchange duration.
+func (p *Peer) observeLatency(d time.Duration) {
+	p.latMu.Lock()
+	p.lat[p.latI] = int64(d)
+	p.latI = (p.latI + 1) % latWindow
+	if p.latN < latWindow {
+		p.latN++
+	}
+	p.latMu.Unlock()
+}
+
+// defaultHedgeDelay is the adaptive trigger before any latency history
+// exists.
+const defaultHedgeDelay = 50 * time.Millisecond
+
+// hedgeDelay returns this peer's adaptive hedge trigger: the p90 of its
+// recent successful exchanges (so only the slowest decile of requests
+// hedge), clamped to [1ms, pullTimeout/2].
+func (p *Peer) hedgeDelay() time.Duration {
+	p.latMu.Lock()
+	n := p.latN
+	var buf [latWindow]int64
+	copy(buf[:], p.lat[:])
+	p.latMu.Unlock()
+	if n < 8 {
+		return defaultHedgeDelay
+	}
+	s := buf[:n]
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	d := time.Duration(s[(n*9)/10])
+	if d < time.Millisecond {
+		d = time.Millisecond
+	}
+	if hi := p.pullTimeout() / 2; d > hi {
+		d = hi
+	}
+	return d
 }
 
 // NewPeer returns a peer for addr with default timeouts.
@@ -133,8 +209,12 @@ func (p *Peer) exchange(c net.Conn, req *Request, resp *Response) error {
 		*resp = Response{}
 		return readFrame(c, resp)
 	}()
+	d := time.Since(start)
+	if err == nil {
+		p.observeLatency(d)
+	}
 	if p.ObservePull != nil {
-		p.ObservePull(time.Since(start), err)
+		p.ObservePull(d, err)
 	}
 	return err
 }
@@ -154,17 +234,30 @@ func (p *Peer) Call(ctx context.Context, req *Request) (*Response, error) {
 				return nil, err
 			}
 		}
+		brk := p.Breaker()
+		if !brk.Allow() {
+			// Open circuit: fail fast instead of burning the rest of the
+			// retry budget on a peer known to be down.
+			if lastErr == nil {
+				lastErr = fmt.Errorf("circuit open")
+			}
+			break
+		}
 		c, err := p.get(ctx)
 		if err != nil {
+			brk.Record(false)
 			lastErr = err
 			continue
 		}
 		var resp Response
 		if err := p.exchange(c, req, &resp); err != nil {
+			brk.Record(false)
 			c.Close()
 			lastErr = err
 			continue
 		}
+		// The peer answered — a structured refusal still proves liveness.
+		brk.Record(true)
 		p.put(c)
 		if resp.Err != nil {
 			return nil, resp.Err
@@ -174,14 +267,23 @@ func (p *Peer) Call(ctx context.Context, req *Request) (*Response, error) {
 	return nil, api.Errorf(api.CodeUnavailable, "peer %s unreachable after %d attempts: %v", p.Addr, maxAttempts, lastErr)
 }
 
-// backoff returns the sleep before retry attempt n (n >= 1), doubling
-// from backoffBase and capped at backoffCap.
+// backoff returns the sleep before retry attempt n (n >= 1): a full-
+// jitter draw over an exponential window doubling from backoffBase and
+// capped at backoffCap. Deterministic backoff made replicas that failed
+// together retry in lockstep; the uniform draw over [0, window] spreads
+// the retry wave out.
 func backoff(n int) time.Duration {
 	d := backoffBase << (n - 1)
 	if d > backoffCap {
-		return backoffCap
+		d = backoffCap
 	}
-	return d
+	return backoffJitter(d)
+}
+
+// backoffJitter draws the actual sleep given the window. A package
+// variable so tests can pin it for deterministic timing.
+var backoffJitter = func(window time.Duration) time.Duration {
+	return time.Duration(rand.Int63n(int64(window) + 1))
 }
 
 func sleepCtx(ctx context.Context, d time.Duration) error {
@@ -209,6 +311,24 @@ type RemoteRelation struct {
 	Owners map[int][]*Peer
 	// Bounds[s] is shard s's bounding metadata.
 	Bounds map[int]relation.ShardBounds
+	// Hedge is the hedging policy sources over this relation inherit
+	// (copied from the fleet at discovery).
+	Hedge HedgePolicy
+}
+
+// HedgePolicy controls hedged pull/next requests on shards with more
+// than one owner: when the primary replica's response is slower than
+// the trigger, the same offset is pulled from another replica and the
+// first complete response wins. Offset-addressed deterministic streams
+// make the race invisible in the output — whichever replica answers,
+// the bytes are the same.
+type HedgePolicy struct {
+	// After is the fixed hedge trigger. Zero selects the adaptive
+	// trigger: the primary peer's own recent p90 exchange latency, so
+	// only the slowest decile of requests hedge.
+	After time.Duration
+	// Disable turns hedging off entirely.
+	Disable bool
 }
 
 // Stub builds the metadata-only relation the engine sees for a remote
@@ -221,6 +341,15 @@ func (r *RemoteRelation) Stub() (*relation.Relation, error) {
 // Fleet is the coordinator's set of shard-server peers.
 type Fleet struct {
 	peers []*Peer
+	// Hedge is stamped onto every RemoteRelation Discover builds.
+	Hedge HedgePolicy
+}
+
+// SetBreakerConfig applies cfg to every peer's circuit breaker.
+func (f *Fleet) SetBreakerConfig(cfg BreakerConfig) {
+	for _, p := range f.peers {
+		p.SetBreakerConfig(cfg)
+	}
 }
 
 // NewFleet builds a fleet over one peer per address.
@@ -272,6 +401,7 @@ func (f *Fleet) Discover(ctx context.Context) (map[string]*RemoteRelation, error
 					Shards:   ri.Shards,
 					Owners:   make(map[int][]*Peer),
 					Bounds:   make(map[int]relation.ShardBounds),
+					Hedge:    f.Hedge,
 				}
 				rels[ri.Name] = r
 			} else if r.MaxScore != ri.MaxScore || r.Dim != ri.Dim || r.Tuples != ri.Tuples || r.Shards != ri.Shards {

@@ -1,0 +1,314 @@
+package shardrpc
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"testing"
+	"time"
+
+	"repro/api"
+	"repro/internal/faultinject"
+	"repro/internal/relation"
+)
+
+// pinJitter pins the backoff jitter for a test, restoring it after.
+func pinJitter(t *testing.T, f func(time.Duration) time.Duration) {
+	t.Helper()
+	old := backoffJitter
+	backoffJitter = f
+	t.Cleanup(func() { backoffJitter = old })
+}
+
+// fullWindow makes every backoff sleep its whole window (deterministic
+// and long enough to cancel into).
+func fullWindow(w time.Duration) time.Duration { return w }
+
+// deadAddr returns a loopback address that refuses connections.
+func deadAddr(t *testing.T) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+	return addr
+}
+
+func TestBackoffFullJitter(t *testing.T) {
+	for n := 1; n <= 6; n++ {
+		window := backoffBase << (n - 1)
+		if window > backoffCap {
+			window = backoffCap
+		}
+		for i := 0; i < 200; i++ {
+			d := backoff(n)
+			if d < 0 || d > window {
+				t.Fatalf("backoff(%d) = %v outside [0, %v]", n, d, window)
+			}
+		}
+	}
+	// The rand source is injectable, so timing-sensitive tests can pin it.
+	pinJitter(t, func(w time.Duration) time.Duration { return w / 2 })
+	if got := backoff(1); got != backoffBase/2 {
+		t.Fatalf("pinned backoff(1) = %v, want %v", got, backoffBase/2)
+	}
+	if got := backoff(10); got != backoffCap/2 {
+		t.Fatalf("pinned backoff(10) = %v, want %v", got, backoffCap/2)
+	}
+}
+
+// TestCallCancellationMidRetry: cancelling the context while Call is in
+// a backoff sleep must return promptly with the context's own error —
+// not an *api.Error — and leave no checked-out connection behind.
+func TestCallCancellationMidRetry(t *testing.T) {
+	pinJitter(t, fullWindow)
+	p := NewPeer(deadAddr(t))
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		// Land inside a backoff sleep (first window is 25ms, after a
+		// near-instant refused dial).
+		time.Sleep(35 * time.Millisecond)
+		cancel()
+	}()
+	start := time.Now()
+	_, err := p.Call(ctx, &Request{Verb: VerbPing})
+	elapsed := time.Since(start)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	var apiErr *api.Error
+	if errors.As(err, &apiErr) {
+		t.Fatalf("cancellation surfaced as *api.Error %v, want the raw ctx.Err()", apiErr)
+	}
+	if elapsed > 300*time.Millisecond {
+		t.Fatalf("cancelled Call took %v, want a prompt return", elapsed)
+	}
+	p.mu.Lock()
+	idle := len(p.idle)
+	p.mu.Unlock()
+	if idle != 0 {
+		t.Fatalf("%d connections left in the pool after cancellation", idle)
+	}
+}
+
+// deadRemote builds a RemoteRelation whose single shard is owned only
+// by dead peers.
+func deadRemote(t *testing.T, owners ...*Peer) (*relation.Relation, *RemoteRelation) {
+	t.Helper()
+	rel := testRelation(t, "pts", 11, 20, 2)
+	sharded, err := relation.Partition(rel, 1, relation.HashPartition)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rr := &RemoteRelation{
+		Name:     "pts",
+		MaxScore: rel.MaxScore,
+		Dim:      rel.Dim(),
+		Tuples:   rel.Len(),
+		Shards:   1,
+		Owners:   map[int][]*Peer{0: owners},
+		Bounds:   map[int]relation.ShardBounds{0: sharded.ShardBounds(0)},
+	}
+	return rel, rr
+}
+
+// TestNextKeyedCancellationMidRetry mirrors the Call test for the
+// streaming path: a cancel during fetch's backoff sleep returns the
+// context error promptly, with no connection checked out.
+func TestNextKeyedCancellationMidRetry(t *testing.T) {
+	pinJitter(t, fullWindow)
+	rel, rr := deadRemote(t, NewPeer(deadAddr(t)))
+	ctx, cancel := context.WithCancel(context.Background())
+	src, err := OpenRemoteShard(ctx, rel, rr, 0, api.AccessScore, nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	go func() {
+		time.Sleep(35 * time.Millisecond)
+		cancel()
+	}()
+	start := time.Now()
+	_, _, _, err = src.NextKeyed()
+	elapsed := time.Since(start)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	var apiErr *api.Error
+	if errors.As(err, &apiErr) {
+		t.Fatalf("cancellation surfaced as *api.Error %v, want the raw ctx.Err()", apiErr)
+	}
+	if elapsed > 300*time.Millisecond {
+		t.Fatalf("cancelled NextKeyed took %v, want a prompt return", elapsed)
+	}
+	if src.conn != nil {
+		t.Fatal("cancelled source left a connection checked out")
+	}
+}
+
+// TestBreakerFailFast: once a dead peer's breaker opens, further calls
+// stop dialing it at all.
+func TestBreakerFailFast(t *testing.T) {
+	pinJitter(t, func(time.Duration) time.Duration { return 0 })
+	p := NewPeer(deadAddr(t))
+	p.SetBreakerConfig(BreakerConfig{FailureThreshold: 3, Cooldown: time.Hour})
+	if _, err := p.Call(context.Background(), &Request{Verb: VerbPing}); err == nil {
+		t.Fatal("call to a dead peer succeeded")
+	}
+	if got := p.Breaker().State(); got != BreakerOpen {
+		t.Fatalf("breaker state=%v after a failed call, want open", got)
+	}
+	redials := p.Reconnects.Load()
+	_, err := p.Call(context.Background(), &Request{Verb: VerbPing})
+	if err == nil {
+		t.Fatal("open-circuit call succeeded")
+	}
+	var apiErr *api.Error
+	if !errors.As(err, &apiErr) || apiErr.Code != api.CodeUnavailable {
+		t.Fatalf("err = %v, want CodeUnavailable", err)
+	}
+	if got := p.Reconnects.Load(); got != redials {
+		t.Fatalf("open-circuit call dialed the peer (%d redials, had %d)", got, redials)
+	}
+}
+
+// TestPartialDegradesDeadShard: in partial mode a shard whose every
+// replica is down ends its stream early and reports Missing, instead of
+// failing the query; strict mode keeps the CodeUnavailable error.
+func TestPartialDegradesDeadShard(t *testing.T) {
+	pinJitter(t, func(time.Duration) time.Duration { return 0 })
+	dead := NewPeer(deadAddr(t))
+	rel, rr := deadRemote(t, dead)
+
+	strict, err := OpenRemoteShard(context.Background(), rel, rr, 0, api.AccessScore, nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, _, _, err = strict.NextKeyed()
+	var apiErr *api.Error
+	if !errors.As(err, &apiErr) || apiErr.Code != api.CodeUnavailable {
+		t.Fatalf("strict source err = %v, want CodeUnavailable", err)
+	}
+	if strict.Missing() {
+		t.Fatal("strict source reported Missing")
+	}
+
+	soft, err := OpenRemoteShard(context.Background(), rel, rr, 0, api.AccessScore, nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	soft.SetPartial(true)
+	_, _, _, err = soft.NextKeyed()
+	if !errors.Is(err, relation.ErrExhausted) {
+		t.Fatalf("partial source err = %v, want ErrExhausted", err)
+	}
+	if !soft.Missing() {
+		t.Fatal("partial source did not report Missing")
+	}
+	if !soft.Exhausted() {
+		t.Fatal("degraded source should read as exhausted to the merge")
+	}
+}
+
+// startFaultedServer serves backend through a fault-injecting listener.
+func startFaultedServer(t *testing.T, backend Backend, inj *faultinject.Injector) (addr string) {
+	t.Helper()
+	raw, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := NewServer(backend)
+	if err := srv.Serve(inj.Listener(raw)); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(srv.Close)
+	return raw.Addr().String()
+}
+
+// TestHedgedPullRescuesStalledReplica: with the primary replica stalled
+// by an injected delay, the hedge fires on the other replica, the
+// stream completes well under the stall, and the rows are byte-for-byte
+// the rows a healthy direct stream yields.
+func TestHedgedPullRescuesStalledReplica(t *testing.T) {
+	rel := testRelation(t, "pts", 7, 90, 2)
+	sharded, err := relation.Partition(rel, 2, relation.HashPartition)
+	if err != nil {
+		t.Fatal(err)
+	}
+	backend := func(name string) *testBackend {
+		return &testBackend{
+			name: name,
+			rels: map[string]*relation.Sharded{"pts": sharded},
+			owns: func(int) bool { return true },
+		}
+	}
+	const stall = 600 * time.Millisecond
+	inj, err := faultinject.Parse(fmt.Sprintf("verb=pull;action=delay;delay=%s|verb=next;action=delay;delay=%s", stall, stall))
+	if err != nil {
+		t.Fatal(err)
+	}
+	slowAddr := startFaultedServer(t, backend("slow"), inj)
+	fastAddr := startServer(t, backend("fast"))
+
+	fleet := NewFleet([]string{slowAddr, fastAddr})
+	fleet.Hedge = HedgePolicy{After: 30 * time.Millisecond}
+	t.Cleanup(fleet.Close)
+	remotes, err := fleet.Discover(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rr := remotes["pts"]
+
+	src, err := OpenRemoteShard(context.Background(), rel, rr, 0, api.AccessScore, nil, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	var got []WireTuple
+	for {
+		tp, key, ord, err := src.NextKeyed()
+		if errors.Is(err, relation.ErrExhausted) {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		got = append(got, WireTuple{Key: key, Ord: ord, ID: tp.ID, Score: tp.Score, Vec: tp.Vec})
+	}
+	elapsed := time.Since(start)
+	if elapsed >= stall {
+		t.Fatalf("stream took %v — the hedge did not rescue it from the %v stall", elapsed, stall)
+	}
+	hedges := fleet.Peers()[0].Hedges.Load() + fleet.Peers()[1].Hedges.Load()
+	if hedges == 0 {
+		t.Fatal("no hedged requests were issued")
+	}
+
+	// Byte-identity: same rows as the local shard stream.
+	local, err := sharded.ShardSource(0, relation.ScoreAccess, nil, nil, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	keyed := local.(relation.KeyedSource)
+	for i := 0; ; i++ {
+		tp, key, ord, err := keyed.NextKeyed()
+		if errors.Is(err, relation.ErrExhausted) {
+			if i != len(got) {
+				t.Fatalf("remote stream has %d rows, local has %d", len(got), i)
+			}
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		if i >= len(got) {
+			t.Fatalf("remote stream ended at row %d, local continues", i)
+		}
+		w := got[i]
+		if w.Key != key || w.Ord != ord || w.ID != tp.ID || w.Score != tp.Score {
+			t.Fatalf("row %d differs: remote {%v %d %s %v}, local {%v %d %s %v}", i, w.Key, w.Ord, w.ID, w.Score, key, ord, tp.ID, tp.Score)
+		}
+	}
+}

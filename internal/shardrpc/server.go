@@ -52,11 +52,21 @@ func (s *Server) Listen(addr string) (net.Addr, error) {
 	if err != nil {
 		return nil, err
 	}
+	if err := s.Serve(ln); err != nil {
+		ln.Close()
+		return nil, err
+	}
+	return ln.Addr(), nil
+}
+
+// Serve starts accepting on an existing listener in a background
+// goroutine. It is how chaos builds interpose a fault-injecting
+// listener wrapper between the network and the server.
+func (s *Server) Serve(ln net.Listener) error {
 	s.mu.Lock()
 	if s.closed {
 		s.mu.Unlock()
-		ln.Close()
-		return nil, errors.New("shardrpc: server is closed")
+		return errors.New("shardrpc: server is closed")
 	}
 	s.ln = ln
 	s.mu.Unlock()
@@ -65,7 +75,7 @@ func (s *Server) Listen(addr string) (net.Addr, error) {
 		defer s.wg.Done()
 		s.serve(ln)
 	}()
-	return ln.Addr(), nil
+	return nil
 }
 
 func (s *Server) serve(ln net.Listener) {

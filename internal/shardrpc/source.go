@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"net"
+	"time"
 
 	"repro/api"
 	"repro/internal/relation"
@@ -29,11 +30,18 @@ type RemoteSource struct {
 	batch   int
 	owners  []*Peer
 	ctx     context.Context
+	hedge   HedgePolicy
 
 	// opened flips on the first NextKeyed call: a source that ends its
 	// query with opened still false was pruned — the merge never needed
 	// any key at or past its bound.
 	opened bool
+
+	// partial lets the source degrade instead of failing: when every
+	// replica is unreachable or open-circuit, the stream ends early and
+	// missing records that its shard's tail was abandoned.
+	partial bool
+	missing bool
 
 	conn     net.Conn
 	peer     *Peer // owner of conn
@@ -42,6 +50,10 @@ type RemoteSource struct {
 	pos      int
 	offset   int // rows consumed from the stream (resume point)
 	done     bool
+
+	// Hedge budget: hedges stay under ~10% of exchanges.
+	pulls  int
+	hedges int
 }
 
 // OpenRemoteShard builds the stream of one shard of a discovered remote
@@ -91,6 +103,7 @@ func OpenRemoteShard(ctx context.Context, parent *relation.Relation, rr *RemoteR
 		batch:   batch,
 		owners:  owners,
 		ctx:     ctx,
+		hedge:   rr.Hedge,
 	}, nil
 }
 
@@ -122,6 +135,21 @@ func (r *RemoteSource) Opened() bool { return r.opened }
 // Shard returns the shard index this source streams.
 func (r *RemoteSource) Shard() int { return r.shard }
 
+// RelationName returns the logical relation this source streams.
+func (r *RemoteSource) RelationName() string { return r.relName }
+
+// SetPartial switches the source into partial mode: when every replica
+// of its shard is unreachable or open-circuit, the stream ends early
+// (reporting Missing) instead of failing the query. The default —
+// partial off — fails with CodeUnavailable as strict callers expect.
+func (r *RemoteSource) SetPartial(ok bool) { r.partial = ok }
+
+// Missing reports whether the source abandoned its shard: partial mode
+// was on and every replica was down when more rows were needed. A
+// missing source's delivered prefix is still exact; only the tail (or,
+// when it never connected, the whole shard) is absent.
+func (r *RemoteSource) Missing() bool { return r.missing }
+
 // Next implements relation.Source.
 func (r *RemoteSource) Next() (relation.Tuple, error) {
 	t, _, _, err := r.NextKeyed()
@@ -150,9 +178,13 @@ func (r *RemoteSource) NextKeyed() (relation.Tuple, float64, int, error) {
 
 // fetch pulls the next batch into buf. A healthy checked-out connection
 // continues the stream with VerbNext; otherwise it (re)connects —
-// rotating through replica owners — and re-opens with VerbPull at the
-// consumed offset, which resumes the deterministic stream exactly where
-// the last delivered row left it.
+// rotating through replica owners whose circuit breakers admit traffic
+// — and re-opens with VerbPull at the consumed offset, which resumes
+// the deterministic stream exactly where the last delivered row left
+// it. When every replica is open-circuit the fetch fails fast without
+// burning the retry budget on a shard known to be down; in partial mode
+// that (and an exhausted retry budget) degrades the stream to an early
+// end instead of an error.
 func (r *RemoteSource) fetch() error {
 	var lastErr error
 	for attempt := 0; attempt < maxAttempts; attempt++ {
@@ -163,13 +195,19 @@ func (r *RemoteSource) fetch() error {
 		}
 		verb := VerbNext
 		if r.conn == nil {
-			peer := r.owners[r.ownerIdx%len(r.owners)]
-			r.ownerIdx++
+			peer := r.pickOwner()
+			if peer == nil {
+				if lastErr == nil {
+					lastErr = fmt.Errorf("all %d replica(s) open-circuit", len(r.owners))
+				}
+				return r.unreachable(lastErr)
+			}
 			if attempt > 0 || lastErr != nil {
 				peer.Retries.Add(1)
 			}
 			c, err := peer.get(r.ctx)
 			if err != nil {
+				peer.Breaker().Record(false)
 				lastErr = fmt.Errorf("dial %s: %w", peer.Addr, err)
 				continue
 			}
@@ -185,10 +223,11 @@ func (r *RemoteSource) fetch() error {
 			Offset:   r.offset,
 			Batch:    r.batch,
 		}
-		var resp Response
-		if err := r.peer.exchange(r.conn, &req, &resp); err != nil {
-			r.conn.Close()
-			r.conn, r.peer = nil, nil
+		resp, err := r.exchangeHedged(&req)
+		if err != nil {
+			if r.ctx.Err() != nil {
+				return r.ctx.Err()
+			}
 			lastErr = err
 			continue
 		}
@@ -204,9 +243,178 @@ func (r *RemoteSource) fetch() error {
 		}
 		return nil
 	}
+	return r.unreachable(lastErr)
+}
+
+// pickOwner returns the next replica whose breaker admits a request,
+// rotating from where the last (re)connect left off, or nil when every
+// replica is open-circuit.
+func (r *RemoteSource) pickOwner() *Peer {
+	for i := 0; i < len(r.owners); i++ {
+		p := r.owners[r.ownerIdx%len(r.owners)]
+		r.ownerIdx++
+		if p.Breaker().Allow() {
+			return p
+		}
+	}
+	return nil
+}
+
+// unreachable ends a fetch whose every avenue failed: an error in
+// strict mode, a degraded early end of stream in partial mode.
+func (r *RemoteSource) unreachable(lastErr error) error {
+	if r.partial {
+		r.missing = true
+		r.buf, r.pos, r.done = nil, 0, true
+		r.release()
+		return nil
+	}
 	return api.Errorf(api.CodeUnavailable,
 		"shard %d of relation %q unreachable after %d attempts (last error: %v)",
 		r.shard, r.relName, maxAttempts, lastErr)
+}
+
+// exchResult is one lane of a (possibly hedged) exchange.
+type exchResult struct {
+	resp  *Response
+	err   error
+	conn  net.Conn
+	peer  *Peer
+	hedge bool
+}
+
+// exchangeHedged performs one exchange on the checked-out connection,
+// hedging it against another replica when the primary's response is
+// slower than the hedge trigger: the hedge re-pulls the SAME offset on
+// its own connection, and the first complete response wins. Because
+// shard streams are deterministic and offset-addressed, the output is
+// byte-identical whichever lane wins. On success r.conn/r.peer hold the
+// winning lane's connection; on failure the connection state is cleared.
+func (r *RemoteSource) exchangeHedged(req *Request) (*Response, error) {
+	r.pulls++
+	primary, pconn := r.peer, r.conn
+	results := make(chan exchResult, 2)
+	inflight := 1
+	go func() {
+		var resp Response
+		err := primary.exchange(pconn, req, &resp)
+		results <- exchResult{resp: &resp, err: err, conn: pconn, peer: primary}
+	}()
+
+	var hedgeC <-chan time.Time
+	if r.hedgeAllowed() {
+		t := time.NewTimer(r.hedgeDelay(primary))
+		defer t.Stop()
+		hedgeC = t.C
+	}
+
+	for {
+		select {
+		case res := <-results:
+			inflight--
+			if res.err == nil {
+				res.peer.Breaker().Record(true)
+				if res.hedge {
+					res.peer.HedgeWins.Add(1)
+				}
+				r.conn, r.peer = res.conn, res.peer
+				r.abandon(results, inflight, res.conn)
+				return res.resp, nil
+			}
+			res.peer.Breaker().Record(false)
+			if res.conn != nil {
+				res.conn.Close()
+			}
+			if inflight > 0 {
+				continue // the other lane may still win
+			}
+			r.conn, r.peer = nil, nil
+			return nil, res.err
+		case <-hedgeC:
+			hedgeC = nil
+			hp := r.pickHedgePeer(primary)
+			if hp == nil {
+				continue
+			}
+			inflight++
+			r.hedges++
+			hp.Hedges.Add(1)
+			hreq := *req
+			hreq.Verb = VerbPull
+			hreq.Offset = r.offset
+			go func() {
+				c, err := hp.get(r.ctx)
+				if err != nil {
+					results <- exchResult{err: err, peer: hp, hedge: true}
+					return
+				}
+				var resp Response
+				err = hp.exchange(c, &hreq, &resp)
+				results <- exchResult{resp: &resp, err: err, conn: c, peer: hp, hedge: true}
+			}()
+		case <-r.ctx.Done():
+			// Closing the primary connection unblocks its exchange; the
+			// drainer reaps whatever is still in flight.
+			pconn.Close()
+			r.conn, r.peer = nil, nil
+			r.abandon(results, inflight, nil)
+			return nil, r.ctx.Err()
+		}
+	}
+}
+
+// abandon reaps n still-in-flight lanes in the background: their
+// connections are closed (never pooled — their framing state is
+// unknown), any half-open probe slot is released without a verdict,
+// and their outcomes are not held against the peer (the loss may be
+// one we induced by closing the winner race).
+func (r *RemoteSource) abandon(results chan exchResult, n int, keep net.Conn) {
+	if n <= 0 {
+		return
+	}
+	go func() {
+		for i := 0; i < n; i++ {
+			res := <-results
+			if res.conn != nil && res.conn != keep {
+				res.conn.Close()
+			}
+			if res.peer != nil {
+				res.peer.Breaker().Abandon()
+			}
+		}
+	}()
+}
+
+// hedgeAllowed reports whether this fetch may hedge: hedging on, more
+// than one replica, and the budget (~10% of exchanges, with one free)
+// not yet spent.
+func (r *RemoteSource) hedgeAllowed() bool {
+	return !r.hedge.Disable && len(r.owners) > 1 && r.hedges*10 < r.pulls+9
+}
+
+// hedgeDelay is the trigger for hedging one exchange: the fixed policy
+// value, or the primary's own recent p90 so only its slowest decile of
+// requests hedge.
+func (r *RemoteSource) hedgeDelay(primary *Peer) time.Duration {
+	if r.hedge.After > 0 {
+		return r.hedge.After
+	}
+	return primary.hedgeDelay()
+}
+
+// pickHedgePeer returns a replica other than the primary whose breaker
+// admits a request, or nil.
+func (r *RemoteSource) pickHedgePeer(primary *Peer) *Peer {
+	for i := 0; i < len(r.owners); i++ {
+		p := r.owners[(r.ownerIdx+i)%len(r.owners)]
+		if p == primary {
+			continue
+		}
+		if p.Breaker().Allow() {
+			return p
+		}
+	}
+	return nil
 }
 
 // release returns the checked-out connection to its peer's pool. The

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	proxrank "repro"
@@ -80,6 +81,11 @@ type Catalog struct {
 	mu      sync.RWMutex
 	entries map[string]*Entry
 	nextGen uint64
+	// building counts registrations currently partitioning and building
+	// indexes — the readiness probe reports not-ready while it is
+	// non-zero, so a server bulk-loading at startup holds traffic off
+	// until its catalog is queryable.
+	building atomic.Int64
 	// buildObserver, when set, receives every registration's index-build
 	// cost: shard count and the wall time spent partitioning and
 	// building indexes. Wired to the metrics registry by NewExecutor.
@@ -134,6 +140,8 @@ func (c *Catalog) RegisterSharded(name string, rel *proxrank.Relation, shards in
 	// Partitioning and index construction are the expensive part; do them
 	// outside the lock so concurrent queries are not stalled behind bulk
 	// loads.
+	c.building.Add(1)
+	defer c.building.Add(-1)
 	buildStart := time.Now()
 	sharded, err := proxrank.NewShardedRelation(rel, shards, strategy)
 	if err != nil {
@@ -238,6 +246,10 @@ func (c *Catalog) Evict(name string) bool {
 	delete(c.entries, name)
 	return ok
 }
+
+// Building reports how many registrations are mid index build right
+// now; /v1/readyz answers not-ready while it is positive.
+func (c *Catalog) Building() int64 { return c.building.Load() }
 
 // Len returns the number of registered relations.
 func (c *Catalog) Len() int {

@@ -262,8 +262,9 @@ func TestDistributedMixedLocalRemote(t *testing.T) {
 }
 
 // TestDistributedPeerDeath: with no replicas, losing a peer surfaces as
-// a clean structured unavailable error — never a hang or a corrupt
-// partial answer.
+// a clean structured unavailable error when the request forbids partial
+// results — never a hang or a corrupt partial answer — and as a marked
+// degraded response under the default partial policy.
 func TestDistributedPeerDeath(t *testing.T) {
 	f := newDistFixture(t, 2, 80, 4, 2, proxrank.HashPartition)
 	for _, p := range f.fleet.Peers() {
@@ -271,14 +272,30 @@ func TestDistributedPeerDeath(t *testing.T) {
 		p.PullTimeout = 500 * time.Millisecond
 	}
 	f.servers[1].Close() // peer 1 dies for good
-	req := &QueryRequest{Query: []float64{0, 0}, Relations: f.names, K: 3}
+	req := &QueryRequest{Query: []float64{0, 0}, Relations: f.names, K: 3, Partial: api.PartialForbid}
 	_, err := f.coord.Execute(context.Background(), req)
 	if err == nil {
-		t.Fatal("query over a dead, unreplicated peer succeeded")
+		t.Fatal("partial=forbid query over a dead, unreplicated peer succeeded")
 	}
 	var ae *APIError
 	if !errors.As(err, &ae) || ae.Code != CodeUnavailable {
 		t.Fatalf("got %v, want *APIError with code %q", err, CodeUnavailable)
+	}
+
+	// The default policy degrades instead: the query completes over the
+	// surviving shards and says so.
+	resp, err := f.coord.Execute(context.Background(), &QueryRequest{Query: []float64{0, 0}, Relations: f.names, K: 3})
+	if err != nil {
+		t.Fatalf("partial=allow query failed: %v", err)
+	}
+	if !resp.Degraded {
+		t.Fatal("response over a dead peer not marked degraded")
+	}
+	if len(resp.ShardsMissing) == 0 {
+		t.Fatal("degraded response lists no missing shards")
+	}
+	if resp.Cached {
+		t.Fatal("degraded response claims to be cached")
 	}
 }
 

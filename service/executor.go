@@ -26,6 +26,13 @@ type Config struct {
 	// excess queries wait for a slot until their context expires. Defaults
 	// to GOMAXPROCS.
 	Workers int
+	// AdmissionQueue bounds how many queries may wait for a worker slot
+	// at once; past the watermark new arrivals are shed immediately with
+	// CodeOverloaded (HTTP 503 + Retry-After) instead of queueing into a
+	// deadline they cannot meet. 0 takes 4×Workers; negative disables the
+	// watermark (queries queue until their own deadline, the legacy
+	// behavior).
+	AdmissionQueue int
 	// DefaultTimeout is the per-query deadline applied when the request
 	// carries none (0 = no default deadline).
 	DefaultTimeout time.Duration
@@ -145,7 +152,12 @@ type StatsSnapshot struct {
 	Failed       int64 `json:"failed"`
 	Rejected     int64 `json:"rejected"`
 	InFlight     int64 `json:"inFlight"`
-	EngineRuns   int64 `json:"engineRuns"`
+	// Queued counts queries waiting for a worker slot right now; Degraded
+	// counts queries that completed without some shard whose every
+	// replica was unreachable.
+	Queued     int64 `json:"queued"`
+	Degraded   int64 `json:"degraded"`
+	EngineRuns int64 `json:"engineRuns"`
 	// StreamsBrokered counts streaming leaders whose delivery went
 	// through the broker (engine decoupled from the sink).
 	StreamsBrokered int64 `json:"streamsBrokered"`
@@ -213,6 +225,8 @@ type Executor struct {
 	failed            atomic.Int64
 	rejected          atomic.Int64
 	inFlight          atomic.Int64
+	queued            atomic.Int64
+	degraded          atomic.Int64
 	engineRuns        atomic.Int64
 	streamsBrokered   atomic.Int64
 	midRunAttaches    atomic.Int64
@@ -229,6 +243,9 @@ type Executor struct {
 func NewExecutor(cat *Catalog, cfg Config) *Executor {
 	if cfg.Workers <= 0 {
 		cfg.Workers = runtime.GOMAXPROCS(0)
+	}
+	if cfg.AdmissionQueue == 0 {
+		cfg.AdmissionQueue = 4 * cfg.Workers
 	}
 	if cfg.CacheSize == 0 {
 		cfg.CacheSize = DefaultCacheSize
@@ -299,6 +316,8 @@ func (x *Executor) Stats() StatsSnapshot {
 		Failed:              x.failed.Load(),
 		Rejected:            x.rejected.Load(),
 		InFlight:            x.inFlight.Load(),
+		Queued:              x.queued.Load(),
+		Degraded:            x.degraded.Load(),
 		EngineRuns:          x.engineRuns.Load(),
 		StreamsBrokered:     x.streamsBrokered.Load(),
 		MidRunAttaches:      x.midRunAttaches.Load(),
@@ -383,6 +402,9 @@ func (x *Executor) Execute(ctx context.Context, req *QueryRequest) (*QueryRespon
 	x.queries.Add(1)
 	o := x.beginObs(labelModeBatch, req)
 	resp, err := x.execute(ctx, req, o)
+	if resp != nil {
+		o.noteDegraded(resp.Degraded, resp.ShardsMissing)
+	}
 	o.finish(req, err)
 	if err == nil && req.Trace && resp != nil {
 		// Attach on a shallow copy: the response may be shared with the
@@ -407,11 +429,12 @@ func (x *Executor) execute(ctx context.Context, req *QueryRequest, o *queryObs) 
 		opts.Tracer = o.rec
 	}
 	req = norm
+	partial := req.Partial != api.PartialForbid
 	if req.NoCache || !x.cache.enabled() {
 		o.cache = api.CacheBypass
 		ctx, cancel := x.applyDeadline(ctx, req)
 		defer cancel()
-		resp, err := x.run(ctx, query, opts, entries, "", false)
+		resp, err := x.run(ctx, query, opts, entries, "", false, partial)
 		o.phase(api.PhaseEngine)
 		return resp, err
 	}
@@ -448,7 +471,7 @@ func (x *Executor) execute(ctx context.Context, req *QueryRequest, o *queryObs) 
 					x.flight.leave(key, c, nil, apiErrorf(CodeInternal, "query leader aborted"))
 				}
 			}()
-			resp, err := x.run(ctx, query, opts, entries, key, true)
+			resp, err := x.run(ctx, query, opts, entries, key, true, partial)
 			o.phase(api.PhaseEngine)
 			finished = true
 			x.flight.leave(key, c, resp, err)
@@ -458,6 +481,13 @@ func (x *Executor) execute(ctx context.Context, req *QueryRequest, o *queryObs) 
 		case <-c.done:
 			if c.err != nil {
 				continue
+			}
+			// Partial is a per-request policy, not part of the flight key:
+			// a forbid follower that coalesced onto an allow leader whose
+			// run degraded gets the failure it asked for, not the leader's
+			// partial answer.
+			if c.resp.Degraded && !partial {
+				return nil, degradedForbidden(c.resp)
 			}
 			x.coalesced.Add(1)
 			o.cache = api.CacheCoalesced
@@ -514,6 +544,9 @@ func (x *Executor) ExecuteStream(ctx context.Context, req *QueryRequest, sink Ev
 	// path never sees the raw sink.
 	wrapped := func(ev api.ResultEvent) error {
 		o.firstEvent()
+		if ev.Type == api.EventSummary && ev.Summary != nil {
+			o.noteDegraded(ev.Summary.Degraded, ev.Summary.ShardsMissing)
+		}
 		return sink(ev)
 	}
 	err := x.executeStream(ctx, req, o, wrapped)
@@ -543,6 +576,7 @@ func (x *Executor) executeStream(ctx context.Context, req *QueryRequest, o *quer
 		opts.Tracer = o.rec
 	}
 	req = norm
+	partial := req.Partial != api.PartialForbid
 	if req.NoCache || !x.cache.enabled() {
 		o.cache = api.CacheBypass
 		ctx, cancel := x.applyDeadline(ctx, req)
@@ -550,7 +584,7 @@ func (x *Executor) executeStream(ctx context.Context, req *QueryRequest, o *quer
 		if req.NoCache || !x.brokerEnabled() {
 			// NoCache is the documented opt-out into strict coupling;
 			// a disabled broker couples everything.
-			_, err := x.runStream(ctx, query, opts, entries, "", false, sink)
+			_, err := x.runStream(ctx, query, opts, entries, "", false, partial, sink)
 			o.phase(api.PhaseEngine)
 			return err
 		}
@@ -593,7 +627,7 @@ func (x *Executor) executeStream(ctx context.Context, req *QueryRequest, o *quer
 					x.flight.leave(key, c, nil, apiErrorf(CodeInternal, "query leader aborted"))
 				}
 			}()
-			resp, err := x.runStream(ctx, query, opts, entries, key, true, sink)
+			resp, err := x.runStream(ctx, query, opts, entries, key, true, partial, sink)
 			o.phase(api.PhaseEngine)
 			finished = true
 			x.flight.leave(key, c, resp, err)
@@ -601,7 +635,10 @@ func (x *Executor) executeStream(ctx context.Context, req *QueryRequest, o *quer
 		}
 		// A live topic means a brokered stream leader is mid-run: attach
 		// and consume independently instead of waiting for it to finish.
-		if topic := c.topic.Load(); topic != nil {
+		// A forbid request skips mid-run attachment: the leader's run may
+		// yet degrade, and this subscriber must not deliver a partial
+		// prefix — it waits for the settled outcome below instead.
+		if topic := c.topic.Load(); topic != nil && partial {
 			x.coalesced.Add(1)
 			x.midRunAttaches.Add(1)
 			o.cache = api.CacheCoalesced
@@ -634,6 +671,9 @@ func (x *Executor) executeStream(ctx context.Context, req *QueryRequest, o *quer
 		case <-c.done:
 			if c.err != nil {
 				continue
+			}
+			if c.resp.Degraded && !partial {
+				return degradedForbidden(c.resp)
 			}
 			x.coalesced.Add(1)
 			o.cache = api.CacheCoalesced
@@ -734,7 +774,7 @@ func (x *Executor) leadBrokered(ctx context.Context, req *QueryRequest, query pr
 			fail(apiErrorf(CodeInternal, "query leader aborted"))
 		}
 	}()
-	q, release, aerr := x.openSession(ctx, query, opts, entries)
+	q, missing, release, aerr := x.openSession(ctx, query, opts, entries, req.Partial != api.PartialForbid)
 	if aerr != nil {
 		return fail(aerr)
 	}
@@ -763,11 +803,14 @@ func (x *Executor) leadBrokered(ctx context.Context, req *QueryRequest, query pr
 				settle(nil, apiErrorf(CodeInternal, "stream leader panicked: %v", r))
 			}
 		}()
-		resp, runErr := x.publishRun(engCtx, q, opts, entries, topic)
+		resp, runErr := x.publishRun(engCtx, q, opts, entries, missing, topic)
 		var aerr *APIError
 		switch {
 		case runErr == nil:
-			if c != nil {
+			// Degraded responses are never cached (the shard may come
+			// back any moment); followers still share this run's outcome
+			// through the flight and re-check their own partial policy.
+			if c != nil && !resp.Degraded {
 				x.cache.put(key, resp)
 			}
 		case c != nil:
@@ -799,7 +842,7 @@ func (x *Executor) leadBrokered(ctx context.Context, req *QueryRequest, query pr
 // never waits on a consumer beyond that consumer's cumulative block
 // budget. An engine failure comes back raw — the caller decides how to
 // classify and count it.
-func (x *Executor) publishRun(ctx context.Context, q *proxrank.Query, opts proxrank.Options, entries []*Entry, topic *streamTopic) (*QueryResponse, error) {
+func (x *Executor) publishRun(ctx context.Context, q *proxrank.Query, opts proxrank.Options, entries []*Entry, missing func() []api.MissingShard, topic *streamTopic) (*QueryResponse, error) {
 	var combos []proxrank.Combination
 	publish := func(ev api.ResultEvent) {
 		if n := topic.Publish(ev); n > 0 {
@@ -824,12 +867,16 @@ func (x *Executor) publishRun(ctx context.Context, q *proxrank.Query, opts proxr
 		Stats:        q.Stats(),
 	}
 	resp := buildResponse(res, entries)
+	x.stampDegraded(resp, missing())
 	x.recordOutcome(res.Stats)
 	publish(api.ResultEvent{Type: api.EventSummary, Summary: &api.Summary{
-		Count:  len(resp.Results),
-		DNF:    resp.DNF,
-		Cached: false,
-		Cost:   resp.Cost,
+		Count:            len(resp.Results),
+		DNF:              resp.DNF,
+		Cached:           false,
+		Cost:             resp.Cost,
+		Degraded:         resp.Degraded,
+		ShardsMissing:    resp.ShardsMissing,
+		ResultsCertified: resp.ResultsCertified,
 	}})
 	return resp, nil
 }
@@ -880,7 +927,9 @@ func (e leaderFailedError) Error() string { return e.err.Error() }
 func (e leaderFailedError) Unwrap() error { return e.err }
 
 // replayResponse streams an already-computed response as events, summary
-// marked cached — the follower/cache-hit half of ExecuteStream.
+// marked cached — the follower/cache-hit half of ExecuteStream. The
+// degraded fields carry over (reachable only via the flight: degraded
+// responses are never cached).
 func replayResponse(resp *QueryResponse, sink EventSink) error {
 	for i := range resp.Results {
 		ev := api.ResultEvent{Type: api.EventResult, Rank: i + 1, Result: &resp.Results[i]}
@@ -889,11 +938,23 @@ func replayResponse(resp *QueryResponse, sink EventSink) error {
 		}
 	}
 	return sink(api.ResultEvent{Type: api.EventSummary, Summary: &api.Summary{
-		Count:  len(resp.Results),
-		DNF:    resp.DNF,
-		Cached: true,
-		Cost:   resp.Cost,
+		Count:            len(resp.Results),
+		DNF:              resp.DNF,
+		Cached:           true,
+		Cost:             resp.Cost,
+		Degraded:         resp.Degraded,
+		ShardsMissing:    resp.ShardsMissing,
+		ResultsCertified: resp.ResultsCertified,
 	}})
+}
+
+// degradedForbidden is the failure a partial=forbid request gets when
+// the flight outcome it shared completed degraded: the results exist,
+// but the caller asked for all shards or nothing.
+func degradedForbidden(resp *QueryResponse) *APIError {
+	return apiErrorf(CodeUnavailable,
+		"query degraded: %d shard(s) had no reachable replica and the request forbids partial results",
+		len(resp.ShardsMissing))
 }
 
 // applyDeadline wraps ctx with the query's effective deadline: the
@@ -918,15 +979,40 @@ func (x *Executor) applyDeadline(ctx context.Context, req *QueryRequest) (contex
 
 // acquireSlot claims a worker slot, bounded by the query's deadline; a
 // query that cannot start before its deadline is shed rather than queued
-// forever. The release func is nil exactly when an error is returned.
+// forever. A query that would have to wait is first admission-checked
+// against the queue-depth watermark (Config.AdmissionQueue): past it the
+// query is shed immediately with CodeOverloaded — a fast 503 the client
+// can retry elsewhere beats queueing into a deadline it cannot meet.
+// The release func is nil exactly when an error is returned.
 func (x *Executor) acquireSlot(ctx context.Context) (func(), *APIError) {
-	select {
-	case x.slots <- struct{}{}:
+	claim := func() func() {
 		x.inFlight.Add(1)
 		return func() {
 			x.inFlight.Add(-1)
 			<-x.slots
-		}, nil
+		}
+	}
+	select {
+	case x.slots <- struct{}{}:
+		return claim(), nil
+	default:
+	}
+	// Every slot is busy: this query queues. Shed it at the watermark —
+	// the count below includes this query, so depth > limit means the
+	// queue was already full when it arrived.
+	if limit := x.cfg.AdmissionQueue; limit > 0 {
+		if depth := x.queued.Add(1); depth > int64(limit) {
+			x.queued.Add(-1)
+			x.rejected.Add(1)
+			return nil, apiErrorf(CodeOverloaded, "server overloaded: %d queries already queued (limit %d)", depth-1, limit)
+		}
+	} else {
+		x.queued.Add(1)
+	}
+	defer x.queued.Add(-1)
+	select {
+	case x.slots <- struct{}{}:
+		return claim(), nil
 	case <-ctx.Done():
 		if errors.Is(ctx.Err(), context.Canceled) {
 			// The caller went away while queued — that is cancellation,
@@ -966,11 +1052,31 @@ func (x *Executor) classifyRunError(err error) *APIError {
 	return ae
 }
 
+// stampDegraded marks resp degraded when the run abandoned shards:
+// Degraded, the missing shard list, and the certified count over the
+// data that was actually reachable (zero when a DNF cap also cut the
+// surviving-shard certification short). A no-op — and no counter bump —
+// when nothing was missing.
+func (x *Executor) stampDegraded(resp *QueryResponse, missing []api.MissingShard) {
+	if len(missing) == 0 {
+		return
+	}
+	resp.Degraded = true
+	resp.ShardsMissing = missing
+	if !resp.DNF {
+		resp.ResultsCertified = len(resp.Results)
+	}
+	x.degraded.Add(1)
+}
+
 // run executes the engine for one resolved query under an
 // already-deadlined context: acquire a worker slot, fan out per-shard
 // source creation, run with cancellation, record stats, and (when store
-// is set) cache the response under key.
-func (x *Executor) run(ctx context.Context, query proxrank.Vector, opts proxrank.Options, entries []*Entry, key string, store bool) (*QueryResponse, error) {
+// is set) cache the response under key. Degraded responses — partial
+// mode let a dead shard drop out — are stamped but never cached: the
+// shard may come back any moment, and a cached degraded answer would
+// outlive the outage.
+func (x *Executor) run(ctx context.Context, query proxrank.Vector, opts proxrank.Options, entries []*Entry, key string, store, partial bool) (*QueryResponse, error) {
 	if err := ctx.Err(); err != nil {
 		x.canceled.Add(1)
 		return nil, asAPIError(err)
@@ -981,7 +1087,7 @@ func (x *Executor) run(ctx context.Context, query proxrank.Vector, opts proxrank
 	}
 	defer release()
 
-	sources, cleanup, aerr := x.buildSources(ctx, opts, query, entries)
+	sources, missing, cleanup, aerr := x.buildSources(ctx, opts, query, entries, partial)
 	if aerr != nil {
 		x.failed.Add(1)
 		return nil, aerr
@@ -995,8 +1101,9 @@ func (x *Executor) run(ctx context.Context, query proxrank.Vector, opts proxrank
 	}
 
 	resp := buildResponse(res, entries)
+	x.stampDegraded(resp, missing())
 	x.recordOutcome(res.Stats)
-	if store {
+	if store && !resp.Degraded {
 		x.cache.put(key, resp)
 	}
 	return resp, nil
@@ -1008,12 +1115,12 @@ func (x *Executor) run(ctx context.Context, query proxrank.Vector, opts proxrank
 // the moment it exists. A capped run streams its best-effort tail too
 // (so collected results match the batch DNF response) and flags DNF on
 // the summary.
-func (x *Executor) runStream(ctx context.Context, query proxrank.Vector, opts proxrank.Options, entries []*Entry, key string, store bool, sink EventSink) (*QueryResponse, error) {
+func (x *Executor) runStream(ctx context.Context, query proxrank.Vector, opts proxrank.Options, entries []*Entry, key string, store, partial bool, sink EventSink) (*QueryResponse, error) {
 	if err := ctx.Err(); err != nil {
 		x.canceled.Add(1)
 		return nil, asAPIError(err)
 	}
-	q, release, aerr := x.openSession(ctx, query, opts, entries)
+	q, missing, release, aerr := x.openSession(ctx, query, opts, entries, partial)
 	if aerr != nil {
 		return nil, aerr
 	}
@@ -1044,15 +1151,19 @@ func (x *Executor) runStream(ctx context.Context, query proxrank.Vector, opts pr
 		Stats:        q.Stats(),
 	}
 	resp := buildResponse(res, entries)
+	x.stampDegraded(resp, missing())
 	x.recordOutcome(res.Stats)
-	if store {
+	if store && !resp.Degraded {
 		x.cache.put(key, resp)
 	}
 	if serr := sink(api.ResultEvent{Type: api.EventSummary, Summary: &api.Summary{
-		Count:  len(resp.Results),
-		DNF:    resp.DNF,
-		Cached: false,
-		Cost:   resp.Cost,
+		Count:            len(resp.Results),
+		DNF:              resp.DNF,
+		Cached:           false,
+		Cost:             resp.Cost,
+		Degraded:         resp.Degraded,
+		ShardsMissing:    resp.ShardsMissing,
+		ResultsCertified: resp.ResultsCertified,
 	}}); serr != nil {
 		return resp, apiErrorf(CodeCanceled, "stream sink: %v", serr)
 	}
@@ -1069,29 +1180,29 @@ func (x *Executor) runStream(ctx context.Context, query proxrank.Vector, opts pr
 // streamed query delivers at most K results (certified prefix plus DNF
 // drain) — so peak memory is O(K) with byte-identical events.
 // Validation guarantees an explicit client MaxBuffered is >= K.
-func (x *Executor) openSession(ctx context.Context, query proxrank.Vector, opts proxrank.Options, entries []*Entry) (*proxrank.Query, func(), *APIError) {
+func (x *Executor) openSession(ctx context.Context, query proxrank.Vector, opts proxrank.Options, entries []*Entry, partial bool) (*proxrank.Query, func() []api.MissingShard, func(), *APIError) {
 	release, aerr := x.acquireSlot(ctx)
 	if aerr != nil {
-		return nil, nil, aerr
+		return nil, nil, nil, aerr
 	}
-	sources, cleanup, aerr := x.buildSources(ctx, opts, query, entries)
+	sources, missing, cleanup, aerr := x.buildSources(ctx, opts, query, entries, partial)
 	if aerr != nil {
 		release()
 		x.failed.Add(1)
-		return nil, nil, aerr
+		return nil, nil, nil, aerr
 	}
 	q, err := proxrank.NewQuerySources(query, sources, opts.BoundedToK())
 	if err != nil {
 		cleanup()
 		release()
 		x.failed.Add(1)
-		return nil, nil, asAPIError(err)
+		return nil, nil, nil, asAPIError(err)
 	}
 	done := func() {
 		cleanup()
 		release()
 	}
-	return q, done, nil
+	return q, missing, done, nil
 }
 
 // sinkError marks an emit failure inside pullCombinations, so callers
@@ -1160,12 +1271,26 @@ func wireAccess(kind proxrank.AccessKind) string {
 // Remote entries (coordinator mode) resolve each shard to a
 // shardrpc.RemoteSource — constructed lazily, so nothing touches the
 // network here — and merge them with the same k-way merge local shards
-// use. The returned cleanup must run once the engine is done with the
-// sources: it releases remote connections and settles the pruning
-// accounting (a remote source the merge never opened is a pruned shard).
-// It is always non-nil, also on error.
-func (x *Executor) buildSources(ctx context.Context, opts proxrank.Options, query proxrank.Vector, entries []*Entry) ([]proxrank.Source, func(), *APIError) {
+// use. partial puts every remote source in partial mode: a shard whose
+// every replica is unreachable ends its stream early (and is reported by
+// the returned missing collector) instead of failing the query. The
+// returned cleanup must run once the engine is done with the sources: it
+// releases remote connections and settles the pruning accounting (a
+// remote source the merge never opened is a pruned shard). It is always
+// non-nil, also on error. missing must be called by the goroutine that
+// drove the engine, after the run finishes and before the sources are
+// discarded.
+func (x *Executor) buildSources(ctx context.Context, opts proxrank.Options, query proxrank.Vector, entries []*Entry, partial bool) ([]proxrank.Source, func() []api.MissingShard, func(), *APIError) {
 	var remotes []*shardrpc.RemoteSource
+	missing := func() []api.MissingShard {
+		var out []api.MissingShard
+		for _, rs := range remotes {
+			if rs.Missing() {
+				out = append(out, api.MissingShard{Relation: rs.RelationName(), Shard: rs.Shard()})
+			}
+		}
+		return out
+	}
 	cleanup := func() {
 		var opened, pruned int64
 		for _, rs := range remotes {
@@ -1191,15 +1316,16 @@ func (x *Executor) buildSources(ctx context.Context, opts proxrank.Options, quer
 				rs, err := shardrpc.OpenRemoteShard(ctx, e.Relation(), rr, s, wireAccess(opts.Access), query, 0)
 				if err != nil {
 					cleanup()
-					return nil, func() {}, apiErrorf(CodeInternal, "%v", err)
+					return nil, nil, func() {}, apiErrorf(CodeInternal, "%v", err)
 				}
+				rs.SetPartial(partial)
 				remotes = append(remotes, rs)
 				inputs[s] = rs
 			}
 			merged, err := relation.NewMergedSource(e.Relation(), opts.Access, inputs)
 			if err != nil {
 				cleanup()
-				return nil, func() {}, apiErrorf(CodeInternal, "%v", err)
+				return nil, nil, func() {}, apiErrorf(CodeInternal, "%v", err)
 			}
 			if x.wrapSource != nil {
 				sources[i] = x.wrapSource(merged)
@@ -1223,9 +1349,9 @@ func (x *Executor) buildSources(ctx context.Context, opts proxrank.Options, quer
 		perRel[j.rel][j.shard] = src
 		return nil
 	}
-	fail := func(err error) ([]proxrank.Source, func(), *APIError) {
+	fail := func(err error) ([]proxrank.Source, func() []api.MissingShard, func(), *APIError) {
 		cleanup()
-		return nil, func() {}, apiErrorf(CodeInternal, "%v", err)
+		return nil, nil, func() {}, apiErrorf(CodeInternal, "%v", err)
 	}
 	// Opening an in-memory shard source is cheap (a cursor or an O(1)
 	// traversal setup), so the pool only pays for itself on wide fan-outs;
@@ -1275,7 +1401,7 @@ func (x *Executor) buildSources(ctx context.Context, opts proxrank.Options, quer
 		}
 		sources[i] = merged
 	}
-	return sources, cleanup, nil
+	return sources, missing, cleanup, nil
 }
 
 // wireCombination converts one engine combination into its wire form.

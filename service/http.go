@@ -60,6 +60,7 @@ func NewServer(cat *Catalog, exec *Executor) *Server {
 	s.mux.HandleFunc("POST /v1/relations", s.handleRegisterRelation)
 	s.mux.HandleFunc("DELETE /v1/relations/{name}", s.handleEvictRelation)
 	s.mux.HandleFunc("GET /v1/healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /v1/readyz", s.handleReadyz)
 	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
 	s.mux.Handle("GET /metrics", exec.Registry().Handler())
 	return s
@@ -94,9 +95,14 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 	_, _ = w.Write(append(buf, '\n'))
 }
 
-// writeError emits the structured error body.
+// writeError emits the structured error body. Overload rejections get a
+// Retry-After so well-behaved clients back off instead of hammering a
+// server that just told them its queue is full.
 func writeError(w http.ResponseWriter, err error) {
 	ae := asAPIError(err)
+	if ae.Code == CodeOverloaded {
+		w.Header().Set("Retry-After", "1")
+	}
 	writeJSON(w, ae.Code.HTTPStatus(), struct {
 		Error *APIError `json:"error"`
 	}{ae})
@@ -363,12 +369,56 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	}{status, s.cat.Len(), time.Since(s.start).Seconds(), peers})
 }
 
+// handleReadyz answers GET /v1/readyz: readiness, as opposed to the
+// liveness of /v1/healthz. The server is not ready — 503, so load
+// balancers and startup waits hold traffic — while the catalog is still
+// building a registration's indexes, or (coordinator mode) while some
+// shard of a registered remote relation has no reachable replica at
+// all; it is ready otherwise, including when down peers are fully
+// covered by live replicas. Healthz stays 200 in every one of those
+// states: the process is alive either way.
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	reply := func(ready bool, reason string) {
+		status := http.StatusOK
+		if !ready {
+			w.Header().Set("Retry-After", "1")
+			status = http.StatusServiceUnavailable
+		}
+		writeJSON(w, status, struct {
+			Ready  bool   `json:"ready"`
+			Reason string `json:"reason,omitempty"`
+		}{ready, reason})
+	}
+	if n := s.cat.Building(); n > 0 {
+		reply(false, "catalog: index build in progress")
+		return
+	}
+	if s.fleet != nil {
+		ctx, cancel := context.WithTimeout(r.Context(), 2*time.Second)
+		defer cancel()
+		_, peers := s.peerHealth(ctx)
+		for _, p := range peers {
+			if p.Status == "down" && p.Coverage == "bound-dependent" {
+				reply(false, "shards without a live replica (peer "+p.Addr+" down, unreplicated)")
+				return
+			}
+		}
+	}
+	reply(true, "")
+}
+
 // PeerStats is one fleet peer's cumulative RPC counters in /v1/stats.
 type PeerStats struct {
 	Addr       string `json:"addr"`
 	Pulls      int64  `json:"pulls"`
 	Retries    int64  `json:"retries"`
 	Reconnects int64  `json:"reconnects"`
+	Hedges     int64  `json:"hedges"`
+	HedgeWins  int64  `json:"hedgeWins"`
+	// Breaker is the peer's circuit-breaker position (closed, open,
+	// half-open); BreakerOpens counts its transitions into open.
+	Breaker      string `json:"breaker"`
+	BreakerOpens int64  `json:"breakerOpens"`
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
@@ -376,10 +426,14 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 	if s.fleet != nil {
 		for _, p := range s.fleet.Peers() {
 			peers = append(peers, PeerStats{
-				Addr:       p.Addr,
-				Pulls:      p.Pulls.Load(),
-				Retries:    p.Retries.Load(),
-				Reconnects: p.Reconnects.Load(),
+				Addr:         p.Addr,
+				Pulls:        p.Pulls.Load(),
+				Retries:      p.Retries.Load(),
+				Reconnects:   p.Reconnects.Load(),
+				Hedges:       p.Hedges.Load(),
+				HedgeWins:    p.HedgeWins.Load(),
+				Breaker:      p.Breaker().State().String(),
+				BreakerOpens: p.Breaker().Opens(),
 			})
 		}
 	}

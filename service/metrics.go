@@ -107,7 +107,8 @@ func newMetrics(reg *obs.Registry, x *Executor) *metrics {
 	c("proxrank_canceled_total", "Requests abandoned by their caller or deadline.", &x.canceled)
 	c("proxrank_bad_requests_total", "Requests rejected by validation or resolution.", &x.badRequests)
 	c("proxrank_failed_total", "Requests that failed server-side.", &x.failed)
-	c("proxrank_rejected_total", "Requests shed because no worker slot freed before the deadline.", &x.rejected)
+	c("proxrank_rejected_total", "Requests shed because no worker slot freed before the deadline or the admission queue was full.", &x.rejected)
+	c("proxrank_degraded_queries_total", "Queries that completed without some shard whose every replica was unreachable.", &x.degraded)
 	c("proxrank_engine_runs_total", "Engine executions started.", &x.engineRuns)
 	c("proxrank_streams_brokered_total", "Streaming leaders whose delivery went through the broker.", &x.streamsBrokered)
 	c("proxrank_stream_midrun_attaches_total", "Coalesced stream followers that attached to a live topic mid-run.", &x.midRunAttaches)
@@ -122,6 +123,8 @@ func newMetrics(reg *obs.Registry, x *Executor) *metrics {
 
 	reg.GaugeFunc("proxrank_in_flight", "Engine executions holding a worker slot right now.",
 		func() float64 { return float64(x.inFlight.Load()) })
+	reg.GaugeFunc("proxrank_queued", "Queries waiting for a worker slot right now (shed past Config.AdmissionQueue).",
+		func() float64 { return float64(x.queued.Load()) })
 	reg.GaugeFunc("proxrank_workers", "Configured worker-pool size.",
 		func() float64 { return float64(x.cfg.Workers) })
 	reg.GaugeFunc("proxrank_worker_saturation", "In-flight executions over pool size (1 = saturated).",
@@ -173,6 +176,14 @@ func (m *metrics) registerFleet(fleet *shardrpc.Fleet) {
 		"Shardrpc exchanges re-issued after a transport failure, by peer.", "peer")
 	reconnects := m.reg.CounterFuncVec("proxrank_rpc_reconnects_total",
 		"Shardrpc dials that were not a peer's first contact, by peer.", "peer")
+	hedges := m.reg.CounterFuncVec("proxrank_hedges_total",
+		"Hedged pulls issued, by peer (the replica the hedge was sent to).", "peer")
+	hedgeWins := m.reg.CounterFuncVec("proxrank_hedge_wins_total",
+		"Hedged pulls that answered before the primary, by peer.", "peer")
+	breakerOpens := m.reg.CounterFuncVec("proxrank_breaker_opens_total",
+		"Circuit-breaker transitions into the open state, by peer.", "peer")
+	breakerState := m.reg.GaugeFuncVec("proxrank_breaker_state",
+		"Circuit-breaker position by peer: 0 closed, 1 open, 2 half-open.", "peer")
 	peers := fleet.Peers()
 	m.reg.GaugeFunc("proxrank_fleet_peers", "Configured shard-server peers.",
 		func() float64 { return float64(len(peers)) })
@@ -183,6 +194,10 @@ func (m *metrics) registerFleet(fleet *shardrpc.Fleet) {
 		pulls.Bind(func() float64 { return float64(p.Pulls.Load()) }, p.Addr)
 		retries.Bind(func() float64 { return float64(p.Retries.Load()) }, p.Addr)
 		reconnects.Bind(func() float64 { return float64(p.Reconnects.Load()) }, p.Addr)
+		hedges.Bind(func() float64 { return float64(p.Hedges.Load()) }, p.Addr)
+		hedgeWins.Bind(func() float64 { return float64(p.HedgeWins.Load()) }, p.Addr)
+		breakerOpens.Bind(func() float64 { return float64(p.Breaker().Opens()) }, p.Addr)
+		breakerState.Bind(func() float64 { return float64(p.Breaker().State()) }, p.Addr)
 	}
 }
 

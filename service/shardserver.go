@@ -3,6 +3,8 @@ package service
 import (
 	"context"
 	"fmt"
+	"strconv"
+	"strings"
 
 	proxrank "repro"
 	"repro/api"
@@ -11,28 +13,49 @@ import (
 )
 
 // Ownership selects which shards of every catalog relation a shard
-// server serves: server Index of Count peers owns shard s exactly when
-// s % Count == Index. Every peer loads the same data with the same
-// -shards/-shard-strategy, so the global partition (and every tuple's
-// parent ordinal) is agreed on by construction; ownership only decides
-// who answers for each piece. The zero value (Count <= 1) owns
-// everything.
+// server serves: with Replicas r (default 1), server Index of Count
+// peers owns shard s exactly when Index is one of the r consecutive
+// peers starting at s % Count — so every shard has r owners and the
+// coordinator can fail over or hedge between them. Every peer loads the
+// same data with the same -shards/-shard-strategy, so the global
+// partition (and every tuple's parent ordinal) is agreed on by
+// construction; ownership only decides who answers for each piece. The
+// zero value (Count <= 1) owns everything.
 type Ownership struct {
 	Index int
 	Count int
+	// Replicas is how many consecutive peers serve each shard; 0 and 1
+	// both mean unreplicated, Count means every peer serves everything.
+	Replicas int
 }
 
-// ParseOwnership reads the "i/n" form of the -own flag.
+// ParseOwnership reads the "i/n" (unreplicated) or "i/n/r" (r-way
+// replicated) form of the -own flag.
 func ParseOwnership(s string) (Ownership, error) {
 	if s == "" {
 		return Ownership{}, nil
 	}
-	var o Ownership
-	if _, err := fmt.Sscanf(s, "%d/%d", &o.Index, &o.Count); err != nil {
-		return Ownership{}, fmt.Errorf("ownership %q: want the form i/n (e.g. 0/3)", s)
+	parts := strings.Split(s, "/")
+	if len(parts) != 2 && len(parts) != 3 {
+		return Ownership{}, fmt.Errorf("ownership %q: want the form i/n or i/n/r (e.g. 0/3 or 0/3/2)", s)
+	}
+	nums := make([]int, len(parts))
+	for i, p := range parts {
+		v, err := strconv.Atoi(strings.TrimSpace(p))
+		if err != nil {
+			return Ownership{}, fmt.Errorf("ownership %q: want the form i/n or i/n/r (e.g. 0/3 or 0/3/2)", s)
+		}
+		nums[i] = v
+	}
+	o := Ownership{Index: nums[0], Count: nums[1], Replicas: 1}
+	if len(nums) == 3 {
+		o.Replicas = nums[2]
 	}
 	if o.Count < 1 || o.Index < 0 || o.Index >= o.Count {
 		return Ownership{}, fmt.Errorf("ownership %q: want 0 <= i < n", s)
+	}
+	if o.Replicas < 1 || o.Replicas > o.Count {
+		return Ownership{}, fmt.Errorf("ownership %q: want 1 <= r <= n", s)
 	}
 	return o, nil
 }
@@ -42,7 +65,14 @@ func (o Ownership) Owns(s int) bool {
 	if o.Count <= 1 {
 		return true
 	}
-	return s%o.Count == o.Index
+	r := o.Replicas
+	if r < 1 {
+		r = 1
+	}
+	// The shard's primary is peer s % Count; replicas are the next r-1
+	// peers in ring order.
+	d := (o.Index - s%o.Count + o.Count) % o.Count
+	return d < r
 }
 
 // ShardBackend serves a catalog's locally-loaded shards (and whole

@@ -99,6 +99,11 @@ type queryObs struct {
 	cache string // api.Cache* vocabulary, or labelCacheNone pre-lookup
 	ttfe  time.Duration
 	rec   *traceRecorder
+	// degraded/missing mirror the response's degradation report into the
+	// trace (and the slow-query log): a degraded run is exactly the kind
+	// of anomaly those surfaces exist to explain.
+	degraded bool
+	missing  []api.MissingShard
 	// phases is recorded when the request is traced or a slow-query
 	// threshold is set — the two consumers of per-phase timing.
 	phases     []api.TracePhase
@@ -155,11 +160,20 @@ func outcomeLabel(err error) string {
 // own run was traced (cache hits and coalesced followers report their
 // phases and cache state, which is the honest account of what they did).
 func (o *queryObs) trace() *api.Trace {
-	t := &api.Trace{CacheState: o.cache, Phases: o.phases}
+	t := &api.Trace{CacheState: o.cache, Phases: o.phases, Degraded: o.degraded, ShardsMissing: o.missing}
 	if o.rec != nil {
 		o.rec.snapshot(t)
 	}
 	return t
+}
+
+// noteDegraded copies a response's degradation report into the
+// observation, for the trace and the slow-query log.
+func (o *queryObs) noteDegraded(degraded bool, missing []api.MissingShard) {
+	if degraded {
+		o.degraded = true
+		o.missing = missing
+	}
 }
 
 // finish closes the request: observes the latency and TTFE histograms
