@@ -23,6 +23,13 @@ const (
 	OverflowBlock = "block"
 	OverflowDrop  = "drop"
 
+	// BufferPrune (the default) drops buffered combinations ranking
+	// below the bounded buffer's score floor; BufferSpill keeps them in
+	// a compact columnar slab that overflows to the server's file spill
+	// tier. Both produce byte-identical responses.
+	BufferPrune = "prune"
+	BufferSpill = "spill"
+
 	// PartialAllow (the default) lets a distributed query degrade to the
 	// surviving shards when every replica of some shard is down;
 	// PartialForbid fails such queries with CodeUnavailable instead.
@@ -73,6 +80,16 @@ type Request struct {
 	// canonical encoding, so requests differing only here share cache
 	// entries and coalesce.
 	MaxBuffered int `json:"maxBuffered,omitempty"`
+	// BufferPolicy selects what the bounded buffer does at MaxBuffered:
+	// "prune" (default) drops combinations ranking below the buffer's
+	// score floor — exact for the at-most-K results a query delivers —
+	// while "spill" retains them in a compact columnar slab that
+	// overflows to the server's file spill tier when one is configured
+	// (-spill-dir), keeping heap resident memory O(maxBuffered). Both
+	// policies produce byte-identical responses. Engine-tuning concern:
+	// not part of the canonical encoding, so requests differing only
+	// here share cache entries and coalesce.
+	BufferPolicy string `json:"bufferPolicy,omitempty"`
 	// BlockSize sets the width of the engine's batched scoring kernel at
 	// the innermost enumeration level. 0 lets the engine choose its
 	// benchmarked default; any width produces byte-identical results.
@@ -146,6 +163,13 @@ type Cost struct {
 	// not representable in JSON — −Inf after full exhaustion, +Inf when a
 	// cap fired before the first bound update).
 	Threshold *float64 `json:"threshold,omitempty"`
+	// SpilledCombinations counts buffered combinations the session's
+	// BufferSpill policy moved out of the ranked heap; SpilledBytes is how
+	// many of those bytes reached the file spill tier (0 when the server
+	// runs without a spill directory or the slab never crossed its
+	// watermark).
+	SpilledCombinations int64 `json:"spilledCombinations,omitempty"`
+	SpilledBytes        int64 `json:"spilledBytes,omitempty"`
 }
 
 // Response answers a batch query. Responses handed out by a server may be

@@ -10,10 +10,11 @@ import (
 // — version, k, algorithm, access, transform, weights, epsilon, the
 // period/cap knobs, the query vector bit-exactly, and the relation list.
 // Transport, delivery, and engine-tuning concerns (TimeoutMillis,
-// NoCache, Trace, Overflow, MaxBuffered, BlockSize — validation
-// guarantees a bounded buffer cannot change the response, and the
-// batched kernel is byte-identical at any width) are excluded, so
-// requests differing only in delivery knobs share one encoding.
+// NoCache, Trace, Overflow, MaxBuffered, BufferPolicy, BlockSize —
+// validation guarantees a bounded buffer cannot change the response
+// under either buffer policy, and the batched kernel is byte-identical
+// at any width) are excluded, so requests differing only in delivery
+// knobs share one encoding.
 //
 // Because Normalize folds aliases and fills defaults first, semantically
 // equal requests encode identically: this string is the service cache

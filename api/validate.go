@@ -137,6 +137,18 @@ func (r *Request) Normalize(limits Limits) *Error {
 	if r.MaxBuffered > 0 && r.MaxBuffered < r.K {
 		return Errorf(CodeBadRequest, "maxBuffered %d must be 0 or at least k %d", r.MaxBuffered, r.K)
 	}
+	switch strings.ToLower(r.BufferPolicy) {
+	case "", BufferPrune:
+		// Empty stays empty: both mean prune, and neither enters the
+		// canonical encoding.
+		if r.BufferPolicy != "" {
+			r.BufferPolicy = BufferPrune
+		}
+	case BufferSpill:
+		r.BufferPolicy = BufferSpill
+	default:
+		return Errorf(CodeBadRequest, "unknown bufferPolicy %q (want prune|spill)", r.BufferPolicy)
+	}
 	// Any block width yields byte-identical results, so only the sign can
 	// be wrong; 0 delegates the choice to the engine.
 	if r.BlockSize < 0 {

@@ -1,10 +1,12 @@
 // Command proxgen writes synthetic or simulated-city relations to CSV
-// files, for use with cmd/proxrank or external tools.
+// files or the mmap-ready relfile format (.prox), for use with
+// cmd/proxrank, cmd/proxserve, or external tools.
 //
 // Usage:
 //
 //	proxgen -out data/ -n 3 -d 2 -density 100 -tuples 400 -seed 7
 //	proxgen -out data/ -city NY
+//	proxgen -out data/ -format relfile -tuples 1000000 -shards 0
 package main
 
 import (
@@ -19,16 +21,27 @@ import (
 
 func main() {
 	var (
-		out     = flag.String("out", ".", "output directory")
-		city    = flag.String("city", "", "emit a simulated city dataset instead of synthetic data")
-		n       = flag.Int("n", 2, "number of relations")
-		d       = flag.Int("d", 2, "feature dimensions")
-		density = flag.Float64("density", 100, "tuples per volume unit (rho)")
-		skew    = flag.Float64("skew", 1, "density multiplier of relation 1 (rho1/rho2)")
-		tuples  = flag.Int("tuples", 400, "tuples per unskewed relation")
-		seed    = flag.Int64("seed", 0, "generator seed")
+		out      = flag.String("out", ".", "output directory")
+		city     = flag.String("city", "", "emit a simulated city dataset instead of synthetic data")
+		n        = flag.Int("n", 2, "number of relations")
+		d        = flag.Int("d", 2, "feature dimensions")
+		density  = flag.Float64("density", 100, "tuples per volume unit (rho)")
+		skew     = flag.Float64("skew", 1, "density multiplier of relation 1 (rho1/rho2)")
+		tuples   = flag.Int("tuples", 400, "tuples per unskewed relation")
+		seed     = flag.Int64("seed", 0, "generator seed")
+		format   = flag.String("format", "csv", "output format: csv or relfile (.prox, columnar, opened O(1) by proxserve)")
+		shards   = flag.Int("shards", 0, "relfile shard count (0 = auto from relation size)")
+		strategy = flag.String("shard-strategy", "hash", "relfile partition strategy: hash or grid")
 	)
 	flag.Parse()
+
+	if *format != "csv" && *format != "relfile" {
+		fatal("unknown -format %q (want csv or relfile)", *format)
+	}
+	strat, err := proxrank.ParsePartitionStrategy(*strategy)
+	if err != nil {
+		fatal("%v", err)
+	}
 
 	if err := os.MkdirAll(*out, 0o755); err != nil {
 		fatal("%v", err)
@@ -57,6 +70,23 @@ func main() {
 	}
 
 	for _, rel := range rels {
+		if *format == "relfile" {
+			count := *shards
+			if count == 0 {
+				count = proxrank.AutoShardCount(rel.Len())
+			}
+			sharded, err := proxrank.NewShardedRelation(rel, count, strat)
+			if err != nil {
+				fatal("partitioning %s: %v", rel.Name, err)
+			}
+			path := filepath.Join(*out, sanitize(rel.Name)+proxrank.RelFileExtension)
+			if err := proxrank.SaveRelFile(path, sharded); err != nil {
+				fatal("writing %s: %v", path, err)
+			}
+			fmt.Printf("wrote %s (%d tuples, dim %d, %d shards, %s)\n",
+				path, rel.Len(), rel.Dim(), sharded.NumShards(), *strategy)
+			continue
+		}
 		path := filepath.Join(*out, sanitize(rel.Name)+".csv")
 		if err := proxrank.SaveRelationCSV(path, rel); err != nil {
 			fatal("writing %s: %v", path, err)

@@ -63,6 +63,7 @@ import (
 	"net"
 	"net/http"
 	"os"
+	"runtime/debug"
 	"sort"
 	"strings"
 	"sync"
@@ -85,6 +86,7 @@ func main() {
 		duration  = flag.Duration("duration", 10*time.Second, "how long to generate load")
 		streamFr  = flag.Float64("stream", 0.5, "fraction of arrivals using /v1/query/stream (rest use /v1/query)")
 		k         = flag.Int("k", 10, "top-K per query")
+		accessF   = flag.String("access", "", "access kind sent on every query: distance, score, or empty for the server default (distance)")
 		hotFr     = flag.Float64("hot", 0.5, "fraction of arrivals drawn from the hot query set (cache hits after warmup)")
 		hotSet    = flag.Int("hot-set", 4, "number of distinct hot query vectors")
 		relsFl    = flag.String("rel", "", "comma-separated relation names (default: first two of GET /v1/relations)")
@@ -108,6 +110,17 @@ func main() {
 		cacheSz   = flag.Int("cache", service.DefaultCacheSize, "selfserve: LRU result-cache capacity")
 		srvSndbuf = flag.Int("server-sndbuf", 0, "selfserve: cap accepted connections' send buffers (0 = kernel default; loopback autotuning otherwise hides slow readers)")
 
+		// Memory-bounded study knobs: serve big synthetic relations from
+		// mmap-backed relfiles, spill enumeration to disk, and gate the
+		// run on the server's own resident-memory gauge.
+		selfTuples = flag.Int("selfserve-tuples", 0, "selfserve: serve synthetic relations of this many tuples each instead of the bundled city data (0 = city data)")
+		selfDim    = flag.Int("selfserve-dim", 8, "selfserve: feature dimensionality of the -selfserve-tuples synthetic relations")
+		selfProx   = flag.Bool("selfserve-relfile", false, "selfserve: write the relations to mmap-ready .prox relfiles and serve them file-backed (flat-RSS mode)")
+		spillDirF  = flag.String("spill-dir", "", "selfserve: file spill tier for BufferSpill sessions, forwarded to the in-process server")
+		spillMemF  = flag.Int("spill-mem", 0, "selfserve: in-memory spill-slab watermark in bytes, forwarded to the in-process server (0 = 4 MiB default)")
+		bufPolicy  = flag.String("buffer-policy", "", "bufferPolicy sent on every query: prune, spill (engages the server's -spill-dir tier), or empty for the server default")
+		maxResib   = flag.Int64("max-resident-bytes", 0, "exit nonzero when the server's resident set (proxrank_process_resident_bytes, sampled during the run) ever exceeds this many bytes (0 = no gate)")
+
 		// Distributed selfserve knobs.
 		topology  = flag.String("topology", "single", `selfserve deployment: "single" or "coord:N" (N in-process shard servers behind a coordinator)`)
 		shardsFl  = flag.Int("shards", 6, "selfserve coord topology: shards per relation")
@@ -127,18 +140,25 @@ func main() {
 		StreamBuffer:       *streamBuf,
 		StreamOverflow:     *overflowS,
 		StreamBlockTimeout: *blockTo,
+		SpillDir:           *spillDirF,
+		SpillMemBytes:      *spillMemF,
 	}
 	if *selfserve {
 		switch {
 		case *topology == "single":
-			srvURL, landmark, shutdown, err := startSelfServe(*city, *srvSndbuf, cfg)
+			srvURL, landmark, shutdown, err := startSelfServe(*city, *selfTuples, *selfDim, *selfProx, *srvSndbuf, cfg)
 			if err != nil {
 				log.Fatalf("proxload: selfserve: %v", err)
 			}
 			defer shutdown()
 			base = srvURL
 			baseVec = landmark
-			log.Printf("selfserve: in-process proxserve on %s (city %s, streamBuffer %d)", srvURL, strings.ToUpper(*city), *streamBuf)
+			if *selfTuples > 0 {
+				log.Printf("selfserve: in-process proxserve on %s (synthetic %d tuples × dim %d, relfile=%v, streamBuffer %d)",
+					srvURL, *selfTuples, *selfDim, *selfProx, *streamBuf)
+			} else {
+				log.Printf("selfserve: in-process proxserve on %s (city %s, streamBuffer %d)", srvURL, strings.ToUpper(*city), *streamBuf)
+			}
 		case strings.HasPrefix(*topology, "coord:"):
 			n := 0
 			if _, err := fmt.Sscanf(*topology, "coord:%d", &n); err != nil || n < 1 {
@@ -203,7 +223,9 @@ func main() {
 		base:      base,
 		relations: relations,
 		k:         *k,
+		access:    *accessF,
 		overflow:  *overflow,
+		bufPolicy: *bufPolicy,
 		streamFr:  *streamFr,
 		hotFr:     *hotFr,
 		baseVec:   baseVec,
@@ -218,6 +240,31 @@ func main() {
 
 	ctx, cancel := context.WithTimeout(context.Background(), *duration)
 	defer cancel()
+
+	// Resident-memory sampler: poll the server's own RSS gauge while the
+	// load runs. The peak is reported always and gated by
+	// -max-resident-bytes — the CI check behind the flat-RSS claim of
+	// mmap-backed relations and the file spill tier.
+	var residentPeak atomic.Int64
+	var samplerWG sync.WaitGroup
+	samplerWG.Add(1)
+	go func() {
+		defer samplerWG.Done()
+		tick := time.NewTicker(200 * time.Millisecond)
+		defer tick.Stop()
+		for {
+			if snap, err := scrapeMetrics(client, base); err == nil {
+				if rss := int64(snap.gauge("proxrank_process_resident_bytes")); rss > residentPeak.Load() {
+					residentPeak.Store(rss)
+				}
+			}
+			select {
+			case <-ctx.Done():
+				return
+			case <-tick.C:
+			}
+		}
+	}()
 
 	// Slow clients: the adversarial subscribers. They all chase the
 	// hottest query so they coalesce with (and pre-broker, delay) the
@@ -244,6 +291,7 @@ func main() {
 	elapsed := time.Since(start)
 	cancel()
 	slowWG.Wait()
+	samplerWG.Wait()
 
 	statsAfter, err := fetchStats(client, base)
 	if err != nil {
@@ -258,7 +306,9 @@ func main() {
 	if metricsAfter != nil {
 		rep.ServerDuration = summarizeHist(metricsAfter.delta(metricsBefore, "proxrank_query_duration_seconds"))
 		rep.ServerTTFE = summarizeHist(metricsAfter.delta(metricsBefore, "proxrank_query_ttfe_seconds"))
+		rep.SpillBytes = int64(metricsAfter.gauge("proxrank_spill_bytes_total") - metricsBefore.gauge("proxrank_spill_bytes_total"))
 	}
+	rep.ResidentPeakBytes = residentPeak.Load()
 	rep.print(os.Stdout)
 	if *jsonOut != "" {
 		buf, _ := json.MarshalIndent(rep, "", "  ")
@@ -275,25 +325,90 @@ func main() {
 	if rate := float64(rep.Errors) / float64(done+rep.Errors); rate > *maxErrFr {
 		log.Fatalf("proxload: error rate %.1f%% exceeds -max-error-rate %.1f%%", 100*rate, 100**maxErrFr)
 	}
+	if *maxResib > 0 {
+		if peak := rep.ResidentPeakBytes; peak == 0 {
+			log.Fatal("proxload: -max-resident-bytes set but the server exposed no proxrank_process_resident_bytes gauge")
+		} else if peak > *maxResib {
+			log.Fatalf("proxload: peak resident %d bytes (%.1f MiB) exceeds -max-resident-bytes %d",
+				peak, float64(peak)/(1<<20), *maxResib)
+		} else {
+			log.Printf("resident gate OK: peak %.1f MiB <= ceiling %.1f MiB",
+				float64(peak)/(1<<20), float64(*maxResib)/(1<<20))
+		}
+	}
 }
 
-// startSelfServe builds a catalog from the bundled city data set and
-// serves it on a loopback port, returning the base URL, the landmark
-// query vector, and a shutdown func.
-func startSelfServe(city string, sndbuf int, cfg service.Config) (string, []float64, func(), error) {
-	rels, query, _, err := proxrank.CityDataset(strings.ToUpper(city))
-	if err != nil {
-		return "", nil, nil, err
+// startSelfServe builds a catalog — the bundled city data set, or
+// synthetic relations of tuples × dim when tuples > 0 — and serves it on
+// a loopback port, returning the base URL, a sensible base query vector,
+// and a shutdown func. With useRelfile the relations are written to
+// mmap-ready .prox files in a temp directory and loaded file-backed:
+// after admission the build-time heap is released, so the serving
+// process's resident set reflects only what queries touch.
+func startSelfServe(city string, tuples, dim int, useRelfile bool, sndbuf int, cfg service.Config) (string, []float64, func(), error) {
+	var rels []*proxrank.Relation
+	var query []float64
+	if tuples > 0 {
+		gcfg := proxrank.DefaultSyntheticConfig()
+		gcfg.BaseTuples = tuples
+		gcfg.Dim = dim
+		gcfg.Seed = 11
+		var err error
+		rels, err = proxrank.SyntheticRelations(gcfg)
+		if err != nil {
+			return "", nil, nil, err
+		}
+		query = make([]float64, dim) // the shared region is centered at the origin
+	} else {
+		var cq proxrank.Vector
+		var err error
+		rels, cq, _, err = proxrank.CityDataset(strings.ToUpper(city))
+		if err != nil {
+			return "", nil, nil, err
+		}
+		query = []float64(cq)
 	}
 	cat := service.NewCatalog()
-	for _, rel := range rels {
-		if err := cat.Register(rel.Name, rel); err != nil {
+	cleanup := func() {}
+	if useRelfile {
+		dir, err := os.MkdirTemp("", "proxload-relfile-*")
+		if err != nil {
 			return "", nil, nil, err
+		}
+		cleanup = func() { _ = os.RemoveAll(dir) }
+		for i, rel := range rels {
+			sharded, err := proxrank.NewShardedRelation(rel, proxrank.AutoShardCount(rel.Len()), proxrank.GridPartition)
+			if err != nil {
+				cleanup()
+				return "", nil, nil, err
+			}
+			path := fmt.Sprintf("%s/r%d%s", dir, i, proxrank.RelFileExtension)
+			if err := proxrank.SaveRelFile(path, sharded); err != nil {
+				cleanup()
+				return "", nil, nil, err
+			}
+			if err := cat.LoadRelFile(rel.Name, path); err != nil {
+				cleanup()
+				return "", nil, nil, err
+			}
+		}
+		// Drop the build-time copies and hand the pages back to the OS so
+		// the resident gauge measures serving, not generation.
+		rels = nil
+		debug.FreeOSMemory()
+	} else {
+		for _, rel := range rels {
+			// shards == 0: catalog admission auto-picks from relation size.
+			if err := cat.RegisterSharded(rel.Name, rel, 0, proxrank.HashPartition); err != nil {
+				cleanup()
+				return "", nil, nil, err
+			}
 		}
 	}
 	exec := service.NewExecutor(cat, cfg)
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
+		cleanup()
 		return "", nil, nil, err
 	}
 	if sndbuf > 0 {
@@ -301,8 +416,8 @@ func startSelfServe(city string, sndbuf int, cfg service.Config) (string, []floa
 	}
 	srv := &http.Server{Handler: service.NewServer(cat, exec).Handler()}
 	go func() { _ = srv.Serve(ln) }()
-	shutdown := func() { _ = srv.Close() }
-	return "http://" + ln.Addr().String(), []float64(query), shutdown, nil
+	shutdown := func() { _ = srv.Close(); cleanup() }
+	return "http://" + ln.Addr().String(), query, shutdown, nil
 }
 
 // coordDeploy is an in-process distributed deployment: N shard servers,
@@ -600,7 +715,9 @@ type generator struct {
 	base      string
 	relations []string
 	k         int
+	access    string
 	overflow  string
+	bufPolicy string
 	streamFr  float64
 	hotFr     float64
 	hot       [][]float64
@@ -689,7 +806,7 @@ func (g *generator) run(ctx context.Context, rng *rand.Rand, rate float64) {
 
 // body builds the request JSON once per arrival.
 func (g *generator) body(vec []float64) []byte {
-	req := api.Request{Query: vec, Relations: g.relations, K: g.k, Overflow: g.overflow}
+	req := api.Request{Query: vec, Relations: g.relations, K: g.k, Access: g.access, Overflow: g.overflow, BufferPolicy: g.bufPolicy}
 	buf, _ := json.Marshal(&req)
 	return buf
 }
@@ -910,6 +1027,11 @@ type report struct {
 	// time from the outside.
 	ServerDuration serverHist `json:"serverDurationHist"`
 	ServerTTFE     serverHist `json:"serverTtfeHist"`
+	// ResidentPeakBytes is the largest proxrank_process_resident_bytes
+	// sample observed while the load ran (0 when the server exposes no
+	// gauge); SpillBytes is the run's delta of proxrank_spill_bytes_total.
+	ResidentPeakBytes int64 `json:"residentPeakBytes,omitempty"`
+	SpillBytes        int64 `json:"spillBytes,omitempty"`
 }
 
 func (g *generator) report(elapsed time.Duration, before, after serverStats, slowDropped int64) report {
@@ -981,6 +1103,13 @@ func (r report) print(w *os.File) {
 	}
 	if r.SlowDropped > 0 {
 		fmt.Fprintf(w, "  slow clients dropped by overflow policy: %d\n", r.SlowDropped)
+	}
+	if r.ResidentPeakBytes > 0 {
+		fmt.Fprintf(w, "  server resident peak: %.1f MiB", float64(r.ResidentPeakBytes)/(1<<20))
+		if r.SpillBytes > 0 {
+			fmt.Fprintf(w, "  (spilled %.1f MiB to disk)", float64(r.SpillBytes)/(1<<20))
+		}
+		fmt.Fprintln(w)
 	}
 }
 

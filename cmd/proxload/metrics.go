@@ -31,9 +31,19 @@ type histSnap struct {
 	sum     float64
 }
 
-// metricsSnap is one scrape's histogram families by name.
+// metricsSnap is one scrape's histogram families by name, plus the
+// plain (gauge/counter) samples folded across label sets.
 type metricsSnap struct {
-	hists map[string]*histSnap
+	hists  map[string]*histSnap
+	scalar map[string]float64
+}
+
+// gauge returns a plain sample by family name (0 when absent).
+func (s *metricsSnap) gauge(name string) float64 {
+	if s == nil {
+		return 0
+	}
+	return s.scalar[name]
 }
 
 // scrapeMetrics reads GET /metrics and parses the histogram families. A
@@ -59,7 +69,7 @@ func scrapeMetrics(client *http.Client, base string) (*metricsSnap, error) {
 	if err := obs.CheckExposition(bytes.NewReader(body)); err != nil {
 		return nil, fmt.Errorf("malformed /metrics exposition: %w", err)
 	}
-	snap := &metricsSnap{hists: make(map[string]*histSnap)}
+	snap := &metricsSnap{hists: make(map[string]*histSnap), scalar: make(map[string]float64)}
 	for _, line := range strings.Split(string(body), "\n") {
 		line = strings.TrimSpace(line)
 		if line == "" || strings.HasPrefix(line, "#") {
@@ -81,6 +91,8 @@ func scrapeMetrics(client *http.Client, base string) (*metricsSnap, error) {
 			snap.hist(strings.TrimSuffix(name, "_sum")).sum += value
 		case strings.HasSuffix(name, "_count"):
 			snap.hist(strings.TrimSuffix(name, "_count")).count += int64(value)
+		default:
+			snap.scalar[name] += value
 		}
 	}
 	return snap, nil

@@ -29,6 +29,9 @@
 //	proxserve -city NY -shards 8 -shard-strategy grid
 //	proxserve -rel hotels=hotels.csv:4 -rel food=food.csv
 //
+//	# memory-bounded: mmap prebuilt relfiles, spill enumeration to disk
+//	proxserve -rel hotels=hotels.prox -rel food=food.prox -spill-dir /tmp/spill
+//
 //	# a 2-server distributed deployment plus its coordinator:
 //	proxserve -city SF -shards 8 -shard-server -rpc-addr :9001 -own 0/2
 //	proxserve -city SF -shards 8 -shard-server -rpc-addr :9002 -own 1/2
@@ -132,8 +135,12 @@ func main() {
 			"coordinator: how long a peer's circuit breaker stays open before probing it again (0 = default 1s)")
 		faultSpec = flag.String("fault-spec", "",
 			"inject faults into the shard RPC listener per this spec (chaos testing only; refused unless PROXSERVE_CHAOS=1)")
+		spillDir = flag.String("spill-dir", "",
+			"directory for the file spill tier of BufferSpill sessions: enumeration past the in-memory slab goes to disk segments, keeping resident memory flat (empty = RAM only)")
+		spillMem = flag.Int("spill-mem", 0,
+			"per-session in-memory spill slab budget in bytes before segments go to -spill-dir (0 = 4 MiB default)")
 	)
-	flag.Var(&rels, "rel", "relation to serve, as name=path.csv[:shards] (repeatable)")
+	flag.Var(&rels, "rel", "relation to serve, as name=path.csv[:shards] or name=path.prox (mmap-backed relfile; repeatable)")
 	flag.Var(&cities, "city", "simulated city data set to serve: SF, NY, BO, DA, HO (repeatable)")
 	flag.Parse()
 
@@ -168,6 +175,16 @@ func main() {
 				relShards = n
 				path = path[:i]
 			}
+		}
+		// A .prox path is a prebuilt relfile: memory-map it as-is (its
+		// shard layout was fixed at build time, so ":N" does not apply).
+		if strings.HasSuffix(path, proxrank.RelFileExtension) {
+			if err := cat.LoadRelFile(name, path); err != nil {
+				fmt.Fprintf(os.Stderr, "proxserve: %v\n", err)
+				os.Exit(1)
+			}
+			logRegistered(cat, name, "mmap from "+path)
+			continue
 		}
 		if err := cat.LoadCSVFileSharded(name, path, 0, relShards, strategy); err != nil {
 			fmt.Fprintf(os.Stderr, "proxserve: %v\n", err)
@@ -247,6 +264,8 @@ func main() {
 		StreamBlockTimeout: *blockFl,
 		SlowQueryThreshold: *slowQuery,
 		SlowQueryLog:       os.Stderr,
+		SpillDir:           *spillDir,
+		SpillMemBytes:      *spillMem,
 	})
 	apiServer := service.NewServer(cat, exec)
 	if fleet != nil {

@@ -44,6 +44,15 @@ type sessionBuffer struct {
 	hasBoundary bool
 	boundScore  float64
 	boundRanks  []int32
+
+	// tier, when non-nil (Options.SpillDir), extends the slab with
+	// file-backed segments: the slab flushes to disk at the tier's
+	// watermark and revival k-way merges the slab with the segment
+	// streams — the same global order the in-memory sort produces, so
+	// emissions are byte-identical. err poisons the session on the first
+	// segment I/O failure; Iterator surfaces it instead of emitting.
+	tier *spillTier
+	err  error
 }
 
 func newSessionBuffer(arena *combArena, max int, policy BufferPolicy, stats *Stats) *sessionBuffer {
@@ -56,7 +65,13 @@ func newSessionBuffer(arena *combArena, max int, policy BufferPolicy, stats *Sta
 	}
 }
 
-func (b *sessionBuffer) spillCount() int { return len(b.spillScores) }
+func (b *sessionBuffer) spillCount() int {
+	m := len(b.spillScores)
+	if b.tier != nil {
+		m += b.tier.pending()
+	}
+	return m
+}
 
 // buffered is the total number of retained combinations.
 func (b *sessionBuffer) buffered() int { return b.heap.Len() + b.spillCount() }
@@ -89,6 +104,50 @@ func (b *sessionBuffer) spillAppend(score float64, ranks []int32) {
 	if b.tracer != nil {
 		b.tracer.TraceBuffer(TraceActionSpill, 1)
 	}
+	if b.tier != nil && b.err == nil && len(b.spillScores) >= b.tier.watermark {
+		b.flushSlab()
+	}
+}
+
+// sortedSpillIndex returns slab indices in the canonical spill order:
+// score descending, ties by ascending lexicographic ranks — the exact
+// order revive emits and segment files are written in.
+func sortedSpillIndex(scores []float64, ranks []int32, n int) []int {
+	idx := make([]int, len(scores))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(x, y int) bool {
+		ix, iy := idx[x], idx[y]
+		if scores[ix] != scores[iy] {
+			return scores[ix] > scores[iy]
+		}
+		return lexLess32(ranks[ix*n:(ix+1)*n], ranks[iy*n:(iy+1)*n])
+	})
+	return idx
+}
+
+// flushSlab sorts the in-memory slab and moves it to one segment file.
+// On failure the slab is kept (nothing is lost) and the session is
+// poisoned — a spill tier that cannot write cannot stay exact.
+func (b *sessionBuffer) flushSlab() {
+	n := b.arena.n
+	m := len(b.spillScores)
+	idx := sortedSpillIndex(b.spillScores, b.spillRanks, n)
+	scores := make([]float64, m)
+	ranks := make([]int32, m*n)
+	for o, i := range idx {
+		scores[o] = b.spillScores[i]
+		copy(ranks[o*n:(o+1)*n], b.spillRanks[i*n:(i+1)*n])
+	}
+	written, err := b.tier.flush(scores, ranks)
+	if err != nil {
+		b.err = err
+		return
+	}
+	b.stats.SpilledBytes += written
+	b.spillScores = b.spillScores[:0]
+	b.spillRanks = b.spillRanks[:0]
 }
 
 // offer implements refSink.
@@ -160,46 +219,51 @@ func (b *sessionBuffer) popBest() (combRef, bool) {
 }
 
 // revive moves the best spilled entries back into the ranked heap (at
-// most max of them), keeping the rest in the slab in sorted order behind
-// a refreshed boundary.
+// most max of them), keeping the rest — in the slab and in any spill
+// segments — in sorted order behind a refreshed boundary. With a file
+// tier this is a k-way selection over the sorted slab and the sorted
+// segment streams; (score, ranks) keys are unique, so the merge emits
+// exactly the order a global in-memory sort would.
 func (b *sessionBuffer) revive() {
+	if b.err != nil {
+		return
+	}
 	m := b.spillCount()
 	if m == 0 {
 		return
 	}
-	if b.tracer != nil {
-		take := m
-		if b.max > 0 && take > b.max {
-			take = b.max
-		}
-		b.tracer.TraceBuffer(TraceActionRevive, take)
-	}
-	n := b.arena.n
-	idx := make([]int, m)
-	for i := range idx {
-		idx[i] = i
-	}
-	sort.Slice(idx, func(x, y int) bool {
-		ix, iy := idx[x], idx[y]
-		if b.spillScores[ix] != b.spillScores[iy] {
-			return b.spillScores[ix] > b.spillScores[iy]
-		}
-		return lexLess32(b.spillRanks[ix*n:(ix+1)*n], b.spillRanks[iy*n:(iy+1)*n])
-	})
 	take := m
 	if b.max > 0 && take > b.max {
 		take = b.max
 	}
-	for _, i := range idx[:take] {
-		b.heap.Push(combRef{slot: b.arena.alloc(b.spillRanks[i*n : (i+1)*n]), score: b.spillScores[i]})
+	if b.tracer != nil {
+		b.tracer.TraceBuffer(TraceActionRevive, take)
 	}
-	rest := idx[take:]
-	if len(rest) == 0 {
-		b.spillScores = b.spillScores[:0]
-		b.spillRanks = b.spillRanks[:0]
-		b.hasBoundary = false
-		return
+	n := b.arena.n
+	idx := sortedSpillIndex(b.spillScores, b.spillRanks, n)
+	cursor := 0
+	if b.tier != nil && len(b.tier.segs) > 0 {
+		for pushed := 0; pushed < take; pushed++ {
+			score, ranks, fromSeg, err := b.bestSpilled(idx, cursor)
+			if err != nil {
+				b.err = err
+				return
+			}
+			b.heap.Push(combRef{slot: b.arena.alloc(ranks), score: score})
+			if fromSeg != nil {
+				fromSeg.loaded = false
+			} else {
+				cursor++
+			}
+		}
+		b.tier.compact()
+	} else {
+		for _, i := range idx[:take] {
+			b.heap.Push(combRef{slot: b.arena.alloc(b.spillRanks[i*n : (i+1)*n]), score: b.spillScores[i]})
+		}
+		cursor = take
 	}
+	rest := idx[cursor:]
 	scores := make([]float64, 0, len(rest))
 	ranks := make([]int32, 0, len(rest)*n)
 	for _, i := range rest {
@@ -208,7 +272,73 @@ func (b *sessionBuffer) revive() {
 	}
 	b.spillScores = scores
 	b.spillRanks = ranks
-	b.setBoundary(scores[0], ranks[:n])
+	b.refreshBoundary()
+}
+
+// bestSpilled returns the best unconsumed spilled entry across the
+// sorted slab (idx[cursor:]) and every segment head, without consuming
+// it: the caller pops the winner (advance cursor or clear seg.loaded).
+// The returned ranks alias either the slab or the segment's head buffer
+// and must be copied (arena.alloc does) before the next call.
+func (b *sessionBuffer) bestSpilled(idx []int, cursor int) (float64, []int32, *spillSegment, error) {
+	n := b.arena.n
+	have := false
+	var bestScore float64
+	var bestRanks []int32
+	var fromSeg *spillSegment
+	if cursor < len(idx) {
+		i := idx[cursor]
+		bestScore, bestRanks, have = b.spillScores[i], b.spillRanks[i*n:(i+1)*n], true
+	}
+	for _, s := range b.tier.segs {
+		ok, err := b.tier.ensureHead(s)
+		if err != nil {
+			return 0, nil, nil, err
+		}
+		if !ok {
+			continue
+		}
+		if !have || s.head > bestScore || (s.head == bestScore && lexLess32(s.headRanks, bestRanks)) {
+			bestScore, bestRanks, fromSeg, have = s.head, s.headRanks, s, true
+		}
+	}
+	if !have {
+		return 0, nil, nil, fmt.Errorf("core: spill accounting lost entries")
+	}
+	return bestScore, bestRanks, fromSeg, nil
+}
+
+// refreshBoundary recomputes the spill boundary as the best remaining
+// spilled entry — the head of the compacted slab or of a segment — or
+// clears it when nothing remains spilled.
+func (b *sessionBuffer) refreshBoundary() {
+	n := b.arena.n
+	have := false
+	var score float64
+	var ranks []int32
+	if len(b.spillScores) > 0 {
+		score, ranks, have = b.spillScores[0], b.spillRanks[:n], true
+	}
+	if b.tier != nil {
+		for _, s := range b.tier.segs {
+			ok, err := b.tier.ensureHead(s)
+			if err != nil {
+				b.err = err
+				return
+			}
+			if !ok {
+				continue
+			}
+			if !have || s.head > score || (s.head == score && lexLess32(s.headRanks, ranks)) {
+				score, ranks, have = s.head, s.headRanks, true
+			}
+		}
+	}
+	if !have {
+		b.hasBoundary = false
+		return
+	}
+	b.setBoundary(score, ranks)
 }
 
 // Iterator is the pipelined form of the ProxRJ operator: instead of a
@@ -256,6 +386,13 @@ func NewIterator(sources []relation.Source, opts Options) (*Iterator, error) {
 		buf: newSessionBuffer(e.arena, bufMax, policy, &e.stats),
 	}
 	it.buf.tracer = opts.Tracer
+	if bufMax > 0 && policy == BufferSpill && opts.SpillDir != "" {
+		tier, err := newSpillTier(opts.SpillDir, e.arena.n, opts.SpillMemBytes, opts.spillFault)
+		if err != nil {
+			return nil, err
+		}
+		it.buf.tier = tier
+	}
 	// Reroute formed combinations into the session buffer.
 	e.sink = it.buf
 	return it, nil
@@ -284,7 +421,14 @@ func (it *Iterator) NextContext(ctx context.Context) (Combination, error) {
 		// bound less the approximation slack — the per-result form of the
 		// batch stopping test, so a K-prefix of the stream pulls exactly
 		// what the batch run would.
-		if best, ok := it.buf.peekBest(); ok && best.score >= it.e.t-it.e.opts.Epsilon-1e-9 {
+		best, ok := it.buf.peekBest()
+		if it.buf.err != nil {
+			// A spill tier failure (write or revival) forfeits exactness;
+			// poison the iterator rather than emit a possibly wrong order.
+			it.err = it.buf.err
+			return Combination{}, it.err
+		}
+		if ok && best.score >= it.e.t-it.e.opts.Epsilon-1e-9 {
 			return it.emitBest(), nil
 		}
 		if it.done {
@@ -332,7 +476,7 @@ func (it *Iterator) emitBest() Combination {
 // buffer holds the best formed-but-unemitted combinations, so emitted
 // results plus the drain reproduce the batch top-K exactly.
 func (it *Iterator) DrainBest() (Combination, bool) {
-	if _, ok := it.buf.peekBest(); !ok {
+	if _, ok := it.buf.peekBest(); !ok || it.buf.err != nil {
 		return Combination{}, false
 	}
 	return it.emitBest(), true

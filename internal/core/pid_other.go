@@ -1,0 +1,8 @@
+//go:build !unix
+
+package core
+
+// pidAlive without a cheap existence probe errs on the side of keeping
+// files: spill leftovers are never reclaimed for other pids, only
+// re-created names from this process get overwritten.
+func pidAlive(pid int) bool { return true }

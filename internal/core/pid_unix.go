@@ -1,0 +1,13 @@
+//go:build unix
+
+package core
+
+import "syscall"
+
+// pidAlive reports whether a process with the given pid exists. Signal 0
+// performs the existence check without delivering anything; EPERM means
+// the process exists but belongs to someone else.
+func pidAlive(pid int) bool {
+	err := syscall.Kill(pid, 0)
+	return err == nil || err == syscall.EPERM
+}

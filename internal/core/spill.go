@@ -1,0 +1,299 @@
+package core
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math"
+	"os"
+	"path/filepath"
+	"runtime"
+	"strconv"
+	"strings"
+	"sync/atomic"
+)
+
+// A spill segment file holds one sorted batch of spilled combinations in
+// the same compact columnar form as the in-memory slab:
+//
+//	magic "PROXSPL1" | arity u32 | count u32
+//	count × (score f64 | arity × rank i32)    little-endian
+//	crc u32                                   CRC-32C over the entry region
+//
+// Entries are written in descending (score, then ascending lexicographic
+// ranks) order — exactly the order revive sorts the in-memory slab into —
+// so revival is a k-way merge of already-sorted streams and emits the
+// same sequence the purely in-memory slab would.
+const (
+	spillMagic      = "PROXSPL1"
+	spillHeaderSize = 16
+)
+
+var spillCRC = crc32.MakeTable(crc32.Castagnoli)
+
+// tierSeq disambiguates segment names across tiers within one process.
+var tierSeq atomic.Int64
+
+// spillTier is the file-backed tier of a session buffer's spill store.
+// It owns a set of segment files, each sorted internally, plus the read
+// cursors over them. Not safe for concurrent use — like the session
+// buffer it extends, it belongs to a single Iterator.
+// The tier must not reference the engine (directly or through &Stats,
+// which points into the engine allocation): the session buffer holds the
+// tier and the engine holds the buffer, so a back-pointer would close a
+// reference cycle through the finalizer target — and Go never runs
+// finalizers on objects inside such cycles, leaking every abandoned
+// session's segments until process exit. Byte accounting therefore lives
+// with the caller (flush returns the written size).
+type spillTier struct {
+	dir       string
+	n         int // ranks per entry
+	watermark int // slab entries that trigger a flush
+	id        int64
+	seq       int
+	segs      []*spillSegment
+	fault     func() error
+}
+
+// spillSegment is one on-disk sorted batch plus its streaming read
+// state. head/headRanks hold the next unconsumed entry once loaded.
+type spillSegment struct {
+	f         *os.File
+	path      string
+	count     int
+	pos       int // entries consumed
+	r         *bufio.Reader
+	head      float64
+	headRanks []int32
+	loaded    bool
+}
+
+// spillEntrySize is the on-disk size of one combination.
+func spillEntrySize(n int) int { return 8 + 4*n }
+
+// newSpillTier prepares a file-backed tier rooted at dir and sweeps
+// leftovers from dead processes. The finalizer covers sessions that are
+// abandoned without draining (Iterator has no Close); a drained tier has
+// already removed its files and the finalizer is a no-op.
+func newSpillTier(dir string, n, memBytes int, fault func() error) (*spillTier, error) {
+	if memBytes <= 0 {
+		memBytes = DefaultSpillMemBytes
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("core: spill dir: %w", err)
+	}
+	sweepSpillDir(dir)
+	w := memBytes / spillEntrySize(n)
+	if w < 1 {
+		w = 1
+	}
+	t := &spillTier{dir: dir, n: n, watermark: w, id: tierSeq.Add(1), fault: fault}
+	runtime.SetFinalizer(t, func(t *spillTier) { t.discard() })
+	return t, nil
+}
+
+// sweepSpillDir removes spill segments left behind by processes that no
+// longer exist — including partial segments torn by a crash mid-write.
+// Files whose embedded pid is still alive are never touched, so
+// concurrent sessions can share a spill directory.
+func sweepSpillDir(dir string) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return
+	}
+	for _, e := range entries {
+		pid, ok := spillSegmentPid(e.Name())
+		if !ok || pidAlive(pid) {
+			continue
+		}
+		os.Remove(filepath.Join(dir, e.Name()))
+	}
+}
+
+// spillSegmentPid parses the owning pid out of a segment file name
+// (prox-<pid>-<tier>-<seq>.spill).
+func spillSegmentPid(name string) (int, bool) {
+	if !strings.HasPrefix(name, "prox-") || !strings.HasSuffix(name, ".spill") {
+		return 0, false
+	}
+	parts := strings.Split(strings.TrimSuffix(strings.TrimPrefix(name, "prox-"), ".spill"), "-")
+	if len(parts) != 3 {
+		return 0, false
+	}
+	pid, err := strconv.Atoi(parts[0])
+	if err != nil || pid <= 0 {
+		return 0, false
+	}
+	return pid, true
+}
+
+// validSpillSegment reports whether path holds a structurally complete
+// segment: intact header, exact size for its entry count, and a
+// matching checksum. A writer killed mid-segment fails this.
+func validSpillSegment(path string) bool {
+	f, err := os.Open(path)
+	if err != nil {
+		return false
+	}
+	defer f.Close()
+	var hdr [spillHeaderSize]byte
+	if _, err := io.ReadFull(f, hdr[:]); err != nil {
+		return false
+	}
+	if string(hdr[0:8]) != spillMagic {
+		return false
+	}
+	n := int(binary.LittleEndian.Uint32(hdr[8:12]))
+	count := int(binary.LittleEndian.Uint32(hdr[12:16]))
+	if n < 1 || count < 1 || n > 1<<16 {
+		return false
+	}
+	st, err := f.Stat()
+	if err != nil {
+		return false
+	}
+	body := int64(count) * int64(spillEntrySize(n))
+	if st.Size() != int64(spillHeaderSize)+body+4 {
+		return false
+	}
+	crc := crc32.New(spillCRC)
+	if _, err := io.CopyN(crc, f, body); err != nil {
+		return false
+	}
+	var tail [4]byte
+	if _, err := io.ReadFull(f, tail[:]); err != nil {
+		return false
+	}
+	return crc.Sum32() == binary.LittleEndian.Uint32(tail[:])
+}
+
+// flush writes the slab (already sorted descending) as one segment file
+// and returns the bytes written. The file descriptor stays open: reads
+// go through the same fd, so an external unlink cannot hurt a live
+// session. On a write error (including an injected fault) the torn file
+// is left behind, exactly as a crash would leave it, and the error
+// poisons the session.
+func (t *spillTier) flush(scores []float64, ranks []int32) (int64, error) {
+	name := fmt.Sprintf("prox-%d-%d-%d.spill", os.Getpid(), t.id, t.seq)
+	t.seq++
+	path := filepath.Join(t.dir, name)
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_EXCL|os.O_RDWR, 0o644)
+	if err != nil {
+		return 0, fmt.Errorf("core: spill segment: %w", err)
+	}
+	w := bufio.NewWriterSize(f, 1<<16)
+	var hdr [spillHeaderSize]byte
+	copy(hdr[0:8], spillMagic)
+	binary.LittleEndian.PutUint32(hdr[8:12], uint32(t.n))
+	binary.LittleEndian.PutUint32(hdr[12:16], uint32(len(scores)))
+	crc := crc32.New(spillCRC)
+	var entry = make([]byte, spillEntrySize(t.n))
+	written := int64(0)
+	werr := func() error {
+		if _, err := w.Write(hdr[:]); err != nil {
+			return err
+		}
+		written += spillHeaderSize
+		for i, s := range scores {
+			if t.fault != nil {
+				if err := t.fault(); err != nil {
+					return err
+				}
+			}
+			binary.LittleEndian.PutUint64(entry[0:8], math.Float64bits(s))
+			for j := 0; j < t.n; j++ {
+				binary.LittleEndian.PutUint32(entry[8+4*j:], uint32(ranks[i*t.n+j]))
+			}
+			crc.Write(entry)
+			if _, err := w.Write(entry); err != nil {
+				return err
+			}
+			written += int64(len(entry))
+		}
+		var tail [4]byte
+		binary.LittleEndian.PutUint32(tail[:], crc.Sum32())
+		if _, err := w.Write(tail[:]); err != nil {
+			return err
+		}
+		written += 4
+		return w.Flush()
+	}()
+	if werr != nil {
+		// Simulate the crash faithfully: push what the OS already has,
+		// close, and leave the partial file for the next sweep.
+		w.Flush()
+		f.Close()
+		return written, fmt.Errorf("core: spill segment %s: %w", name, werr)
+	}
+	t.segs = append(t.segs, &spillSegment{f: f, path: path, count: len(scores)})
+	return written, nil
+}
+
+// pending is the number of unconsumed entries across all segments.
+func (t *spillTier) pending() int {
+	total := 0
+	for _, s := range t.segs {
+		total += s.count - s.pos
+		if s.loaded {
+			total++ // pos already counts the loaded-but-unpopped head
+		}
+	}
+	return total
+}
+
+// ensureHead loads the segment's next entry into head/headRanks.
+// Returns false when the segment is exhausted (and closes + removes it).
+func (t *spillTier) ensureHead(s *spillSegment) (bool, error) {
+	if s.loaded {
+		return true, nil
+	}
+	if s.pos >= s.count {
+		return false, nil
+	}
+	if s.r == nil {
+		if _, err := s.f.Seek(spillHeaderSize, 0); err != nil {
+			return false, fmt.Errorf("core: spill read: %w", err)
+		}
+		s.r = bufio.NewReaderSize(s.f, 1<<16)
+	}
+	entry := make([]byte, spillEntrySize(t.n))
+	if _, err := io.ReadFull(s.r, entry); err != nil {
+		return false, fmt.Errorf("core: spill read %s: %w", s.path, err)
+	}
+	s.head = math.Float64frombits(binary.LittleEndian.Uint64(entry[0:8]))
+	if s.headRanks == nil {
+		s.headRanks = make([]int32, t.n)
+	}
+	for j := 0; j < t.n; j++ {
+		s.headRanks[j] = int32(binary.LittleEndian.Uint32(entry[8+4*j:]))
+	}
+	s.pos++
+	s.loaded = true
+	return true, nil
+}
+
+// compact drops exhausted segments, closing and unlinking their files.
+func (t *spillTier) compact() {
+	live := t.segs[:0]
+	for _, s := range t.segs {
+		if !s.loaded && s.pos >= s.count {
+			s.f.Close()
+			os.Remove(s.path)
+			continue
+		}
+		live = append(live, s)
+	}
+	t.segs = live
+}
+
+// discard releases every segment; used when the session is dropped
+// without draining.
+func (t *spillTier) discard() {
+	for _, s := range t.segs {
+		s.f.Close()
+		os.Remove(s.path)
+	}
+	t.segs = nil
+}

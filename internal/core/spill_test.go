@@ -1,0 +1,249 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/relation"
+)
+
+// spillingOptions returns options that force the file tier on for every
+// spilled combination.
+func spillingOptions(dir string) Options {
+	return Options{
+		Algorithm:     CBRR,
+		MaxBuffered:   1,
+		BufferPolicy:  BufferSpill,
+		SpillDir:      dir,
+		SpillMemBytes: 1,
+	}
+}
+
+// TestSpillSegmentRoundTrip exercises the tier directly: flushed batches
+// come back through the head cursor in order, segments validate as
+// complete, and consumed segments are removed from disk.
+func TestSpillSegmentRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	tier, err := newSpillTier(dir, 2, 1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scores := []float64{0.9, 0.5, 0.5, 0.1}
+	ranks := []int32{0, 1, 2, 3, 2, 4, 5, 6}
+	written, err := tier.flush(scores, ranks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if written == 0 {
+		t.Fatal("no bytes accounted")
+	}
+	if got := tier.pending(); got != 4 {
+		t.Fatalf("pending %d, want 4", got)
+	}
+	if !validSpillSegment(tier.segs[0].path) {
+		t.Fatal("freshly written segment does not validate")
+	}
+	for i := range scores {
+		seg := tier.segs[0]
+		ok, err := tier.ensureHead(seg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			t.Fatalf("segment dry at entry %d", i)
+		}
+		if seg.head != scores[i] {
+			t.Fatalf("entry %d: score %v, want %v", i, seg.head, scores[i])
+		}
+		if seg.headRanks[0] != ranks[2*i] || seg.headRanks[1] != ranks[2*i+1] {
+			t.Fatalf("entry %d: ranks %v", i, seg.headRanks)
+		}
+		seg.loaded = false
+	}
+	tier.compact()
+	if len(tier.segs) != 0 || tier.pending() != 0 {
+		t.Fatal("consumed segment not released")
+	}
+	if files, _ := os.ReadDir(dir); len(files) != 0 {
+		t.Fatal("consumed segment file not removed")
+	}
+}
+
+// TestSpillCrashSafety is the crash-safety property of the spill tier:
+// a writer dying mid-segment (injected fault) leaves a torn file and a
+// poisoned session — never a silently wrong stream — and on reopen the
+// partial segment is detected, discarded, and the query re-derives
+// byte-identical results from scratch.
+func TestSpillCrashSafety(t *testing.T) {
+	r := rand.New(rand.NewSource(4242))
+	in := randomInstance(r, 2, 14)
+	dir := t.TempDir()
+
+	// Baseline: the all-RAM spill session.
+	base := Options{Algorithm: CBRR, MaxBuffered: 1, BufferPolicy: BufferSpill}
+	baseEmit, baseDrain, baseErr, baseStats := drainSources(t, in.sources(t, relation.ScoreAccess), in, base)
+	if baseStats.SpilledCombinations == 0 {
+		t.Skip("instance too small to spill")
+	}
+
+	// Crash the writer partway through its first segment.
+	calls := 0
+	crash := spillingOptions(dir)
+	crash.spillFault = func() error {
+		calls++
+		if calls > 0 {
+			return errors.New("injected media failure")
+		}
+		return nil
+	}
+	crash.Query = in.q
+	crash.Agg = in.fn
+	it, err := NewIterator(in.sources(t, relation.ScoreAccess), crash)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sawFault := false
+	for {
+		_, err := it.Next()
+		if err == nil {
+			continue
+		}
+		if errors.Is(err, ErrIteratorDone) || errors.Is(err, ErrIteratorDNF) {
+			t.Fatalf("session with failing spill terminated cleanly: %v", err)
+		}
+		if !strings.Contains(err.Error(), "injected media failure") {
+			t.Fatalf("unexpected terminal: %v", err)
+		}
+		sawFault = true
+		break
+	}
+	if !sawFault {
+		t.Fatal("fault never surfaced")
+	}
+	if _, ok := it.DrainBest(); ok {
+		t.Fatal("poisoned session still drains results")
+	}
+
+	// The crash left a torn segment behind; it must fail validation.
+	files, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) != 1 {
+		t.Fatalf("expected exactly the torn segment, found %d files", len(files))
+	}
+	torn := filepath.Join(dir, files[0].Name())
+	if validSpillSegment(torn) {
+		t.Fatal("partial segment validates as complete")
+	}
+
+	// Reopen after the "crash": rename the leftover to a dead pid (the
+	// in-process fault kept our own pid alive) and let tier creation
+	// sweep it, then verify the rerun is byte-identical to the baseline.
+	dead := filepath.Join(dir, "prox-999999999-1-0.spill")
+	if err := os.Rename(torn, dead); err != nil {
+		t.Fatal(err)
+	}
+	clean := spillingOptions(dir)
+	emit, drain, terminal, stats := drainSources(t, in.sources(t, relation.ScoreAccess), in, clean)
+	if _, err := os.Stat(dead); !errors.Is(err, os.ErrNotExist) {
+		t.Fatalf("torn segment survived the sweep: %v", err)
+	}
+	if !errors.Is(terminal, baseErr) {
+		t.Fatalf("terminal %v vs %v", terminal, baseErr)
+	}
+	if err := combosIdentical(emit, baseEmit); err != nil {
+		t.Fatalf("emissions after recovery: %v", err)
+	}
+	if err := combosIdentical(drain, baseDrain); err != nil {
+		t.Fatalf("drain after recovery: %v", err)
+	}
+	if err := statsIdentical(stats, baseStats); err != nil {
+		t.Fatalf("stats after recovery: %v", err)
+	}
+}
+
+// TestSpillSweepSparesLiveFiles: the sweep must never reclaim segments
+// whose owning process is still alive (concurrent sessions may share a
+// spill directory), nor files it does not recognize.
+func TestSpillSweepSparesLiveFiles(t *testing.T) {
+	dir := t.TempDir()
+	live := filepath.Join(dir, fmt.Sprintf("prox-%d-7-0.spill", os.Getpid()))
+	foreign := filepath.Join(dir, "not-a-segment.txt")
+	deadFile := filepath.Join(dir, "prox-999999999-1-0.spill")
+	for _, p := range []string{live, foreign, deadFile} {
+		if err := os.WriteFile(p, []byte("x"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sweepSpillDir(dir)
+	if _, err := os.Stat(live); err != nil {
+		t.Fatal("sweep removed a live process's segment")
+	}
+	if _, err := os.Stat(foreign); err != nil {
+		t.Fatal("sweep removed an unrelated file")
+	}
+	if _, err := os.Stat(deadFile); !errors.Is(err, os.ErrNotExist) {
+		t.Fatal("sweep kept a dead process's segment")
+	}
+}
+
+// TestSpillAbandonedSessionReleasesSegments pins the finalizer path: a
+// session dropped without draining must release its segment files at the
+// next collection, not at process exit. This regressed once when the
+// tier held a *Stats pointing into the engine allocation — the session
+// buffer holds the tier and the engine holds the buffer, so that
+// back-pointer closed a reference cycle through the finalizer target,
+// and Go never runs finalizers on objects inside such cycles.
+func TestSpillAbandonedSessionReleasesSegments(t *testing.T) {
+	r := rand.New(rand.NewSource(77))
+	in := randomInstance(r, 2, 14)
+	dir := t.TempDir()
+	glob := func() []string {
+		segs, err := filepath.Glob(filepath.Join(dir, "*.spill"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return segs
+	}
+
+	opts := spillingOptions(dir)
+	opts.Query = in.q
+	opts.Agg = in.fn
+	spilled := func() bool {
+		it, err := NewIterator(in.sources(t, relation.ScoreAccess), opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 1000; i++ {
+			if _, err := it.Next(); err != nil {
+				break
+			}
+			if len(glob()) > 0 {
+				return true // abandon mid-session with segments on disk
+			}
+		}
+		return false
+	}()
+	if !spilled {
+		t.Skip("instance too small to leave segments on disk")
+	}
+
+	// The finalizer needs one collection to queue and its own goroutine
+	// to run; poll a few cycles before declaring a leak.
+	deadline := time.Now().Add(10 * time.Second)
+	for len(glob()) > 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("abandoned session leaked %d segment files", len(glob()))
+		}
+		runtime.GC()
+		time.Sleep(10 * time.Millisecond)
+	}
+}

@@ -191,6 +191,18 @@ type Options struct {
 	// access with its depth and wall time, every threshold update, every
 	// buffer pressure event. Nil costs one pointer check per pull.
 	Tracer Tracer
+	// SpillDir, when non-empty, gives a BufferSpill session a file-backed
+	// spill tier: once the in-memory spill slab reaches the SpillMemBytes
+	// watermark it is sorted and flushed to a compact columnar segment
+	// file under SpillDir, and revival merges the slab with the segment
+	// streams. Emissions are byte-identical to the purely in-memory slab;
+	// resident memory stays O(MaxBuffered + SpillMemBytes) however far
+	// the enumeration outruns the consumer. Ignored unless the session
+	// runs MaxBuffered > 0 with BufferSpill.
+	SpillDir string
+	// SpillMemBytes bounds the in-memory spill slab when SpillDir is set;
+	// 0 selects DefaultSpillMemBytes.
+	SpillMemBytes int
 	// disablePrune turns score-floor pruning off even for separable
 	// aggregations. Test-only: the unpruned run is the byte-identity
 	// oracle for the pruned one.
@@ -199,7 +211,15 @@ type Options struct {
 	// aggregations that support it. Test-only: the scalar formation path
 	// is the byte-identity oracle for the block-pull mode.
 	disableBlock bool
+	// spillFault, when non-nil, is called before each entry written to a
+	// spill segment. Test-only: returning an error simulates a crash
+	// mid-segment — the torn file is left behind and the session poisons.
+	spillFault func() error
 }
+
+// DefaultSpillMemBytes is the in-memory spill slab watermark used when
+// Options.SpillDir is set and SpillMemBytes is 0.
+const DefaultSpillMemBytes = 4 << 20
 
 // DefaultBlockSize is the scoring block width used when Options.BlockSize
 // is 0; chosen by benchmark (see EXPERIMENTS.md) as the point where the
@@ -268,6 +288,9 @@ type Stats struct {
 	// SpilledCombinations counts combinations moved to a session buffer's
 	// compact spill slab (BufferSpill policy only).
 	SpilledCombinations int64
+	// SpilledBytes counts bytes written to file-backed spill segments
+	// (Options.SpillDir); zero when the slab never reached the watermark.
+	SpilledBytes int64
 	// BoundUpdates counts updateBound invocations (one per pull).
 	BoundUpdates int64
 	// QPSolves counts tight-bound optimizations (problem (14) instances).

@@ -366,7 +366,8 @@ func (ix *ScoreIndex) Source() Source {
 // emits one canonical (distance, ordinal) sequence.
 type rtreeSource struct {
 	rel     *Relation
-	orig    []int // shard ordinal mapping; nil = identity
+	orig    []int   // shard ordinal mapping; nil = identity
+	cols    Columns // file-backed shard storage; nil = rel.tuples
 	it      *rtree.NNIterator[int]
 	look    nnHit // one-item lookahead past the current tie run
 	hasLook bool
@@ -440,7 +441,11 @@ func (s *rtreeSource) take() (nnHit, bool) {
 	if !ok {
 		return nnHit{}, false
 	}
-	return nnHit{idx: idx, ord: ordinalOf(s.orig, idx), dist: d}, true
+	ord := ordinalOf(s.orig, idx)
+	if s.cols != nil {
+		ord = s.cols.Ordinal(idx)
+	}
+	return nnHit{idx: idx, ord: ord, dist: d}, true
 }
 
 // NextKeyed implements KeyedSource.
@@ -473,6 +478,9 @@ func (s *rtreeSource) NextKeyed() (Tuple, float64, int, error) {
 	}
 	h := s.batch[0]
 	s.batch = s.batch[1:]
+	if s.cols != nil {
+		return s.cols.Tuple(h.idx), h.dist, h.ord, nil
+	}
 	return s.rel.tuples[h.idx], h.dist, h.ord, nil
 }
 

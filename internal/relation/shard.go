@@ -62,6 +62,12 @@ type shard struct {
 	rtree  *RTreeIndex
 	score  *ScoreIndex
 	bounds ShardBounds
+	// File-backed shards (see AssembleSharded) read straight from
+	// columnar storage instead of a materialized tuple slice: cols is the
+	// storage, lazy builds the R-tree on first distance access, and rel is
+	// a metadata stub.
+	cols Columns
+	lazy *lazyRTree
 }
 
 // ShardBounds is one shard's bounding metadata: a bounding ball
@@ -141,8 +147,9 @@ func computeBounds(r *Relation) ShardBounds {
 // bounding per-shard index memory and enabling parallel builds and
 // fan-out.
 type Sharded struct {
-	parent *Relation
-	shards []shard
+	parent   *Relation
+	shards   []shard
+	strategy PartitionStrategy
 }
 
 // Partition splits r into at most n shards under the given strategy and
@@ -182,7 +189,7 @@ func Partition(r *Relation, n int, strategy PartitionStrategy) (*Sharded, error)
 	}
 	groups = kept
 
-	s := &Sharded{parent: r}
+	s := &Sharded{parent: r, strategy: strategy}
 	if len(groups) <= 1 {
 		// One shard is the relation itself: no tuple copies, identity
 		// ordinals, and per-query streams with zero merge overhead.
@@ -319,6 +326,36 @@ func (s *Sharded) InputRelation() *Relation { return s.parent }
 // NumShards returns the number of non-empty shards.
 func (s *Sharded) NumShards() int { return len(s.shards) }
 
+// Strategy returns the partition strategy the shards were built under.
+func (s *Sharded) Strategy() PartitionStrategy { return s.strategy }
+
+// FileBacked reports whether the shards read from external columnar
+// storage (AssembleSharded) rather than materialized tuple slices.
+func (s *Sharded) FileBacked() bool {
+	return len(s.shards) > 0 && s.shards[0].cols != nil
+}
+
+// ShardOrdinals returns shard i's parent-relation ordinals in shard
+// storage order (a fresh slice). The file writer persists these so a
+// loaded shard can keep breaking merge-key ties in the parent's order.
+func (s *Sharded) ShardOrdinals(i int) []int {
+	sh := &s.shards[i]
+	out := make([]int, sh.rel.Len())
+	switch {
+	case sh.cols != nil:
+		for j := range out {
+			out[j] = sh.cols.Ordinal(j)
+		}
+	case sh.orig == nil:
+		for j := range out {
+			out[j] = j
+		}
+	default:
+		copy(out, sh.orig)
+	}
+	return out
+}
+
 // ShardSizes returns the tuple count of each shard.
 func (s *Sharded) ShardSizes() []int {
 	out := make([]int, len(s.shards))
@@ -344,6 +381,9 @@ func (s *Sharded) ShardSource(i int, kind AccessKind, q vec.Vector, metric vec.M
 		return nil, fmt.Errorf("relation %q: shard %d out of range [0,%d)", s.parent.Name, i, len(s.shards))
 	}
 	sh := &s.shards[i]
+	if sh.cols != nil {
+		return sh.colSource(kind, q, metric, useRTree)
+	}
 	switch {
 	case kind == ScoreAccess:
 		return sh.score.Source(), nil
@@ -431,7 +471,7 @@ func (s *Sharded) distanceSources(q vec.Vector, metric vec.Metric) ([]Source, er
 
 // openSource implements Input: per-shard streams merged into one.
 func (s *Sharded) openSource(kind AccessKind, q vec.Vector, metric vec.Metric, useRTree bool) (Source, error) {
-	if kind == DistanceAccess && !useRTree && len(s.shards) > 1 {
+	if kind == DistanceAccess && !useRTree && len(s.shards) > 1 && !s.FileBacked() {
 		sources, err := s.distanceSources(q, metric)
 		if err != nil {
 			return nil, err

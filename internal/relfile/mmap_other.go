@@ -1,0 +1,21 @@
+//go:build !unix
+
+package relfile
+
+import (
+	"io"
+	"os"
+	"unsafe"
+)
+
+// mapFile on platforms without syscall.Mmap falls back to reading the
+// whole file into an 8-byte-aligned heap buffer. hold keeps the backing
+// []uint64 reachable; unmap is a no-op (the GC owns the memory).
+func mapFile(f *os.File, size int64) (data []byte, unmap func() error, hold any, err error) {
+	words := make([]uint64, (size+7)/8+1)
+	buf := unsafe.Slice((*byte)(unsafe.Pointer(&words[0])), len(words)*8)[:size]
+	if _, err := io.ReadFull(f, buf); err != nil {
+		return nil, nil, nil, err
+	}
+	return buf, func() error { return nil }, words, nil
+}

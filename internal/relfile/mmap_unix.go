@@ -1,0 +1,20 @@
+//go:build unix
+
+package relfile
+
+import (
+	"os"
+	"syscall"
+)
+
+// mapFile maps f read-only. The returned unmap releases the mapping;
+// hold is unused on mmap platforms (the kernel pins the pages, not the
+// Go heap). The file descriptor may be closed immediately after — the
+// mapping outlives it.
+func mapFile(f *os.File, size int64) (data []byte, unmap func() error, hold any, err error) {
+	b, err := syscall.Mmap(int(f.Fd()), 0, int(size), syscall.PROT_READ, syscall.MAP_SHARED)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	return b, func() error { return syscall.Munmap(b) }, nil, nil
+}

@@ -1,0 +1,389 @@
+package relfile
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"math"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/relation"
+	"repro/internal/vec"
+)
+
+// testRelation builds a deterministic random relation with IDs of mixed
+// length (including empty) and sparse attributes.
+func testRelation(t testing.TB, seed int64, n, dim int) *relation.Relation {
+	t.Helper()
+	r := rand.New(rand.NewSource(seed))
+	tuples := make([]relation.Tuple, n)
+	for i := range tuples {
+		v := make(vec.Vector, dim)
+		for d := range v {
+			v[d] = r.NormFloat64()
+		}
+		id := fmt.Sprintf("tuple-%d", i)
+		if i%7 == 0 {
+			id = ""
+		}
+		var attrs map[string]string
+		if i%3 == 0 {
+			attrs = map[string]string{"color": "red", "i": fmt.Sprint(i)}
+		}
+		// A few duplicate scores exercise the ordinal tiebreak.
+		score := 0.05 + 0.95*float64(1+r.Intn(20))/20
+		tuples[i] = relation.Tuple{ID: id, Score: score, Vec: v, Attrs: attrs}
+	}
+	rel, err := relation.New("t", 1, tuples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rel
+}
+
+// writeTemp partitions rel, writes it as a relfile, and returns the
+// path plus the in-memory Sharded it encoded.
+func writeTemp(t *testing.T, rel *relation.Relation, shards int, strategy relation.PartitionStrategy) (string, *relation.Sharded) {
+	t.Helper()
+	s, err := relation.Partition(rel, shards, strategy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "rel.prox")
+	if err := Write(path, s); err != nil {
+		t.Fatal(err)
+	}
+	return path, s
+}
+
+func TestRoundTrip(t *testing.T) {
+	for _, strategy := range []relation.PartitionStrategy{relation.HashPartition, relation.GridPartition} {
+		for _, shards := range []int{1, 4} {
+			t.Run(fmt.Sprintf("%v-%d", strategy, shards), func(t *testing.T) {
+				rel := testRelation(t, int64(shards)*100+int64(strategy), 83, 3)
+				path, orig := writeTemp(t, rel, shards, strategy)
+				f, err := Open(path)
+				if err != nil {
+					t.Fatal(err)
+				}
+				defer f.Close()
+				if f.Dim() != rel.Dim() || f.Tuples() != rel.Len() || f.Shards() != orig.NumShards() {
+					t.Fatalf("metadata mismatch: dim=%d tuples=%d shards=%d", f.Dim(), f.Tuples(), f.Shards())
+				}
+				if f.MaxScore() != rel.MaxScore || f.Strategy() != strategy {
+					t.Fatalf("maxScore=%v strategy=%v", f.MaxScore(), f.Strategy())
+				}
+				loaded, err := f.Load("t")
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !loaded.FileBacked() {
+					t.Fatal("loaded relation is not file-backed")
+				}
+				compareSharded(t, rel, orig, f, loaded)
+			})
+		}
+	}
+}
+
+// compareSharded checks stored bounds bit-for-bit against the
+// partitioner's and every loaded tuple against the original relation by
+// parent ordinal, plus the canonical storage order within each shard.
+func compareSharded(t *testing.T, rel *relation.Relation, orig *relation.Sharded, f *File, loaded *relation.Sharded) {
+	t.Helper()
+	if loaded.NumShards() != orig.NumShards() {
+		t.Fatalf("shards: %d vs %d", loaded.NumShards(), orig.NumShards())
+	}
+	seen := make([]bool, rel.Len())
+	for i := 0; i < orig.NumShards(); i++ {
+		ob, lb := orig.ShardBounds(i), loaded.ShardBounds(i)
+		if math.Float64bits(ob.Radius) != math.Float64bits(lb.Radius) ||
+			math.Float64bits(ob.MaxScore) != math.Float64bits(lb.MaxScore) ||
+			ob.Tuples != lb.Tuples {
+			t.Fatalf("shard %d bounds drifted: %+v vs %+v", i, ob, lb)
+		}
+		for d := range ob.Centroid {
+			if math.Float64bits(ob.Centroid[d]) != math.Float64bits(lb.Centroid[d]) {
+				t.Fatalf("shard %d centroid drifted", i)
+			}
+		}
+		view := &shardView{f: f, d: &f.views[i], dim: f.dim}
+		prevScore := math.Inf(1)
+		prevOrd := -1
+		for j := 0; j < view.Len(); j++ {
+			got := view.Tuple(j)
+			ord := view.Ordinal(j)
+			if seen[ord] {
+				t.Fatalf("ordinal %d appears twice", ord)
+			}
+			seen[ord] = true
+			want := rel.At(ord)
+			if got.ID != want.ID || math.Float64bits(got.Score) != math.Float64bits(want.Score) {
+				t.Fatalf("shard %d tuple %d: got %q/%v want %q/%v", i, j, got.ID, got.Score, want.ID, want.Score)
+			}
+			for d := range want.Vec {
+				if math.Float64bits(got.Vec[d]) != math.Float64bits(want.Vec[d]) {
+					t.Fatalf("shard %d tuple %d vec drifted", i, j)
+				}
+			}
+			if len(got.Attrs) != len(want.Attrs) {
+				t.Fatalf("shard %d tuple %d attrs: %v vs %v", i, j, got.Attrs, want.Attrs)
+			}
+			for k, v := range want.Attrs {
+				if got.Attrs[k] != v {
+					t.Fatalf("shard %d tuple %d attr %q: %q vs %q", i, j, k, got.Attrs[k], v)
+				}
+			}
+			if got.Score > prevScore || (got.Score == prevScore && ord <= prevOrd) {
+				t.Fatalf("shard %d breaks canonical order at %d", i, j)
+			}
+			prevScore, prevOrd = got.Score, ord
+		}
+	}
+	for ord, ok := range seen {
+		if !ok {
+			t.Fatalf("ordinal %d missing from file", ord)
+		}
+	}
+}
+
+func TestDecodeMatchesOpen(t *testing.T) {
+	rel := testRelation(t, 7, 31, 2)
+	path, _ := writeTemp(t, rel, 3, relation.GridPartition)
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Deliberately misalign the input: Decode must realign internally.
+	shifted := append(make([]byte, 1, len(raw)+1), raw...)
+	f, err := Decode(shifted[1:])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Tuples() != rel.Len() || f.Shards() != 3 {
+		t.Fatalf("decode metadata: tuples=%d shards=%d", f.Tuples(), f.Shards())
+	}
+	if _, err := f.Load("t"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWriteRejectsUnencodable(t *testing.T) {
+	if err := Write(filepath.Join(t.TempDir(), "x.prox"), nil); err == nil {
+		t.Fatal("nil relation accepted")
+	}
+	rel := testRelation(t, 1, 16, 2)
+	path, _ := writeTemp(t, rel, 2, relation.HashPartition)
+	f, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	loaded, err := f.Load("t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Write(filepath.Join(t.TempDir(), "y.prox"), loaded); err == nil {
+		t.Fatal("file-backed relation re-encoded")
+	}
+}
+
+// reseal recomputes the directory and header checksums after a test
+// mutated file bytes, so the corruption under test is the only
+// inconsistency left.
+func reseal(data []byte) {
+	dirOff := binary.LittleEndian.Uint64(data[40:48])
+	dirLen := binary.LittleEndian.Uint64(data[48:56])
+	table := crc32.MakeTable(crc32.Castagnoli)
+	binary.LittleEndian.PutUint32(data[56:60], crc32.Checksum(data[dirOff:dirOff+dirLen], table))
+	binary.LittleEndian.PutUint32(data[60:64], crc32.Checksum(data[0:60], table))
+}
+
+func TestCorruptFiles(t *testing.T) {
+	rel := testRelation(t, 3, 41, 2)
+	path, _ := writeTemp(t, rel, 2, relation.HashPartition)
+	pristine, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dim := 2
+	cases := []struct {
+		name    string
+		mutate  func(b []byte) []byte
+		wantSub string
+	}{
+		{"truncated header", func(b []byte) []byte { return b[:HeaderSize-10] }, "truncated header"},
+		{"bad magic", func(b []byte) []byte { copy(b, "NOTAPROX"); return b }, "bad magic"},
+		{"bad version", func(b []byte) []byte {
+			binary.LittleEndian.PutUint32(b[8:12], 99)
+			reseal(b)
+			return b
+		}, "unsupported version"},
+		{"header checksum mismatch", func(b []byte) []byte { b[33] ^= 0xff; return b }, "header checksum"},
+		{"directory checksum mismatch", func(b []byte) []byte { b[HeaderSize+3] ^= 0xff; return b }, "directory checksum"},
+		{"zero dim", func(b []byte) []byte {
+			binary.LittleEndian.PutUint32(b[16:20], 0)
+			reseal(b)
+			return b
+		}, "dimensionality"},
+		{"absurd shard count", func(b []byte) []byte {
+			binary.LittleEndian.PutUint32(b[20:24], 1<<20)
+			reseal(b)
+			return b
+		}, "out of range"},
+		{"non-finite max score", func(b []byte) []byte {
+			binary.LittleEndian.PutUint64(b[32:40], math.Float64bits(math.NaN()))
+			reseal(b)
+			return b
+		}, "max score"},
+		{"region outside file", func(b []byte) []byte {
+			e := b[HeaderSize:]
+			binary.LittleEndian.PutUint64(e[8:16], uint64(len(b))+8)
+			reseal(b)
+			return b
+		}, "outside"},
+		{"misaligned region", func(b []byte) []byte {
+			e := b[HeaderSize:]
+			off := binary.LittleEndian.Uint64(e[8:16])
+			binary.LittleEndian.PutUint64(e[8:16], off+4)
+			reseal(b)
+			return b
+		}, "misaligned"},
+		{"shard checksum mismatch", func(b []byte) []byte {
+			e := b[HeaderSize:]
+			off := binary.LittleEndian.Uint64(e[8:16])
+			b[off] ^= 0xff
+			return b
+		}, "region checksum"},
+		{"overlapping directory entries", func(b []byte) []byte {
+			e0 := b[HeaderSize : HeaderSize+uint64(entrySize(dim))]
+			e1 := b[HeaderSize+uint64(entrySize(dim)) : HeaderSize+2*uint64(entrySize(dim))]
+			// Point shard 1's score region into shard 0's and recompute
+			// shard 1's CRC so only the overlap is wrong.
+			binary.LittleEndian.PutUint64(e1[8:16], binary.LittleEndian.Uint64(e0[8:16]))
+			n1 := binary.LittleEndian.Uint64(e1[0:8])
+			crc := crc32.New(crc32.MakeTable(crc32.Castagnoli))
+			offs := [7]uint64{
+				binary.LittleEndian.Uint64(e1[8:16]),
+				binary.LittleEndian.Uint64(e1[16:24]),
+				binary.LittleEndian.Uint64(e1[24:32]),
+				binary.LittleEndian.Uint64(e1[32:40]),
+				binary.LittleEndian.Uint64(e1[40:48]),
+				binary.LittleEndian.Uint64(e1[56:64]),
+				binary.LittleEndian.Uint64(e1[64:72]),
+			}
+			lens := [7]uint64{8 * n1, 8 * n1 * uint64(dim), 4 * n1, 4 * (n1 + 1),
+				binary.LittleEndian.Uint64(e1[48:56]), 4 * (n1 + 1), binary.LittleEndian.Uint64(e1[72:80])}
+			for r := 0; r < 7; r++ {
+				crc.Write(b[offs[r] : offs[r]+lens[r]])
+			}
+			binary.LittleEndian.PutUint32(e1[80:84], crc.Sum32())
+			reseal(b)
+			return b
+		}, "overlaps"},
+		{"tuple count mismatch", func(b []byte) []byte {
+			binary.LittleEndian.PutUint64(b[24:32], binary.LittleEndian.Uint64(b[24:32])-1)
+			reseal(b)
+			return b
+		}, ""},
+		{"radius mismatch", func(b []byte) []byte {
+			e := b[HeaderSize:]
+			r := math.Float64frombits(binary.LittleEndian.Uint64(e[88:96]))
+			binary.LittleEndian.PutUint64(e[88:96], math.Float64bits(r+1))
+			reseal(b)
+			return b
+		}, "radius"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			b := append([]byte(nil), pristine...)
+			b = tc.mutate(b)
+			_, err := Decode(b)
+			if err == nil {
+				t.Fatal("corruption accepted")
+			}
+			if !errors.Is(err, ErrCorrupt) {
+				t.Fatalf("error %v does not wrap ErrCorrupt", err)
+			}
+			// The same bytes through a temp file and Open must fail too.
+			p := filepath.Join(t.TempDir(), "bad.prox")
+			if werr := os.WriteFile(p, b, 0o644); werr != nil {
+				t.Fatal(werr)
+			}
+			if _, oerr := Open(p); oerr == nil || !errors.Is(oerr, ErrCorrupt) {
+				t.Fatalf("Open: %v", oerr)
+			}
+		})
+	}
+}
+
+// TestTruncationSweep chops the file at every offset in a stride sweep:
+// every prefix must fail cleanly, never panic or over-read.
+func TestTruncationSweep(t *testing.T) {
+	rel := testRelation(t, 9, 23, 2)
+	path, _ := writeTemp(t, rel, 2, relation.GridPartition)
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for cut := 0; cut < len(raw); cut += 13 {
+		if _, err := Decode(raw[:cut]); err == nil {
+			t.Fatalf("truncation at %d accepted", cut)
+		}
+	}
+}
+
+func FuzzRelFileDecode(f *testing.F) {
+	rel := testRelation(f, 11, 19, 2)
+	s, err := relation.Partition(rel, 2, relation.HashPartition)
+	if err != nil {
+		f.Fatal(err)
+	}
+	dir := f.TempDir()
+	path := filepath.Join(dir, "seed.prox")
+	if err := Write(path, s); err != nil {
+		f.Fatal(err)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(raw)
+	f.Add(raw[:HeaderSize])
+	f.Add([]byte(Magic))
+	flipped := append([]byte(nil), raw...)
+	flipped[70] ^= 0x40
+	f.Add(flipped)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		pf, err := Decode(data)
+		if err != nil {
+			return // any error is fine; panics and over-reads are not
+		}
+		// A file that validates must be fully traversable.
+		loaded, err := pf.Load("fuzz")
+		if err != nil {
+			t.Fatalf("validated file failed to load: %v", err)
+		}
+		for i := 0; i < loaded.NumShards(); i++ {
+			src, err := loaded.ShardSource(i, relation.ScoreAccess, nil, nil, false)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for {
+				tu, err := src.Next()
+				if errors.Is(err, relation.ErrExhausted) {
+					break
+				}
+				if err != nil {
+					t.Fatal(err)
+				}
+				_ = tu.ID
+				_ = tu.Attrs
+			}
+		}
+	})
+}

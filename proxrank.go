@@ -10,6 +10,7 @@ import (
 	"repro/internal/agg"
 	"repro/internal/core"
 	"repro/internal/relation"
+	"repro/internal/relfile"
 	"repro/internal/vec"
 )
 
@@ -187,6 +188,16 @@ type Options struct {
 	// buffer pressure event. The hook behind per-query tracing; nil (the
 	// default) costs one pointer check per pull.
 	Tracer Tracer
+	// SpillDir, when non-empty, gives BufferSpill sessions a file-backed
+	// spill tier: overflow past the SpillMemBytes in-memory slab moves to
+	// checksummed segment files under SpillDir, byte-identically to the
+	// in-memory slab, so open enumeration over huge cross products runs
+	// at flat resident memory. Ignored unless MaxBuffered > 0 with
+	// BufferSpill.
+	SpillDir string
+	// SpillMemBytes bounds the in-memory slab ahead of the file tier
+	// (0 = core.DefaultSpillMemBytes).
+	SpillMemBytes int
 }
 
 // Tracer observes one run at pull granularity (see core.Tracer for the
@@ -275,6 +286,41 @@ func SaveRelationCSV(path string, rel *Relation) error {
 	return relation.SaveCSVFile(path, rel)
 }
 
+// RelFileExtension is the conventional suffix of relfile relation files
+// (".prox"); proxserve and the catalog use it to pick the loader.
+const RelFileExtension = relfile.Extension
+
+// SaveRelFile writes a sharded relation to path in the relfile format: a
+// versioned, checksummed columnar layout whose per-shard slabs are
+// stored in canonical score order, built once and memory-mapped at load.
+func SaveRelFile(path string, s *ShardedRelation) error {
+	return relfile.Write(path, s)
+}
+
+// LoadRelFile memory-maps a relfile relation under the given name. The
+// loaded relation copies no tuples onto the heap: score access streams
+// the mapped slabs directly, distance access builds per-shard R-trees
+// lazily on first use, and shard bounds come stored from the file — so
+// queries over it are byte-identical to the in-memory relation it was
+// built from while resident memory stays flat in the relation size. The
+// mapping stays alive for as long as the relation (or any tuple view it
+// produced) is reachable.
+func LoadRelFile(path, name string) (*ShardedRelation, error) {
+	f, err := relfile.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	return f.Load(name)
+}
+
+// AutoShardCount is the admission heuristic shared by proxgen and the
+// service catalog: the shard count picked for a relation of the given
+// size when the caller does not fix one (roughly one shard per 8k
+// tuples, clamped to [1, 64]).
+func AutoShardCount(tuples int) int {
+	return relation.AutoShardCount(tuples)
+}
+
 func (o Options) aggregation() (agg.Function, error) {
 	w := o.Weights
 	if w == (Weights{}) {
@@ -303,21 +349,25 @@ func (o Options) engineOptions(query Vector, fn agg.Function) core.Options {
 		BlockSize:       o.BlockSize,
 		CollectTimings:  o.CollectTimings,
 		Tracer:          o.Tracer,
+		SpillDir:        o.SpillDir,
+		SpillMemBytes:   o.SpillMemBytes,
 	}
 }
 
 // BoundedToK returns the options with the session buffer defaulted for a
-// run that consumes at most K results: the drop-below-floor policy at
-// MaxBuffered = K keeps the output byte-identical while restoring O(K)
-// peak memory (the buffer otherwise grows with CombinationsFormed). An
-// explicit MaxBuffered wins. Every at-most-K consumer — the batch TopK*
-// entry points, the service executor's streamed runs, the CLI — applies
-// exactly this rule; do not use it for sessions that may enumerate past
-// K, where the pruned buffer could skip results.
+// run that consumes at most K results: bounding MaxBuffered to K keeps
+// the output byte-identical while restoring O(K) peak heap memory (the
+// buffer otherwise grows with CombinationsFormed). An explicit
+// MaxBuffered wins, and the configured BufferPolicy is honored — the
+// default prune drops below-floor combinations, BufferSpill moves them
+// to the compact spill slab (and the file tier, with SpillDir) instead.
+// Every at-most-K consumer — the batch TopK* entry points, the service
+// executor's streamed runs, the CLI — applies exactly this rule; do not
+// use it for sessions that may enumerate past K with the prune policy,
+// where the pruned buffer could skip results.
 func (o Options) BoundedToK() Options {
 	if o.MaxBuffered == 0 && o.K > 0 {
 		o.MaxBuffered = o.K
-		o.BufferPolicy = BufferPrune
 	}
 	return o
 }

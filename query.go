@@ -48,6 +48,9 @@ func OptionsFromRequest(req *api.Request, limits ...api.Limits) (Vector, Options
 	if req.Access == api.AccessScore {
 		opts.Access = ScoreAccess
 	}
+	if req.BufferPolicy == api.BufferSpill {
+		opts.BufferPolicy = BufferSpill
+	}
 	if req.Transform == api.TransformIdentity {
 		opts.Transform = IdentityScore
 	}

@@ -60,6 +60,12 @@ func (e *Entry) Shards() int {
 // catalog; a name re-registered after eviction gets a fresh generation).
 func (e *Entry) Generation() uint64 { return e.gen }
 
+// FileBacked reports whether the entry's tuples live in a memory-mapped
+// relfile rather than on the Go heap.
+func (e *Entry) FileBacked() bool {
+	return e.sharded != nil && e.sharded.FileBacked()
+}
+
 // RelationInfo is the catalog metadata served by GET /v1/relations.
 type RelationInfo struct {
 	Name     string    `json:"name"`
@@ -72,6 +78,8 @@ type RelationInfo struct {
 	// Owners then maps each peer address to the shard indices it serves.
 	Remote bool             `json:"remote,omitempty"`
 	Owners map[string][]int `json:"owners,omitempty"`
+	// FileBacked marks an entry served from a memory-mapped relfile.
+	FileBacked bool `json:"fileBacked,omitempty"`
 }
 
 // Catalog is a concurrency-safe registry of named relations. Registration
@@ -90,6 +98,9 @@ type Catalog struct {
 	// cost: shard count and the wall time spent partitioning and
 	// building indexes. Wired to the metrics registry by NewExecutor.
 	buildObserver func(shards int, d time.Duration)
+	// relfileOpens counts successful LoadRelFile admissions; exported to
+	// the metrics registry as relfile_open_total.
+	relfileOpens atomic.Int64
 }
 
 // SetBuildObserver installs fn to observe index-build timings of later
@@ -118,8 +129,23 @@ func (c *Catalog) Register(name string, rel *proxrank.Relation) error {
 // partitioned under strategy and every shard's indexes are built in
 // parallel, all outside the catalog lock. Queries over the entry stream
 // a per-shard merge that answers byte-identically to a single-shard
-// registration.
+// registration. A shard count of 0 asks admission to pick one from the
+// relation's size (proxrank.AutoShardCount).
 func (c *Catalog) RegisterSharded(name string, rel *proxrank.Relation, shards int, strategy proxrank.PartitionStrategy) error {
+	return c.admit(name, rel, shards, strategy, false)
+}
+
+// Replace is RegisterSharded for a name that may already be taken: the
+// new relation is built outside the lock and atomically swapped in with
+// a fresh generation, so in-flight queries finish on the old entry while
+// new queries (and cache keys) see the new one. With shards == 0 the
+// shard count is re-derived from the new relation's size — a relation
+// that grew since its last registration is re-sharded on the way in.
+func (c *Catalog) Replace(name string, rel *proxrank.Relation, shards int, strategy proxrank.PartitionStrategy) error {
+	return c.admit(name, rel, shards, strategy, true)
+}
+
+func (c *Catalog) admit(name string, rel *proxrank.Relation, shards int, strategy proxrank.PartitionStrategy, replace bool) error {
 	if name == "" {
 		return apiErrorf(CodeBadRequest, "relation name must not be empty")
 	}
@@ -129,13 +155,18 @@ func (c *Catalog) RegisterSharded(name string, rel *proxrank.Relation, shards in
 	if rel.Name != name {
 		return apiErrorf(CodeBadRequest, "catalog name %q differs from relation name %q", name, rel.Name)
 	}
+	if shards == 0 {
+		shards = proxrank.AutoShardCount(rel.Len())
+	}
 	// Cheap existence pre-check so a duplicate registration doesn't pay
 	// for index construction; the locked re-check below settles races.
-	c.mu.RLock()
-	_, taken := c.entries[name]
-	c.mu.RUnlock()
-	if taken {
-		return apiErrorf(CodeConflict, "relation %q is already registered", name)
+	if !replace {
+		c.mu.RLock()
+		_, taken := c.entries[name]
+		c.mu.RUnlock()
+		if taken {
+			return apiErrorf(CodeConflict, "relation %q is already registered", name)
+		}
 	}
 	// Partitioning and index construction are the expensive part; do them
 	// outside the lock so concurrent queries are not stalled behind bulk
@@ -147,16 +178,27 @@ func (c *Catalog) RegisterSharded(name string, rel *proxrank.Relation, shards in
 	if err != nil {
 		return apiErrorf(CodeBadRequest, "relation %q: %v", name, err)
 	}
+	c.observeBuild(sharded.NumShards(), time.Since(buildStart))
+	return c.install(name, &Entry{sharded: sharded, loadedAt: time.Now()}, replace)
+}
+
+// observeBuild reports one index build to the registered observer.
+func (c *Catalog) observeBuild(shards int, d time.Duration) {
 	c.mu.RLock()
 	observe := c.buildObserver
 	c.mu.RUnlock()
 	if observe != nil {
-		observe(sharded.NumShards(), time.Since(buildStart))
+		observe(shards, d)
 	}
-	e := &Entry{sharded: sharded, loadedAt: time.Now()}
+}
+
+// install links a fully built entry into the catalog under a fresh
+// generation. Without replace it refuses a taken name (settling the race
+// two concurrent registrations of one name can reach).
+func (c *Catalog) install(name string, e *Entry, replace bool) error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	if _, ok := c.entries[name]; ok {
+	if _, ok := c.entries[name]; ok && !replace {
 		return apiErrorf(CodeConflict, "relation %q is already registered", name)
 	}
 	c.nextGen++
@@ -183,16 +225,7 @@ func (c *Catalog) RegisterRemote(name string, rr *shardrpc.RemoteRelation) error
 	if err != nil {
 		return apiErrorf(CodeBadRequest, "relation %q: %v", name, err)
 	}
-	e := &Entry{stub: stub, remote: rr, loadedAt: time.Now()}
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if _, ok := c.entries[name]; ok {
-		return apiErrorf(CodeConflict, "relation %q is already registered", name)
-	}
-	c.nextGen++
-	e.gen = c.nextGen
-	c.entries[name] = e
-	return nil
+	return c.install(name, &Entry{stub: stub, remote: rr, loadedAt: time.Now()}, false)
 }
 
 // LoadCSVFile reads a relation from a CSV file and registers it under
@@ -210,6 +243,40 @@ func (c *Catalog) LoadCSVFileSharded(name, path string, maxScore float64, shards
 	}
 	return c.RegisterSharded(name, rel, shards, strategy)
 }
+
+// LoadRelFile memory-maps a relfile-format relation (.prox, written by
+// proxgen -format relfile) and registers it under name. No tuples are
+// materialized: shard layout, indexes' inputs, and bounding metadata are
+// served straight from the mapping, so admission is O(validation) rather
+// than O(sort), and resident memory stays flat however large the file
+// is. The mapping stays valid for the life of the process — eviction
+// drops the catalog slot, never the pages in-flight queries may still
+// touch.
+func (c *Catalog) LoadRelFile(name, path string) error {
+	if name == "" {
+		return apiErrorf(CodeBadRequest, "relation name must not be empty")
+	}
+	c.mu.RLock()
+	_, taken := c.entries[name]
+	c.mu.RUnlock()
+	if taken {
+		return apiErrorf(CodeConflict, "relation %q is already registered", name)
+	}
+	c.building.Add(1)
+	defer c.building.Add(-1)
+	buildStart := time.Now()
+	sharded, err := proxrank.LoadRelFile(path, name)
+	if err != nil {
+		return apiErrorf(CodeBadRequest, "relation %q: %v", name, err)
+	}
+	c.relfileOpens.Add(1)
+	c.observeBuild(sharded.NumShards(), time.Since(buildStart))
+	return c.install(name, &Entry{sharded: sharded, loadedAt: time.Now()}, false)
+}
+
+// RelFileOpens returns how many relfile mappings this catalog has opened
+// (the relfile_open_total metric).
+func (c *Catalog) RelFileOpens() int64 { return c.relfileOpens.Load() }
 
 // Get returns the entry for name, or a CodeNotFound error.
 func (c *Catalog) Get(name string) (*Entry, error) {
@@ -286,12 +353,13 @@ func (c *Catalog) TotalShards() int {
 func info(name string, e *Entry) RelationInfo {
 	rel := e.Relation()
 	ri := RelationInfo{
-		Name:     name,
-		Tuples:   rel.Len(),
-		Dim:      rel.Dim(),
-		MaxScore: rel.MaxScore,
-		Shards:   e.Shards(),
-		LoadedAt: e.loadedAt,
+		Name:       name,
+		Tuples:     rel.Len(),
+		Dim:        rel.Dim(),
+		MaxScore:   rel.MaxScore,
+		Shards:     e.Shards(),
+		LoadedAt:   e.loadedAt,
+		FileBacked: e.FileBacked(),
 	}
 	if rr := e.remote; rr != nil {
 		ri.Remote = true

@@ -82,6 +82,15 @@ type Config struct {
 	// SlowQueryLog is where slow-query lines go. Nil disables logging
 	// even when the threshold is set.
 	SlowQueryLog io.Writer
+	// SpillDir, when non-empty, gives every BufferSpill session a
+	// file-backed spill tier rooted here: combinations past the in-memory
+	// slab watermark move to compact on-disk segments and revive in exact
+	// rank order, so open enumeration over huge cross products runs at
+	// flat resident memory. Empty keeps spill purely in RAM.
+	SpillDir string
+	// SpillMemBytes is the per-session in-memory slab budget before
+	// overflow goes to SpillDir (0 = the engine default, 4 MiB).
+	SpillMemBytes int
 }
 
 // DefaultMaxK caps K when Config.MaxK is unset: a serving layer should
@@ -187,6 +196,11 @@ type StatsSnapshot struct {
 	// could not contribute, so the coordinator never opened them.
 	RemoteStreamsOpened int64 `json:"remoteStreamsOpened"`
 	ShardsPruned        int64 `json:"shardsPruned"`
+	// TotalSpilledCombinations counts combinations BufferSpill sessions
+	// moved out of the ranked heap; TotalSpilledBytes is how many bytes of
+	// those reached the file spill tier.
+	TotalSpilledCombinations int64 `json:"totalSpilledCombinations"`
+	TotalSpilledBytes        int64 `json:"totalSpilledBytes"`
 }
 
 // Executor answers queries against a catalog through a bounded worker
@@ -237,6 +251,8 @@ type Executor struct {
 	totalEngineMicros atomic.Int64
 	remoteOpened      atomic.Int64
 	shardsPruned      atomic.Int64
+	totalSpilled      atomic.Int64
+	totalSpilledBytes atomic.Int64
 }
 
 // NewExecutor builds an executor over cat.
@@ -304,33 +320,35 @@ func (x *Executor) AttachFleet(fleet *shardrpc.Fleet) { x.m.registerFleet(fleet)
 // Stats returns a consistent-enough snapshot of the counters.
 func (x *Executor) Stats() StatsSnapshot {
 	return StatsSnapshot{
-		Queries:             x.queries.Load(),
-		Streamed:            x.streamed.Load(),
-		Completed:           x.completed.Load(),
-		CacheHits:           x.cacheHits.Load(),
-		CacheMisses:         x.cacheMisses.Load(),
-		Coalesced:           x.coalesced.Load(),
-		CacheEntries:        x.cache.len(),
-		Canceled:            x.canceled.Load(),
-		BadRequests:         x.badRequests.Load(),
-		Failed:              x.failed.Load(),
-		Rejected:            x.rejected.Load(),
-		InFlight:            x.inFlight.Load(),
-		Queued:              x.queued.Load(),
-		Degraded:            x.degraded.Load(),
-		EngineRuns:          x.engineRuns.Load(),
-		StreamsBrokered:     x.streamsBrokered.Load(),
-		MidRunAttaches:      x.midRunAttaches.Load(),
-		SlowSubscriberDrops: x.slowDrops.Load(),
-		StreamSubscribers:   x.bins.Subscribers.Load(),
-		StreamPeakLag:       x.bins.PeakLag.Load(),
-		StreamBlockedMicros: x.bins.BlockedNanos.Load() / 1e3,
-		TotalSumDepths:      x.totalSumDepths.Load(),
-		TotalCombinations:   x.totalCombinations.Load(),
-		TotalBoundUpdates:   x.totalBoundUpdates.Load(),
-		TotalEngineMicros:   x.totalEngineMicros.Load(),
-		RemoteStreamsOpened: x.remoteOpened.Load(),
-		ShardsPruned:        x.shardsPruned.Load(),
+		Queries:                  x.queries.Load(),
+		Streamed:                 x.streamed.Load(),
+		Completed:                x.completed.Load(),
+		CacheHits:                x.cacheHits.Load(),
+		CacheMisses:              x.cacheMisses.Load(),
+		Coalesced:                x.coalesced.Load(),
+		CacheEntries:             x.cache.len(),
+		Canceled:                 x.canceled.Load(),
+		BadRequests:              x.badRequests.Load(),
+		Failed:                   x.failed.Load(),
+		Rejected:                 x.rejected.Load(),
+		InFlight:                 x.inFlight.Load(),
+		Queued:                   x.queued.Load(),
+		Degraded:                 x.degraded.Load(),
+		EngineRuns:               x.engineRuns.Load(),
+		StreamsBrokered:          x.streamsBrokered.Load(),
+		MidRunAttaches:           x.midRunAttaches.Load(),
+		SlowSubscriberDrops:      x.slowDrops.Load(),
+		StreamSubscribers:        x.bins.Subscribers.Load(),
+		StreamPeakLag:            x.bins.PeakLag.Load(),
+		StreamBlockedMicros:      x.bins.BlockedNanos.Load() / 1e3,
+		TotalSumDepths:           x.totalSumDepths.Load(),
+		TotalCombinations:        x.totalCombinations.Load(),
+		TotalBoundUpdates:        x.totalBoundUpdates.Load(),
+		TotalEngineMicros:        x.totalEngineMicros.Load(),
+		RemoteStreamsOpened:      x.remoteOpened.Load(),
+		ShardsPruned:             x.shardsPruned.Load(),
+		TotalSpilledCombinations: x.totalSpilled.Load(),
+		TotalSpilledBytes:        x.totalSpilledBytes.Load(),
 	}
 }
 
@@ -351,6 +369,10 @@ func (x *Executor) prepare(req *QueryRequest) (*QueryRequest, proxrank.Vector, p
 		x.badRequests.Add(1)
 		return nil, nil, proxrank.Options{}, nil, asAPIError(err)
 	}
+	// Server-side engine tuning the wire request has no say over: where
+	// (and whether) BufferSpill sessions overflow to disk.
+	opts.SpillDir = x.cfg.SpillDir
+	opts.SpillMemBytes = x.cfg.SpillMemBytes
 	entries, err := x.cat.Resolve(norm.Relations)
 	if err != nil {
 		x.badRequests.Add(1)
@@ -1034,6 +1056,8 @@ func (x *Executor) recordOutcome(stats proxrank.Stats) {
 	x.totalCombinations.Add(stats.CombinationsFormed)
 	x.totalBoundUpdates.Add(stats.BoundUpdates)
 	x.totalEngineMicros.Add(stats.TotalTime.Microseconds())
+	x.totalSpilled.Add(stats.SpilledCombinations)
+	x.totalSpilledBytes.Add(stats.SpilledBytes)
 	x.m.sumDepths.Observe(float64(stats.SumDepths))
 	if stats.CombinationsFormed > 0 {
 		x.m.pruneRatio.Observe(float64(stats.CombinationsPruned) / float64(stats.CombinationsFormed))
@@ -1425,12 +1449,14 @@ func buildResponse(res proxrank.Result, entries []*Entry) *QueryResponse {
 		Results: make([]ResultCombination, len(res.Combinations)),
 		DNF:     res.DNF,
 		Cost: QueryCost{
-			SumDepths:     res.Stats.SumDepths,
-			Depths:        res.Stats.Depths,
-			Combinations:  res.Stats.CombinationsFormed,
-			BoundUpdates:  res.Stats.BoundUpdates,
-			QPSolves:      res.Stats.QPSolves,
-			ElapsedMicros: res.Stats.TotalTime.Microseconds(),
+			SumDepths:           res.Stats.SumDepths,
+			Depths:              res.Stats.Depths,
+			Combinations:        res.Stats.CombinationsFormed,
+			BoundUpdates:        res.Stats.BoundUpdates,
+			QPSolves:            res.Stats.QPSolves,
+			ElapsedMicros:       res.Stats.TotalTime.Microseconds(),
+			SpilledCombinations: res.Stats.SpilledCombinations,
+			SpilledBytes:        res.Stats.SpilledBytes,
 		},
 	}
 	if t := res.Threshold; !math.IsInf(t, 0) && !math.IsNaN(t) {

@@ -201,7 +201,7 @@ func (s *Server) handleRelations(w http.ResponseWriter, _ *http.Request) {
 //
 //	name     — catalog name (required)
 //	maxScore — σ_max; 0 or absent infers it from the data
-//	shards   — shard count (default 1)
+//	shards   — shard count (default 1; 0 auto-picks from relation size)
 //	strategy — partitioning strategy: hash (default) or grid
 //
 // A taken name answers 409; evict it first to replace a relation, which
@@ -225,8 +225,8 @@ func (s *Server) handleRegisterRelation(w http.ResponseWriter, r *http.Request) 
 	shards := 1
 	if v := q.Get("shards"); v != "" {
 		n, err := strconv.Atoi(v)
-		if err != nil || n < 1 {
-			writeError(w, apiErrorf(CodeBadRequest, "bad shards %q: want a positive integer", v))
+		if err != nil || n < 0 {
+			writeError(w, apiErrorf(CodeBadRequest, "bad shards %q: want a non-negative integer (0 = auto)", v))
 			return
 		}
 		shards = n

@@ -117,6 +117,8 @@ func newMetrics(reg *obs.Registry, x *Executor) *metrics {
 	c("proxrank_engine_sum_depths_total", "Cumulative access depth across completed runs.", &x.totalSumDepths)
 	c("proxrank_engine_combinations_total", "Cumulative combinations formed across completed runs.", &x.totalCombinations)
 	c("proxrank_engine_bound_updates_total", "Cumulative stopping-threshold recomputations across completed runs.", &x.totalBoundUpdates)
+	c("proxrank_spilled_combinations_total", "Cumulative combinations BufferSpill sessions moved out of the ranked heap.", &x.totalSpilled)
+	c("proxrank_spill_bytes_total", "Cumulative bytes written to file spill-tier segments across completed runs.", &x.totalSpilledBytes)
 	reg.CounterFunc("proxrank_engine_seconds_total",
 		"Cumulative engine wall time across completed runs.",
 		func() float64 { return float64(x.totalEngineMicros.Load()) / 1e6 })
@@ -131,6 +133,9 @@ func newMetrics(reg *obs.Registry, x *Executor) *metrics {
 		func() float64 { return float64(x.inFlight.Load()) / float64(x.cfg.Workers) })
 	reg.GaugeFunc("proxrank_cache_entries", "Responses currently held by the result cache.",
 		func() float64 { return float64(x.cache.len()) })
+	reg.GaugeFunc("proxrank_process_resident_bytes",
+		"Resident set size of this process (0 where /proc is unavailable). With mmap-backed relations this stays flat however large the catalog's files are.",
+		func() float64 { return float64(residentBytes()) })
 
 	// Broker delivery: the same Instruments the stats snapshot reads.
 	ins := x.bins
@@ -157,6 +162,8 @@ func (m *metrics) registerCatalog(cat *Catalog) {
 		func() float64 { return float64(cat.Len()) })
 	m.reg.GaugeFunc("proxrank_catalog_shards", "Shards summed over all registered relations.",
 		func() float64 { return float64(cat.TotalShards()) })
+	m.reg.CounterFunc("relfile_open_total", "Relfile mappings opened by the catalog (LoadRelFile admissions).",
+		func() float64 { return float64(cat.RelFileOpens()) })
 	cat.SetBuildObserver(func(_ int, d time.Duration) {
 		m.indexBuild.ObserveDuration(d.Seconds())
 	})

@@ -1,0 +1,291 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	proxrank "repro"
+	"repro/api"
+)
+
+// writeRelFile partitions rel and writes it to a temp .prox file.
+func writeRelFile(t testing.TB, rel *proxrank.Relation, shards int) string {
+	t.Helper()
+	s, err := proxrank.NewShardedRelation(rel, shards, proxrank.GridPartition)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), rel.Name+proxrank.RelFileExtension)
+	if err := proxrank.SaveRelFile(path, s); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// resultsKey renders just the answer part of a response — scores survive
+// as shortest-round-trip floats, so bit differences show.
+func resultsKey(t *testing.T, resp *QueryResponse) string {
+	t.Helper()
+	buf, err := json.Marshal(resp.Results)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(buf)
+}
+
+// TestCatalogLoadRelFile: a relation admitted from a relfile mapping
+// answers queries byte-identically to the same relation registered from
+// RAM, reports itself file-backed, and bumps the open counter.
+func TestCatalogLoadRelFile(t *testing.T) {
+	relA := testRelation(t, "A", 21, 60, 2)
+	relB := testRelation(t, "B", 22, 50, 2)
+	pathA := writeRelFile(t, relA, 2)
+
+	ramCat := NewCatalog()
+	if err := ramCat.RegisterSharded("A", relA, 2, proxrank.GridPartition); err != nil {
+		t.Fatal(err)
+	}
+	if err := ramCat.Register("B", relB); err != nil {
+		t.Fatal(err)
+	}
+	fileCat := NewCatalog()
+	if err := fileCat.LoadRelFile("A", pathA); err != nil {
+		t.Fatal(err)
+	}
+	if err := fileCat.Register("B", relB); err != nil {
+		t.Fatal(err)
+	}
+	if got := fileCat.RelFileOpens(); got != 1 {
+		t.Fatalf("RelFileOpens = %d, want 1", got)
+	}
+	info, err := fileCat.Info("A")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !info.FileBacked || info.Tuples != relA.Len() || info.Shards != 2 {
+		t.Fatalf("relfile entry info = %+v", info)
+	}
+	if info, err := fileCat.Info("B"); err != nil || info.FileBacked {
+		t.Fatalf("RAM entry claims file backing: %+v (%v)", info, err)
+	}
+
+	ram := NewExecutor(ramCat, Config{Workers: 2, CacheSize: -1})
+	file := NewExecutor(fileCat, Config{Workers: 2, CacheSize: -1})
+	for _, req := range []*QueryRequest{
+		{Query: []float64{0.1, -0.2}, Relations: []string{"A", "B"}, K: 4},
+		{Query: []float64{-0.6, 0.4}, Relations: []string{"A", "B"}, K: 7, Access: "score"},
+	} {
+		want, err := ram.Execute(context.Background(), req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := file.Execute(context.Background(), req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if w, g := resultsKey(t, want), resultsKey(t, got); w != g {
+			t.Fatalf("relfile-backed answer diverged\nram:  %s\nfile: %s", w, g)
+		}
+	}
+
+	// Error paths: a missing file is a bad request, a taken name a conflict.
+	if err := fileCat.LoadRelFile("C", filepath.Join(t.TempDir(), "nope.prox")); codeOf(err) != CodeBadRequest {
+		t.Fatalf("missing file: %v", err)
+	}
+	if err := fileCat.LoadRelFile("A", pathA); codeOf(err) != CodeConflict {
+		t.Fatalf("duplicate load: %v", err)
+	}
+}
+
+// TestExecutorWireSpill: a wire request selecting bufferPolicy "spill"
+// against a server configured with a spill directory runs its session
+// through the file spill tier — byte-identical answers, with the spill
+// volume visible on the response cost, the executor totals, and the
+// /metrics counter wiring.
+func TestExecutorWireSpill(t *testing.T) {
+	relA := testRelation(t, "A", 51, 500, 2)
+	relB := testRelation(t, "B", 52, 500, 2)
+	cat := NewCatalog()
+	if err := cat.Register("A", relA); err != nil {
+		t.Fatal(err)
+	}
+	if err := cat.Register("B", relB); err != nil {
+		t.Fatal(err)
+	}
+	plain := NewExecutor(cat, Config{Workers: 2, CacheSize: -1})
+	spilly := NewExecutor(cat, Config{
+		Workers:   2,
+		CacheSize: -1,
+		SpillDir:  t.TempDir(),
+		// A tiny watermark so even this small run crosses into the file
+		// tier instead of staying in the in-memory slab.
+		SpillMemBytes: 64,
+	})
+
+	// A center query over everything forms far more combinations than
+	// K=3 keeps buffered, so the spill path has real overflow to carry.
+	mk := func(policy string) *QueryRequest {
+		return &QueryRequest{Query: []float64{0, 0}, Relations: []string{"A", "B"}, K: 3, BufferPolicy: policy}
+	}
+	want, err := plain.Execute(context.Background(), mk(""))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := spilly.Execute(context.Background(), mk("spill"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w, g := resultsKey(t, want), resultsKey(t, got); w != g {
+		t.Fatalf("spill-backed answer diverged\nprune: %s\nspill: %s", w, g)
+	}
+	if got.Cost.SpilledCombinations == 0 || got.Cost.SpilledBytes == 0 {
+		t.Fatalf("spill session reported no spill: %+v", got.Cost)
+	}
+	if want.Cost.SpilledCombinations != 0 || want.Cost.SpilledBytes != 0 {
+		t.Fatalf("prune session reported spill: %+v", want.Cost)
+	}
+	snap := spilly.Stats()
+	if snap.TotalSpilledCombinations != got.Cost.SpilledCombinations ||
+		snap.TotalSpilledBytes != got.Cost.SpilledBytes {
+		t.Fatalf("executor totals %d/%d do not match the response cost %d/%d",
+			snap.TotalSpilledCombinations, snap.TotalSpilledBytes,
+			got.Cost.SpilledCombinations, got.Cost.SpilledBytes)
+	}
+
+	// The policy is engine tuning, not identity: both requests share one
+	// canonical encoding, so one cache entry serves both.
+	r1, r2 := mk(""), mk("spill")
+	if err := r1.Normalize(api.Limits{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := r2.Normalize(api.Limits{}); err != nil {
+		t.Fatal(err)
+	}
+	if r1.Canonical() != r2.Canonical() {
+		t.Fatal("bufferPolicy leaked into the canonical encoding")
+	}
+}
+
+// TestCatalogAutoShardAdmission: shards == 0 lets admission pick the
+// count from the relation's size, and Replace re-derives it — a relation
+// that grew past the per-shard target is re-sharded on re-registration.
+func TestCatalogAutoShardAdmission(t *testing.T) {
+	cat := NewCatalog()
+	small := testRelation(t, "r", 31, 50, 2)
+	if err := cat.RegisterSharded("r", small, 0, proxrank.HashPartition); err != nil {
+		t.Fatal(err)
+	}
+	e1, err := cat.Get("r")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e1.Shards() != 1 {
+		t.Fatalf("small relation auto-sharded to %d, want 1", e1.Shards())
+	}
+
+	grown := testRelation(t, "r", 32, 9000, 2)
+	if err := cat.Replace("r", grown, 0, proxrank.HashPartition); err != nil {
+		t.Fatal(err)
+	}
+	e2, err := cat.Get("r")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := proxrank.AutoShardCount(9000); e2.Shards() != want || want < 2 {
+		t.Fatalf("grown relation re-sharded to %d, want %d (>1)", e2.Shards(), want)
+	}
+	if e2.Generation() <= e1.Generation() {
+		t.Fatalf("Replace did not advance the generation: %d then %d", e1.Generation(), e2.Generation())
+	}
+	// The old entry still answers: in-flight queries hold it by pointer.
+	if e1.Sharded().Relation().Len() != 50 {
+		t.Fatal("replaced entry lost its relation")
+	}
+}
+
+// TestCatalogRelFileConcurrentEvict hammers evict + re-load of an
+// mmap-backed relation while queries run against it from several
+// goroutines (run under -race in CI). Queries that resolved the old
+// generation finish on it — the mapping outlives eviction, so answers
+// are identical across generations of the same file and nothing tears.
+func TestCatalogRelFileConcurrentEvict(t *testing.T) {
+	relA := testRelation(t, "A", 41, 400, 2)
+	relB := testRelation(t, "B", 42, 300, 2)
+	pathA := writeRelFile(t, relA, 3)
+
+	cat := NewCatalog()
+	if err := cat.LoadRelFile("A", pathA); err != nil {
+		t.Fatal(err)
+	}
+	if err := cat.Register("B", relB); err != nil {
+		t.Fatal(err)
+	}
+	x := NewExecutor(cat, Config{Workers: 4, CacheSize: -1})
+	req := &QueryRequest{Query: []float64{0.2, 0.1}, Relations: []string{"A", "B"}, K: 5}
+	golden, err := x.Execute(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := resultsKey(t, golden)
+
+	var stop atomic.Bool
+	var succeeded atomic.Int64
+	errc := make(chan error, 16)
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for !stop.Load() {
+				resp, err := x.Execute(context.Background(), req)
+				if err != nil {
+					// The instant between Evict and re-load legally 404s;
+					// anything else is a real failure.
+					if codeOf(err) != CodeNotFound {
+						select {
+						case errc <- err:
+						default:
+						}
+					}
+					continue
+				}
+				if got := resultsKey(t, resp); got != want {
+					select {
+					case errc <- errors.New("answer diverged across generations:\n" + got + "\nwant:\n" + want):
+					default:
+					}
+				}
+				succeeded.Add(1)
+			}
+		}()
+	}
+	// Churn until the queriers have demonstrably completed work across
+	// several generations (bounded so a hang still fails fast).
+	churns := 0
+	for deadline := 0; (succeeded.Load() < 50 || churns < 25) && deadline < 10_000; deadline++ {
+		cat.Evict("A")
+		if err := cat.LoadRelFile("A", pathA); err != nil {
+			stop.Store(true)
+			wg.Wait()
+			t.Fatal(err)
+		}
+		churns++
+	}
+	stop.Store(true)
+	wg.Wait()
+	close(errc)
+	for err := range errc {
+		t.Fatal(err)
+	}
+	if succeeded.Load() == 0 {
+		t.Fatal("no query completed during the churn")
+	}
+	if opens := cat.RelFileOpens(); opens != int64(churns)+1 {
+		t.Fatalf("RelFileOpens = %d, want %d", opens, churns+1)
+	}
+}
